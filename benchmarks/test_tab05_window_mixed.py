@@ -1,0 +1,45 @@
+"""Table V: average Window-Sizes for the best F-Measure on mixed datasets.
+
+Detection efficiency: the window size each method needs to reach its best
+F-Measure.  The paper's shape — baselines need 40-90 points while
+DBCatcher's flexible window stays near its 20-point initial size — is the
+property asserted here.
+"""
+
+from repro.eval.tables import render_window_table
+
+from _shared import DATASET_KINDS, DATASET_TITLES, mixed_experiment, scale_note
+
+#: The paper's Table V (points).
+_PAPER = {
+    "FFT": (90, 70, 70),
+    "SR": (70, 60, 50),
+    "SR-CNN": (40, 50, 55),
+    "OmniAnomaly": (70, 60, 50),
+    "JumpStarter": (60, 50, 50),
+    "DBCatcher": (20, 20, 20),
+}
+
+
+def test_tab05_window_sizes(benchmark):
+    results = {
+        DATASET_TITLES[kind]: mixed_experiment(kind) for kind in DATASET_KINDS
+    }
+    benchmark.pedantic(lambda: None, rounds=1)  # experiment cached; no kernel
+
+    print()
+    print(render_window_table(
+        results, "Table V — best-F window sizes, mixed datasets " + scale_note()
+    ))
+    print("paper:", {k: v for k, v in _PAPER.items()})
+
+    for title, summaries in results.items():
+        by_name = {s.method: s for s in summaries}
+        ours = by_name["DBCatcher"].window_size
+        assert ours <= 30, "DBCatcher's average window must stay near W=20"
+        for summary in summaries:
+            if summary.method != "DBCatcher":
+                assert ours <= summary.window_size, (
+                    f"DBCatcher must need the smallest window on {title} "
+                    f"(vs {summary.method})"
+                )

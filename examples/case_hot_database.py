@@ -1,0 +1,83 @@
+"""Case study 2 (Figure 13): resource-heavy tasks overload one database.
+
+Reproduces the paper's second real-incident case from an e-commerce
+scenario: every database receives the same number of requests, but a batch
+of resource-consuming tasks lands on D1 — its CPU utilization roughly
+doubles and Innodb Rows Read diverges while Total Requests stays aligned
+with the peers.
+
+Run:
+    python examples/case_hot_database.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DBCatcher
+from repro.anomalies import SlowQueryInjector
+from repro.anomalies.base import InjectionInterval
+from repro.cluster import BypassMonitor, Unit
+from repro.cluster.kpis import KPI_INDEX
+from repro.presets import default_config
+from repro.workloads import tencent_workload
+
+
+def main() -> None:
+    victim = 0  # D1, as in the paper's figure
+    incident = InjectionInterval(start=230, end=310)
+    unit = Unit("case-fig13", n_databases=5, seed=88)
+    monitor = BypassMonitor(unit, seed=89)
+    workload = tencent_workload(
+        480, scenario="ecommerce", periodic=True,
+        rng=np.random.default_rng(90),
+    )
+    injector = SlowQueryInjector(
+        victim, incident, cpu_factor=2.2, rows_factor=3.0, seed=91
+    )
+    values = monitor.collect(workload, injectors=[injector])
+
+    cpu = KPI_INDEX["cpu_utilization"]
+    total = KPI_INDEX["total_requests"]
+    rows = KPI_INDEX["innodb_rows_read"]
+    inside = slice(incident.start + 10, incident.end - 10)
+    before = slice(100, incident.start - 10)
+
+    print("during the incident (mean over the incident window):")
+    header = f"  {'':4s} {'TotalRequests':>14s} {'CPU(%)':>8s} {'RowsRead':>12s}"
+    print(header)
+    for db in range(unit.n_databases):
+        tag = " <- D1 hot" if db == victim else ""
+        print(
+            f"  D{db + 1:<3d}"
+            f" {values[db, total, inside].mean():14.0f}"
+            f" {values[db, cpu, inside].mean():8.1f}"
+            f" {values[db, rows, inside].mean():12.0f}{tag}"
+        )
+    ratio = values[victim, cpu, inside].mean() / values[1, cpu, inside].mean()
+    print(f"\nD1 CPU is {ratio:.1f}x its peers while requests match "
+          f"(paper: \"increases twice as much\")")
+    baseline_ratio = values[victim, cpu, before].mean() / values[1, cpu, before].mean()
+    print(f"before the incident that ratio was {baseline_ratio:.2f}")
+
+    # Production thresholds after adaptive learning sit near the top of
+    # the paper's alpha range; the incident is a *level-2* anomaly, so the
+    # tolerance band [alpha - theta, alpha) is what catches it.
+    config = default_config().with_thresholds([0.8] * 14, 0.12, 2)
+    catcher = DBCatcher(config, n_databases=unit.n_databases)
+    catcher.detect_series(values)
+    flagged_rounds = [
+        r for r in catcher.results
+        if victim in r.abnormal_databases
+        and r.end > incident.start and r.start < incident.end
+    ]
+    print(f"\nDBCatcher flagged D1 abnormal in {len(flagged_rounds)} "
+          f"round(s) overlapping the incident:")
+    for result in flagged_rounds:
+        record = result.records[victim]
+        worst = sorted(record.kpi_levels.items(), key=lambda kv: kv[1])[:3]
+        print(f"  ticks [{result.start}, {result.end}) deviating KPIs: {worst}")
+
+
+if __name__ == "__main__":
+    main()

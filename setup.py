@@ -1,0 +1,6 @@
+"""Legacy setup shim: the environment has no `wheel`, so the PEP 517
+editable path fails; `pip install -e . --no-use-pep517` uses this file."""
+
+from setuptools import setup
+
+setup()

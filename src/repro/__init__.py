@@ -1,0 +1,47 @@
+"""DBCatcher reproduction: cloud database online anomaly detection.
+
+A full reimplementation of *"DBCatcher: A Cloud Database Online Anomaly
+Detection System based on Indicator Correlation"* (ICDE 2023), including the
+substrates the paper evaluates on: a discrete-time cloud-database cluster
+simulator, Sysbench/TPC-C/production-like workload generators, an anomaly
+injection toolkit, the five baseline detectors (FFT, SR, SR-CNN,
+OmniAnomaly, JumpStarter), and the experiment harness that regenerates every
+table and figure of the evaluation section.
+
+Quick start::
+
+    from repro import DBCatcher, DBCatcherConfig
+    from repro.datasets import build_unit_series
+
+    unit = build_unit_series(profile="tencent", n_databases=5, n_ticks=600,
+                             seed=7)
+    config = DBCatcherConfig(kpi_names=unit.kpi_names)
+    catcher = DBCatcher(config, n_databases=unit.n_databases)
+    for result in catcher.detect_series(unit.values):
+        print(result.start, result.abnormal_databases)
+"""
+
+from repro.core import (
+    DBCatcher,
+    DBCatcherConfig,
+    DatabaseState,
+    JudgementRecord,
+    OnlineFeedback,
+    UnitDetectionResult,
+    kcd,
+    kcd_matrix,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DBCatcher",
+    "DBCatcherConfig",
+    "DatabaseState",
+    "JudgementRecord",
+    "OnlineFeedback",
+    "UnitDetectionResult",
+    "kcd",
+    "kcd_matrix",
+    "__version__",
+]

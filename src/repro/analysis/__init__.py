@@ -1,0 +1,31 @@
+"""Offline analysis utilities: normalization, periodicity, UKPIC studies.
+
+These helpers are shared by the DBCatcher core (``repro.core``), the dataset
+builders (``repro.datasets``) and the benchmark harness.  They implement the
+preliminary-study machinery of the paper: Eq. (1) min-max normalization, the
+RobustPeriod substitute used to split datasets into periodic and irregular
+subsets (Section IV-A2), and the UKPIC correlation-matrix analysis behind
+Figure 3.
+"""
+
+from repro.analysis.normalize import minmax_normalize, zscore_normalize
+from repro.analysis.periodicity import PeriodicityResult, classify_periodicity
+from repro.analysis.plots import sparkline, timeline, trend_panel
+from repro.analysis.ukpic import (
+    correlation_heatmap,
+    unit_correlation_matrix,
+    unit_correlation_summary,
+)
+
+__all__ = [
+    "minmax_normalize",
+    "zscore_normalize",
+    "PeriodicityResult",
+    "classify_periodicity",
+    "sparkline",
+    "trend_panel",
+    "timeline",
+    "unit_correlation_matrix",
+    "unit_correlation_summary",
+    "correlation_heatmap",
+]

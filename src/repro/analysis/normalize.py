@@ -1,0 +1,10 @@
+"""Re-export of the normalization primitives.
+
+The implementations live in :mod:`repro.core.normalize` (Eq. 1 belongs to
+the correlation-measurement core); this alias keeps them discoverable from
+the analysis namespace without creating an import cycle.
+"""
+
+from repro.core.normalize import minmax_normalize, zscore_normalize
+
+__all__ = ["minmax_normalize", "zscore_normalize"]

@@ -1,0 +1,106 @@
+"""ASCII time-series rendering for examples and bench output.
+
+The paper's figures are line charts of normalized KPI trends; these
+helpers render the same stories in a terminal: single-series sparklines,
+multi-database trend panels (Figure 3(a)/4/12-style), and event-marked
+timelines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["sparkline", "trend_panel", "timeline"]
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(series: np.ndarray, width: int = 60) -> str:
+    """One-line intensity chart of a series.
+
+    Parameters
+    ----------
+    series:
+        1-D values; resampled by striding down to ``width`` characters.
+    width:
+        Output width in characters.
+    """
+    values = np.asarray(series, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError(f"expected a 1-D series, got {values.shape}")
+    if values.size == 0:
+        return ""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    stride = max(1, values.size // width)
+    resampled = values[::stride][:width]
+    low = resampled.min()
+    span = (resampled.max() - low) or 1.0
+    indices = ((resampled - low) / span * (len(_BLOCKS) - 1)).astype(int)
+    return "".join(_BLOCKS[i] for i in indices)
+
+
+def trend_panel(
+    values: np.ndarray,
+    labels: Optional[Sequence[str]] = None,
+    width: int = 60,
+    highlight: Optional[int] = None,
+) -> str:
+    """Figure 3(a)-style panel: one sparkline per database.
+
+    Parameters
+    ----------
+    values:
+        ``(n_series, n_ticks)`` array (e.g. one KPI across a unit).
+    labels:
+        Row labels; defaults to ``D1..Dn``.
+    width:
+        Sparkline width.
+    highlight:
+        Optional row index to mark with ``<-``.
+    """
+    data = np.asarray(values, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"expected (n_series, n_ticks), got {data.shape}")
+    names = (
+        list(labels) if labels is not None
+        else [f"D{i + 1}" for i in range(data.shape[0])]
+    )
+    if len(names) != data.shape[0]:
+        raise ValueError("need one label per series")
+    name_width = max(len(name) for name in names)
+    lines = []
+    for index, name in enumerate(names):
+        marker = "  <-" if highlight == index else ""
+        lines.append(
+            f"{name:>{name_width}} |{sparkline(data[index], width)}|{marker}"
+        )
+    return "\n".join(lines)
+
+
+def timeline(
+    n_ticks: int,
+    events: Sequence[Tuple[int, int, str]],
+    width: int = 60,
+) -> str:
+    """Event band: marks each ``(start, end, symbol)`` span on one line.
+
+    Useful under a :func:`trend_panel` to show where anomalies were
+    injected (the paper's red vertical lines).
+    """
+    if n_ticks < 1:
+        raise ValueError("n_ticks must be >= 1")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    band = [" "] * width
+    for start, end, symbol in events:
+        if end <= start:
+            raise ValueError(f"event span [{start}, {end}) is empty")
+        mark = (symbol or "!")[0]
+        lo = int(np.clip(start / n_ticks * width, 0, width - 1))
+        hi = int(np.clip(np.ceil(end / n_ticks * width), lo + 1, width))
+        for position in range(lo, hi):
+            band[position] = mark
+    return "".join(band)

@@ -1,0 +1,157 @@
+"""UKPIC analysis: the preliminary study behind Figures 3 and Table II.
+
+Given a unit's multivariate monitoring series, these helpers compute the
+pairwise KCD correlation matrices per KPI, summarize which KPIs exhibit the
+Unit KPI Correlation phenomenon, and classify each KPI's correlation type as
+P-R (primary-replica) and/or R-R (replica-replica).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.kcd import kcd_matrix
+
+__all__ = [
+    "unit_correlation_matrix",
+    "KPICorrelationSummary",
+    "unit_correlation_summary",
+    "correlation_heatmap",
+]
+
+#: Mean pairwise KCD above which a KPI is said to exhibit UKPIC.
+UKPIC_THRESHOLD = 0.7
+
+
+def unit_correlation_matrix(
+    values: np.ndarray, kpi_index: int, max_delay: int | None = None
+) -> np.ndarray:
+    """Dense pairwise-KCD matrix of one KPI across a unit's databases.
+
+    Parameters
+    ----------
+    values:
+        Unit series of shape ``(n_databases, n_kpis, n_ticks)``.
+    kpi_index:
+        Which KPI to correlate.
+    max_delay:
+        Delay scan bound forwarded to the KCD.
+    """
+    data = np.asarray(values, dtype=np.float64)
+    if data.ndim != 3:
+        raise ValueError(
+            f"expected (n_databases, n_kpis, n_ticks), got shape {data.shape}"
+        )
+    return kcd_matrix(data[:, kpi_index, :], max_delay=max_delay)
+
+
+@dataclass(frozen=True)
+class KPICorrelationSummary:
+    """UKPIC evidence for one KPI across a unit.
+
+    Parameters
+    ----------
+    kpi:
+        KPI name.
+    mean_pr:
+        Mean KCD between the primary and each replica.
+    mean_rr:
+        Mean KCD among replicas.
+    correlation_type:
+        ``"P-R, R-R"``, ``"R-R"``, ``"P-R"`` or ``""`` depending on which
+        pairings clear :data:`UKPIC_THRESHOLD` (Table II's classification).
+    """
+
+    kpi: str
+    mean_pr: float
+    mean_rr: float
+    correlation_type: str
+
+    @property
+    def has_ukpic(self) -> bool:
+        return bool(self.correlation_type)
+
+
+def unit_correlation_summary(
+    values: np.ndarray,
+    kpi_names: Sequence[str],
+    primary: int = 0,
+    max_delay: int | None = None,
+    threshold: float = UKPIC_THRESHOLD,
+) -> List[KPICorrelationSummary]:
+    """Classify every KPI's correlation type over one unit (Table II).
+
+    Parameters
+    ----------
+    values:
+        Unit series of shape ``(n_databases, n_kpis, n_ticks)``.
+    kpi_names:
+        KPI names matching the second axis.
+    primary:
+        Index of the primary database inside the unit.
+    max_delay:
+        Delay scan bound forwarded to the KCD.
+    threshold:
+        Mean-KCD level that counts as "correlated".
+    """
+    data = np.asarray(values, dtype=np.float64)
+    if data.ndim != 3 or data.shape[1] != len(kpi_names):
+        raise ValueError(
+            "values must be (n_databases, n_kpis, n_ticks) matching kpi_names"
+        )
+    n_dbs = data.shape[0]
+    if not 0 <= primary < n_dbs:
+        raise IndexError(f"primary index {primary} out of range for {n_dbs} databases")
+    replicas = [d for d in range(n_dbs) if d != primary]
+    summaries = []
+    for kpi_index, kpi in enumerate(kpi_names):
+        matrix = kcd_matrix(data[:, kpi_index, :], max_delay=max_delay)
+        pr_scores = [matrix[primary, r] for r in replicas]
+        rr_scores = [
+            matrix[a, b] for i, a in enumerate(replicas) for b in replicas[i + 1 :]
+        ]
+        mean_pr = float(np.mean(pr_scores)) if pr_scores else 0.0
+        mean_rr = float(np.mean(rr_scores)) if rr_scores else 0.0
+        parts = []
+        if mean_pr >= threshold:
+            parts.append("P-R")
+        if mean_rr >= threshold:
+            parts.append("R-R")
+        summaries.append(
+            KPICorrelationSummary(
+                kpi=kpi,
+                mean_pr=mean_pr,
+                mean_rr=mean_rr,
+                correlation_type=", ".join(parts),
+            )
+        )
+    return summaries
+
+
+def correlation_heatmap(matrix: np.ndarray, labels: Sequence[str] | None = None) -> str:
+    """ASCII rendering of a correlation matrix (Figure 3(b) style).
+
+    Parameters
+    ----------
+    matrix:
+        Square correlation matrix.
+    labels:
+        Optional row/column labels; defaults to ``D1..Dn``.
+    """
+    dense = np.asarray(matrix, dtype=np.float64)
+    if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {dense.shape}")
+    n = dense.shape[0]
+    names = list(labels) if labels is not None else [f"D{i + 1}" for i in range(n)]
+    if len(names) != n:
+        raise ValueError("need one label per matrix row")
+    width = max(6, max(len(name) for name in names) + 1)
+    header = " " * width + "".join(f"{name:>{width}}" for name in names)
+    lines = [header]
+    for i, name in enumerate(names):
+        cells = "".join(f"{dense[i, j]:>{width}.2f}" for j in range(n))
+        lines.append(f"{name:>{width}}" + cells)
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Anomaly injection toolkit.
+
+Two injector families, by where they act:
+
+* **Simulation injectors** (:class:`~repro.anomalies.base.SimulationInjector`)
+  perturb the *causes* inside the running cluster — routing weights,
+  resource-model conditions — so every KPI responds consistently, exactly
+  like the paper's real incidents: the defective load-balance strategy of
+  Figure 4, the slow-query/hot-database case of Figure 13, the capacity
+  fragmentation of Figure 12, throughput stalls, and the unlabeled
+  *temporal fluctuations* (maintenance tasks) that stress the flexible
+  window.
+* **Series injectors** (:class:`~repro.anomalies.base.SeriesInjector`)
+  perturb the collected series directly with the classic abnormal trend
+  shapes — spike, level shift, concept drift — used to inject the
+  Tencent-incident-derived deviations into the Sysbench and TPCC datasets
+  "proportionally", as Section IV-A1 describes.
+
+:mod:`repro.anomalies.catalog` schedules a paper-ratio mix of all of the
+above for the dataset builders.
+"""
+
+from repro.anomalies.base import SeriesInjector, SimulationInjector
+from repro.anomalies.concept_drift import ConceptDriftInjector
+from repro.anomalies.delays import shift_database_series
+from repro.anomalies.fluctuations import TemporalFluctuationInjector
+from repro.anomalies.fragmentation import FragmentationInjector
+from repro.anomalies.lb_defect import LoadBalanceDefectInjector
+from repro.anomalies.level_shift import LevelShiftInjector
+from repro.anomalies.slow_query import SlowQueryInjector
+from repro.anomalies.spike import SpikeInjector
+from repro.anomalies.stall import StallInjector
+from repro.anomalies.catalog import AnomalyPlan, schedule_anomalies
+
+__all__ = [
+    "SimulationInjector",
+    "SeriesInjector",
+    "SpikeInjector",
+    "LevelShiftInjector",
+    "ConceptDriftInjector",
+    "LoadBalanceDefectInjector",
+    "SlowQueryInjector",
+    "FragmentationInjector",
+    "StallInjector",
+    "TemporalFluctuationInjector",
+    "shift_database_series",
+    "AnomalyPlan",
+    "schedule_anomalies",
+]

@@ -1,0 +1,80 @@
+"""Injector interfaces and shared interval plumbing."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.unit import Unit
+
+__all__ = ["InjectionInterval", "SimulationInjector", "SeriesInjector"]
+
+
+@dataclass(frozen=True)
+class InjectionInterval:
+    """Half-open tick interval an injector is active over."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("start must be >= 0")
+        if self.end <= self.start:
+            raise ValueError("end must exceed start")
+
+    def contains(self, tick: int) -> bool:
+        return self.start <= tick < self.end
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+class SimulationInjector(abc.ABC):
+    """Perturbs the simulation's causes while it runs.
+
+    Subclasses adjust routing weights or database conditions in
+    :meth:`before_tick`; the monitor calls it ahead of every
+    :meth:`~repro.cluster.unit.Unit.step`.  :meth:`labels` declares the
+    injector's ground-truth footprint — temporal fluctuations return an
+    all-``False`` mask because they are *not* anomalies.
+    """
+
+    @abc.abstractmethod
+    def before_tick(self, unit: Unit, tick: int) -> None:
+        """Adjust the unit's state for this tick."""
+
+    @abc.abstractmethod
+    def labels(self, n_databases: int, n_ticks: int) -> np.ndarray:
+        """Boolean ground-truth mask of shape ``(n_databases, n_ticks)``."""
+
+
+class SeriesInjector(abc.ABC):
+    """Perturbs a collected KPI series in place.
+
+    Used to transplant the deviation shapes of real Tencent incidents into
+    Sysbench/TPCC series (Section IV-A1), and directly by tests that need
+    a precisely controlled abnormal trend.
+    """
+
+    @abc.abstractmethod
+    def inject(
+        self, values: np.ndarray, labels: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        """Mutate ``values`` (``(D, K, T)``) and ``labels`` (``(D, T)``)."""
+
+
+def check_series_shapes(values: np.ndarray, labels: np.ndarray) -> None:
+    """Validate the (values, labels) pair every series injector receives."""
+    if values.ndim != 3:
+        raise ValueError(
+            f"values must be (n_databases, n_kpis, n_ticks), got {values.shape}"
+        )
+    if labels.shape != (values.shape[0], values.shape[2]):
+        raise ValueError(
+            f"labels must be (n_databases, n_ticks) = "
+            f"({values.shape[0]}, {values.shape[2]}), got {labels.shape}"
+        )

@@ -1,0 +1,215 @@
+"""Anomaly scheduling: paper-ratio mixes of incident types.
+
+Builds the injection plan for a unit's dataset: a sequence of
+non-overlapping anomaly events (the paper only considers a single abnormal
+database at a time, Section II-C) whose total duration hits a target
+abnormal-point ratio (3.11 % for Tencent, ~4.2 % for Sysbench/TPCC,
+Table III), plus optional unlabeled temporal fluctuations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.anomalies.base import (
+    InjectionInterval,
+    SeriesInjector,
+    SimulationInjector,
+)
+from repro.anomalies.concept_drift import ConceptDriftInjector
+from repro.anomalies.fluctuations import TemporalFluctuationInjector
+from repro.anomalies.fragmentation import FragmentationInjector
+from repro.anomalies.lb_defect import LoadBalanceDefectInjector
+from repro.anomalies.level_shift import LevelShiftInjector
+from repro.anomalies.slow_query import SlowQueryInjector
+from repro.anomalies.spike import SpikeInjector
+from repro.anomalies.stall import StallInjector
+
+__all__ = ["AnomalyPlan", "ANOMALY_TYPES", "schedule_anomalies"]
+
+#: Injectable incident types and their duration ranges in ticks.
+ANOMALY_TYPES: Tuple[Tuple[str, Tuple[int, int]], ...] = (
+    ("spike", (6, 16)),
+    ("level_shift", (20, 50)),
+    ("concept_drift", (30, 60)),
+    ("lb_defect", (20, 50)),
+    ("slow_query", (20, 50)),
+    ("fragmentation", (25, 60)),
+    ("stall", (10, 30)),
+)
+
+#: Minimum healthy gap between scheduled events, in ticks.
+_EVENT_GAP = 30
+
+
+@dataclass
+class AnomalyPlan:
+    """The full injection plan for one unit's dataset.
+
+    ``simulation_injectors`` act during simulation; ``series_injectors``
+    act on the collected array afterwards.  :meth:`labels` merges every
+    labeled footprint (fluctuations contribute nothing by design).
+    """
+
+    n_databases: int
+    n_ticks: int
+    simulation_injectors: List[SimulationInjector] = field(default_factory=list)
+    series_injectors: List[SeriesInjector] = field(default_factory=list)
+    events: List[Tuple[str, int, InjectionInterval]] = field(default_factory=list)
+
+    def labels(self) -> np.ndarray:
+        """Combined ground truth of shape ``(n_databases, n_ticks)``."""
+        mask = np.zeros((self.n_databases, self.n_ticks), dtype=bool)
+        for injector in self.simulation_injectors:
+            mask |= injector.labels(self.n_databases, self.n_ticks)
+        for kind, victim, interval in self.events:
+            if kind in _SERIES_KINDS:
+                mask[victim, interval.start : min(interval.end, self.n_ticks)] = True
+        return mask
+
+    @property
+    def abnormal_ratio(self) -> float:
+        """Fraction of (database, tick) points labeled abnormal."""
+        mask = self.labels()
+        return float(mask.sum()) / mask.size
+
+
+_SERIES_KINDS = frozenset({"spike", "level_shift", "concept_drift"})
+
+
+def _make_injector(
+    kind: str,
+    victim: int,
+    interval: InjectionInterval,
+    n_kpis: int,
+    rng: np.random.Generator,
+):
+    """Instantiate one injector; series kinds pick a random KPI subset."""
+    if kind in _SERIES_KINDS:
+        n_affected = int(rng.integers(3, max(4, n_kpis // 2) + 1))
+        kpis = tuple(
+            sorted(rng.choice(n_kpis, size=min(n_affected, n_kpis), replace=False))
+        )
+        if kind == "spike":
+            return SpikeInjector(
+                victim, interval, magnitude=float(rng.uniform(1.0, 3.0)),
+                kpi_indices=kpis,
+            )
+        if kind == "level_shift":
+            return LevelShiftInjector(
+                victim, interval, factor=float(rng.uniform(1.6, 3.0)),
+                flatten=float(rng.uniform(0.85, 1.0)), kpi_indices=kpis,
+            )
+        return ConceptDriftInjector(
+            victim, interval, intensity=float(rng.uniform(0.7, 1.0)),
+            kpi_indices=kpis,
+        )
+    child_seed = int(rng.integers(0, 2**31 - 1))
+    if kind == "lb_defect":
+        return LoadBalanceDefectInjector(
+            victim, interval, skew=float(rng.uniform(0.3, 0.55))
+        )
+    if kind == "slow_query":
+        return SlowQueryInjector(
+            victim, interval,
+            cpu_factor=float(rng.uniform(1.8, 3.0)),
+            rows_factor=float(rng.uniform(2.0, 4.0)),
+            seed=child_seed,
+        )
+    if kind == "fragmentation":
+        return FragmentationInjector(
+            victim, interval,
+            leak_bytes_per_tick=float(rng.uniform(3e7, 1e8)),
+            seed=child_seed,
+        )
+    if kind == "stall":
+        return StallInjector(
+            victim, interval,
+            residual_throughput=float(rng.uniform(0.05, 0.3)),
+            seed=child_seed,
+        )
+    raise ValueError(f"unknown anomaly kind {kind!r}")
+
+
+def schedule_anomalies(
+    n_databases: int,
+    n_ticks: int,
+    rng: Optional[np.random.Generator] = None,
+    abnormal_ratio: float = 0.04,
+    kinds: Optional[Sequence[str]] = None,
+    n_kpis: int = 14,
+    include_fluctuations: bool = True,
+    warmup_ticks: int = 40,
+) -> AnomalyPlan:
+    """Schedule a paper-ratio anomaly mix for one unit.
+
+    Parameters
+    ----------
+    n_databases, n_ticks:
+        Unit geometry.
+    rng:
+        Random generator; a fresh one is created when omitted.
+    abnormal_ratio:
+        Target fraction of (database, tick) points labeled abnormal; the
+        scheduler adds non-overlapping events until the budget is met.
+    kinds:
+        Restrict event types (names from :data:`ANOMALY_TYPES`).
+    n_kpis:
+        KPI count, for choosing affected-KPI subsets of series events.
+    include_fluctuations:
+        Add the unlabeled temporal-fluctuation injector.
+    warmup_ticks:
+        Anomaly-free head of the series (detectors need healthy context).
+    """
+    if not 0.0 <= abnormal_ratio < 0.5:
+        raise ValueError("abnormal_ratio must lie in [0, 0.5)")
+    generator = rng if rng is not None else np.random.default_rng()
+    allowed = dict(ANOMALY_TYPES)
+    if kinds is not None:
+        unknown = set(kinds) - set(allowed)
+        if unknown:
+            raise ValueError(f"unknown anomaly kinds: {sorted(unknown)}")
+        allowed = {k: v for k, v in allowed.items() if k in kinds}
+    plan = AnomalyPlan(n_databases=n_databases, n_ticks=n_ticks)
+    if include_fluctuations:
+        plan.simulation_injectors.append(
+            TemporalFluctuationInjector(seed=int(generator.integers(0, 2**31)))
+        )
+    budget = abnormal_ratio * n_databases * n_ticks
+    consumed = 0
+    kind_names = sorted(allowed)
+    occupied: List[Tuple[int, int]] = []
+    failures = 0
+    # Events are placed uniformly over the whole horizon (so a later
+    # train/test time split leaves anomalies on both sides), keeping a
+    # healthy gap between any two events: the paper only considers one
+    # abnormal database at a time.
+    while consumed < budget and failures < 200:
+        kind = kind_names[int(generator.integers(0, len(kind_names)))]
+        lo, hi = allowed[kind]
+        duration = int(generator.integers(lo, hi + 1))
+        latest_start = n_ticks - duration - _EVENT_GAP
+        if latest_start <= warmup_ticks:
+            break
+        start = int(generator.integers(warmup_ticks, latest_start + 1))
+        end = start + duration
+        if any(
+            start < busy_end + _EVENT_GAP and end + _EVENT_GAP > busy_start
+            for busy_start, busy_end in occupied
+        ):
+            failures += 1
+            continue
+        victim = int(generator.integers(0, n_databases))
+        interval = InjectionInterval(start, end)
+        injector = _make_injector(kind, victim, interval, n_kpis, generator)
+        if isinstance(injector, SimulationInjector):
+            plan.simulation_injectors.append(injector)
+        else:
+            plan.series_injectors.append(injector)
+        plan.events.append((kind, victim, interval))
+        occupied.append((start, end))
+        consumed += duration
+    return plan

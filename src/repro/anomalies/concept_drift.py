@@ -1,0 +1,87 @@
+"""Concept-drift anomaly: a gradual divergence of one database's trends."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.anomalies.base import InjectionInterval, SeriesInjector, check_series_shapes
+
+__all__ = ["ConceptDriftInjector"]
+
+
+class ConceptDriftInjector(SeriesInjector):
+    """Gradually replaces the victim's trend with an independent one.
+
+    Over the interval the victim's KPIs blend from their true values
+    toward an independent random-walk trend; the blend weight ramps
+    linearly, reproducing the slow "concept drift" deviation type.
+
+    Parameters
+    ----------
+    victim:
+        Database index drifting.
+    interval:
+        Ticks over which the drift develops and persists.
+    intensity:
+        Final blend weight of the foreign trend, in ``(0, 1]``.
+    walk_sigma:
+        Step size of the independent random walk (relative units).
+    kpi_indices:
+        Which KPI rows drift; ``None`` means all of them.
+    """
+
+    def __init__(
+        self,
+        victim: int,
+        interval: InjectionInterval,
+        intensity: float = 0.9,
+        walk_sigma: float = 0.08,
+        kpi_indices: Optional[Sequence[int]] = None,
+    ):
+        if victim < 0:
+            raise ValueError("victim must be >= 0")
+        if not 0.0 < intensity <= 1.0:
+            raise ValueError("intensity must lie in (0, 1]")
+        if walk_sigma <= 0:
+            raise ValueError("walk_sigma must be positive")
+        self.victim = victim
+        self.interval = interval
+        self.intensity = intensity
+        self.walk_sigma = walk_sigma
+        self.kpi_indices = None if kpi_indices is None else tuple(kpi_indices)
+
+    def inject(
+        self, values: np.ndarray, labels: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        check_series_shapes(values, labels)
+        start, end = self.interval.start, min(self.interval.end, values.shape[2])
+        if start >= values.shape[2] or self.victim >= values.shape[0]:
+            return
+        span = end - start
+        ramp = np.linspace(0.0, self.intensity, span)
+        rows = (
+            range(values.shape[1])
+            if self.kpi_indices is None
+            else self.kpi_indices
+        )
+        for k in rows:
+            series = values[self.victim, k, :]
+            segment = series[start:end]
+            # The foreign trend roams the KPI's *global* dynamic range: a
+            # drifted database follows a genuinely different load pattern,
+            # not a perturbation of the local window.
+            low = float(series.min())
+            high = float(series.max())
+            spread = (high - low) or max(abs(high), 1e-9)
+            walk = np.cumsum(rng.normal(0.0, self.walk_sigma, span))
+            position = 0.5 + walk
+            position = (position - position.min()) / max(
+                position.max() - position.min(), 1e-9
+            )
+            foreign = low + spread * position
+            values[self.victim, k, start:end] = (
+                (1.0 - ramp) * segment + ramp * np.clip(foreign, 0.0, None)
+            )
+        labels[self.victim, start:end] = True

@@ -1,0 +1,51 @@
+"""Point-in-time delay utilities.
+
+The bypass monitor already assigns each database a stable collection
+delay; this module provides the post-hoc variant used by robustness tests
+and the delay-search ablation: shift one database's reported series by a
+chosen number of ticks without touching the rest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["shift_database_series"]
+
+
+def shift_database_series(
+    values: np.ndarray, database: int, delay: int
+) -> np.ndarray:
+    """Copy of ``values`` with one database's series delayed.
+
+    Parameters
+    ----------
+    values:
+        Series of shape ``(n_databases, n_kpis, n_ticks)``.
+    database:
+        Index of the database whose reports arrive late.
+    delay:
+        Ticks of delay; the first ``delay`` reported points repeat the
+        earliest sample (a warming pipeline), matching
+        :class:`~repro.cluster.monitor.BypassMonitor` semantics.  A
+        negative delay advances the series instead.
+    """
+    data = np.asarray(values, dtype=np.float64)
+    if data.ndim != 3:
+        raise ValueError(
+            f"values must be (n_databases, n_kpis, n_ticks), got {data.shape}"
+        )
+    if not 0 <= database < data.shape[0]:
+        raise IndexError(f"database {database} out of range")
+    n_ticks = data.shape[2]
+    if abs(delay) >= n_ticks:
+        raise ValueError("delay magnitude must be smaller than the series length")
+    shifted = data.copy()
+    if delay > 0:
+        shifted[database, :, delay:] = data[database, :, : n_ticks - delay]
+        shifted[database, :, :delay] = data[database, :, :1]
+    elif delay < 0:
+        lag = -delay
+        shifted[database, :, : n_ticks - lag] = data[database, :, lag:]
+        shifted[database, :, n_ticks - lag :] = data[database, :, -1:]
+    return shifted

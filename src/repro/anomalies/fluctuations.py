@@ -1,0 +1,74 @@
+"""Temporal fluctuations: benign, unlabeled single-point deviations.
+
+Section II-D distinguishes *temporal fluctuations* from anomalies: brief
+deviations at individual points (maintenance tasks, imperfect balancing)
+after which the series returns to its normal trend.  They are the false-
+positive pressure the flexible time window exists to absorb, so their
+ground-truth labels are all ``False`` by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.anomalies.base import SimulationInjector
+from repro.cluster.unit import Unit
+
+__all__ = ["TemporalFluctuationInjector"]
+
+
+class TemporalFluctuationInjector(SimulationInjector):
+    """Random short CPU pulses (maintenance tasks) on random databases.
+
+    Parameters
+    ----------
+    pulse_probability:
+        Per-tick chance that a new maintenance pulse starts somewhere.
+    pulse_cpu:
+        Additive CPU percentage while a pulse is active.
+    pulse_duration:
+        Pulse length in ticks (kept short: fluctuations are "minor
+        deviations at individual points").
+    seed:
+        Seeds the injector's own generator so fluctuation placement is
+        reproducible independently of the unit's noise.
+    """
+
+    def __init__(
+        self,
+        pulse_probability: float = 0.02,
+        pulse_cpu: float = 15.0,
+        pulse_duration: int = 2,
+        seed: Optional[int] = None,
+    ):
+        if not 0.0 <= pulse_probability <= 1.0:
+            raise ValueError("pulse_probability must lie in [0, 1]")
+        if pulse_cpu <= 0:
+            raise ValueError("pulse_cpu must be positive")
+        if pulse_duration < 1:
+            raise ValueError("pulse_duration must be >= 1")
+        self.pulse_probability = pulse_probability
+        self.pulse_cpu = pulse_cpu
+        self.pulse_duration = pulse_duration
+        self._rng = np.random.default_rng(seed)
+        #: database index -> tick the active pulse ends at.
+        self._active: dict = {}
+
+    def before_tick(self, unit: Unit, tick: int) -> None:
+        # Expire pulses that have run their course.
+        for db, end in list(self._active.items()):
+            if tick >= end:
+                unit.databases[db].condition.cpu_background -= self.pulse_cpu
+                del self._active[db]
+        # Possibly start a new pulse on a database without one.
+        if self._rng.random() < self.pulse_probability:
+            db = int(self._rng.integers(0, unit.n_databases))
+            if db not in self._active:
+                unit.databases[db].condition.cpu_background += self.pulse_cpu
+                self._active[db] = tick + self.pulse_duration
+
+    def labels(self, n_databases: int, n_ticks: int) -> np.ndarray:
+        """All ``False``: fluctuations are not anomalies."""
+        return np.zeros((n_databases, n_ticks), dtype=bool)

@@ -1,0 +1,99 @@
+"""Storage fragmentation anomaly (the Figure 12 case).
+
+Heavy delete/insert churn leaves dead space behind.  Two observable
+consequences, both injected here:
+
+* the victim's **Real Capacity** climbs away from the peers' capacity
+  trend (the leak arrives in bursts — churn is episodic — so the victim's
+  capacity develops its own staircase trend rather than a clean ramp);
+* rows spread across more pages, so **BufferPool Read Requests** and
+  **Innodb Data Writes** inflate, ramping with the accumulated dead space
+  — the paper notes level-1 anomalies "mainly occur in critical KPIs such
+  as reads, writes, and capacity".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.anomalies.base import InjectionInterval, SimulationInjector
+from repro.cluster.unit import Unit
+
+__all__ = ["FragmentationInjector"]
+
+
+class FragmentationInjector(SimulationInjector):
+    """Leaks dead bytes and amplifies page IO on the victim.
+
+    Parameters
+    ----------
+    victim:
+        Database whose storage fragments.
+    interval:
+        Ticks of active churn.
+    leak_bytes_per_tick:
+        Average dead space accumulated per tick (delivered in bursts).
+    peak_page_amplification:
+        Page-IO multiplier once fragmentation has fully developed; ramps
+        from 1 at the interval start.
+    seed:
+        Seeds the burst process.
+    """
+
+    def __init__(
+        self,
+        victim: int,
+        interval: InjectionInterval,
+        leak_bytes_per_tick: float = 5e7,
+        peak_page_amplification: float = 2.2,
+        seed: Optional[int] = None,
+    ):
+        if victim < 0:
+            raise ValueError("victim must be >= 0")
+        if leak_bytes_per_tick <= 0:
+            raise ValueError("leak_bytes_per_tick must be positive")
+        if peak_page_amplification < 1.0:
+            raise ValueError("peak_page_amplification must be >= 1")
+        self.victim = victim
+        self.interval = interval
+        self.leak_bytes_per_tick = leak_bytes_per_tick
+        self.peak_page_amplification = peak_page_amplification
+        self._rng = np.random.default_rng(seed)
+        self._applied_leak = 0.0
+        self._applied_page = 1.0
+        self._flap = 1.0
+
+    def before_tick(self, unit: Unit, tick: int) -> None:
+        condition = unit.databases[self.victim].condition
+        condition.capacity_leak_bytes -= self._applied_leak
+        condition.page_amplification /= self._applied_page
+        self._applied_leak = 0.0
+        self._applied_page = 1.0
+        if self.interval.contains(tick):
+            # Episodic churn: a minority of ticks leak many times the
+            # average (large delete batches), giving the victim's capacity
+            # a staircase shape clearly unlike the peers' smooth growth.
+            stored = max(condition.stored_bytes, 1.0)
+            if self._rng.random() < 0.15:
+                burst = self.leak_bytes_per_tick / 0.15 * self._rng.exponential(1.0)
+                # Cap a single step at 8% of stored bytes to stay physical.
+                self._applied_leak = min(burst, 0.08 * stored)
+            # Page amplification rides the churn bursts: queries touching
+            # freshly fragmented regions pay, others do not.
+            self._flap = float(
+                np.clip(0.7 * self._flap + 0.3 * self._rng.uniform(0.1, 1.5), 0.2, 1.0)
+            )
+            progress = (tick - self.interval.start) / max(self.interval.duration, 1)
+            develop = min(1.0, 0.3 + progress)
+            self._applied_page = 1.0 + (
+                (self.peak_page_amplification - 1.0) * develop * self._flap
+            )
+            condition.capacity_leak_bytes += self._applied_leak
+            condition.page_amplification *= self._applied_page
+
+    def labels(self, n_databases: int, n_ticks: int) -> np.ndarray:
+        mask = np.zeros((n_databases, n_ticks), dtype=bool)
+        mask[self.victim, self.interval.start : min(self.interval.end, n_ticks)] = True
+        return mask

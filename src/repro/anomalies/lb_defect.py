@@ -1,0 +1,59 @@
+"""Defective load-balance strategy (the Figure 4 incident).
+
+While active, the unit's balancer is wrapped in a
+:class:`~repro.cluster.loadbalancer.DefectiveBalancer` that centrally maps
+an outsized read share onto the victim; every load-driven KPI of the victim
+rises while its peers' fall, breaking UKPIC across many indicators at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.anomalies.base import InjectionInterval, SimulationInjector
+from repro.cluster.loadbalancer import DefectiveBalancer
+from repro.cluster.unit import Unit
+
+__all__ = ["LoadBalanceDefectInjector"]
+
+
+class LoadBalanceDefectInjector(SimulationInjector):
+    """Swaps in a skewed balancer over the injection interval.
+
+    Parameters
+    ----------
+    victim:
+        Database that the defective strategy floods.
+    interval:
+        Ticks the defective strategy stays deployed.
+    skew:
+        Extra read share (0..1) routed to the victim.
+    """
+
+    def __init__(self, victim: int, interval: InjectionInterval, skew: float = 0.4):
+        if victim < 0:
+            raise ValueError("victim must be >= 0")
+        self.victim = victim
+        self.interval = interval
+        self.skew = skew
+        self._saved = None
+
+    def before_tick(self, unit: Unit, tick: int) -> None:
+        if self.interval.contains(tick):
+            if self._saved is None:
+                self._saved = unit.balancer
+                unit.balancer = DefectiveBalancer(
+                    inner=self._saved,
+                    victim=self.victim,
+                    skew=self.skew,
+                    start_tick=self.interval.start,
+                    end_tick=self.interval.end,
+                )
+        elif self._saved is not None:
+            unit.balancer = self._saved
+            self._saved = None
+
+    def labels(self, n_databases: int, n_ticks: int) -> np.ndarray:
+        mask = np.zeros((n_databases, n_ticks), dtype=bool)
+        mask[self.victim, self.interval.start : min(self.interval.end, n_ticks)] = True
+        return mask

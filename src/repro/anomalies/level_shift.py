@@ -1,0 +1,89 @@
+"""Level-shift anomaly: a sudden sustained offset on one database."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.anomalies.base import InjectionInterval, SeriesInjector, check_series_shapes
+
+__all__ = ["LevelShiftInjector"]
+
+
+class LevelShiftInjector(SeriesInjector):
+    """Shifts the victim's KPIs to a new level for the whole interval.
+
+    The shift flattens the victim's trend toward the segment mean, offsets
+    it by a fraction of the KPI's global range, and overlays independent
+    measurement wobble.  The flattening + wobble is what breaks UKPIC: any
+    affine transform ``a*x + b`` of the shared trend is *exactly* erased
+    by min-max normalization, so a detectable level shift must replace the
+    trend (a stuck or saturated counter), not rescale it.
+
+    Parameters
+    ----------
+    victim:
+        Database index shifted.
+    interval:
+        Ticks the shift persists.
+    factor:
+        Multiplicative level change (e.g. ``2.0`` doubles the level).
+    flatten:
+        How much of the original trend is removed inside the interval,
+        in ``[0, 1]``; ``0.7`` keeps only 30 % of the peer-shared trend.
+    kpi_indices:
+        Which KPI rows deviate; ``None`` means all of them.
+    """
+
+    def __init__(
+        self,
+        victim: int,
+        interval: InjectionInterval,
+        factor: float = 2.0,
+        flatten: float = 0.95,
+        kpi_indices: Optional[Sequence[int]] = None,
+    ):
+        if victim < 0:
+            raise ValueError("victim must be >= 0")
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        if not 0.0 <= flatten <= 1.0:
+            raise ValueError("flatten must lie in [0, 1]")
+        self.victim = victim
+        self.interval = interval
+        self.factor = factor
+        self.flatten = flatten
+        self.kpi_indices = None if kpi_indices is None else tuple(kpi_indices)
+
+    def inject(
+        self, values: np.ndarray, labels: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        check_series_shapes(values, labels)
+        start, end = self.interval.start, min(self.interval.end, values.shape[2])
+        if start >= values.shape[2] or self.victim >= values.shape[0]:
+            return
+        rows = (
+            range(values.shape[1])
+            if self.kpi_indices is None
+            else self.kpi_indices
+        )
+        for k in rows:
+            series = values[self.victim, k, :]
+            segment = series[start:end]
+            mean = segment.mean()
+            flattened = (1.0 - self.flatten) * segment + self.flatten * mean
+            # The shift itself is sized against the KPI's global range so
+            # it remains a *level* change, not a wiggle, under any shared
+            # workload transition inside the window.
+            scale = float(series.max() - series.min()) or max(
+                float(np.abs(series).mean()), 1e-9
+            )
+            shift = (self.factor - 1.0) * 0.5 * scale
+            # Independent wobble so the flattened series carries its own
+            # (uncorrelated) micro-trend rather than a scaled shared one.
+            wobble = rng.normal(0.0, 0.04 * scale, end - start)
+            values[self.victim, k, start:end] = np.clip(
+                flattened + shift + wobble, 0.0, None
+            )
+        labels[self.victim, start:end] = True

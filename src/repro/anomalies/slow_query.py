@@ -1,0 +1,88 @@
+"""Slow-query / hot-database anomaly (the Figure 13 case).
+
+Resource-consuming tasks land on one database: its request count stays
+in line with its peers, but each request examines far more rows, so CPU
+utilization and Innodb Rows Read diverge — exactly the level-2 anomaly the
+paper's second case study describes.
+
+The intensity is *time-varying*: heavy queries arrive in their own bursts
+(an AR(1) process), so the victim's KPI trend genuinely decouples from the
+unit's shared load trend.  A constant multiplier would only rescale the
+trend, which min-max normalization — and therefore trend correlation —
+cannot see; real incident series wander, and so does this injector.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.anomalies.base import InjectionInterval, SimulationInjector
+from repro.cluster.unit import Unit
+
+__all__ = ["SlowQueryInjector"]
+
+
+class SlowQueryInjector(SimulationInjector):
+    """Inflates per-request cost on the victim with bursty intensity.
+
+    Parameters
+    ----------
+    victim:
+        Database executing the resource-consuming tasks.
+    interval:
+        Ticks the slow queries keep arriving.
+    cpu_factor:
+        Peak multiplier on the victim's CPU utilization (the paper's case
+        shows roughly 2x).
+    rows_factor:
+        Peak multiplier on rows examined per select.
+    seed:
+        Seeds the injector's burst process.
+    """
+
+    def __init__(
+        self,
+        victim: int,
+        interval: InjectionInterval,
+        cpu_factor: float = 2.0,
+        rows_factor: float = 2.5,
+        seed: Optional[int] = None,
+    ):
+        if victim < 0:
+            raise ValueError("victim must be >= 0")
+        if cpu_factor <= 1.0 and rows_factor <= 1.0:
+            raise ValueError("at least one factor must exceed 1 to be an anomaly")
+        self.victim = victim
+        self.interval = interval
+        self.cpu_factor = cpu_factor
+        self.rows_factor = rows_factor
+        self._rng = np.random.default_rng(seed)
+        self._intensity = 1.0
+        self._applied_cpu = 1.0
+        self._applied_rows = 1.0
+
+    def _next_intensity(self) -> float:
+        """AR(1) burst process in roughly [0.3, 1.0] of peak."""
+        self._intensity = 0.5 * self._intensity + 0.5 * self._rng.uniform(0.1, 1.4)
+        return float(np.clip(self._intensity, 0.3, 1.0))
+
+    def before_tick(self, unit: Unit, tick: int) -> None:
+        condition = unit.databases[self.victim].condition
+        # Remove last tick's contribution, then apply this tick's.
+        condition.cpu_multiplier /= self._applied_cpu
+        condition.rows_read_multiplier /= self._applied_rows
+        self._applied_cpu = 1.0
+        self._applied_rows = 1.0
+        if self.interval.contains(tick):
+            level = self._next_intensity()
+            self._applied_cpu = 1.0 + (self.cpu_factor - 1.0) * level
+            self._applied_rows = 1.0 + (self.rows_factor - 1.0) * level
+            condition.cpu_multiplier *= self._applied_cpu
+            condition.rows_read_multiplier *= self._applied_rows
+
+    def labels(self, n_databases: int, n_ticks: int) -> np.ndarray:
+        mask = np.zeros((n_databases, n_ticks), dtype=bool)
+        mask[self.victim, self.interval.start : min(self.interval.end, n_ticks)] = True
+        return mask

@@ -1,0 +1,72 @@
+"""Spike anomaly: a short, sharp deviation on one database's KPIs."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.anomalies.base import InjectionInterval, SeriesInjector, check_series_shapes
+
+__all__ = ["SpikeInjector"]
+
+
+class SpikeInjector(SeriesInjector):
+    """Multiplies the victim's KPIs by a triangular spike envelope.
+
+    Parameters
+    ----------
+    victim:
+        Database index receiving the spike.
+    interval:
+        Ticks the spike spans; the envelope peaks at the midpoint.
+    magnitude:
+        Peak relative increase (``1.5`` means 2.5x at the apex).
+    kpi_indices:
+        Which KPI rows deviate; ``None`` means all of them.
+    """
+
+    def __init__(
+        self,
+        victim: int,
+        interval: InjectionInterval,
+        magnitude: float = 1.5,
+        kpi_indices: Optional[Sequence[int]] = None,
+    ):
+        if victim < 0:
+            raise ValueError("victim must be >= 0")
+        if magnitude <= 0:
+            raise ValueError("magnitude must be positive")
+        self.victim = victim
+        self.interval = interval
+        self.magnitude = magnitude
+        self.kpi_indices = None if kpi_indices is None else tuple(kpi_indices)
+
+    def inject(
+        self, values: np.ndarray, labels: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        check_series_shapes(values, labels)
+        start, end = self.interval.start, min(self.interval.end, values.shape[2])
+        if start >= values.shape[2] or self.victim >= values.shape[0]:
+            return
+        span = end - start
+        apex = span / 2.0
+        t = np.arange(span, dtype=np.float64)
+        envelope = np.clip(1.0 - np.abs(t - apex) / max(apex, 1.0), 0.0, None)
+        rows = (
+            range(values.shape[1])
+            if self.kpi_indices is None
+            else self.kpi_indices
+        )
+        for k in rows:
+            series = values[self.victim, k, :]
+            # Deviations transplanted from real incidents are sized against
+            # the KPI's global dynamic range, so they stay visible even in
+            # windows dominated by large workload transitions.
+            scale = float(series.max() - series.min()) or max(
+                float(np.abs(series).mean()), 1e-9
+            )
+            values[self.victim, k, start:end] = (
+                series[start:end] + self.magnitude * scale * envelope
+            )
+        labels[self.victim, start:end] = True

@@ -1,0 +1,68 @@
+"""Throughput stall anomaly: the victim stops keeping up.
+
+Models IO stalls, lock pile-ups or replication hangs: every throughput
+KPI of the victim collapses toward zero while its peers carry on, one of
+the most serious real incident shapes (requests are being dropped or
+queued).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.anomalies.base import InjectionInterval, SimulationInjector
+from repro.cluster.unit import Unit
+
+__all__ = ["StallInjector"]
+
+
+class StallInjector(SimulationInjector):
+    """Throttles the victim's throughput over the interval.
+
+    Parameters
+    ----------
+    victim:
+        Database that stalls.
+    interval:
+        Ticks the stall persists.
+    residual_throughput:
+        Typical fraction of normal throughput still served, in ``[0, 1)``.
+        The actual per-tick residual flaps around this value (stalls come
+        and go as locks release and IO queues drain), which keeps the
+        victim's trend decoupled from its peers for the whole interval.
+    seed:
+        Seeds the flapping process.
+    """
+
+    def __init__(
+        self,
+        victim: int,
+        interval: InjectionInterval,
+        residual_throughput: float = 0.15,
+        seed: Optional[int] = None,
+    ):
+        if victim < 0:
+            raise ValueError("victim must be >= 0")
+        if not 0.0 <= residual_throughput < 1.0:
+            raise ValueError("residual_throughput must lie in [0, 1)")
+        self.victim = victim
+        self.interval = interval
+        self.residual_throughput = residual_throughput
+        self._rng = np.random.default_rng(seed)
+        self._applied = 1.0
+
+    def before_tick(self, unit: Unit, tick: int) -> None:
+        condition = unit.databases[self.victim].condition
+        condition.throughput_multiplier /= self._applied
+        self._applied = 1.0
+        if self.interval.contains(tick):
+            flap = self._rng.uniform(0.5, 2.0)
+            self._applied = float(np.clip(self.residual_throughput * flap, 0.02, 0.9))
+            condition.throughput_multiplier *= self._applied
+
+    def labels(self, n_databases: int, n_ticks: int) -> np.ndarray:
+        mask = np.zeros((n_databases, n_ticks), dtype=bool)
+        mask[self.victim, self.interval.start : min(self.interval.end, n_ticks)] = True
+        return mask

@@ -1,0 +1,44 @@
+"""Baseline anomaly detectors (Section IV-A4), implemented from scratch.
+
+* :class:`~repro.baselines.fft.FFTDetector` — frequency-residual detector;
+* :class:`~repro.baselines.sr.SRDetector` — Spectral Residual saliency;
+* :class:`~repro.baselines.srcnn.SRCNNDetector` — SR + 1-D CNN trained on
+  synthetically injected anomalies (numpy);
+* :class:`~repro.baselines.omni.OmniAnomalyDetector` — GRU + VAE
+  reconstruction model (numpy, trained by backprop-through-time);
+* :class:`~repro.baselines.jumpstarter.JumpStarterDetector` — compressed
+  sensing reconstruction with outlier-resistant sampling;
+* :mod:`repro.baselines.correlation` — Pearson / Spearman / DTW
+  correlation measures pluggable into the DBCatcher framework for the
+  Table X comparison (MM-Pearson, MM-DTW, MM-KCD, AMM-KCD).
+
+All detectors share the :class:`~repro.baselines.base.BaselineDetector`
+scoring interface consumed by :mod:`repro.eval.runner`.
+"""
+
+from repro.baselines.base import BaselineDetector, ThresholdRule
+from repro.baselines.correlation import (
+    dtw_similarity,
+    make_mm_detector,
+    pearson_measure,
+    spearman_measure,
+)
+from repro.baselines.fft import FFTDetector
+from repro.baselines.jumpstarter import JumpStarterDetector
+from repro.baselines.omni import OmniAnomalyDetector
+from repro.baselines.sr import SRDetector
+from repro.baselines.srcnn import SRCNNDetector
+
+__all__ = [
+    "BaselineDetector",
+    "ThresholdRule",
+    "FFTDetector",
+    "SRDetector",
+    "SRCNNDetector",
+    "OmniAnomalyDetector",
+    "JumpStarterDetector",
+    "pearson_measure",
+    "spearman_measure",
+    "dtw_similarity",
+    "make_mm_detector",
+]

@@ -1,0 +1,131 @@
+"""Baseline detector interface and window-level threshold rules.
+
+Every baseline exposes per-point anomaly *scores*; turning scores into
+window verdicts is a separate, cheap step (:class:`ThresholdRule`) so the
+evaluation harness can search thresholds/window sizes without re-running
+the expensive scoring (exactly how the paper tunes each method for its
+best F-Measure on the training set).
+
+Score layouts (Section IV-B's adaptation rules):
+
+* univariate methods (FFT, SR, SR-CNN) score each KPI series separately
+  -> ``(n_databases, n_kpis, n_ticks)``; the k-of-M rule then declares a
+  window abnormal when at least ``k`` KPI dimensions are abnormal;
+* multivariate methods (OmniAnomaly, JumpStarter) score whole multivariate
+  windows -> ``(n_databases, n_ticks)``; the rule reduces to a plain
+  threshold.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.datasets.containers import Dataset, UnitSeries
+from repro.eval.metrics import window_spans
+
+__all__ = ["BaselineDetector", "ThresholdRule"]
+
+
+class BaselineDetector(abc.ABC):
+    """Common interface of the five comparison methods.
+
+    Attributes
+    ----------
+    name:
+        Display name used in result tables.
+    scores_per_kpi:
+        ``True`` when :meth:`score_unit` returns ``(D, K, T)`` scores,
+        ``False`` for ``(D, T)``.
+    """
+
+    name: str = "baseline"
+    scores_per_kpi: bool = True
+
+    @abc.abstractmethod
+    def fit(self, train: Dataset) -> None:
+        """Learn whatever the method learns from the training split."""
+
+    @abc.abstractmethod
+    def score_unit(self, unit: UnitSeries) -> np.ndarray:
+        """Per-point anomaly scores for one unit (higher = more anomalous)."""
+
+    def score_dataset(self, dataset: Dataset) -> List[np.ndarray]:
+        """Scores for every unit of a dataset."""
+        return [self.score_unit(unit) for unit in dataset.units]
+
+
+@dataclass(frozen=True)
+class ThresholdRule:
+    """Window verdict rule applied to per-point scores.
+
+    Parameters
+    ----------
+    window_size:
+        Detection window in ticks (the "Window-Size" efficiency metric).
+    threshold:
+        Score level above which a point is anomalous.
+    k:
+        For per-KPI scores: minimum number of abnormal KPI dimensions for
+        the window to be abnormal (the paper's tunable ``k`` of the
+        univariate adaptation).  Ignored for ``(D, T)`` scores.
+    aggregation:
+        How a window's points collapse to one statistic before
+        thresholding: ``"max"`` (single worst point), ``"mean"``, or
+        ``"q90"`` (90th percentile — robust to isolated noise while still
+        sensitive to sustained deviations).
+    """
+
+    window_size: int
+    threshold: float
+    k: int = 1
+    aggregation: str = "max"
+
+    def __post_init__(self) -> None:
+        if self.window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.aggregation not in ("max", "mean", "q90"):
+            raise ValueError(
+                f"aggregation must be max/mean/q90, got {self.aggregation!r}"
+            )
+
+    def _aggregate(self, window: np.ndarray) -> np.ndarray:
+        """Collapse the tick axis of a ``(D, K, w)`` window."""
+        if self.aggregation == "max":
+            return window.max(axis=2)
+        if self.aggregation == "mean":
+            return window.mean(axis=2)
+        return np.quantile(window, 0.9, axis=2)
+
+    def apply(self, scores: np.ndarray) -> np.ndarray:
+        """Window verdicts from per-point scores.
+
+        Parameters
+        ----------
+        scores:
+            ``(D, K, T)`` or ``(D, T)`` anomaly scores.
+
+        Returns
+        -------
+        numpy.ndarray
+            Boolean verdicts of shape ``(n_databases, n_windows)``.
+        """
+        data = np.asarray(scores, dtype=np.float64)
+        if data.ndim == 2:
+            data = data[:, None, :]
+        elif data.ndim != 3:
+            raise ValueError(f"scores must be (D, T) or (D, K, T), got {data.shape}")
+        n_dbs, n_kpis, n_ticks = data.shape
+        spans = window_spans(n_ticks, self.window_size)
+        verdicts = np.zeros((n_dbs, len(spans)), dtype=bool)
+        k_needed = min(self.k, n_kpis)
+        for w, (start, end) in enumerate(spans):
+            statistic = self._aggregate(data[:, :, start:end])  # (D, K)
+            abnormal_kpis = (statistic > self.threshold).sum(axis=1)
+            verdicts[:, w] = abnormal_kpis >= k_needed
+        return verdicts

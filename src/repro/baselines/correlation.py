@@ -1,0 +1,139 @@
+"""Correlation-measurement comparators (Table X).
+
+The MM framework is DBCatcher's pipeline with the correlation measure
+swapped out: MM-Pearson uses the zero-delay Pearson coefficient (no delay
+tolerance), MM-DTW a dynamic-time-warping similarity (per-point elastic
+matching, the opposite of the cloud scenario's uniform delays), MM-KCD the
+paper's measure with a *fixed* window, and AMM-KCD adds the flexible time
+window back — the full DBCatcher.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.config import DBCatcherConfig
+from repro.core.detector import DBCatcher
+
+__all__ = [
+    "pearson_measure",
+    "spearman_measure",
+    "dtw_distance",
+    "dtw_similarity",
+    "make_mm_detector",
+]
+
+#: A correlation measure maps two equal-length (already min-max
+#: normalized) series plus a delay bound to a score in [-1, 1].
+Measure = Callable[[np.ndarray, np.ndarray, Optional[int]], float]
+
+
+def pearson_measure(x: np.ndarray, y: np.ndarray, max_delay: Optional[int] = None) -> float:
+    """Zero-delay Pearson coefficient ("doesn't take delays into account").
+
+    The ``max_delay`` argument is accepted for interface compatibility and
+    deliberately ignored — that is the point of this comparator.
+    """
+    x_c = x - x.mean()
+    y_c = y - y.mean()
+    x_norm = float(np.linalg.norm(x_c))
+    y_norm = float(np.linalg.norm(y_c))
+    if x_norm == 0.0 and y_norm == 0.0:
+        return 1.0
+    if x_norm == 0.0 or y_norm == 0.0:
+        return 0.0
+    return float(np.dot(x_c, y_c) / (x_norm * y_norm))
+
+
+def spearman_measure(x: np.ndarray, y: np.ndarray, max_delay: Optional[int] = None) -> float:
+    """Spearman rank correlation ("only monotonic relationships")."""
+    return pearson_measure(
+        np.argsort(np.argsort(x)).astype(np.float64),
+        np.argsort(np.argsort(y)).astype(np.float64),
+    )
+
+
+def dtw_distance(x: np.ndarray, y: np.ndarray, band: Optional[int] = None) -> float:
+    """Dynamic-time-warping distance with a Sakoe-Chiba band.
+
+    Parameters
+    ----------
+    x, y:
+        Equal-length series.
+    band:
+        Band half-width; defaults to 10 % of the length (min 2).
+    """
+    n = x.size
+    if y.size != n:
+        raise ValueError("dtw_distance expects equal-length series")
+    if band is None:
+        band = max(2, n // 10)
+    cost = np.full((n + 1, n + 1), np.inf)
+    cost[0, 0] = 0.0
+    for i in range(1, n + 1):
+        lo = max(1, i - band)
+        hi = min(n, i + band)
+        for j in range(lo, hi + 1):
+            d = (x[i - 1] - y[j - 1]) ** 2
+            cost[i, j] = d + min(cost[i - 1, j], cost[i, j - 1], cost[i - 1, j - 1])
+    return float(np.sqrt(cost[n, n]))
+
+
+def dtw_similarity(x: np.ndarray, y: np.ndarray, max_delay: Optional[int] = None) -> float:
+    """DTW mapped onto the correlation scale.
+
+    For z-normalized series the squared Euclidean distance satisfies
+    ``d^2 / n = 2 (1 - r)``; applying the same transform to the (band-
+    constrained) DTW distance yields a correlation-comparable similarity.
+    The elastic matching lets every point pick its own delay — the mismatching
+    the paper criticizes — so this score is *optimistic* for deviations
+    that a uniform delay could never align.
+    """
+    def z(series):
+        std = series.std()
+        return (series - series.mean()) / std if std > 0 else np.zeros_like(series)
+
+    band = max_delay if max_delay is not None else None
+    distance = dtw_distance(z(x), z(y), band=band)
+    return float(1.0 - distance**2 / (2.0 * x.size))
+
+
+def make_mm_detector(
+    config: DBCatcherConfig,
+    n_databases: int,
+    measure: Optional[Measure] = None,
+    flexible_window: bool = True,
+) -> DBCatcher:
+    """A DBCatcher variant for the Table X ablations.
+
+    Parameters
+    ----------
+    config:
+        Base configuration.
+    n_databases:
+        Unit size.
+    measure:
+        Correlation measure replacing the KCD (``None`` keeps the KCD).
+    flexible_window:
+        ``False`` pins the window at its initial size (the "MM" rows of
+        Table X); ``True`` keeps the adaptive expansion ("AMM").
+    """
+    if not flexible_window:
+        config = DBCatcherConfig(
+            kpi_names=config.kpi_names,
+            alphas=config.alphas,
+            theta=config.theta,
+            max_tolerance_deviations=config.max_tolerance_deviations,
+            initial_window=config.initial_window,
+            window_step=config.window_step,
+            max_window=config.initial_window,
+            max_delay_fraction=config.max_delay_fraction,
+            peer_aggregation=config.peer_aggregation,
+            primary_index=config.primary_index,
+            rr_only_kpis=config.rr_only_kpis,
+            resolve_max_window_as_abnormal=config.resolve_max_window_as_abnormal,
+            interval_seconds=config.interval_seconds,
+        )
+    return DBCatcher(config, n_databases=n_databases, measure=measure)

@@ -1,0 +1,191 @@
+"""JumpStarter baseline (Ma et al. [16]).
+
+Compressed-sensing reconstruction with outlier-resistant sampling: the
+detector samples a subset of each window's points — avoiding points whose
+deviation from a median filter marks them as likely outliers — and
+reconstructs the full window from the samples by orthogonal matching
+pursuit over a DCT dictionary.  Normal points are well explained by a few
+smooth atoms; anomalous excursions are not, so the reconstruction residual
+is the anomaly score.  The outlier-resistant sampling is what keeps
+anomalies *out* of the measurement set, preventing the reconstruction from
+chasing them (the original's misclassification-reduction trick).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import BaselineDetector
+from repro.core.normalize import zscore_normalize
+from repro.datasets.containers import Dataset, UnitSeries
+
+__all__ = ["JumpStarterDetector", "omp_reconstruct"]
+
+
+def _dct_dictionary(length: int) -> np.ndarray:
+    """Orthonormal DCT-II basis as a (length, length) dictionary."""
+    n = np.arange(length)
+    basis = np.cos(np.pi * (n[:, None] + 0.5) * n[None, :] / length)
+    basis[:, 0] *= 1.0 / np.sqrt(2.0)
+    return basis * np.sqrt(2.0 / length)
+
+
+def omp_reconstruct(
+    observed: np.ndarray,
+    sample_indices: np.ndarray,
+    dictionary: np.ndarray,
+    n_atoms: int,
+) -> np.ndarray:
+    """Orthogonal matching pursuit: sparse recovery from sampled points.
+
+    Parameters
+    ----------
+    observed:
+        Values at the sampled positions.
+    sample_indices:
+        Positions of the samples within the window.
+    dictionary:
+        Full ``(length, length)`` dictionary.
+    n_atoms:
+        Sparsity budget.
+
+    Returns
+    -------
+    numpy.ndarray
+        Reconstruction over the full window length.
+    """
+    sensing = dictionary[sample_indices, :]  # (m, L)
+    residual = observed.astype(np.float64).copy()
+    chosen: list = []
+    coefficients = np.zeros(dictionary.shape[1])
+    for _ in range(min(n_atoms, observed.size)):
+        correlations = np.abs(sensing.T @ residual)
+        correlations[chosen] = -np.inf
+        atom = int(np.argmax(correlations))
+        chosen.append(atom)
+        submatrix = sensing[:, chosen]
+        solution, *_ = np.linalg.lstsq(submatrix, observed, rcond=None)
+        residual = observed - submatrix @ solution
+        if np.linalg.norm(residual) < 1e-9:
+            break
+    coefficients[chosen] = solution
+    return dictionary @ coefficients
+
+
+class JumpStarterDetector(BaselineDetector):
+    """Compressed-sensing reconstruction scorer.
+
+    Parameters
+    ----------
+    window:
+        Reconstruction window length.
+    sample_fraction:
+        Fraction of points sampled per window.
+    n_atoms:
+        OMP sparsity budget.
+    outlier_quantile:
+        Points whose median-filter deviation exceeds this train quantile
+        are excluded from sampling (outlier resistance).
+    median_width:
+        Median filter width for the deviation statistic.
+    seed:
+        Seeds the sampling.
+    """
+
+    name = "JumpStarter"
+    scores_per_kpi = False
+
+    def __init__(
+        self,
+        window: int = 40,
+        sample_fraction: float = 0.4,
+        n_atoms: int = 6,
+        outlier_quantile: float = 0.9,
+        median_width: int = 5,
+        seed: Optional[int] = None,
+    ):
+        if not 0.0 < sample_fraction <= 1.0:
+            raise ValueError("sample_fraction must lie in (0, 1]")
+        if window < 8:
+            raise ValueError("window must be >= 8")
+        self.window = window
+        self.sample_fraction = sample_fraction
+        self.n_atoms = n_atoms
+        self.outlier_quantile = outlier_quantile
+        self.median_width = median_width
+        self._rng = np.random.default_rng(seed)
+        self._dictionary = _dct_dictionary(window)
+        self._deviation_cutoff: Optional[float] = None
+
+    def _median_deviation(self, series: np.ndarray) -> np.ndarray:
+        """|x - medfilt(x)| — the outlier statistic."""
+        half = self.median_width // 2
+        padded = np.pad(series, (half, half), mode="edge")
+        medians = np.array(
+            [
+                np.median(padded[i : i + self.median_width])
+                for i in range(series.size)
+            ]
+        )
+        return np.abs(series - medians)
+
+    def fit(self, train: Dataset) -> None:
+        """Calibrate the outlier cutoff on training deviations.
+
+        JumpStarter's selling point is needing very little initialization
+        data; calibrating one scalar quantile mirrors that.
+        """
+        deviations = []
+        for unit in train.units[:4]:
+            for db in range(unit.n_databases):
+                for k in range(unit.n_kpis):
+                    series = zscore_normalize(unit.values[db, k])
+                    deviations.append(self._median_deviation(series))
+        pooled = np.concatenate(deviations) if deviations else np.zeros(1)
+        self._deviation_cutoff = float(np.quantile(pooled, self.outlier_quantile))
+
+    def _sample_indices(self, deviation: np.ndarray) -> np.ndarray:
+        """Outlier-resistant sampling within one window."""
+        n = deviation.size
+        n_samples = max(self.n_atoms + 2, int(n * self.sample_fraction))
+        cutoff = self._deviation_cutoff if self._deviation_cutoff else np.inf
+        clean = np.flatnonzero(deviation <= cutoff)
+        if clean.size >= n_samples:
+            picked = self._rng.choice(clean, size=n_samples, replace=False)
+        else:
+            # Not enough clean points: take them all plus the least-bad rest.
+            dirty = np.argsort(deviation)[: n_samples]
+            picked = np.union1d(clean, dirty)[:n_samples]
+        return np.sort(picked)
+
+    def _score_series(self, series: np.ndarray) -> np.ndarray:
+        scores = np.zeros(series.size)
+        counts = np.zeros(series.size)
+        deviation = self._median_deviation(series)
+        for start in range(0, series.size - self.window + 1, self.window // 2):
+            end = start + self.window
+            segment = series[start:end]
+            indices = self._sample_indices(deviation[start:end])
+            reconstruction = omp_reconstruct(
+                segment[indices], indices, self._dictionary, self.n_atoms
+            )
+            scores[start:end] += np.abs(segment - reconstruction)
+            counts[start:end] += 1.0
+        counts[counts == 0] = 1.0
+        return scores / counts
+
+    def score_unit(self, unit: UnitSeries) -> np.ndarray:
+        if self._deviation_cutoff is None:
+            raise RuntimeError("call fit() before score_unit()")
+        out = np.zeros((unit.n_databases, unit.n_ticks))
+        for db in range(unit.n_databases):
+            per_kpi = np.stack(
+                [
+                    self._score_series(zscore_normalize(unit.values[db, k]))
+                    for k in range(unit.n_kpis)
+                ]
+            )
+            out[db] = per_kpi.mean(axis=0)
+        return out

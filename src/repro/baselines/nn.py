@@ -1,0 +1,234 @@
+"""Minimal numpy neural-network blocks.
+
+Just enough machinery for the two learned baselines: a 1-D convolution
+stack for SR-CNN and a GRU + variational head for OmniAnomaly.  Everything
+trains with plain SGD + momentum; no autograd — each block implements its
+own backward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["Dense", "Conv1D", "GRU", "sigmoid", "relu", "SGD"]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+class Dense:
+    """Fully connected layer ``y = x W + b``."""
+
+    def __init__(self, n_in: int, n_out: int, rng: np.random.Generator):
+        scale = np.sqrt(2.0 / n_in)
+        self.weight = rng.normal(0.0, scale, (n_in, n_out))
+        self.bias = np.zeros(n_out)
+        self._x: np.ndarray | None = None
+        self.grads: Dict[str, np.ndarray] = {}
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._x is not None, "forward() must run before backward()"
+        self.grads["weight"] = self._x.T @ grad_out
+        self.grads["bias"] = grad_out.sum(axis=0)
+        return grad_out @ self.weight.T
+
+    def parameters(self) -> Dict[str, np.ndarray]:
+        return {"weight": self.weight, "bias": self.bias}
+
+
+class Conv1D:
+    """1-D convolution over (batch, channels, length), stride 1, same pad."""
+
+    def __init__(
+        self, in_channels: int, out_channels: int, kernel: int,
+        rng: np.random.Generator,
+    ):
+        if kernel % 2 == 0:
+            raise ValueError("kernel size must be odd for same-padding")
+        scale = np.sqrt(2.0 / (in_channels * kernel))
+        self.weight = rng.normal(0.0, scale, (out_channels, in_channels, kernel))
+        self.bias = np.zeros(out_channels)
+        self.kernel = kernel
+        self._cols: np.ndarray | None = None
+        self._in_shape: Tuple[int, ...] | None = None
+        self.grads: Dict[str, np.ndarray] = {}
+
+    def _im2col(self, x: np.ndarray) -> np.ndarray:
+        """(B, C, L) -> (B, L, C * K) patches with zero padding."""
+        pad = self.kernel // 2
+        padded = np.pad(x, ((0, 0), (0, 0), (pad, pad)))
+        batch, channels, length = x.shape
+        strides = padded.strides
+        windows = np.lib.stride_tricks.as_strided(
+            padded,
+            shape=(batch, channels, length, self.kernel),
+            strides=(strides[0], strides[1], strides[2], strides[2]),
+            writeable=False,
+        )
+        # (B, L, C, K) -> (B, L, C*K)
+        return windows.transpose(0, 2, 1, 3).reshape(batch, length, -1)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._in_shape = x.shape
+        cols = self._im2col(x)
+        self._cols = cols
+        flat_weight = self.weight.reshape(self.weight.shape[0], -1)  # (O, C*K)
+        out = cols @ flat_weight.T + self.bias  # (B, L, O)
+        return out.transpose(0, 2, 1)  # (B, O, L)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._cols is not None and self._in_shape is not None
+        batch, _, length = self._in_shape
+        grad = grad_out.transpose(0, 2, 1)  # (B, L, O)
+        flat_weight = self.weight.reshape(self.weight.shape[0], -1)
+        self.grads["weight"] = (
+            np.einsum("blo,blk->ok", grad, self._cols)
+        ).reshape(self.weight.shape)
+        self.grads["bias"] = grad.sum(axis=(0, 1))
+        grad_cols = grad @ flat_weight  # (B, L, C*K)
+        # col2im: scatter the patch gradients back.
+        pad = self.kernel // 2
+        channels = self._in_shape[1]
+        grad_padded = np.zeros((batch, channels, length + 2 * pad))
+        patches = grad_cols.reshape(batch, length, channels, self.kernel)
+        for k in range(self.kernel):
+            grad_padded[:, :, k : k + length] += patches[:, :, :, k].transpose(0, 2, 1)
+        return grad_padded[:, :, pad : pad + length]
+
+    def parameters(self) -> Dict[str, np.ndarray]:
+        return {"weight": self.weight, "bias": self.bias}
+
+
+class GRU:
+    """Single-layer GRU with manual backprop-through-time.
+
+    Input (batch, time, features) -> hidden states (batch, time, hidden).
+    """
+
+    def __init__(self, n_in: int, n_hidden: int, rng: np.random.Generator):
+        scale = np.sqrt(1.0 / max(n_in, n_hidden))
+
+        def init(rows, cols):
+            return rng.normal(0.0, scale, (rows, cols))
+
+        self.w_z = init(n_in, n_hidden)
+        self.u_z = init(n_hidden, n_hidden)
+        self.b_z = np.zeros(n_hidden)
+        self.w_r = init(n_in, n_hidden)
+        self.u_r = init(n_hidden, n_hidden)
+        self.b_r = np.zeros(n_hidden)
+        self.w_h = init(n_in, n_hidden)
+        self.u_h = init(n_hidden, n_hidden)
+        self.b_h = np.zeros(n_hidden)
+        self.n_hidden = n_hidden
+        self._cache: List[Tuple] = []
+        self._x: np.ndarray | None = None
+        self.grads: Dict[str, np.ndarray] = {}
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, steps, _ = x.shape
+        h = np.zeros((batch, self.n_hidden))
+        states = np.empty((batch, steps, self.n_hidden))
+        self._cache = []
+        self._x = x
+        for t in range(steps):
+            xt = x[:, t, :]
+            z = sigmoid(xt @ self.w_z + h @ self.u_z + self.b_z)
+            r = sigmoid(xt @ self.w_r + h @ self.u_r + self.b_r)
+            h_tilde = np.tanh(xt @ self.w_h + (r * h) @ self.u_h + self.b_h)
+            h_new = (1.0 - z) * h + z * h_tilde
+            self._cache.append((xt, h, z, r, h_tilde))
+            h = h_new
+            states[:, t, :] = h
+        return states
+
+    def backward(self, grad_states: np.ndarray) -> np.ndarray:
+        """BPTT given gradients w.r.t. every hidden state."""
+        assert self._x is not None
+        batch, steps, n_in = self._x.shape
+        for name in ("w_z", "u_z", "b_z", "w_r", "u_r", "b_r", "w_h", "u_h", "b_h"):
+            self.grads[name] = np.zeros_like(getattr(self, name))
+        grad_x = np.zeros_like(self._x)
+        grad_h = np.zeros((batch, self.n_hidden))
+        for t in reversed(range(steps)):
+            xt, h_prev, z, r, h_tilde = self._cache[t]
+            grad_h = grad_h + grad_states[:, t, :]
+            grad_z = grad_h * (h_tilde - h_prev) * z * (1.0 - z)
+            grad_h_tilde = grad_h * z * (1.0 - h_tilde**2)
+            grad_r = (grad_h_tilde @ self.u_h.T) * h_prev * r * (1.0 - r)
+
+            self.grads["w_z"] += xt.T @ grad_z
+            self.grads["u_z"] += h_prev.T @ grad_z
+            self.grads["b_z"] += grad_z.sum(axis=0)
+            self.grads["w_r"] += xt.T @ grad_r
+            self.grads["u_r"] += h_prev.T @ grad_r
+            self.grads["b_r"] += grad_r.sum(axis=0)
+            self.grads["w_h"] += xt.T @ grad_h_tilde
+            self.grads["u_h"] += (r * h_prev).T @ grad_h_tilde
+            self.grads["b_h"] += grad_h_tilde.sum(axis=0)
+
+            grad_x[:, t, :] = (
+                grad_z @ self.w_z.T + grad_r @ self.w_r.T + grad_h_tilde @ self.w_h.T
+            )
+            grad_h = (
+                grad_h * (1.0 - z)
+                + grad_z @ self.u_z.T
+                + grad_r @ self.u_r.T
+                + (grad_h_tilde @ self.u_h.T) * r
+            )
+        return grad_x
+
+    def parameters(self) -> Dict[str, np.ndarray]:
+        return {
+            name: getattr(self, name)
+            for name in (
+                "w_z", "u_z", "b_z", "w_r", "u_r", "b_r", "w_h", "u_h", "b_h"
+            )
+        }
+
+
+class SGD:
+    """SGD with momentum over a list of layers exposing parameters/grads."""
+
+    def __init__(self, layers: List, learning_rate: float = 0.01,
+                 momentum: float = 0.9, clip: float = 5.0):
+        self.layers = layers
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.clip = clip
+        self._velocity: List[Dict[str, np.ndarray]] = [
+            {name: np.zeros_like(param) for name, param in layer.parameters().items()}
+            for layer in layers
+        ]
+
+    def step(self) -> None:
+        for layer, velocity in zip(self.layers, self._velocity):
+            params = layer.parameters()
+            for name, param in params.items():
+                grad = layer.grads.get(name)
+                if grad is None:
+                    continue
+                norm = np.linalg.norm(grad)
+                if norm > self.clip:
+                    grad = grad * (self.clip / norm)
+                velocity[name] = (
+                    self.momentum * velocity[name] - self.learning_rate * grad
+                )
+                param += velocity[name]

@@ -1,0 +1,51 @@
+"""Cloud-database cluster simulator (the paper's experimental substrate).
+
+Reproduces the architecture of Figure 2 as a discrete-time simulation:
+a :class:`~repro.cluster.cluster.Cluster` contains units, each
+:class:`~repro.cluster.unit.Unit` deploys a load-balance module and one
+primary plus several replica :class:`~repro.cluster.database.Database`
+objects.  SQL demand arrives from a workload model
+(:mod:`repro.workloads`), reads are spread by the balancer, writes hit the
+primary and replicate to the replicas, and a bypass
+:class:`~repro.cluster.monitor.BypassMonitor` samples the 14 KPIs of
+Table II every 5 seconds — including the per-database collection delays
+and measurement noise that motivate the KCD's delay tolerance.
+"""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.database import Database, DatabaseRole
+from repro.cluster.kpis import (
+    KPI_INDEX,
+    KPI_NAMES,
+    KPIDefinition,
+    KPI_REGISTRY,
+)
+from repro.cluster.loadbalancer import (
+    DefectiveBalancer,
+    LoadBalancer,
+    UniformBalancer,
+    WeightedBalancer,
+)
+from repro.cluster.monitor import BypassMonitor, MonitorSettings
+from repro.cluster.requests import RequestMix
+from repro.cluster.resources import ResourceModel
+from repro.cluster.unit import Unit
+
+__all__ = [
+    "Cluster",
+    "Database",
+    "DatabaseRole",
+    "KPI_NAMES",
+    "KPI_INDEX",
+    "KPI_REGISTRY",
+    "KPIDefinition",
+    "LoadBalancer",
+    "UniformBalancer",
+    "WeightedBalancer",
+    "DefectiveBalancer",
+    "BypassMonitor",
+    "MonitorSettings",
+    "RequestMix",
+    "ResourceModel",
+    "Unit",
+]

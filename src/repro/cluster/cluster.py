@@ -1,0 +1,129 @@
+"""Database cluster and global transactions manager.
+
+The top of Figure 2: a cluster groups units per geographical area; the
+global transactions manager (GTM) distributes the application's SQL demand
+across units.  Units are independent detection scopes, so the cluster's
+role in the reproduction is mostly orchestration: it fans one
+application-level demand series out into per-unit request mixes and steps
+every unit in lockstep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.requests import RequestMix
+from repro.cluster.unit import Unit
+
+__all__ = ["GlobalTransactionManager", "Cluster"]
+
+
+class GlobalTransactionManager:
+    """Splits application demand across units.
+
+    Parameters
+    ----------
+    weights:
+        Relative share of demand per unit; defaults to equal shares.
+    jitter:
+        Relative per-tick noise on the shares (routing is never exact).
+    seed:
+        Seeds the jitter.
+    """
+
+    def __init__(
+        self,
+        n_units: int,
+        weights: Optional[Sequence[float]] = None,
+        jitter: float = 0.02,
+        seed: Optional[int] = None,
+    ):
+        if n_units < 1:
+            raise ValueError("need at least one unit")
+        if weights is None:
+            base = np.full(n_units, 1.0 / n_units)
+        else:
+            base = np.asarray(weights, dtype=np.float64)
+            if base.shape != (n_units,) or (base <= 0).any():
+                raise ValueError("weights must be positive, one per unit")
+            base = base / base.sum()
+        if jitter < 0:
+            raise ValueError("jitter must be >= 0")
+        self._base = base
+        self._jitter = jitter
+        self._rng = np.random.default_rng(seed)
+
+    def split(self, mix: RequestMix) -> List[RequestMix]:
+        """One tick of application demand, split per unit."""
+        if self._jitter > 0:
+            noisy = self._base * self._rng.normal(1.0, self._jitter, self._base.size)
+            noisy = np.clip(noisy, 1e-9, None)
+            shares = noisy / noisy.sum()
+        else:
+            shares = self._base
+        return [mix.scaled(float(share)) for share in shares]
+
+
+class Cluster:
+    """A set of units plus the GTM that feeds them.
+
+    Parameters
+    ----------
+    units:
+        The units of this cluster.
+    gtm:
+        Demand splitter; defaults to equal shares with small jitter.
+    """
+
+    def __init__(
+        self,
+        units: Sequence[Unit],
+        gtm: Optional[GlobalTransactionManager] = None,
+    ):
+        if not units:
+            raise ValueError("a cluster needs at least one unit")
+        self.units = list(units)
+        self.gtm = (
+            gtm if gtm is not None else GlobalTransactionManager(len(self.units))
+        )
+
+    @property
+    def n_units(self) -> int:
+        return len(self.units)
+
+    def unit_by_name(self, name: str) -> Unit:
+        for unit in self.units:
+            if unit.name == name:
+                return unit
+        raise KeyError(f"no unit named {name!r}")
+
+    def step(self, mix: RequestMix) -> Dict[str, np.ndarray]:
+        """Distribute one tick of demand and step every unit.
+
+        Returns
+        -------
+        dict
+            Unit name -> raw ``(n_databases, n_kpis)`` KPI matrix.
+        """
+        shares = self.gtm.split(mix)
+        return {
+            unit.name: unit.step(share) for unit, share in zip(self.units, shares)
+        }
+
+    def run(self, mixes: Sequence[RequestMix]) -> Dict[str, np.ndarray]:
+        """Run every unit over the demand series.
+
+        Returns
+        -------
+        dict
+            Unit name -> ``(n_databases, n_kpis, n_ticks)`` series.
+        """
+        frames: Dict[str, List[np.ndarray]] = {unit.name: [] for unit in self.units}
+        for mix in mixes:
+            for name, values in self.step(mix).items():
+                frames[name].append(values)
+        return {
+            name: np.stack(values, axis=-1) for name, values in frames.items()
+        }

@@ -1,0 +1,135 @@
+"""Simulated database: one monitored entity of a unit.
+
+A unit holds one PRIMARY and several REPLICA databases (Section IV-A5:
+"each unit contains one primary database and four replica databases").
+Reads are balanced across all databases; writes execute on the primary and
+replicate to the replicas after a small lag.
+
+The primary's command counters (Com Insert/Update), row write counters and
+TPS additionally carry *primary-side modulation* — an AR(1) multiplicative
+process standing in for transaction coordination, group commit and
+maintenance writes.  This is what makes those KPIs R-R-only in Table II:
+replicas apply the identical replication stream (strong R-R correlation)
+while the primary's counters wander enough to fall below the UKPIC
+threshold (weak P-R correlation).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.kpis import KPI_INDEX, KPI_NAMES, KPI_REGISTRY
+from repro.cluster.requests import RequestMix
+from repro.cluster.resources import DatabaseCondition, ResourceModel
+
+__all__ = ["DatabaseRole", "Database"]
+
+#: Indices of the KPIs that are R-R-only in Table II; these receive the
+#: primary-side modulation.
+_RR_ONLY_INDICES: Tuple[int, ...] = tuple(
+    KPI_INDEX[kpi.name] for kpi in KPI_REGISTRY if not kpi.primary_correlated
+)
+
+#: AR(1) coefficient and innovation scale of the primary-side modulation.
+_MODULATION_PHI = 0.85
+_MODULATION_SIGMA = 0.25
+
+
+class DatabaseRole(enum.Enum):
+    """Role of a database inside its unit."""
+
+    PRIMARY = "primary"
+    REPLICA = "replica"
+
+
+class Database:
+    """One simulated MySQL database (primary or replica).
+
+    Parameters
+    ----------
+    name:
+        Display name, e.g. ``"D1"``.
+    role:
+        PRIMARY executes writes directly; REPLICA applies the replication
+        stream after ``replication_lag`` ticks.
+    model:
+        Resource model translating request mixes to KPI values.
+    rng:
+        Dedicated random generator (per-database noise independence).
+    replication_lag:
+        Ticks between a write on the primary and its application here.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        role: DatabaseRole,
+        model: ResourceModel,
+        rng: np.random.Generator,
+        replication_lag: int = 1,
+    ):
+        if replication_lag < 0:
+            raise ValueError("replication_lag must be >= 0")
+        self.name = name
+        self.role = role
+        self.model = model
+        self.condition = DatabaseCondition()
+        self._rng = rng
+        self._replication_lag = replication_lag
+        self._pending_writes: Deque[RequestMix] = deque()
+        self._modulation = 1.0
+
+    @property
+    def is_primary(self) -> bool:
+        return self.role is DatabaseRole.PRIMARY
+
+    def enqueue_replication(self, write_mix: RequestMix) -> None:
+        """Queue the primary's write stream for later application."""
+        if self.is_primary:
+            raise RuntimeError("the primary does not consume replication")
+        self._pending_writes.append(write_mix)
+
+    def _due_replication(self) -> RequestMix:
+        """Writes whose lag has elapsed this tick."""
+        due = RequestMix()
+        while len(self._pending_writes) > self._replication_lag:
+            due = due.combined(self._pending_writes.popleft())
+        return due
+
+    def _advance_modulation(self) -> float:
+        """Step the primary-side AR(1) multiplicative modulation."""
+        innovation = self._rng.normal(0.0, _MODULATION_SIGMA)
+        self._modulation = (
+            1.0 + _MODULATION_PHI * (self._modulation - 1.0) + innovation
+        )
+        # Keep the multiplier positive and bounded.
+        self._modulation = float(np.clip(self._modulation, 0.3, 2.5))
+        return self._modulation
+
+    def process_tick(
+        self, read_mix: RequestMix, write_mix: Optional[RequestMix] = None
+    ) -> np.ndarray:
+        """Execute one monitoring interval; return the KPI vector.
+
+        Parameters
+        ----------
+        read_mix:
+            This database's balanced share of the unit's reads.
+        write_mix:
+            The unit's write stream; only meaningful for the primary
+            (replicas receive writes via :meth:`enqueue_replication`).
+        """
+        if self.is_primary:
+            executed = read_mix.combined(write_mix or RequestMix())
+        else:
+            executed = read_mix.combined(self._due_replication())
+        values = self.model.compute_kpis(executed, self.condition, self._rng)
+        if self.is_primary:
+            modulation = self._advance_modulation()
+            for index in _RR_ONLY_INDICES:
+                values[index] *= modulation
+        return values

@@ -1,0 +1,73 @@
+"""Key Performance Indicator registry (Table II).
+
+The 14 KPIs the paper monitors, with their UKPIC correlation types:
+``P-R`` means the primary database correlates with the replicas on this
+KPI, ``R-R`` means replicas correlate with each other.  KPIs typed ``R-R``
+only (the command and row-write counters, and TPS) decorrelate from the
+primary because the primary's execution path differs — transaction
+coordination, group commit and maintenance writes perturb its counters —
+which the simulator reproduces via primary-side modulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["KPIDefinition", "KPI_REGISTRY", "KPI_NAMES", "KPI_INDEX"]
+
+
+@dataclass(frozen=True)
+class KPIDefinition:
+    """One monitored indicator.
+
+    Parameters
+    ----------
+    name:
+        Machine name used as array key throughout the library.
+    display_name:
+        Table II's human-readable name.
+    correlation_type:
+        ``("P-R", "R-R")`` or ``("R-R",)`` — which unit pairings exhibit
+        UKPIC on this indicator.
+    cumulative:
+        Whether the KPI integrates over time (e.g. Real Capacity) rather
+        than being a per-interval rate.
+    """
+
+    name: str
+    display_name: str
+    correlation_type: Tuple[str, ...]
+    cumulative: bool = False
+
+    @property
+    def primary_correlated(self) -> bool:
+        """Whether the primary participates in this KPI's UKPIC."""
+        return "P-R" in self.correlation_type
+
+
+#: Table II, in the paper's row order.
+KPI_REGISTRY: Tuple[KPIDefinition, ...] = (
+    KPIDefinition("com_insert", "Com Insert", ("R-R",)),
+    KPIDefinition("com_update", "Com Update", ("R-R",)),
+    KPIDefinition("cpu_utilization", "CPU Utilization", ("P-R", "R-R")),
+    KPIDefinition(
+        "bufferpool_read_requests", "BufferPool Read Request", ("P-R", "R-R")
+    ),
+    KPIDefinition("innodb_data_writes", "Innodb Data Writes", ("P-R", "R-R")),
+    KPIDefinition("innodb_data_written", "Innodb Data Written", ("P-R", "R-R")),
+    KPIDefinition("innodb_rows_deleted", "Innodb Rows Deleted", ("R-R",)),
+    KPIDefinition("innodb_rows_inserted", "Innodb Rows Inserted", ("R-R",)),
+    KPIDefinition("innodb_rows_read", "Innodb Rows Read", ("P-R", "R-R")),
+    KPIDefinition("innodb_rows_updated", "Innodb Row Updated", ("P-R", "R-R")),
+    KPIDefinition("requests_per_second", "Requests Per Second", ("P-R", "R-R")),
+    KPIDefinition("total_requests", "Total Requests", ("P-R", "R-R")),
+    KPIDefinition("real_capacity", "Real Capacity", ("P-R", "R-R"), cumulative=True),
+    KPIDefinition("transactions_per_second", "Transactions Per Second", ("R-R",)),
+)
+
+#: KPI machine names in registry order — the canonical KPI axis everywhere.
+KPI_NAMES: Tuple[str, ...] = tuple(kpi.name for kpi in KPI_REGISTRY)
+
+#: Machine name -> axis index.
+KPI_INDEX: Dict[str, int] = {kpi.name: i for i, kpi in enumerate(KPI_REGISTRY)}

@@ -1,0 +1,166 @@
+"""Load balancing strategies.
+
+The balancer decides how a unit's read traffic splits across databases each
+tick.  Under a healthy strategy shares hover near equal — the first cause
+of the UKPIC phenomenon ("the number of SQLs processed by each database is
+similar").  The :class:`DefectiveBalancer` reproduces the Figure 4
+incident: a buggy strategy maps an outsized share onto one database,
+breaking UKPIC on its KPIs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "LoadBalancer",
+    "UniformBalancer",
+    "WeightedBalancer",
+    "DefectiveBalancer",
+]
+
+
+class LoadBalancer(abc.ABC):
+    """Strategy interface: per-tick read routing weights."""
+
+    @abc.abstractmethod
+    def read_weights(
+        self, tick: int, n_databases: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Non-negative weights summing to 1, one per database."""
+
+
+def _validated(weights: np.ndarray) -> np.ndarray:
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("routing weights must have a positive sum")
+    return weights / total
+
+
+class UniformBalancer(LoadBalancer):
+    """Near-equal routing with Dirichlet jitter.
+
+    Parameters
+    ----------
+    concentration:
+        Dirichlet concentration per database; larger values keep shares
+        closer to exactly equal.  The jitter is what prevents the unit's
+        KPI series from being *identical* — they are correlated in trend,
+        not in value, as Figure 3(a) shows.  The default gives ~1 %
+        relative share noise, consistent with per-request balancing over
+        tens of thousands of requests per interval.
+    """
+
+    def __init__(self, concentration: float = 4000.0):
+        if concentration <= 0:
+            raise ValueError("concentration must be positive")
+        self.concentration = concentration
+
+    def read_weights(
+        self, tick: int, n_databases: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        alphas = np.full(n_databases, self.concentration)
+        return _validated(rng.dirichlet(alphas))
+
+
+class WeightedBalancer(LoadBalancer):
+    """Static weighted routing with Dirichlet jitter (heterogeneous fleet)."""
+
+    def __init__(self, weights: Sequence[float], concentration: float = 200.0):
+        base = np.asarray(weights, dtype=np.float64)
+        if base.ndim != 1 or base.size == 0:
+            raise ValueError("weights must be a non-empty 1-D sequence")
+        if (base <= 0).any():
+            raise ValueError("all weights must be positive")
+        if concentration <= 0:
+            raise ValueError("concentration must be positive")
+        self._base = base / base.sum()
+        self.concentration = concentration
+
+    def read_weights(
+        self, tick: int, n_databases: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        if n_databases != self._base.size:
+            raise ValueError(
+                f"balancer configured for {self._base.size} databases, "
+                f"asked for {n_databases}"
+            )
+        return _validated(rng.dirichlet(self._base * n_databases * self.concentration))
+
+
+class DefectiveBalancer(LoadBalancer):
+    """A buggy strategy that centrally maps traffic onto one database.
+
+    Reproduces the Figure 4 abnormal issue: from ``start_tick`` (until
+    ``end_tick`` if given), ``skew`` of the total read share is taken from
+    the other databases and piled onto ``victim``.
+
+    Parameters
+    ----------
+    inner:
+        The healthy strategy in effect outside the defect window.
+    victim:
+        Index of the database receiving the skewed traffic.
+    skew:
+        Peak extra share (0..1) routed to the victim during the defect.
+    start_tick, end_tick:
+        Defect activity window (``end_tick=None`` means forever).
+    flapping:
+        When ``True`` (default) the effective skew wanders between ~40 %
+        and 100 % of ``skew`` via an AR(1) process: the misrouted tenant's
+        own traffic pattern rides on top of the unit's, which is what
+        actually breaks trend correlation.  A perfectly constant skew
+        would only rescale the victim's trend.
+    """
+
+    def __init__(
+        self,
+        inner: LoadBalancer,
+        victim: int,
+        skew: float = 0.4,
+        start_tick: int = 0,
+        end_tick: Optional[int] = None,
+        flapping: bool = True,
+    ):
+        if not 0.0 < skew < 1.0:
+            raise ValueError("skew must lie in (0, 1)")
+        if victim < 0:
+            raise ValueError("victim index must be non-negative")
+        if end_tick is not None and end_tick <= start_tick:
+            raise ValueError("end_tick must exceed start_tick")
+        self.inner = inner
+        self.victim = victim
+        self.skew = skew
+        self.start_tick = start_tick
+        self.end_tick = end_tick
+        self.flapping = flapping
+        self._level = 1.0
+
+    def active(self, tick: int) -> bool:
+        """Whether the defect distorts routing at this tick."""
+        if tick < self.start_tick:
+            return False
+        return self.end_tick is None or tick < self.end_tick
+
+    def read_weights(
+        self, tick: int, n_databases: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        weights = self.inner.read_weights(tick, n_databases, rng)
+        if not self.active(tick):
+            return weights
+        if self.victim >= n_databases:
+            raise ValueError(
+                f"victim {self.victim} out of range for {n_databases} databases"
+            )
+        effective = self.skew
+        if self.flapping:
+            self._level = float(
+                np.clip(0.55 * self._level + 0.45 * rng.uniform(0.1, 1.5), 0.35, 1.0)
+            )
+            effective = self.skew * self._level
+        skewed = weights * (1.0 - effective)
+        skewed[self.victim] += effective
+        return _validated(skewed)

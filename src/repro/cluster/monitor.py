@@ -1,0 +1,130 @@
+"""Bypass monitoring system.
+
+Cloud vendors collect KPI series through a bypass pipeline whose
+collection, processing and distribution stages add per-database
+*point-in-time delays* (Section II-D, challenge 1).  The monitor wraps a
+unit: each tick it records the unit's raw KPI matrix but *reports* each
+database's values ``d`` ticks late, with ``d`` drawn per database.  These
+delays are exactly what the KCD's delay scan compensates for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.requests import RequestMix
+from repro.cluster.unit import Unit
+
+__all__ = ["MonitorSettings", "BypassMonitor"]
+
+
+@dataclass(frozen=True)
+class MonitorSettings:
+    """Collection pipeline parameters.
+
+    Parameters
+    ----------
+    interval_seconds:
+        Collection interval between data points (5 s in the paper).
+    max_collection_delay:
+        Upper bound (inclusive) on the per-database delay in ticks; each
+        database draws its delay once (pipeline topology is stable).
+    dropout_probability:
+        Chance that a tick's sample for a database is lost and replaced by
+        the previous reported value (monitoring gaps happen in practice).
+    """
+
+    interval_seconds: float = 5.0
+    max_collection_delay: int = 2
+    dropout_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        if self.max_collection_delay < 0:
+            raise ValueError("max_collection_delay must be >= 0")
+        if not 0.0 <= self.dropout_probability < 1.0:
+            raise ValueError("dropout_probability must lie in [0, 1)")
+
+
+class BypassMonitor:
+    """Collects delayed KPI series from a unit.
+
+    Parameters
+    ----------
+    unit:
+        The simulated unit to monitor.
+    settings:
+        Pipeline parameters.
+    seed:
+        Seeds delay assignment and dropout.
+    """
+
+    def __init__(
+        self,
+        unit: Unit,
+        settings: Optional[MonitorSettings] = None,
+        seed: Optional[int] = None,
+    ):
+        self.unit = unit
+        self.settings = settings if settings is not None else MonitorSettings()
+        self._rng = np.random.default_rng(seed)
+        self.delays = self._rng.integers(
+            0, self.settings.max_collection_delay + 1, size=unit.n_databases
+        )
+
+    def collect(
+        self,
+        mixes: Sequence[RequestMix],
+        injectors: Sequence = (),
+    ) -> np.ndarray:
+        """Run the unit over a workload and return the *reported* series.
+
+        Parameters
+        ----------
+        mixes:
+            Per-tick unit-level request mixes.
+        injectors:
+            Simulation injectors (see :mod:`repro.anomalies`); each gets a
+            ``before_tick(unit, tick)`` call ahead of every step so it can
+            perturb routing or database conditions.
+
+        Returns
+        -------
+        numpy.ndarray
+            Reported KPI series of shape ``(n_databases, n_kpis, n_ticks)``.
+            Database ``d``'s reported value at tick ``t`` is its raw value
+            at ``t - delay[d]`` (the first ticks repeat the earliest raw
+            sample, as a warming pipeline would).
+        """
+        if injectors:
+            frames = []
+            for mix in mixes:
+                tick = self.unit.tick
+                for injector in injectors:
+                    injector.before_tick(self.unit, tick)
+                frames.append(self.unit.step(mix))
+            raw = np.stack(frames, axis=-1)
+        else:
+            raw = self.unit.run(mixes)  # (D, K, T)
+        n_dbs, _, n_ticks = raw.shape
+        reported = np.empty_like(raw)
+        for db in range(n_dbs):
+            delay = int(self.delays[db])
+            if delay == 0:
+                reported[db] = raw[db]
+            else:
+                reported[db, :, delay:] = raw[db, :, : n_ticks - delay]
+                reported[db, :, :delay] = raw[db, :, :1]
+        if self.settings.dropout_probability > 0.0:
+            drops = (
+                self._rng.random((n_dbs, n_ticks)) < self.settings.dropout_probability
+            )
+            for db in range(n_dbs):
+                for t in range(1, n_ticks):
+                    if drops[db, t]:
+                        reported[db, :, t] = reported[db, :, t - 1]
+        return reported

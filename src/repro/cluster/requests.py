@@ -1,0 +1,122 @@
+"""SQL request mixes.
+
+A :class:`RequestMix` is one tick's worth of demand for one target (a unit
+before balancing, or a single database after).  Workload models produce
+unit-level mixes; the load balancer splits them; the resource model turns a
+database's share into KPI values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["RequestMix"]
+
+
+@dataclass(frozen=True)
+class RequestMix:
+    """Counts of SQL operations arriving during one monitoring interval.
+
+    Parameters
+    ----------
+    selects:
+        Read statements (point + range selects).
+    inserts, updates, deletes:
+        Write statements by kind.
+    transactions:
+        Transaction commits the statements belong to.
+    rows_per_select:
+        Average rows examined per read statement — workload-dependent
+        (range scans on big tables examine more), carried with the mix so
+        the resource model can derive rows-read and buffer-pool pressure.
+    bytes_per_row:
+        Average row payload in bytes, for the data-written KPI.
+    """
+
+    selects: float = 0.0
+    inserts: float = 0.0
+    updates: float = 0.0
+    deletes: float = 0.0
+    transactions: float = 0.0
+    rows_per_select: float = 10.0
+    bytes_per_row: float = 200.0
+
+    def __post_init__(self) -> None:
+        for name in ("selects", "inserts", "updates", "deletes", "transactions"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.rows_per_select <= 0:
+            raise ValueError("rows_per_select must be positive")
+        if self.bytes_per_row <= 0:
+            raise ValueError("bytes_per_row must be positive")
+
+    @property
+    def writes(self) -> float:
+        """Total write statements."""
+        return self.inserts + self.updates + self.deletes
+
+    @property
+    def total(self) -> float:
+        """Total statements (the Requests-Per-Second numerator)."""
+        return self.selects + self.writes
+
+    def scaled(self, factor: float) -> "RequestMix":
+        """Mix with all counts multiplied by ``factor`` (routing share)."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return RequestMix(
+            selects=self.selects * factor,
+            inserts=self.inserts * factor,
+            updates=self.updates * factor,
+            deletes=self.deletes * factor,
+            transactions=self.transactions * factor,
+            rows_per_select=self.rows_per_select,
+            bytes_per_row=self.bytes_per_row,
+        )
+
+    def reads_only(self) -> "RequestMix":
+        """The read portion (what the balancer spreads across databases)."""
+        return RequestMix(
+            selects=self.selects,
+            transactions=0.0,
+            rows_per_select=self.rows_per_select,
+            bytes_per_row=self.bytes_per_row,
+        )
+
+    def writes_only(self) -> "RequestMix":
+        """The write portion (what the primary executes and replicates)."""
+        return RequestMix(
+            inserts=self.inserts,
+            updates=self.updates,
+            deletes=self.deletes,
+            transactions=self.transactions,
+            rows_per_select=self.rows_per_select,
+            bytes_per_row=self.bytes_per_row,
+        )
+
+    def combined(self, other: "RequestMix") -> "RequestMix":
+        """Sum of two mixes; per-row parameters are count-weighted averages."""
+        total_selects = self.selects + other.selects
+        if total_selects > 0:
+            rows = (
+                self.selects * self.rows_per_select
+                + other.selects * other.rows_per_select
+            ) / total_selects
+        else:
+            rows = self.rows_per_select
+        total_writes = self.writes + other.writes
+        if total_writes > 0:
+            payload = (
+                self.writes * self.bytes_per_row + other.writes * other.bytes_per_row
+            ) / total_writes
+        else:
+            payload = self.bytes_per_row
+        return RequestMix(
+            selects=total_selects,
+            inserts=self.inserts + other.inserts,
+            updates=self.updates + other.updates,
+            deletes=self.deletes + other.deletes,
+            transactions=self.transactions + other.transactions,
+            rows_per_select=rows,
+            bytes_per_row=payload,
+        )

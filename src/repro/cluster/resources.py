@@ -1,0 +1,181 @@
+"""Database resource model: request mix -> KPI vector.
+
+Maps one tick's :class:`~repro.cluster.requests.RequestMix` to the 14
+Table II indicators for one database, mimicking a MySQL 5.7 instance of the
+paper's size (4 cores / 8 GB RAM / 50 GB disk).  The model is intentionally
+first-order — linear op costs with a saturating CPU — because the detector
+only ever sees *trends*; what matters is that every KPI responds
+monotonically to its driving load components, which is exactly what makes
+the UKPIC phenomenon appear across databases sharing a workload.
+
+Anomaly injectors act through :class:`DatabaseCondition`: multipliers and
+leak terms that the injectors of :mod:`repro.anomalies` adjust per tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.kpis import KPI_INDEX, KPI_NAMES
+from repro.cluster.requests import RequestMix
+
+__all__ = ["DatabaseCondition", "ResourceModel"]
+
+
+@dataclass
+class DatabaseCondition:
+    """Mutable per-database state the resource model reads and updates.
+
+    The multiplier fields default to neutral values; anomaly injectors
+    perturb them (e.g. a slow-query storm raises ``cpu_multiplier`` and
+    ``rows_read_multiplier``; fragmentation feeds ``capacity_leak_bytes``).
+    """
+
+    #: Bytes of live data currently stored (drives Real Capacity).
+    stored_bytes: float = 5e9
+    #: Extra dead bytes from fragmentation (delete/insert churn).
+    fragmented_bytes: float = 0.0
+    #: Multiplies the computed CPU utilization (slow queries, hot spots).
+    cpu_multiplier: float = 1.0
+    #: Multiplies rows examined per select (bad plans, missing indexes).
+    rows_read_multiplier: float = 1.0
+    #: Extra dead bytes accumulated per tick while fragmentation is active.
+    capacity_leak_bytes: float = 0.0
+    #: Additive CPU percentage (maintenance tasks, backups).
+    cpu_background: float = 0.0
+    #: Multiplies every throughput KPI (stalls throttle the whole database).
+    throughput_multiplier: float = 1.0
+    #: Multiplies page-level IO (buffer-pool reads, data writes): storage
+    #: fragmentation spreads rows over more pages.
+    page_amplification: float = 1.0
+
+    def reset_effects(self) -> None:
+        """Return all anomaly knobs to neutral (storage state persists)."""
+        self.cpu_multiplier = 1.0
+        self.rows_read_multiplier = 1.0
+        self.capacity_leak_bytes = 0.0
+        self.cpu_background = 0.0
+        self.throughput_multiplier = 1.0
+        self.page_amplification = 1.0
+
+
+@dataclass(frozen=True)
+class ResourceModel:
+    """Cost coefficients of the simulated MySQL instance.
+
+    Defaults approximate the paper's 4-core instances: roughly 40k simple
+    row operations per core-second saturate a core.
+
+    Parameters
+    ----------
+    cores:
+        CPU cores available to the instance.
+    row_ops_per_core_second:
+        Row operations one core sustains per second at 100 % utilization.
+    interval_seconds:
+        Monitoring interval (5 s in the paper).
+    """
+
+    cores: int = 4
+    row_ops_per_core_second: float = 40_000.0
+    interval_seconds: float = 5.0
+    #: Relative CPU cost of one examined row on the read path.
+    read_row_cost: float = 1.0
+    #: Relative CPU cost of one write statement (redo + index maintenance).
+    write_cost: float = 6.0
+    #: Relative CPU cost of one transaction commit (fsync amortized).
+    transaction_cost: float = 3.0
+    #: Buffer-pool page touches per examined row (indexes + data page).
+    pages_per_row: float = 1.3
+    #: Physical write operations per write statement (redo, doublewrite).
+    io_writes_per_statement: float = 2.2
+    #: Write amplification on bytes (redo + binlog + page rewrites).
+    write_amplification: float = 2.5
+    #: Relative sampling noise applied to every rate KPI.  Kept small:
+    #: these are exact server counters, so per-database divergence should
+    #: come almost entirely from load balancing, not measurement error.
+    noise_scale: float = 0.006
+
+    def compute_kpis(
+        self,
+        mix: RequestMix,
+        condition: DatabaseCondition,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """One tick: KPI vector in :data:`~repro.cluster.kpis.KPI_NAMES` order.
+
+        Also advances the cumulative parts of ``condition`` (stored and
+        fragmented bytes).
+        """
+        throttle = condition.throughput_multiplier
+        effective = mix.scaled(throttle) if throttle != 1.0 else mix
+
+        rows_read = (
+            effective.selects
+            * effective.rows_per_select
+            * condition.rows_read_multiplier
+        )
+        rows_inserted = effective.inserts
+        rows_updated = effective.updates
+        rows_deleted = effective.deletes
+
+        cpu_cost = (
+            rows_read * self.read_row_cost
+            + effective.writes * self.write_cost
+            + effective.transactions * self.transaction_cost
+        )
+        capacity_ops = self.cores * self.row_ops_per_core_second * self.interval_seconds
+        raw_cpu = 100.0 * cpu_cost / capacity_ops
+        cpu = raw_cpu * condition.cpu_multiplier + condition.cpu_background
+        # Soft saturation near 100 %: a real instance queues rather than
+        # exceeding its cores.
+        cpu = 100.0 * (1.0 - np.exp(-cpu / 100.0)) if cpu > 0 else 0.0
+
+        bufferpool_reads = rows_read * self.pages_per_row * condition.page_amplification
+        data_writes = (
+            effective.writes * self.io_writes_per_statement
+            * condition.page_amplification
+        )
+        data_written = (
+            effective.writes * effective.bytes_per_row * self.write_amplification
+        )
+
+        # Storage bookkeeping: inserts add bytes, deletes free them but
+        # leave dead space behind (the Figure 12 fragmentation mechanism).
+        added = rows_inserted * effective.bytes_per_row
+        freed = rows_deleted * effective.bytes_per_row
+        condition.stored_bytes = max(0.0, condition.stored_bytes + added - freed)
+        condition.fragmented_bytes += 0.3 * freed + condition.capacity_leak_bytes
+        real_capacity = condition.stored_bytes + condition.fragmented_bytes
+
+        requests_per_second = effective.total / self.interval_seconds
+        transactions_per_second = effective.transactions / self.interval_seconds
+
+        values = np.zeros(len(KPI_NAMES), dtype=np.float64)
+        values[KPI_INDEX["com_insert"]] = effective.inserts
+        values[KPI_INDEX["com_update"]] = effective.updates
+        values[KPI_INDEX["cpu_utilization"]] = cpu
+        values[KPI_INDEX["bufferpool_read_requests"]] = bufferpool_reads
+        values[KPI_INDEX["innodb_data_writes"]] = data_writes
+        values[KPI_INDEX["innodb_data_written"]] = data_written
+        values[KPI_INDEX["innodb_rows_deleted"]] = rows_deleted
+        values[KPI_INDEX["innodb_rows_inserted"]] = rows_inserted
+        values[KPI_INDEX["innodb_rows_read"]] = rows_read
+        values[KPI_INDEX["innodb_rows_updated"]] = rows_updated
+        values[KPI_INDEX["requests_per_second"]] = requests_per_second
+        values[KPI_INDEX["total_requests"]] = effective.total
+        values[KPI_INDEX["real_capacity"]] = real_capacity
+        values[KPI_INDEX["transactions_per_second"]] = transactions_per_second
+
+        if self.noise_scale > 0.0:
+            noise = rng.normal(1.0, self.noise_scale, size=values.shape)
+            # Capacity is a gauge read from the filesystem: effectively
+            # noise-free compared to per-interval rate counters.
+            noise[KPI_INDEX["real_capacity"]] = 1.0
+            values = np.clip(values * noise, 0.0, None)
+        values[KPI_INDEX["cpu_utilization"]] = min(
+            values[KPI_INDEX["cpu_utilization"]], 100.0
+        )
+        return values

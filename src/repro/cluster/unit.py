@@ -1,0 +1,164 @@
+"""Unit: load balancer + one primary and several replica databases.
+
+A unit is the scope of the UKPIC phenomenon and the entity DBCatcher
+monitors.  Each simulation tick the unit receives the workload's request
+mix, splits the reads per the balancer, executes the writes on the primary,
+feeds the replication stream to the replicas, and returns the raw KPI
+matrix for the tick.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.database import Database, DatabaseRole
+from repro.cluster.kpis import KPI_NAMES
+from repro.cluster.loadbalancer import LoadBalancer, UniformBalancer
+from repro.cluster.requests import RequestMix
+from repro.cluster.resources import ResourceModel
+
+__all__ = ["Unit"]
+
+
+class Unit:
+    """One cloud-database unit (Figure 2).
+
+    Parameters
+    ----------
+    name:
+        Unit identifier.
+    n_databases:
+        Total databases; index 0 is the primary, the rest replicas
+        (the paper's units run 1 primary + 4 replicas).
+    balancer:
+        Read-routing strategy; defaults to a healthy
+        :class:`~repro.cluster.loadbalancer.UniformBalancer`.
+    model:
+        Shared resource model (homogeneous fleet, as in the paper's 4C/8G
+        instances).
+    seed:
+        Seeds the unit-level generator; each database derives its own
+        child generator so noise is independent across databases.
+    replication_lag:
+        Ticks of primary->replica replication delay.  Defaults to 0:
+        healthy MySQL replication lag is sub-second, far below the 5 s
+        monitoring tick, so writes land on every database within the same
+        sample.  (A non-zero lag phase-splits the primary's read+write
+        signal from the replicas' in a way no *single* delay aligns,
+        which is a replication *incident*, not the healthy baseline.)
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_databases: int = 5,
+        balancer: Optional[LoadBalancer] = None,
+        model: Optional[ResourceModel] = None,
+        seed: Optional[int] = None,
+        replication_lag: int = 0,
+    ):
+        if n_databases < 2:
+            raise ValueError("a unit needs at least 2 databases")
+        self.name = name
+        self.balancer = balancer if balancer is not None else UniformBalancer()
+        self.model = model if model is not None else ResourceModel()
+        self._rng = np.random.default_rng(seed)
+        child_seeds = self._rng.integers(0, 2**63 - 1, size=n_databases)
+        self.databases: List[Database] = [
+            Database(
+                name=f"D{i + 1}",
+                role=DatabaseRole.PRIMARY if i == 0 else DatabaseRole.REPLICA,
+                model=self.model,
+                rng=np.random.default_rng(int(child_seeds[i])),
+                replication_lag=replication_lag,
+            )
+            for i in range(n_databases)
+        ]
+        self._tick = 0
+
+    @property
+    def n_databases(self) -> int:
+        return len(self.databases)
+
+    @property
+    def primary(self) -> Database:
+        return self.databases[self.primary_index]
+
+    @property
+    def replicas(self) -> Sequence[Database]:
+        return [db for db in self.databases if not db.is_primary]
+
+    @property
+    def kpi_names(self) -> tuple:
+        return KPI_NAMES
+
+    @property
+    def tick(self) -> int:
+        """Number of ticks simulated so far."""
+        return self._tick
+
+    @property
+    def primary_index(self) -> int:
+        """Index of the current primary database."""
+        for index, database in enumerate(self.databases):
+            if database.is_primary:
+                return index
+        raise RuntimeError("unit has no primary database")
+
+    def failover(self, new_primary: int) -> None:
+        """Promote a replica to primary (Figure 2's failover path).
+
+        The old primary becomes a replica; queued-but-unapplied
+        replication on the new primary is applied immediately at its next
+        tick (it was already durable there).  Request processing then
+        continues as before, as the paper describes.
+        """
+        if not 0 <= new_primary < self.n_databases:
+            raise IndexError(
+                f"database {new_primary} out of range for {self.n_databases}"
+            )
+        old_primary = self.primary_index
+        if new_primary == old_primary:
+            return
+        from repro.cluster.database import DatabaseRole
+
+        self.databases[old_primary].role = DatabaseRole.REPLICA
+        self.databases[new_primary].role = DatabaseRole.PRIMARY
+        self.databases[new_primary]._pending_writes.clear()
+
+    def step(self, mix: RequestMix) -> np.ndarray:
+        """Simulate one monitoring interval.
+
+        Parameters
+        ----------
+        mix:
+            The unit-level request mix for this tick (from the workload
+            model, after the global transaction manager's split).
+
+        Returns
+        -------
+        numpy.ndarray
+            Raw KPI matrix of shape ``(n_databases, n_kpis)`` — before the
+            bypass monitor's collection delays.
+        """
+        reads = mix.reads_only()
+        writes = mix.writes_only()
+        weights = self.balancer.read_weights(self._tick, self.n_databases, self._rng)
+        for replica in self.replicas:
+            replica.enqueue_replication(writes)
+        values = np.zeros((self.n_databases, len(KPI_NAMES)), dtype=np.float64)
+        for index, database in enumerate(self.databases):
+            read_share = reads.scaled(float(weights[index]))
+            if database.is_primary:
+                values[index] = database.process_tick(read_share, writes)
+            else:
+                values[index] = database.process_tick(read_share)
+        self._tick += 1
+        return values
+
+    def run(self, mixes: Sequence[RequestMix]) -> np.ndarray:
+        """Simulate many ticks; returns ``(n_databases, n_kpis, n_ticks)``."""
+        frames = [self.step(mix) for mix in mixes]
+        return np.stack(frames, axis=-1)

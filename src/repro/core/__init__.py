@@ -1,0 +1,58 @@
+"""DBCatcher core: the paper's primary contribution.
+
+The core package implements the four modules of Figure 6:
+
+* **data processing** — per-KPI, per-database sample queues
+  (:mod:`repro.core.streams`);
+* **correlation measurement** — the Key Correlation Distance and per-KPI
+  correlation matrices (:mod:`repro.core.kcd`, :mod:`repro.core.matrices`);
+* **streaming detection** — correlation levels, the flexible time window and
+  the healthy/observable/abnormal state machine (:mod:`repro.core.levels`,
+  :mod:`repro.core.window`, :mod:`repro.core.detector`);
+* **online feedback** — judgement records, DBA marking and the retraining
+  trigger that invokes the adaptive threshold learner in :mod:`repro.tuning`
+  (:mod:`repro.core.records`, :mod:`repro.core.feedback`).
+"""
+
+from repro.core.config import DBCatcherConfig
+from repro.core.detector import DBCatcher, UnitDetectionResult
+from repro.core.diagnosis import CauseHypothesis, diagnose_record
+from repro.core.feedback import OnlineFeedback
+from repro.core.kcd import kcd, kcd_matrix, lagged_correlation_profile
+from repro.core.levels import (
+    LEVEL_CORRELATED,
+    LEVEL_EXTREME_DEVIATION,
+    LEVEL_SLIGHT_DEVIATION,
+    CorrelationLevels,
+    calculate_levels,
+    score_to_level,
+)
+from repro.core.matrices import CorrelationMatrix, build_correlation_matrices
+from repro.core.records import DatabaseState, JudgementRecord
+from repro.core.streams import KPIStreams
+from repro.core.window import FlexibleWindow, WindowDecision
+
+__all__ = [
+    "DBCatcher",
+    "DBCatcherConfig",
+    "CauseHypothesis",
+    "diagnose_record",
+    "UnitDetectionResult",
+    "OnlineFeedback",
+    "kcd",
+    "kcd_matrix",
+    "lagged_correlation_profile",
+    "LEVEL_EXTREME_DEVIATION",
+    "LEVEL_SLIGHT_DEVIATION",
+    "LEVEL_CORRELATED",
+    "CorrelationLevels",
+    "calculate_levels",
+    "score_to_level",
+    "CorrelationMatrix",
+    "build_correlation_matrices",
+    "DatabaseState",
+    "JudgementRecord",
+    "KPIStreams",
+    "FlexibleWindow",
+    "WindowDecision",
+]

@@ -1,0 +1,193 @@
+"""Configuration for the DBCatcher detector.
+
+All tunables of Sections III-C and III-D live here: the per-KPI correlation
+thresholds ``alpha_i``, the tolerance threshold ``theta``, the maximum
+tolerance deviation count, and the flexible-window geometry.  The paper's
+initial ranges are exposed as module constants; the adaptive threshold
+learner (:mod:`repro.tuning`) searches inside those ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DBCatcherConfig",
+    "ALPHA_RANGE",
+    "THETA_RANGE",
+    "TOLERANCE_RANGE",
+    "INITIAL_WINDOW_RANGE",
+    "MAX_WINDOW_RANGE",
+    "LEARNING_RATE",
+]
+
+#: Initial per-KPI correlation threshold range (paper Section III-D).
+ALPHA_RANGE: Tuple[float, float] = (0.6, 0.8)
+#: Tolerance threshold range.
+THETA_RANGE: Tuple[float, float] = (0.1, 0.3)
+#: Maximum tolerance deviation count range (inclusive).
+TOLERANCE_RANGE: Tuple[int, int] = (0, 3)
+#: Initial observation window size range, in data points.
+INITIAL_WINDOW_RANGE: Tuple[int, int] = (15, 25)
+#: Maximum observation window size range, in data points.
+MAX_WINDOW_RANGE: Tuple[int, int] = (45, 75)
+#: Mutation learning rate Delta of the genetic algorithm.
+LEARNING_RATE: float = 0.1
+
+#: How a database's per-KPI correlation level is aggregated from its KCD
+#: scores against every peer.  ``max`` asks "does this database still track
+#: at least one peer?" — an abnormal database decorrelates from *all* peers
+#: while healthy peers keep tracking each other, so ``max`` localizes the
+#: deviating database; ``median``/``mean`` are stricter alternatives kept
+#: for the ablation benches.
+_PEER_AGGREGATIONS = ("max", "median", "mean")
+
+
+@dataclass(frozen=True)
+class DBCatcherConfig:
+    """Immutable detector configuration.
+
+    Parameters
+    ----------
+    kpi_names:
+        Names of the monitored KPIs (Table II); their count ``Q`` fixes the
+        number of correlation matrices and of ``alpha`` thresholds.
+    alphas:
+        Per-KPI correlation thresholds ``alpha_i``.  Scores above
+        ``alpha_i`` are level-3 (correlated), scores in
+        ``[alpha_i - theta, alpha_i)`` are level-2 (slight deviation), and
+        scores below ``alpha_i - theta`` are level-1 (extreme deviation).
+    theta:
+        Tolerance threshold separating slight from extreme deviation.
+    max_tolerance_deviations:
+        Maximum number of level-2 KPIs a database may show and still be
+        merely "observable" rather than "abnormal".
+    initial_window:
+        Initial observation window size ``W`` in data points.
+    window_step:
+        Expansion length ``Delta`` added on each "observable" verdict; the
+        paper uses ``Delta == W``.
+    max_window:
+        Upper bound ``W_M`` on the expanded window.
+    max_delay_fraction:
+        The delay scan range is ``m = floor(n * max_delay_fraction)`` for a
+        window of ``n`` points; the paper uses ``n = 2m`` i.e. ``0.5``.
+    peer_aggregation:
+        How per-peer KCD scores collapse into one score per database; see
+        the module comment.
+    primary_index:
+        Index of the unit's primary database, or ``None`` when correlation
+        types are ignored.  Required when ``rr_only_kpis`` is non-empty.
+    rr_only_kpis:
+        KPIs whose UKPIC holds only among replicas (Table II type
+        ``R-R``).  On these, the primary is neither judged nor counted as
+        a peer — its execution path legitimately decorrelates there.
+    resolve_max_window_as_abnormal:
+        What to decide when a database is still "observable" at ``W_M``.
+        ``True`` (default): a deviation that survives maximal smoothing is a
+        real anomaly.  ``False``: give the database the benefit of the
+        doubt and mark it healthy.
+    interval_seconds:
+        Monitoring collection interval; 5 s in the paper.  Only used to
+        convert window sizes to wall-clock latencies in reports.
+    """
+
+    kpi_names: Tuple[str, ...]
+    alphas: Tuple[float, ...] = ()
+    theta: float = 0.2
+    max_tolerance_deviations: int = 2
+    initial_window: int = 20
+    window_step: int = 0
+    max_window: int = 60
+    max_delay_fraction: float = 0.5
+    peer_aggregation: str = "max"
+    primary_index: Optional[int] = None
+    rr_only_kpis: Tuple[str, ...] = ()
+    resolve_max_window_as_abnormal: bool = True
+    interval_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not self.kpi_names:
+            raise ValueError("at least one KPI is required")
+        alphas = self.alphas
+        if not alphas:
+            default_alpha = float(np.mean(ALPHA_RANGE))
+            alphas = tuple(default_alpha for _ in self.kpi_names)
+            object.__setattr__(self, "alphas", alphas)
+        if len(alphas) != len(self.kpi_names):
+            raise ValueError(
+                f"{len(self.kpi_names)} KPIs but {len(alphas)} alpha thresholds"
+            )
+        if not all(-1.0 <= a <= 1.0 for a in alphas):
+            raise ValueError("alpha thresholds must lie in [-1, 1]")
+        if not 0.0 <= self.theta <= 2.0:
+            raise ValueError(f"theta must lie in [0, 2], got {self.theta}")
+        if self.max_tolerance_deviations < 0:
+            raise ValueError("max_tolerance_deviations must be >= 0")
+        if self.initial_window < 2:
+            raise ValueError("initial_window must be >= 2")
+        if self.window_step == 0:
+            object.__setattr__(self, "window_step", self.initial_window)
+        if self.window_step < 1:
+            raise ValueError("window_step must be >= 1")
+        if self.max_window < self.initial_window:
+            raise ValueError("max_window must be >= initial_window")
+        if not 0.0 <= self.max_delay_fraction < 1.0:
+            raise ValueError("max_delay_fraction must lie in [0, 1)")
+        if self.peer_aggregation not in _PEER_AGGREGATIONS:
+            raise ValueError(
+                f"peer_aggregation must be one of {_PEER_AGGREGATIONS}, "
+                f"got {self.peer_aggregation!r}"
+            )
+        unknown_rr = set(self.rr_only_kpis) - set(self.kpi_names)
+        if unknown_rr:
+            raise ValueError(f"rr_only_kpis not in kpi_names: {sorted(unknown_rr)}")
+        if self.rr_only_kpis and self.primary_index is None:
+            raise ValueError("rr_only_kpis requires primary_index")
+        if self.primary_index is not None and self.primary_index < 0:
+            raise ValueError("primary_index must be >= 0")
+        if self.interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+
+    @property
+    def n_kpis(self) -> int:
+        """Number of monitored KPIs (``Q`` in the paper)."""
+        return len(self.kpi_names)
+
+    def max_delay(self, window_size: int) -> int:
+        """Delay scan bound ``m`` for a window of ``window_size`` points."""
+        return int(window_size * self.max_delay_fraction)
+
+    def alpha_for(self, kpi: str) -> float:
+        """Correlation threshold of a KPI by name."""
+        try:
+            index = self.kpi_names.index(kpi)
+        except ValueError:
+            raise KeyError(f"unknown KPI {kpi!r}") from None
+        return self.alphas[index]
+
+    def with_thresholds(
+        self,
+        alphas: Sequence[float],
+        theta: float,
+        max_tolerance_deviations: int,
+    ) -> "DBCatcherConfig":
+        """Copy of this config with new learned thresholds.
+
+        Used by the online feedback module to install the output of the
+        adaptive threshold learner without touching the window geometry.
+        """
+        return replace(
+            self,
+            alphas=tuple(float(a) for a in alphas),
+            theta=float(theta),
+            max_tolerance_deviations=int(max_tolerance_deviations),
+        )
+
+    def detection_latency_seconds(self, window_size: int | None = None) -> float:
+        """Wall-clock time needed to fill a window at the collection rate."""
+        size = self.initial_window if window_size is None else window_size
+        return size * self.interval_seconds

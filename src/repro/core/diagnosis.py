@@ -1,0 +1,240 @@
+"""Root-cause hints from KPI deviation patterns (paper future work #2).
+
+The paper closes asking "after detecting anomalies, how can root cause
+analysis be performed using database KPI time series?".  This module
+implements the natural first step: each incident class the paper discusses
+leaves a characteristic *signature* across the deviating KPIs —
+
+* **load-balance defect** (Fig. 4): the whole load-driven KPI family
+  deviates together (requests, rows, CPU, buffer pool);
+* **slow queries / hot database** (Fig. 13): CPU and rows-read deviate
+  while the request counters stay correlated;
+* **storage fragmentation** (Fig. 12): capacity and page-IO KPIs deviate
+  while the logical row counters stay correlated;
+* **throughput stall**: every throughput counter deviates with CPU
+  *dropping* relative to peers.
+
+Given a judgement record's per-KPI correlation levels (and scores), the
+diagnoser matches these signatures and returns ranked hypotheses.  It is a
+heuristic aid for the DBA, not a verdict — exactly the scoping the paper's
+future-work discussion suggests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.levels import LEVEL_CORRELATED
+from repro.core.records import DatabaseState, JudgementRecord
+
+__all__ = ["CauseHypothesis", "diagnose_record", "RootCauseSignature"]
+
+
+@dataclass(frozen=True)
+class RootCauseSignature:
+    """One incident class's KPI deviation signature.
+
+    Parameters
+    ----------
+    cause:
+        Machine name of the hypothesized incident class.
+    description:
+        One-line DBA-facing explanation.
+    deviating:
+        KPIs expected to deviate (level < 3).
+    correlated:
+        KPIs expected to stay correlated (level == 3); the discriminating
+        negatives (e.g. requests staying balanced rules out a routing
+        skew).
+    directions:
+        Expected *sides* of the deviation — KPI name mapped to ``"above"``
+        or ``"below"`` (victim vs unit mean).  Levels alone cannot tell a
+        flooded database from a stalled one; direction can.  Only checked
+        when the caller supplies the window values.
+    """
+
+    cause: str
+    description: str
+    deviating: Tuple[str, ...]
+    correlated: Tuple[str, ...]
+    directions: Tuple[Tuple[str, str], ...] = ()
+
+    def score(
+        self,
+        kpi_levels: Dict[str, int],
+        sides: Dict[str, str] | None = None,
+    ) -> float:
+        """Match quality in [0, 1]: fraction of expectations satisfied."""
+        checks = 0
+        hits = 0
+        for kpi in self.deviating:
+            if kpi in kpi_levels:
+                checks += 1
+                hits += int(kpi_levels[kpi] < LEVEL_CORRELATED)
+        for kpi in self.correlated:
+            if kpi in kpi_levels:
+                checks += 1
+                hits += int(kpi_levels[kpi] == LEVEL_CORRELATED)
+        if sides is not None:
+            for kpi, expected_side in self.directions:
+                if kpi in sides:
+                    checks += 1
+                    hits += int(sides[kpi] == expected_side)
+        return hits / checks if checks else 0.0
+
+
+#: Signature catalogue, derived from the paper's case studies.
+SIGNATURES: Tuple[RootCauseSignature, ...] = (
+    RootCauseSignature(
+        cause="load_balance_defect",
+        description=(
+            "routing skew: the database receives an outsized share of the "
+            "unit's requests (check the balancing strategy)"
+        ),
+        deviating=(
+            "requests_per_second", "total_requests", "cpu_utilization",
+            "innodb_rows_read", "bufferpool_read_requests",
+        ),
+        correlated=("real_capacity",),
+        directions=(
+            ("requests_per_second", "above"),
+            ("cpu_utilization", "above"),
+        ),
+    ),
+    RootCauseSignature(
+        cause="slow_queries",
+        description=(
+            "resource-heavy statements: per-request cost exploded while "
+            "request volume stayed balanced (check slow query log)"
+        ),
+        deviating=(
+            "cpu_utilization", "innodb_rows_read", "bufferpool_read_requests",
+        ),
+        correlated=("requests_per_second", "total_requests", "real_capacity"),
+    ),
+    RootCauseSignature(
+        cause="storage_fragmentation",
+        description=(
+            "dead space accumulating: physical capacity and page IO diverge "
+            "from the logical write volume (consider OPTIMIZE TABLE)"
+        ),
+        deviating=(
+            "real_capacity", "bufferpool_read_requests", "innodb_data_writes",
+        ),
+        correlated=(
+            "requests_per_second", "innodb_rows_inserted",
+            "innodb_rows_deleted",
+        ),
+    ),
+    RootCauseSignature(
+        cause="throughput_stall",
+        description=(
+            "the database stopped keeping up: every throughput counter "
+            "collapsed (check IO stalls, locks, replication)"
+        ),
+        deviating=(
+            "requests_per_second", "total_requests",
+            "transactions_per_second", "innodb_rows_read",
+            "cpu_utilization",
+        ),
+        correlated=("real_capacity",),
+        directions=(
+            ("requests_per_second", "below"),
+            ("cpu_utilization", "below"),
+        ),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class CauseHypothesis:
+    """One ranked root-cause hypothesis for an abnormal record."""
+
+    cause: str
+    confidence: float
+    description: str
+    deviating_kpis: Tuple[str, ...]
+
+
+def _deviation_sides(
+    record: JudgementRecord,
+    values,
+    kpi_names: Sequence[str],
+) -> Dict[str, str]:
+    """Victim's side ("above"/"below") vs the unit mean, per KPI."""
+    import numpy as np
+
+    window = np.asarray(values, dtype=float)[
+        :, :, record.window_start : record.window_end
+    ]
+    sides: Dict[str, str] = {}
+    n_dbs = window.shape[0]
+    for index, kpi in enumerate(kpi_names):
+        victim_mean = window[record.database, index].mean()
+        peer_mean = np.mean(
+            [window[d, index].mean() for d in range(n_dbs)
+             if d != record.database]
+        )
+        sides[kpi] = "above" if victim_mean >= peer_mean else "below"
+    return sides
+
+
+def diagnose_record(
+    record: JudgementRecord,
+    signatures: Sequence[RootCauseSignature] = SIGNATURES,
+    min_confidence: float = 0.5,
+    values=None,
+    kpi_names: Sequence[str] | None = None,
+) -> List[CauseHypothesis]:
+    """Ranked root-cause hypotheses for one abnormal judgement record.
+
+    Parameters
+    ----------
+    record:
+        An ABNORMAL record carrying per-KPI correlation levels.
+    signatures:
+        Signature catalogue to match against.
+    min_confidence:
+        Hypotheses scoring below this are dropped.
+    values, kpi_names:
+        Optional raw unit series ``(n_databases, n_kpis, n_ticks)`` and
+        its KPI names; when given, the signatures' directional checks run
+        too (needed to tell a flooded database from a stalled one).
+
+    Returns
+    -------
+    list of CauseHypothesis, best match first.
+
+    Raises
+    ------
+    ValueError
+        If the record is not abnormal or carries no KPI levels.
+    """
+    if record.state is not DatabaseState.ABNORMAL:
+        raise ValueError("only abnormal records can be diagnosed")
+    if not record.kpi_levels:
+        raise ValueError("record carries no per-KPI correlation levels")
+    sides = None
+    if values is not None:
+        if kpi_names is None:
+            raise ValueError("kpi_names is required when values are given")
+        sides = _deviation_sides(record, values, kpi_names)
+    deviating = tuple(
+        kpi for kpi, level in record.kpi_levels.items()
+        if level < LEVEL_CORRELATED
+    )
+    hypotheses = []
+    for signature in signatures:
+        confidence = signature.score(record.kpi_levels, sides)
+        if confidence >= min_confidence:
+            hypotheses.append(
+                CauseHypothesis(
+                    cause=signature.cause,
+                    confidence=confidence,
+                    description=signature.description,
+                    deviating_kpis=deviating,
+                )
+            )
+    hypotheses.sort(key=lambda h: h.confidence, reverse=True)
+    return hypotheses

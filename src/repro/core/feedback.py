@@ -1,0 +1,179 @@
+"""Online feedback module (Figure 6, right).
+
+DBAs mark the judgement records produced by the streaming detection module;
+the feedback module keeps a bounded history of marked records, tracks the
+recent F-Measure, and — when detection performance drops below the minimum
+criterion (75 % in the paper) — invokes the adaptive threshold learner to
+produce new thresholds from the recent records.
+
+The learner itself lives in :mod:`repro.tuning`; this module only owns the
+trigger policy and the replay buffer, and accepts the learner as a callable
+so the core package has no dependency on the tuning package.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import DBCatcherConfig
+from repro.core.records import JudgementRecord
+
+__all__ = ["OnlineFeedback", "mark_records"]
+
+#: Minimum F-Measure criterion below which retraining activates (paper
+#: Section IV-D3: "we set the minimum F-Measure criterion to 75%").
+DEFAULT_MIN_F_MEASURE = 0.75
+
+#: A threshold learner maps (current config, replay data, replay labels) to
+#: a tuned config.  ``repro.tuning.genetic.GeneticThresholdLearner`` has
+#: exactly this call signature.
+ThresholdLearner = Callable[
+    [DBCatcherConfig, np.ndarray, np.ndarray], DBCatcherConfig
+]
+
+
+def mark_records(
+    records: Sequence[JudgementRecord], labels: np.ndarray
+) -> List[JudgementRecord]:
+    """Apply DBA ground-truth marks to judgement records.
+
+    A record is truly abnormal when any tick of its database inside its
+    window span carries an abnormal label — the convention the evaluation
+    section uses to score window-level verdicts.
+
+    Parameters
+    ----------
+    records:
+        Unmarked records from the streaming detector.
+    labels:
+        Boolean ground truth of shape ``(n_databases, n_ticks)``.
+    """
+    truth = np.asarray(labels, dtype=bool)
+    if truth.ndim != 2:
+        raise ValueError(f"labels must be (n_databases, n_ticks), got {truth.shape}")
+    marked = []
+    for record in records:
+        if record.database >= truth.shape[0]:
+            raise IndexError(
+                f"record for database {record.database} but labels cover "
+                f"{truth.shape[0]} databases"
+            )
+        span = truth[record.database, record.window_start : record.window_end]
+        marked.append(record.marked(bool(span.any())))
+    return marked
+
+
+class OnlineFeedback:
+    """Replay buffer + retraining trigger for adaptive threshold learning.
+
+    Parameters
+    ----------
+    min_f_measure:
+        Retraining activates only when recent F-Measure falls below this.
+    history_size:
+        Number of most recent marked records considered "recent".
+    """
+
+    def __init__(
+        self,
+        min_f_measure: float = DEFAULT_MIN_F_MEASURE,
+        history_size: int = 500,
+    ):
+        if not 0.0 < min_f_measure <= 1.0:
+            raise ValueError("min_f_measure must lie in (0, 1]")
+        if history_size < 1:
+            raise ValueError("history_size must be >= 1")
+        self.min_f_measure = min_f_measure
+        self._records: Deque[JudgementRecord] = deque(maxlen=history_size)
+        self._replay_values: Optional[np.ndarray] = None
+        self._replay_labels: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> Tuple[JudgementRecord, ...]:
+        return tuple(self._records)
+
+    def submit(
+        self, records: Sequence[JudgementRecord], labels: np.ndarray
+    ) -> List[JudgementRecord]:
+        """Mark new records against ground truth and retain them."""
+        marked = mark_records(records, labels)
+        self._records.extend(marked)
+        return marked
+
+    def remember_window(self, values: np.ndarray, labels: np.ndarray) -> None:
+        """Stash the most recent raw data for threshold relearning.
+
+        The adaptive learner re-runs detection with candidate thresholds,
+        so it needs raw KPI series, not just verdicts.  Keeping only the
+        latest contiguous stretch bounds memory the way the paper's "most
+        recent period of judgement records" does.
+        """
+        data = np.asarray(values, dtype=np.float64)
+        truth = np.asarray(labels, dtype=bool)
+        if data.ndim != 3:
+            raise ValueError(
+                f"values must be (n_databases, n_kpis, n_ticks), got {data.shape}"
+            )
+        if truth.shape != (data.shape[0], data.shape[2]):
+            raise ValueError(
+                "labels must be (n_databases, n_ticks) matching values"
+            )
+        self._replay_values = data
+        self._replay_labels = truth
+
+    def recent_performance(self) -> Optional[float]:
+        """F-Measure over the retained records; ``None`` if unscorable.
+
+        Returns ``None`` when there are no marked records, or when there
+        are no true anomalies *and* no predicted anomalies to score.
+        """
+        if not self._records:
+            return None
+        tp = fp = fn = 0
+        for record in self._records:
+            cell_tp, cell_fp, _, cell_fn = record.confusion_cell()
+            tp += cell_tp
+            fp += cell_fp
+            fn += cell_fn
+        if tp + fp == 0 or tp + fn == 0:
+            return None if tp + fp + fn == 0 else 0.0
+        precision = tp / (tp + fp)
+        recall = tp / (tp + fn)
+        if precision + recall == 0.0:
+            return 0.0
+        return 2.0 * precision * recall / (precision + recall)
+
+    def should_retrain(self) -> bool:
+        """Whether recent performance violates the minimum criterion."""
+        performance = self.recent_performance()
+        return performance is not None and performance < self.min_f_measure
+
+    def retrain(
+        self, config: DBCatcherConfig, learner: ThresholdLearner
+    ) -> DBCatcherConfig:
+        """Run the threshold learner over the replay buffer.
+
+        Raises
+        ------
+        RuntimeError
+            If no raw window has been remembered yet.
+        """
+        if self._replay_values is None or self._replay_labels is None:
+            raise RuntimeError(
+                "no replay data; call remember_window() before retrain()"
+            )
+        return learner(config, self._replay_values, self._replay_labels)
+
+    def maybe_retrain(
+        self, config: DBCatcherConfig, learner: ThresholdLearner
+    ) -> Optional[DBCatcherConfig]:
+        """Retrain only if the trigger policy says so; else ``None``."""
+        if not self.should_retrain():
+            return None
+        return self.retrain(config, learner)

@@ -1,0 +1,186 @@
+"""Correlation levels (Algorithm 1) and the ScoreToLevel mapping.
+
+Every (database, KPI) pair gets a *correlation level* derived from the
+database's KCD scores against its unit peers:
+
+* **level-1** — extreme deviation: the database no longer tracks any peer;
+* **level-2** — slight deviation: correlation dipped into the tolerance
+  band ``[alpha - theta, alpha)``;
+* **level-3** — correlated: the database tracks its peers normally.
+
+The paper's prose for ``ScoreToLevel`` is ambiguous (it says both
+"less than alpha" and "between alpha and alpha - theta" map somewhere);
+we use the only internally consistent reading: scores below
+``alpha - theta`` are level-1, scores in ``[alpha - theta, alpha)`` are
+level-2, and scores at or above ``alpha`` are level-3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import DBCatcherConfig
+from repro.core.matrices import CorrelationMatrix
+
+__all__ = [
+    "LEVEL_EXTREME_DEVIATION",
+    "LEVEL_SLIGHT_DEVIATION",
+    "LEVEL_CORRELATED",
+    "score_to_level",
+    "aggregate_peer_scores",
+    "CorrelationLevels",
+    "calculate_levels",
+]
+
+LEVEL_EXTREME_DEVIATION = 1
+LEVEL_SLIGHT_DEVIATION = 2
+LEVEL_CORRELATED = 3
+
+
+def score_to_level(score: float, alpha: float, theta: float) -> int:
+    """Map one KCD score to a correlation level.
+
+    Parameters
+    ----------
+    score:
+        Aggregated KCD of a database against its peers, in ``[-1, 1]``.
+    alpha:
+        Correlation threshold for this KPI.
+    theta:
+        Tolerance threshold; the level-2 band is ``[alpha - theta, alpha)``.
+    """
+    if score >= alpha:
+        return LEVEL_CORRELATED
+    if score >= alpha - theta:
+        return LEVEL_SLIGHT_DEVIATION
+    return LEVEL_EXTREME_DEVIATION
+
+
+def aggregate_peer_scores(scores: np.ndarray, how: str) -> float:
+    """Collapse a database's per-peer KCD list into a single score.
+
+    ``max`` is DBCatcher's default: a database is deviating only if it
+    tracks *no* peer; see :mod:`repro.core.config` for the rationale.
+    An empty score list (single active database) aggregates to ``1.0`` —
+    with no peers there is no correlation evidence against the database.
+    """
+    values = np.asarray(scores, dtype=np.float64)
+    if values.size == 0:
+        return 1.0
+    if how == "max":
+        return float(values.max())
+    if how == "median":
+        return float(np.median(values))
+    if how == "mean":
+        return float(values.mean())
+    raise ValueError(f"unknown aggregation {how!r}")
+
+
+@dataclass(frozen=True)
+class CorrelationLevels:
+    """Correlation levels of every database over every KPI for one window.
+
+    ``levels[d, k]`` is the level of database ``d`` on KPI ``k``; inactive
+    databases carry level-3 everywhere (they do not participate, Alg. 1).
+    """
+
+    kpi_names: Tuple[str, ...]
+    levels: np.ndarray
+    scores: np.ndarray
+
+    def __post_init__(self) -> None:
+        lv = np.asarray(self.levels, dtype=np.int64)
+        sc = np.asarray(self.scores, dtype=np.float64)
+        if lv.ndim != 2 or lv.shape[1] != len(self.kpi_names):
+            raise ValueError(
+                f"levels must be (n_databases, {len(self.kpi_names)}), got {lv.shape}"
+            )
+        if sc.shape != lv.shape:
+            raise ValueError("scores and levels must have the same shape")
+        if lv.size and (lv.min() < LEVEL_EXTREME_DEVIATION or lv.max() > LEVEL_CORRELATED):
+            raise ValueError("levels must lie in {1, 2, 3}")
+        object.__setattr__(self, "levels", lv)
+        object.__setattr__(self, "scores", sc)
+
+    @property
+    def n_databases(self) -> int:
+        return self.levels.shape[0]
+
+    def for_database(self, database: int) -> Dict[str, int]:
+        """KPI-name to level mapping for one database."""
+        return {
+            kpi: int(self.levels[database, index])
+            for index, kpi in enumerate(self.kpi_names)
+        }
+
+    def count(self, database: int, level: int) -> int:
+        """Number of KPIs of a database at the given level."""
+        return int(np.count_nonzero(self.levels[database] == level))
+
+
+def calculate_levels(
+    matrices: Sequence[CorrelationMatrix],
+    config: DBCatcherConfig,
+    active: np.ndarray | None = None,
+) -> CorrelationLevels:
+    """Algorithm 1: correlation levels for every database and KPI.
+
+    Parameters
+    ----------
+    matrices:
+        The ``Q`` correlation matrices of one observation window, in the
+        same order as ``config.kpi_names``.
+    config:
+        Supplies the per-KPI thresholds ``alpha_i``, the tolerance ``theta``
+        and the peer aggregation rule.
+    active:
+        Optional in-use database mask; inactive databases do not
+        participate and receive level-3 (no evidence against them).
+
+    Returns
+    -------
+    CorrelationLevels
+        The level dictionary ``D`` of Algorithm 1 in array form, plus the
+        aggregated scores that produced each level (useful for reports).
+    """
+    if len(matrices) != config.n_kpis:
+        raise ValueError(
+            f"expected {config.n_kpis} correlation matrices, got {len(matrices)}"
+        )
+    n_dbs = matrices[0].n_databases
+    for matrix in matrices:
+        if matrix.n_databases != n_dbs:
+            raise ValueError("all correlation matrices must share a dimension")
+    if active is None:
+        active_mask = np.ones(n_dbs, dtype=bool)
+    else:
+        active_mask = np.asarray(active, dtype=bool)
+        if active_mask.shape != (n_dbs,):
+            raise ValueError("active mask must have one entry per database")
+
+    rr_only = set(config.rr_only_kpis)
+    primary = config.primary_index
+    levels = np.full((n_dbs, config.n_kpis), LEVEL_CORRELATED, dtype=np.int64)
+    scores = np.ones((n_dbs, config.n_kpis), dtype=np.float64)
+    for kpi_index, matrix in enumerate(matrices):
+        alpha = config.alphas[kpi_index]
+        kpi_mask = active_mask
+        if config.kpi_names[kpi_index] in rr_only and primary is not None:
+            # Table II: this KPI's UKPIC holds only among replicas — the
+            # primary neither gets judged on it nor serves as a peer.
+            kpi_mask = active_mask.copy()
+            if primary < n_dbs:
+                kpi_mask[primary] = False
+        for db in range(n_dbs):
+            if not kpi_mask[db]:
+                continue
+            peer_scores = matrix.scores_for(db, active=kpi_mask)
+            aggregated = aggregate_peer_scores(peer_scores, config.peer_aggregation)
+            scores[db, kpi_index] = aggregated
+            levels[db, kpi_index] = score_to_level(aggregated, alpha, config.theta)
+    return CorrelationLevels(
+        kpi_names=config.kpi_names, levels=levels, scores=scores
+    )

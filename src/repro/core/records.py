@@ -1,0 +1,120 @@
+"""Database states and judgement records.
+
+The streaming detection module emits one :class:`JudgementRecord` per
+database per completed observation round.  Records carry everything the
+online feedback module needs: the final state, the window geometry, and the
+per-KPI correlation levels that led to the verdict.  DBAs later *mark* each
+record as correct or not; the marked records are the training signal for the
+adaptive threshold learner (Section III-D).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["DatabaseState", "JudgementRecord"]
+
+
+class DatabaseState(enum.Enum):
+    """Tri-state verdict of the flexible time window observation (Fig. 7).
+
+    ``OBSERVABLE`` is transitional only: it triggers a window expansion and
+    never appears in a finished judgement record unless the caller asks for
+    intermediate states.
+    """
+
+    HEALTHY = "healthy"
+    OBSERVABLE = "observable"
+    ABNORMAL = "abnormal"
+
+    @property
+    def is_final(self) -> bool:
+        """Whether this state ends an observation round."""
+        return self is not DatabaseState.OBSERVABLE
+
+
+@dataclass(frozen=True)
+class JudgementRecord:
+    """One finished database-state judgement.
+
+    Parameters
+    ----------
+    database:
+        Index of the judged database inside its unit.
+    window_start, window_end:
+        Tick range (half-open) of the *final* (possibly expanded) window the
+        verdict was computed on.
+    state:
+        The final :class:`DatabaseState` (HEALTHY or ABNORMAL).
+    window_size:
+        Number of points in the final window; equals
+        ``window_end - window_start``.
+    expansions:
+        How many times the flexible window grew before the verdict.
+    kpi_levels:
+        Mapping from KPI name to the correlation level (1, 2 or 3) at the
+        final window.
+    dba_label:
+        Ground-truth mark added by the online feedback module: ``True`` if
+        the database really was abnormal in this window, ``None`` while
+        unmarked.
+    """
+
+    database: int
+    window_start: int
+    window_end: int
+    state: DatabaseState
+    expansions: int = 0
+    kpi_levels: Dict[str, int] = field(default_factory=dict)
+    dba_label: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.window_end <= self.window_start:
+            raise ValueError("window_end must be greater than window_start")
+        if not self.state.is_final:
+            raise ValueError("judgement records must carry a final state")
+        if self.expansions < 0:
+            raise ValueError("expansions must be >= 0")
+
+    @property
+    def window_size(self) -> int:
+        """Number of points in the final observation window."""
+        return self.window_end - self.window_start
+
+    @property
+    def predicted_abnormal(self) -> bool:
+        """Whether the detector called this window abnormal."""
+        return self.state is DatabaseState.ABNORMAL
+
+    def marked(self, truly_abnormal: bool) -> "JudgementRecord":
+        """Copy of this record with the DBA ground-truth mark applied."""
+        return JudgementRecord(
+            database=self.database,
+            window_start=self.window_start,
+            window_end=self.window_end,
+            state=self.state,
+            expansions=self.expansions,
+            kpi_levels=dict(self.kpi_levels),
+            dba_label=bool(truly_abnormal),
+        )
+
+    def confusion_cell(self) -> Tuple[int, int, int, int]:
+        """This record's contribution as ``(TP, FP, TN, FN)``.
+
+        Raises
+        ------
+        ValueError
+            If the record has not been marked by a DBA yet.
+        """
+        if self.dba_label is None:
+            raise ValueError("record is unmarked; cannot score it")
+        predicted = self.predicted_abnormal
+        actual = self.dba_label
+        return (
+            int(predicted and actual),
+            int(predicted and not actual),
+            int(not predicted and not actual),
+            int(not predicted and actual),
+        )

@@ -1,0 +1,134 @@
+"""Data processing module: per-KPI, per-database sample queues.
+
+The paper's data processing module maintains one queue per (KPI, database)
+pair, fed by the bypass monitoring system every 5 seconds.  This module
+implements those queues as one ring buffer of ``(n_databases, n_kpis)``
+ticks with an absolute tick index, so the streaming detector can ask for
+any window ``[start, end)`` that has not been trimmed yet.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["KPIStreams"]
+
+
+class KPIStreams:
+    """Growable buffer of monitoring ticks for one unit.
+
+    Parameters
+    ----------
+    n_databases:
+        Number of databases in the unit (``N``).
+    kpi_names:
+        Monitored KPI names (``Q`` of them).
+    capacity_hint:
+        Initial buffer allocation in ticks; the buffer doubles as needed.
+    """
+
+    def __init__(
+        self,
+        n_databases: int,
+        kpi_names: Sequence[str],
+        capacity_hint: int = 256,
+    ):
+        if n_databases < 1:
+            raise ValueError("need at least one database")
+        if not kpi_names:
+            raise ValueError("need at least one KPI")
+        self._n_databases = n_databases
+        self._kpi_names = tuple(kpi_names)
+        self._buffer = np.zeros(
+            (max(capacity_hint, 16), n_databases, len(kpi_names)), dtype=np.float64
+        )
+        #: Absolute index of the first tick still held in the buffer.
+        self._base = 0
+        #: Number of ticks currently held.
+        self._length = 0
+
+    @property
+    def n_databases(self) -> int:
+        return self._n_databases
+
+    @property
+    def kpi_names(self) -> Tuple[str, ...]:
+        return self._kpi_names
+
+    @property
+    def n_kpis(self) -> int:
+        return len(self._kpi_names)
+
+    @property
+    def first_tick(self) -> int:
+        """Absolute index of the oldest buffered tick."""
+        return self._base
+
+    @property
+    def next_tick(self) -> int:
+        """Absolute index one past the newest buffered tick."""
+        return self._base + self._length
+
+    def __len__(self) -> int:
+        return self._length
+
+    def append(self, sample: np.ndarray) -> None:
+        """Append one tick of shape ``(n_databases, n_kpis)``."""
+        tick = np.asarray(sample, dtype=np.float64)
+        expected = (self._n_databases, self.n_kpis)
+        if tick.shape != expected:
+            raise ValueError(f"expected tick of shape {expected}, got {tick.shape}")
+        if self._length == self._buffer.shape[0]:
+            grown = np.zeros(
+                (self._buffer.shape[0] * 2,) + self._buffer.shape[1:], dtype=np.float64
+            )
+            grown[: self._length] = self._buffer[: self._length]
+            self._buffer = grown
+        self._buffer[self._length] = tick
+        self._length += 1
+
+    def extend(self, samples: np.ndarray) -> None:
+        """Append many ticks of shape ``(n_ticks, n_databases, n_kpis)``."""
+        block = np.asarray(samples, dtype=np.float64)
+        if block.ndim != 3:
+            raise ValueError(
+                f"expected (n_ticks, n_databases, n_kpis), got {block.shape}"
+            )
+        for tick in block:
+            self.append(tick)
+
+    def window(self, start: int, end: int) -> np.ndarray:
+        """Samples for absolute ticks ``[start, end)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Array of shape ``(n_databases, n_kpis, end - start)`` — the
+            layout the correlation-measurement module consumes.
+        """
+        if end <= start:
+            raise ValueError("window end must be greater than start")
+        if start < self._base:
+            raise ValueError(
+                f"tick {start} was trimmed (oldest available is {self._base})"
+            )
+        if end > self.next_tick:
+            raise ValueError(
+                f"tick {end} not collected yet (next tick is {self.next_tick})"
+            )
+        lo = start - self._base
+        hi = end - self._base
+        # Buffer layout is (tick, db, kpi); the detector wants (db, kpi, tick).
+        return np.ascontiguousarray(self._buffer[lo:hi].transpose(1, 2, 0))
+
+    def trim(self, keep_from: int) -> None:
+        """Drop all ticks before the absolute index ``keep_from``."""
+        if keep_from <= self._base:
+            return
+        drop = min(keep_from - self._base, self._length)
+        if drop:
+            self._buffer[: self._length - drop] = self._buffer[drop : self._length]
+            self._length -= drop
+            self._base += drop

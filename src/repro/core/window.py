@@ -1,0 +1,130 @@
+"""Flexible time window observation (Section III-C, Figure 7).
+
+A detection round starts with the initial window ``W``.  Databases whose
+correlation levels resolve to "healthy" or "abnormal" are done; databases
+marked "observable" make the round wait for ``Delta`` more points and
+re-evaluate on the expanded window, up to the maximum window ``W_M``.  The
+expansion smooths out *temporal fluctuations* — brief single-point
+deviations that would otherwise cause false alarms — at a bounded cost in
+detection latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import DBCatcherConfig
+from repro.core.levels import (
+    LEVEL_CORRELATED,
+    LEVEL_EXTREME_DEVIATION,
+    LEVEL_SLIGHT_DEVIATION,
+    CorrelationLevels,
+)
+from repro.core.records import DatabaseState
+
+__all__ = ["classify_database", "WindowDecision", "FlexibleWindow"]
+
+
+def classify_database(
+    levels: CorrelationLevels, database: int, config: DBCatcherConfig
+) -> DatabaseState:
+    """Map one database's KPI levels to a state (the Fig. 7 decision).
+
+    * any level-1 KPI → ABNORMAL;
+    * more level-2 KPIs than the tolerance allows → ABNORMAL;
+    * between one and ``max_tolerance_deviations`` level-2 KPIs →
+      OBSERVABLE (expand the window);
+    * all KPIs level-3 → HEALTHY.
+    """
+    if levels.count(database, LEVEL_EXTREME_DEVIATION) > 0:
+        return DatabaseState.ABNORMAL
+    slight = levels.count(database, LEVEL_SLIGHT_DEVIATION)
+    if slight == 0:
+        return DatabaseState.HEALTHY
+    if slight > config.max_tolerance_deviations:
+        return DatabaseState.ABNORMAL
+    return DatabaseState.OBSERVABLE
+
+
+@dataclass(frozen=True)
+class WindowDecision:
+    """Outcome of evaluating one database at one window size.
+
+    ``final`` is ``False`` only when the state is OBSERVABLE and the window
+    can still grow; in that case ``next_window`` holds the expanded size.
+    """
+
+    state: DatabaseState
+    window_size: int
+    expansions: int
+    final: bool
+    next_window: int | None = None
+
+
+class FlexibleWindow:
+    """Window-size controller for one detection round.
+
+    The controller is stateless across rounds: create one per round (or call
+    :meth:`decide` with explicit sizes).  It encapsulates the expansion
+    arithmetic ``W <- W + Delta`` capped at ``W_M`` and the end-of-budget
+    resolution policy.
+    """
+
+    def __init__(self, config: DBCatcherConfig):
+        self._config = config
+
+    @property
+    def initial_size(self) -> int:
+        """Window size every round starts from (``W``)."""
+        return self._config.initial_window
+
+    def can_expand(self, current_size: int) -> bool:
+        """Whether the window may still grow past ``current_size``."""
+        return current_size < self._config.max_window
+
+    def expanded_size(self, current_size: int) -> int:
+        """Next window size: ``current + Delta``, capped at ``W_M``."""
+        return min(current_size + self._config.window_step, self._config.max_window)
+
+    def decide(
+        self,
+        levels: CorrelationLevels,
+        database: int,
+        window_size: int,
+        expansions: int,
+    ) -> WindowDecision:
+        """Evaluate one database and decide whether its round is over.
+
+        When the state is OBSERVABLE but the window has hit ``W_M``, the
+        verdict is forced according to
+        ``config.resolve_max_window_as_abnormal``: a deviation that
+        persists through maximal smoothing is treated as a real anomaly by
+        default.
+        """
+        state = classify_database(levels, database, self._config)
+        if state.is_final:
+            return WindowDecision(
+                state=state,
+                window_size=window_size,
+                expansions=expansions,
+                final=True,
+            )
+        if self.can_expand(window_size):
+            return WindowDecision(
+                state=state,
+                window_size=window_size,
+                expansions=expansions,
+                final=False,
+                next_window=self.expanded_size(window_size),
+            )
+        forced = (
+            DatabaseState.ABNORMAL
+            if self._config.resolve_max_window_as_abnormal
+            else DatabaseState.HEALTHY
+        )
+        return WindowDecision(
+            state=forced,
+            window_size=window_size,
+            expansions=expansions,
+            final=True,
+        )

@@ -1,0 +1,36 @@
+"""Dataset construction (Section IV-A).
+
+Builders that run the cluster simulator under the three workload families,
+inject paper-ratio anomaly mixes, and package the results as labelled
+:class:`~repro.datasets.containers.UnitSeries` /
+:class:`~repro.datasets.containers.Dataset` objects with the train/test and
+periodic/irregular splits the evaluation uses.
+"""
+
+from repro.datasets.builder import build_unit_series
+from repro.datasets.containers import Dataset, UnitSeries
+from repro.datasets.io import load_dataset, save_dataset
+from repro.datasets.mixed import (
+    DATASET_SPECS,
+    DatasetSpec,
+    build_mixed_dataset,
+)
+from repro.datasets.splits import (
+    split_by_periodicity,
+    split_by_metadata,
+    train_test_split,
+)
+
+__all__ = [
+    "UnitSeries",
+    "Dataset",
+    "build_unit_series",
+    "DatasetSpec",
+    "DATASET_SPECS",
+    "build_mixed_dataset",
+    "train_test_split",
+    "split_by_periodicity",
+    "split_by_metadata",
+    "save_dataset",
+    "load_dataset",
+]

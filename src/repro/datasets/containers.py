@@ -1,0 +1,150 @@
+"""Dataset containers: labelled unit series and dataset bundles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["UnitSeries", "Dataset"]
+
+
+@dataclass(frozen=True)
+class UnitSeries:
+    """One unit's labelled multivariate monitoring series.
+
+    Parameters
+    ----------
+    name:
+        Unit identifier.
+    values:
+        KPI series of shape ``(n_databases, n_kpis, n_ticks)``.
+    labels:
+        Ground truth of shape ``(n_databases, n_ticks)``; ``True`` marks
+        an abnormal (database, tick) point.
+    kpi_names:
+        KPI names matching the second axis.
+    interval_seconds:
+        Collection interval between ticks.
+    metadata:
+        Free-form provenance: workload family, scenario, periodic flag,
+        seed, injected event list.
+    """
+
+    name: str
+    values: np.ndarray
+    labels: np.ndarray
+    kpi_names: Tuple[str, ...]
+    interval_seconds: float = 5.0
+    metadata: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        labels = np.asarray(self.labels, dtype=bool)
+        if values.ndim != 3:
+            raise ValueError(
+                f"values must be (n_databases, n_kpis, n_ticks), got {values.shape}"
+            )
+        if values.shape[1] != len(self.kpi_names):
+            raise ValueError(
+                f"values carry {values.shape[1]} KPIs but "
+                f"{len(self.kpi_names)} names were given"
+            )
+        if labels.shape != (values.shape[0], values.shape[2]):
+            raise ValueError(
+                f"labels must be ({values.shape[0]}, {values.shape[2]}), "
+                f"got {labels.shape}"
+            )
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "labels", labels)
+
+    @property
+    def n_databases(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_kpis(self) -> int:
+        return self.values.shape[1]
+
+    @property
+    def n_ticks(self) -> int:
+        return self.values.shape[2]
+
+    @property
+    def total_points(self) -> int:
+        """Labelled (database, tick) points."""
+        return self.labels.size
+
+    @property
+    def abnormal_points(self) -> int:
+        return int(self.labels.sum())
+
+    @property
+    def abnormal_ratio(self) -> float:
+        return self.abnormal_points / self.total_points if self.total_points else 0.0
+
+    def slice_ticks(self, start: int, end: int, suffix: str = "") -> "UnitSeries":
+        """Sub-series over ticks ``[start, end)`` (for train/test splits)."""
+        if not 0 <= start < end <= self.n_ticks:
+            raise ValueError(
+                f"invalid slice [{start}, {end}) for {self.n_ticks} ticks"
+            )
+        return replace(
+            self,
+            name=self.name + suffix,
+            values=self.values[:, :, start:end].copy(),
+            labels=self.labels[:, start:end].copy(),
+        )
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named collection of unit series (one paper dataset)."""
+
+    name: str
+    units: Tuple[UnitSeries, ...]
+
+    def __post_init__(self) -> None:
+        if not self.units:
+            raise ValueError("a dataset needs at least one unit")
+        object.__setattr__(self, "units", tuple(self.units))
+
+    @property
+    def n_units(self) -> int:
+        return len(self.units)
+
+    @property
+    def kpi_names(self) -> Tuple[str, ...]:
+        return self.units[0].kpi_names
+
+    @property
+    def total_points(self) -> int:
+        return sum(unit.total_points for unit in self.units)
+
+    @property
+    def abnormal_points(self) -> int:
+        return sum(unit.abnormal_points for unit in self.units)
+
+    @property
+    def abnormal_ratio(self) -> float:
+        total = self.total_points
+        return self.abnormal_points / total if total else 0.0
+
+    def statistics(self) -> Dict[str, object]:
+        """The Table III row for this dataset."""
+        return {
+            "dataset": self.name,
+            "n_units": self.n_units,
+            "n_dimensions": len(self.kpi_names),
+            "total_points": self.total_points,
+            "abnormal_points": self.abnormal_points,
+            "abnormal_ratio": self.abnormal_ratio,
+        }
+
+    def filter_units(self, predicate) -> "Dataset":
+        """Sub-dataset of units satisfying ``predicate(unit)``."""
+        kept = tuple(unit for unit in self.units if predicate(unit))
+        if not kept:
+            raise ValueError("predicate removed every unit")
+        return Dataset(name=self.name, units=kept)

@@ -1,0 +1,72 @@
+"""Dataset persistence: save/load to compressed ``.npz`` archives.
+
+Datasets are deterministic given their seed, but the larger scales take
+minutes to simulate; persisting them lets the benchmark harness build once
+and reuse across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.datasets.containers import Dataset, UnitSeries
+
+__all__ = ["save_dataset", "load_dataset"]
+
+
+def save_dataset(dataset: Dataset, path: Union[str, Path]) -> Path:
+    """Write a dataset to one compressed ``.npz`` archive.
+
+    Metadata dictionaries are JSON-encoded per unit; array payloads are
+    stored under ``values_<i>`` / ``labels_<i>`` keys.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "manifest": np.array(
+            json.dumps(
+                {
+                    "name": dataset.name,
+                    "n_units": dataset.n_units,
+                    "kpi_names": list(dataset.kpi_names),
+                    "units": [
+                        {
+                            "name": unit.name,
+                            "interval_seconds": unit.interval_seconds,
+                            "metadata": unit.metadata,
+                        }
+                        for unit in dataset.units
+                    ],
+                }
+            )
+        )
+    }
+    for index, unit in enumerate(dataset.units):
+        payload[f"values_{index}"] = unit.values
+        payload[f"labels_{index}"] = unit.labels
+    np.savez_compressed(target, **payload)
+    return target
+
+
+def load_dataset(path: Union[str, Path]) -> Dataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    source = Path(path)
+    with np.load(source, allow_pickle=False) as archive:
+        manifest = json.loads(str(archive["manifest"]))
+        units = []
+        for index, unit_info in enumerate(manifest["units"]):
+            units.append(
+                UnitSeries(
+                    name=unit_info["name"],
+                    values=archive[f"values_{index}"],
+                    labels=archive[f"labels_{index}"],
+                    kpi_names=tuple(manifest["kpi_names"]),
+                    interval_seconds=unit_info["interval_seconds"],
+                    metadata=unit_info["metadata"],
+                )
+            )
+    return Dataset(name=manifest["name"], units=tuple(units))

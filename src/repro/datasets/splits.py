@@ -1,0 +1,103 @@
+"""Dataset splits: train/test and periodic/irregular (Section IV-A2/B).
+
+The paper uses the first 50 % of every series as the training set and the
+rest as the testing set, and classifies units into periodic and irregular
+subsets — by construction for Sysbench/TPCC (the I and II variants) and
+with RobustPeriod on "Requests Per Second" for the Tencent data (our
+substitute lives in :mod:`repro.analysis.periodicity`).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.analysis.periodicity import classify_periodicity
+from repro.cluster.kpis import KPI_INDEX
+from repro.datasets.containers import Dataset, UnitSeries
+
+__all__ = ["train_test_split", "split_by_metadata", "split_by_periodicity"]
+
+
+def train_test_split(
+    dataset: Dataset, train_fraction: float = 0.5
+) -> Tuple[Dataset, Dataset]:
+    """Time-split every unit: first fraction for training, rest for test."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must lie in (0, 1)")
+    train_units = []
+    test_units = []
+    for unit in dataset.units:
+        cut = int(unit.n_ticks * train_fraction)
+        if cut < 1 or cut >= unit.n_ticks:
+            raise ValueError(
+                f"unit {unit.name} too short ({unit.n_ticks} ticks) to split"
+            )
+        train_units.append(unit.slice_ticks(0, cut, suffix="-train"))
+        test_units.append(unit.slice_ticks(cut, unit.n_ticks, suffix="-test"))
+    return (
+        Dataset(name=dataset.name + "-train", units=tuple(train_units)),
+        Dataset(name=dataset.name + "-test", units=tuple(test_units)),
+    )
+
+
+def split_by_metadata(dataset: Dataset) -> Tuple[Dataset, Dataset]:
+    """Periodic/irregular split using each unit's construction metadata.
+
+    Returns
+    -------
+    (irregular, periodic):
+        Two datasets named with the paper's I / II suffixes.
+    """
+    irregular = [u for u in dataset.units if not u.metadata.get("periodic")]
+    periodic = [u for u in dataset.units if u.metadata.get("periodic")]
+    if not irregular or not periodic:
+        raise ValueError(
+            "dataset lacks one of the variants; was it built with the "
+            "default 40/60 periodic mix?"
+        )
+    return (
+        Dataset(name=dataset.name + " I", units=tuple(irregular)),
+        Dataset(name=dataset.name + " II", units=tuple(periodic)),
+    )
+
+
+def _unit_is_periodic(unit: UnitSeries) -> bool:
+    """RobustPeriod-substitute verdict on the unit's RPS series.
+
+    A unit is periodic when the majority of its databases' "Requests Per
+    Second" series test periodic.
+    """
+    kpi = KPI_INDEX["requests_per_second"]
+    votes = sum(
+        int(classify_periodicity(unit.values[db, kpi, :]).periodic)
+        for db in range(unit.n_databases)
+    )
+    return votes * 2 > unit.n_databases
+
+
+def split_by_periodicity(dataset: Dataset) -> Tuple[Dataset, Dataset]:
+    """Periodic/irregular split by *measuring* RPS periodicity per unit.
+
+    This is the paper's Tencent procedure; for generated datasets prefer
+    :func:`split_by_metadata`, which is exact by construction.
+
+    Returns
+    -------
+    (irregular, periodic):
+        Two datasets named with the paper's I / II suffixes.
+    """
+    periodic_units = []
+    irregular_units = []
+    for unit in dataset.units:
+        (periodic_units if _unit_is_periodic(unit) else irregular_units).append(unit)
+    if not periodic_units or not irregular_units:
+        raise ValueError(
+            "periodicity test put every unit in one class; the dataset may "
+            "be too short for the detector to see full cycles"
+        )
+    return (
+        Dataset(name=dataset.name + " I", units=tuple(irregular_units)),
+        Dataset(name=dataset.name + " II", units=tuple(periodic_units)),
+    )

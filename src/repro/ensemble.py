@@ -1,0 +1,102 @@
+"""Hybrid detection: DBCatcher + a point detector (paper future work #1).
+
+The paper's own strengths-and-weaknesses discussion notes DBCatcher "will
+not work if the KPIs affected by the anomaly do not break the UKPIC
+phenomenon" — e.g. an incident hitting *every* database of the unit at
+once — and suggests combining with existing methods "for more
+comprehensive detection".  This module implements that combination: a
+union ensemble where DBCatcher supplies the correlation verdicts and any
+:class:`~repro.baselines.base.BaselineDetector` (SR by default) covers the
+unit-wide deviations DBCatcher is structurally blind to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.base import BaselineDetector, ThresholdRule
+from repro.core.config import DBCatcherConfig
+from repro.core.detector import DBCatcher
+from repro.datasets.containers import UnitSeries
+from repro.eval.metrics import window_spans
+
+__all__ = ["HybridVerdict", "HybridDetector"]
+
+
+@dataclass(frozen=True)
+class HybridVerdict:
+    """Per-(database, window) verdicts with provenance.
+
+    ``correlation`` holds DBCatcher's verdicts, ``point`` the baseline's;
+    ``combined`` is their union.  Keeping the parts separate lets the DBA
+    see *which* mechanism fired — a unit-wide alarm with silent
+    correlation verdicts is exactly the "UKPIC not broken" case.
+    """
+
+    spans: Tuple[Tuple[int, int], ...]
+    correlation: np.ndarray
+    point: np.ndarray
+    combined: np.ndarray
+
+
+class HybridDetector:
+    """Union ensemble of DBCatcher and a point-anomaly baseline.
+
+    Parameters
+    ----------
+    config:
+        DBCatcher configuration; its ``initial_window`` also fixes the
+        verdict granularity of the ensemble.
+    point_detector:
+        A *fitted* baseline detector.
+    point_rule:
+        Window rule for the baseline's scores (threshold searched on
+        training data, as in the evaluation protocol).
+    """
+
+    def __init__(
+        self,
+        config: DBCatcherConfig,
+        point_detector: BaselineDetector,
+        point_rule: ThresholdRule,
+    ):
+        if point_rule.window_size != config.initial_window:
+            raise ValueError(
+                "the point rule's window must match DBCatcher's initial "
+                "window so verdicts align"
+            )
+        self.config = config
+        self.point_detector = point_detector
+        self.point_rule = point_rule
+
+    def detect(self, unit: UnitSeries) -> HybridVerdict:
+        """Run both mechanisms over a unit and merge the verdicts."""
+        spans = tuple(window_spans(unit.n_ticks, self.config.initial_window))
+        n_windows = len(spans)
+
+        correlation = np.zeros((unit.n_databases, n_windows), dtype=bool)
+        catcher = DBCatcher(self.config, n_databases=unit.n_databases)
+        catcher.detect_series(unit.values)
+        for record in catcher.history:
+            if not record.predicted_abnormal:
+                continue
+            for index, (start, end) in enumerate(spans):
+                if record.window_start < end and record.window_end > start \
+                        and record.database < unit.n_databases:
+                    correlation[record.database, index] = True
+
+        scores = self.point_detector.score_unit(unit)
+        point = self.point_rule.apply(scores)
+        # The rule tiles windows identically (same window size), but guard
+        # against a trailing mismatch.
+        point = point[:, :n_windows]
+
+        return HybridVerdict(
+            spans=spans,
+            correlation=correlation,
+            point=point,
+            combined=correlation | point,
+        )

@@ -1,0 +1,37 @@
+"""Evaluation harness: metrics, window-size search, timing, experiment runner.
+
+Implements Section IV-A3's metrics (Precision, Recall, F-Measure,
+Window-Size) and the experiment protocol used throughout the evaluation:
+random threshold search on the training half, 20 repetitions with
+mean/min/max reporting, and ASCII table renderers for every paper table.
+"""
+
+from repro.eval.adjust import (
+    adjusted_confusion_from_records,
+    adjusted_confusion_from_windows,
+    label_segments,
+)
+from repro.eval.metrics import (
+    ConfusionCounts,
+    DetectionScores,
+    confusion_from_records,
+    f_measure,
+    scores_from_confusion,
+    scores_from_records,
+    window_spans,
+    window_truth,
+)
+
+__all__ = [
+    "ConfusionCounts",
+    "DetectionScores",
+    "confusion_from_records",
+    "f_measure",
+    "scores_from_confusion",
+    "scores_from_records",
+    "window_spans",
+    "window_truth",
+    "adjusted_confusion_from_records",
+    "adjusted_confusion_from_windows",
+    "label_segments",
+]

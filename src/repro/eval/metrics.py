@@ -1,0 +1,170 @@
+"""Detection metrics (Section IV-A3).
+
+Judgements are scored at window granularity: each (database, window)
+verdict is a sample; a window is truly abnormal when any of its ticks is
+labelled abnormal for that database.  Precision, Recall and F-Measure
+follow the usual definitions; Window-Size (detection efficiency) is
+reported separately by :mod:`repro.eval.windows`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.records import JudgementRecord
+
+__all__ = [
+    "ConfusionCounts",
+    "DetectionScores",
+    "confusion_from_records",
+    "scores_from_confusion",
+    "scores_from_records",
+    "f_measure",
+    "window_spans",
+    "window_truth",
+    "confusion_from_windows",
+]
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """TP/FP/TN/FN counts over a set of window verdicts."""
+
+    tp: int = 0
+    fp: int = 0
+    tn: int = 0
+    fn: int = 0
+
+    def __add__(self, other: "ConfusionCounts") -> "ConfusionCounts":
+        return ConfusionCounts(
+            tp=self.tp + other.tp,
+            fp=self.fp + other.fp,
+            tn=self.tn + other.tn,
+            fn=self.fn + other.fn,
+        )
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+
+@dataclass(frozen=True)
+class DetectionScores:
+    """Precision / Recall / F-Measure triple."""
+
+    precision: float
+    recall: float
+    f_measure: float
+
+    def as_percentages(self) -> Tuple[float, float, float]:
+        """The triple scaled to percent, as the paper's figures report."""
+        return (
+            100.0 * self.precision,
+            100.0 * self.recall,
+            100.0 * self.f_measure,
+        )
+
+
+def f_measure(precision: float, recall: float) -> float:
+    """Harmonic mean of precision and recall; 0 when both are 0."""
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def confusion_from_records(
+    records: Iterable[JudgementRecord],
+) -> ConfusionCounts:
+    """Accumulate confusion counts from marked judgement records."""
+    tp = fp = tn = fn = 0
+    for record in records:
+        cell_tp, cell_fp, cell_tn, cell_fn = record.confusion_cell()
+        tp += cell_tp
+        fp += cell_fp
+        tn += cell_tn
+        fn += cell_fn
+    return ConfusionCounts(tp=tp, fp=fp, tn=tn, fn=fn)
+
+
+def scores_from_confusion(counts: ConfusionCounts) -> DetectionScores:
+    """Precision/Recall/F from confusion counts.
+
+    Degenerate denominators score 0 for the affected metric: predicting
+    nothing abnormal yields precision 0 by convention so that a detector
+    that never fires cannot look precise.  The exception is a sample set
+    with no anomalies at all and no false alarms, which scores a perfect
+    1/1/1 (there was nothing to find and nothing was invented).
+    """
+    if counts.tp + counts.fn == 0 and counts.fp == 0:
+        return DetectionScores(precision=1.0, recall=1.0, f_measure=1.0)
+    precision = counts.tp / (counts.tp + counts.fp) if counts.tp + counts.fp else 0.0
+    recall = counts.tp / (counts.tp + counts.fn) if counts.tp + counts.fn else 0.0
+    return DetectionScores(
+        precision=precision, recall=recall, f_measure=f_measure(precision, recall)
+    )
+
+
+def scores_from_records(records: Iterable[JudgementRecord]) -> DetectionScores:
+    """Convenience: confusion + scores in one call."""
+    return scores_from_confusion(confusion_from_records(records))
+
+
+def window_spans(n_ticks: int, window_size: int) -> List[Tuple[int, int]]:
+    """Non-overlapping window spans tiling ``[0, n_ticks)``.
+
+    The trailing partial window is dropped, matching the paper's "detection
+    task is blocked until the window fills" semantics.
+    """
+    if window_size < 1:
+        raise ValueError("window_size must be >= 1")
+    return [
+        (start, start + window_size)
+        for start in range(0, n_ticks - window_size + 1, window_size)
+    ]
+
+
+def window_truth(
+    labels: np.ndarray, spans: Sequence[Tuple[int, int]]
+) -> np.ndarray:
+    """Ground truth per (database, window): any abnormal tick inside.
+
+    Parameters
+    ----------
+    labels:
+        Boolean array of shape ``(n_databases, n_ticks)``.
+    spans:
+        Window spans, e.g. from :func:`window_spans`.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean array of shape ``(n_databases, n_windows)``.
+    """
+    truth = np.asarray(labels, dtype=bool)
+    if truth.ndim != 2:
+        raise ValueError(f"labels must be (n_databases, n_ticks), got {truth.shape}")
+    out = np.zeros((truth.shape[0], len(spans)), dtype=bool)
+    for w, (start, end) in enumerate(spans):
+        out[:, w] = truth[:, start:end].any(axis=1)
+    return out
+
+
+def confusion_from_windows(
+    predictions: np.ndarray, truth: np.ndarray
+) -> ConfusionCounts:
+    """Confusion counts from aligned boolean prediction/truth arrays."""
+    pred = np.asarray(predictions, dtype=bool)
+    actual = np.asarray(truth, dtype=bool)
+    if pred.shape != actual.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {pred.shape} vs truth {actual.shape}"
+        )
+    return ConfusionCounts(
+        tp=int(np.count_nonzero(pred & actual)),
+        fp=int(np.count_nonzero(pred & ~actual)),
+        tn=int(np.count_nonzero(~pred & ~actual)),
+        fn=int(np.count_nonzero(~pred & actual)),
+    )

@@ -1,0 +1,179 @@
+"""Experiment runner: the Section IV evaluation protocol.
+
+One *trial* of a baseline: fit on the training split (timed — Table VI),
+random-search the threshold rule on training scores, evaluate the frozen
+rule on the testing split (Figures 8–10), and report the chosen
+Window-Size (Tables V/VII/VIII).
+
+One *trial* of DBCatcher: adaptive threshold learning on the training
+split (its "training", also timed), then streaming detection with the
+learned thresholds on the testing split; its efficiency metric is the
+average flexible-window size actually used.
+
+`repeat` runs several trials with different seeds and reports
+mean/min/max, the way every performance figure in the paper is drawn.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaselineDetector
+from repro.core.config import DBCatcherConfig
+from repro.core.detector import DBCatcher
+from repro.core.feedback import mark_records
+from repro.datasets.containers import Dataset
+from repro.eval.adjust import adjusted_confusion_from_records
+from repro.eval.metrics import (
+    ConfusionCounts,
+    DetectionScores,
+    scores_from_confusion,
+    scores_from_records,
+)
+from repro.eval.search import DEFAULT_WINDOW_GRID, evaluate_rule, search_threshold_rule
+from repro.tuning.genetic import GeneticThresholdLearner
+from repro.tuning.objective import DetectionObjective
+
+__all__ = [
+    "TrialResult",
+    "MethodSummary",
+    "run_baseline_trial",
+    "run_dbcatcher_trial",
+    "repeat",
+    "summarize",
+]
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One trial's outcome."""
+
+    method: str
+    scores: DetectionScores
+    window_size: float
+    train_seconds: float
+
+
+@dataclass(frozen=True)
+class MethodSummary:
+    """Mean/min/max over repeated trials (the paper's error bars)."""
+
+    method: str
+    mean: DetectionScores
+    minimum: DetectionScores
+    maximum: DetectionScores
+    window_size: float
+    train_seconds: float
+    n_trials: int
+
+
+def run_baseline_trial(
+    detector: BaselineDetector,
+    train: Dataset,
+    test: Dataset,
+    rng: Optional[np.random.Generator] = None,
+    n_candidates: int = 60,
+    window_grid: Sequence[int] = DEFAULT_WINDOW_GRID,
+) -> TrialResult:
+    """Fit + search on train, evaluate frozen rule on test."""
+    generator = rng if rng is not None else np.random.default_rng()
+    started = time.perf_counter()
+    detector.fit(train)
+    train_scores = detector.score_dataset(train)
+    search = search_threshold_rule(
+        detector,
+        train,
+        n_candidates=n_candidates,
+        window_grid=window_grid,
+        rng=generator,
+        scores_per_unit=train_scores,
+    )
+    train_seconds = time.perf_counter() - started
+    test_scores = detector.score_dataset(test)
+    scores = evaluate_rule(search.rule, test_scores, test)
+    return TrialResult(
+        method=detector.name,
+        scores=scores,
+        window_size=float(search.rule.window_size),
+        train_seconds=train_seconds,
+    )
+
+
+def run_dbcatcher_trial(
+    config: DBCatcherConfig,
+    train: Dataset,
+    test: Dataset,
+    learner: Optional[GeneticThresholdLearner] = None,
+    measure=None,
+    name: str = "DBCatcher",
+) -> TrialResult:
+    """Adaptive threshold learning on train, streaming detection on test."""
+    chosen_learner = learner if learner is not None else GeneticThresholdLearner()
+    started = time.perf_counter()
+    objective = DetectionObjective(
+        config,
+        [unit.values for unit in train.units],
+        [unit.labels for unit in train.units],
+    )
+    best_genome, _ = chosen_learner.search(objective)
+    tuned = best_genome.apply_to(config)
+    train_seconds = time.perf_counter() - started
+
+    counts = ConfusionCounts()
+    window_sizes: List[float] = []
+    for unit in test.units:
+        detector = DBCatcher(tuned, n_databases=unit.n_databases, measure=measure)
+        detector.detect_series(unit.values)
+        counts = counts + adjusted_confusion_from_records(
+            detector.history, unit.labels
+        )
+        window_sizes.append(detector.average_window_size())
+    return TrialResult(
+        method=name,
+        scores=scores_from_confusion(counts),
+        window_size=float(np.mean(window_sizes)) if window_sizes else 0.0,
+        train_seconds=train_seconds,
+    )
+
+
+def repeat(
+    trial: Callable[[np.random.Generator], TrialResult],
+    n_trials: int = 20,
+    seed: Optional[int] = None,
+) -> List[TrialResult]:
+    """Run a trial factory ``n_trials`` times with derived seeds."""
+    master = np.random.default_rng(seed)
+    return [
+        trial(np.random.default_rng(int(master.integers(0, 2**63 - 1))))
+        for _ in range(n_trials)
+    ]
+
+
+def summarize(results: Sequence[TrialResult]) -> MethodSummary:
+    """Aggregate repeated trials into mean/min/max (the figures' bars)."""
+    if not results:
+        raise ValueError("need at least one trial result")
+    precisions = [r.scores.precision for r in results]
+    recalls = [r.scores.recall for r in results]
+    fs = [r.scores.f_measure for r in results]
+
+    def triple(reduce):
+        return DetectionScores(
+            precision=reduce(precisions),
+            recall=reduce(recalls),
+            f_measure=reduce(fs),
+        )
+
+    return MethodSummary(
+        method=results[0].method,
+        mean=triple(lambda xs: float(np.mean(xs))),
+        minimum=triple(min),
+        maximum=triple(max),
+        window_size=float(np.mean([r.window_size for r in results])),
+        train_seconds=float(np.mean([r.train_seconds for r in results])),
+        n_trials=len(results),
+    )

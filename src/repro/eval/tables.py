@@ -1,0 +1,111 @@
+"""ASCII renderers for the paper's tables and figures.
+
+Benchmarks print these so a run's console output reads like the paper's
+evaluation section: one renderer per artifact shape (performance bars,
+window-size tables, timing tables, dataset statistics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.eval.runner import MethodSummary
+
+__all__ = [
+    "render_table",
+    "render_performance_figure",
+    "render_window_table",
+    "render_timing_table",
+]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Generic monospace table."""
+    materialized: List[List[str]] = [
+        [f"{cell:.3f}" if isinstance(cell, float) else str(cell) for cell in row]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_performance_figure(
+    summaries_by_dataset: Mapping[str, Sequence[MethodSummary]],
+    title: str,
+) -> str:
+    """Figure 8/9/10 style: P/R/F (mean [min, max]) per method per dataset."""
+    blocks = [title]
+    for dataset, summaries in summaries_by_dataset.items():
+        rows = []
+        for summary in summaries:
+            rows.append(
+                [
+                    summary.method,
+                    f"{100 * summary.mean.precision:5.1f} "
+                    f"[{100 * summary.minimum.precision:.1f}, "
+                    f"{100 * summary.maximum.precision:.1f}]",
+                    f"{100 * summary.mean.recall:5.1f} "
+                    f"[{100 * summary.minimum.recall:.1f}, "
+                    f"{100 * summary.maximum.recall:.1f}]",
+                    f"{100 * summary.mean.f_measure:5.1f} "
+                    f"[{100 * summary.minimum.f_measure:.1f}, "
+                    f"{100 * summary.maximum.f_measure:.1f}]",
+                ]
+            )
+        blocks.append(
+            render_table(
+                ["Model", "Precision(%)", "Recall(%)", "F-Measure(%)"],
+                rows,
+                title=f"-- {dataset} --",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def render_window_table(
+    summaries_by_dataset: Mapping[str, Sequence[MethodSummary]],
+    title: str,
+) -> str:
+    """Table V/VII/VIII style: best-F window sizes per method/dataset."""
+    datasets = list(summaries_by_dataset)
+    methods = [s.method for s in summaries_by_dataset[datasets[0]]]
+    rows = []
+    for index, method in enumerate(methods):
+        row = [method]
+        for dataset in datasets:
+            row.append(f"{summaries_by_dataset[dataset][index].window_size:.0f}")
+        rows.append(row)
+    return render_table(["Model"] + datasets, rows, title=title)
+
+
+def render_timing_table(
+    summaries_by_dataset: Mapping[str, Sequence[MethodSummary]],
+    title: str,
+) -> str:
+    """Table VI/IX style: training (or retraining) seconds per method."""
+    datasets = list(summaries_by_dataset)
+    methods = [s.method for s in summaries_by_dataset[datasets[0]]]
+    rows = []
+    for index, method in enumerate(methods):
+        row = [method]
+        for dataset in datasets:
+            row.append(f"{summaries_by_dataset[dataset][index].train_seconds:.2f}")
+        rows.append(row)
+    return render_table(["Model"] + datasets, rows, title=title)

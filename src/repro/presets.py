@@ -1,0 +1,47 @@
+"""Convenience presets wiring the core detector to the cluster's KPI set.
+
+The core package is substrate-agnostic; this module provides the standard
+configuration for data produced by :mod:`repro.cluster` /
+:mod:`repro.datasets`: the 14 Table II KPIs, the R-R-only exclusions, and
+the paper's default window geometry.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.kpis import KPI_REGISTRY
+from repro.core.config import DBCatcherConfig
+
+__all__ = ["default_config", "RR_ONLY_KPI_NAMES"]
+
+#: Table II KPIs whose correlation type is R-R only.
+RR_ONLY_KPI_NAMES = tuple(
+    kpi.name for kpi in KPI_REGISTRY if not kpi.primary_correlated
+)
+
+
+def default_config(
+    initial_window: int = 20,
+    max_window: int = 60,
+    primary_index: int = 0,
+    **overrides,
+) -> DBCatcherConfig:
+    """The standard DBCatcher configuration for simulated unit series.
+
+    Parameters
+    ----------
+    initial_window, max_window:
+        Flexible-window geometry (paper defaults W=20, W_M=60).
+    primary_index:
+        Index of the primary database in each unit (the builders put it
+        at 0).
+    overrides:
+        Any other :class:`~repro.core.config.DBCatcherConfig` field.
+    """
+    return DBCatcherConfig(
+        kpi_names=tuple(kpi.name for kpi in KPI_REGISTRY),
+        initial_window=initial_window,
+        max_window=max_window,
+        primary_index=primary_index,
+        rr_only_kpis=RR_ONLY_KPI_NAMES,
+        **overrides,
+    )

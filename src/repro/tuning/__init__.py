@@ -1,0 +1,28 @@
+"""Adaptive threshold learning (Section III-D).
+
+The genome encodes everything the flexible-window judgement depends on:
+the per-KPI correlation thresholds ``alpha_i``, the tolerance threshold
+``theta`` and the maximum tolerance deviation count.  Three searchers
+optimize the same detection-F-Measure objective over recent labelled data:
+
+* :class:`~repro.tuning.genetic.GeneticThresholdLearner` — Algorithm 2,
+  DBCatcher's learner;
+* :class:`~repro.tuning.annealing.AnnealingThresholdLearner` — the
+  simulated-annealing comparator of Figure 11;
+* :class:`~repro.tuning.random_search.RandomThresholdLearner` — the
+  random-search comparator of Figure 11.
+"""
+
+from repro.tuning.annealing import AnnealingThresholdLearner
+from repro.tuning.genetic import GeneticThresholdLearner
+from repro.tuning.genome import ThresholdGenome
+from repro.tuning.objective import DetectionObjective
+from repro.tuning.random_search import RandomThresholdLearner
+
+__all__ = [
+    "ThresholdGenome",
+    "DetectionObjective",
+    "GeneticThresholdLearner",
+    "AnnealingThresholdLearner",
+    "RandomThresholdLearner",
+]

@@ -1,0 +1,158 @@
+"""Genetic threshold learner (Algorithm 2).
+
+The population evolves for ``n_iterations`` generations.  Each generation:
+
+1. every individual's detection performance is computed (fitness);
+2. the historically best genome is saved (elitism);
+3. the worst-performing fraction is evicted;
+4. survivors are selected with probability proportional to fitness
+   (Eq. 6), crossed over, and mutated with probability ``beta`` to refill
+   the population to its constant size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import DBCatcherConfig, LEARNING_RATE
+from repro.tuning.genome import ThresholdGenome
+from repro.tuning.objective import DetectionObjective
+
+__all__ = ["GeneticThresholdLearner", "SearchTrace"]
+
+
+@dataclass(frozen=True)
+class SearchTrace:
+    """Best-fitness-so-far after each iteration of a threshold search."""
+
+    best_fitness: Tuple[float, ...]
+
+    @property
+    def final(self) -> float:
+        return self.best_fitness[-1] if self.best_fitness else 0.0
+
+
+def _roulette_pick(
+    fitness: np.ndarray, rng: np.random.Generator
+) -> int:
+    """Fitness-proportional selection (Eq. 6).
+
+    Falls back to uniform choice when every individual has zero fitness
+    (e.g. no anomalies were caught yet by anyone).
+    """
+    total = float(fitness.sum())
+    if total <= 0.0:
+        return int(rng.integers(0, fitness.size))
+    return int(rng.choice(fitness.size, p=fitness / total))
+
+
+class GeneticThresholdLearner:
+    """Adaptive threshold learning policy of DBCatcher.
+
+    Parameters
+    ----------
+    population_size:
+        Constant number of individuals ``M``.
+    n_iterations:
+        Number of generations ``N``.
+    eviction_fraction:
+        Fraction of the population evicted each generation.
+    mutation_probability:
+        Per-child mutation probability ``beta``.
+    learning_rate:
+        Mutation step ``Delta`` (0.1 in the paper).
+    seed:
+        Seed for the search's random generator.
+
+    The instance is callable with the :data:`repro.core.feedback`
+    ``ThresholdLearner`` signature, so it can be handed directly to
+    :meth:`repro.core.feedback.OnlineFeedback.maybe_retrain`.
+    """
+
+    name = "GA"
+
+    def __init__(
+        self,
+        population_size: int = 16,
+        n_iterations: int = 10,
+        eviction_fraction: float = 0.5,
+        mutation_probability: float = 0.2,
+        learning_rate: float = LEARNING_RATE,
+        seed: Optional[int] = None,
+    ):
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if n_iterations < 1:
+            raise ValueError("n_iterations must be >= 1")
+        if not 0.0 < eviction_fraction < 1.0:
+            raise ValueError("eviction_fraction must lie in (0, 1)")
+        if not 0.0 <= mutation_probability <= 1.0:
+            raise ValueError("mutation_probability must lie in [0, 1]")
+        self.population_size = population_size
+        self.n_iterations = n_iterations
+        self.eviction_fraction = eviction_fraction
+        self.mutation_probability = mutation_probability
+        self.learning_rate = learning_rate
+        self._seed = seed
+        self.last_trace: Optional[SearchTrace] = None
+
+    def __call__(
+        self,
+        config: DBCatcherConfig,
+        values: np.ndarray,
+        labels: np.ndarray,
+    ) -> DBCatcherConfig:
+        """Learn thresholds over a replay window; return the tuned config."""
+        genome, _ = self.search(DetectionObjective(config, values, labels))
+        return genome.apply_to(config)
+
+    def search(
+        self, objective: DetectionObjective
+    ) -> Tuple[ThresholdGenome, float]:
+        """Run Algorithm 2 and return the historically best genome."""
+        rng = np.random.default_rng(self._seed)
+        n_kpis = objective.n_kpis
+        population: List[ThresholdGenome] = [
+            ThresholdGenome.random(n_kpis, rng) for _ in range(self.population_size)
+        ]
+        # Seed the current thresholds into the initial population so
+        # learning can never do worse than the incumbent configuration.
+        population[0] = ThresholdGenome.from_config(objective.config)
+
+        best_genome = population[0]
+        best_fitness = objective(best_genome)
+        trace: List[float] = []
+
+        for _ in range(self.n_iterations):
+            fitness = np.array([objective(genome) for genome in population])
+            top = int(np.argmax(fitness))
+            if fitness[top] > best_fitness:
+                best_fitness = float(fitness[top])
+                best_genome = population[top]
+            trace.append(best_fitness)
+
+            # Evict the poor performers.
+            n_survivors = max(
+                2, int(round(self.population_size * (1.0 - self.eviction_fraction)))
+            )
+            order = np.argsort(fitness)[::-1]
+            survivors = [population[i] for i in order[:n_survivors]]
+            survivor_fitness = fitness[order[:n_survivors]]
+
+            # Refill via selection + crossover + mutation.
+            children: List[ThresholdGenome] = []
+            while len(survivors) + len(children) < self.population_size:
+                i = _roulette_pick(survivor_fitness, rng)
+                j = _roulette_pick(survivor_fitness, rng)
+                first, second = survivors[i].crossover(survivors[j], rng)
+                for child in (first, second):
+                    if rng.random() < self.mutation_probability:
+                        child = child.mutate(rng, self.learning_rate)
+                    children.append(child)
+            population = survivors + children[: self.population_size - n_survivors]
+
+        self.last_trace = SearchTrace(best_fitness=tuple(trace))
+        return best_genome, best_fitness

@@ -1,0 +1,155 @@
+"""Threshold genome: the individual of the genetic algorithm.
+
+An individual's gene has three components (Section III-D): the ``Q``
+correlation thresholds ``alpha_i``, the tolerance threshold ``theta`` and
+the maximum tolerance deviation number.  Genes are generated inside the
+paper's initial ranges, and the crossover/mutation operators implement the
+strategies of Algorithm 2 verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.config import (
+    ALPHA_RANGE,
+    DBCatcherConfig,
+    LEARNING_RATE,
+    THETA_RANGE,
+    TOLERANCE_RANGE,
+)
+
+__all__ = ["ThresholdGenome"]
+
+
+@dataclass(frozen=True)
+class ThresholdGenome:
+    """One candidate threshold assignment.
+
+    Parameters
+    ----------
+    alphas:
+        Per-KPI correlation thresholds.
+    theta:
+        Tolerance threshold.
+    tolerance:
+        Maximum tolerance deviation count.
+    """
+
+    alphas: Tuple[float, ...]
+    theta: float
+    tolerance: int
+
+    def __post_init__(self) -> None:
+        if not self.alphas:
+            raise ValueError("genome needs at least one alpha threshold")
+        if not all(-1.0 <= a <= 1.0 for a in self.alphas):
+            raise ValueError("alpha thresholds must lie in [-1, 1]")
+        if self.theta < 0.0:
+            raise ValueError("theta must be non-negative")
+        if self.tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+
+    @property
+    def n_kpis(self) -> int:
+        return len(self.alphas)
+
+    @classmethod
+    def random(cls, n_kpis: int, rng: np.random.Generator) -> "ThresholdGenome":
+        """Fresh random genome inside the paper's initial ranges."""
+        alphas = tuple(
+            float(rng.uniform(ALPHA_RANGE[0], ALPHA_RANGE[1])) for _ in range(n_kpis)
+        )
+        theta = float(rng.uniform(THETA_RANGE[0], THETA_RANGE[1]))
+        tolerance = int(rng.integers(TOLERANCE_RANGE[0], TOLERANCE_RANGE[1] + 1))
+        return cls(alphas=alphas, theta=theta, tolerance=tolerance)
+
+    @classmethod
+    def from_config(cls, config: DBCatcherConfig) -> "ThresholdGenome":
+        """Genome encoding a detector's current thresholds."""
+        return cls(
+            alphas=config.alphas,
+            theta=config.theta,
+            tolerance=config.max_tolerance_deviations,
+        )
+
+    def apply_to(self, config: DBCatcherConfig) -> DBCatcherConfig:
+        """Config with this genome's thresholds installed."""
+        if self.n_kpis != config.n_kpis:
+            raise ValueError(
+                f"genome covers {self.n_kpis} KPIs but config has {config.n_kpis}"
+            )
+        return config.with_thresholds(self.alphas, self.theta, self.tolerance)
+
+    def crossover(
+        self, other: "ThresholdGenome", rng: np.random.Generator
+    ) -> Tuple["ThresholdGenome", "ThresholdGenome"]:
+        """Crossover strategy of Algorithm 2.
+
+        A random cut point ``m`` (the list ``a = {1..M}``, ``M in (0, N)``)
+        splits the alpha vectors: child one takes ``x[:m] + y[m:]``, child
+        two the complement.  ``theta`` and the tolerance count of each
+        child are chosen randomly from either parent.
+        """
+        if self.n_kpis != other.n_kpis:
+            raise ValueError("cannot cross genomes of different KPI counts")
+        n = self.n_kpis
+        m = int(rng.integers(1, n)) if n > 1 else 1
+        child_a = self.alphas[:m] + other.alphas[m:]
+        child_b = other.alphas[:m] + self.alphas[m:]
+
+        def pick(a_value, b_value):
+            return a_value if rng.random() < 0.5 else b_value
+
+        first = ThresholdGenome(
+            alphas=child_a,
+            theta=pick(self.theta, other.theta),
+            tolerance=pick(self.tolerance, other.tolerance),
+        )
+        second = ThresholdGenome(
+            alphas=child_b,
+            theta=pick(other.theta, self.theta),
+            tolerance=pick(other.tolerance, self.tolerance),
+        )
+        return first, second
+
+    def mutate(
+        self, rng: np.random.Generator, learning_rate: float = LEARNING_RATE
+    ) -> "ThresholdGenome":
+        """Mutation strategy of Algorithm 2.
+
+        Each alpha randomly increases or decreases by the learning rate
+        ``Delta`` (clamped to the valid score range); ``theta`` and the
+        tolerance count are regenerated inside their initial ranges.
+        """
+        alphas = tuple(
+            float(np.clip(a + learning_rate * (1 if rng.random() < 0.5 else -1), -1.0, 1.0))
+            for a in self.alphas
+        )
+        theta = float(rng.uniform(THETA_RANGE[0], THETA_RANGE[1]))
+        tolerance = int(rng.integers(TOLERANCE_RANGE[0], TOLERANCE_RANGE[1] + 1))
+        return ThresholdGenome(alphas=alphas, theta=theta, tolerance=tolerance)
+
+    def perturb(
+        self, rng: np.random.Generator, scale: float = LEARNING_RATE
+    ) -> "ThresholdGenome":
+        """Small random neighbour (used by simulated annealing).
+
+        Unlike :meth:`mutate`, the perturbation is continuous and keeps
+        ``theta``/``tolerance`` close to their current values, which is the
+        neighbourhood structure annealing expects.
+        """
+        alphas = tuple(
+            float(np.clip(a + rng.normal(0.0, scale), -1.0, 1.0)) for a in self.alphas
+        )
+        theta = float(
+            np.clip(self.theta + rng.normal(0.0, scale / 2), THETA_RANGE[0], THETA_RANGE[1])
+        )
+        step = int(rng.integers(-1, 2))
+        tolerance = int(
+            np.clip(self.tolerance + step, TOLERANCE_RANGE[0], TOLERANCE_RANGE[1])
+        )
+        return ThresholdGenome(alphas=alphas, theta=theta, tolerance=tolerance)

@@ -1,0 +1,113 @@
+"""Detection-performance objective shared by all threshold searchers.
+
+An individual's fitness is the F-Measure DBCatcher achieves with the
+individual's thresholds over the most recent labelled period — the paper's
+"judgement records of the recent period".  Evaluating a genome therefore
+re-runs the streaming detector over the replay data with the candidate
+thresholds installed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.config import DBCatcherConfig
+from repro.core.detector import DBCatcher
+from repro.eval.adjust import adjusted_confusion_from_records
+from repro.eval.metrics import ConfusionCounts, scores_from_confusion
+from repro.tuning.genome import ThresholdGenome
+
+__all__ = ["DetectionObjective"]
+
+
+class DetectionObjective:
+    """F-Measure of a threshold genome over a labelled replay window.
+
+    Parameters
+    ----------
+    config:
+        Template configuration; window geometry and KPI names come from
+        here, only the thresholds vary per genome.
+    values:
+        Replay KPI data of shape ``(n_databases, n_kpis, n_ticks)``, or a
+        list of such arrays (one per unit) to fit thresholds over a whole
+        dataset.
+    labels:
+        Ground truth of shape ``(n_databases, n_ticks)`` (or a matching
+        list).
+
+    Notes
+    -----
+    Evaluations are memoized per genome: the population-based searchers
+    re-visit elite individuals every generation, and detection re-runs are
+    the dominant cost.
+    """
+
+    def __init__(
+        self,
+        config: DBCatcherConfig,
+        values,
+        labels,
+    ):
+        value_list = values if isinstance(values, (list, tuple)) else [values]
+        label_list = labels if isinstance(labels, (list, tuple)) else [labels]
+        if len(value_list) != len(label_list):
+            raise ValueError("values and labels lists must have equal length")
+        self._pairs = []
+        for raw_values, raw_labels in zip(value_list, label_list):
+            data = np.asarray(raw_values, dtype=np.float64)
+            truth = np.asarray(raw_labels, dtype=bool)
+            if data.ndim != 3:
+                raise ValueError(
+                    f"values must be (n_databases, n_kpis, n_ticks), got {data.shape}"
+                )
+            if data.shape[1] != config.n_kpis:
+                raise ValueError(
+                    f"values carry {data.shape[1]} KPIs but config has {config.n_kpis}"
+                )
+            if truth.shape != (data.shape[0], data.shape[2]):
+                raise ValueError(
+                    "labels must be (n_databases, n_ticks) matching values"
+                )
+            if data.shape[2] < config.initial_window:
+                raise ValueError(
+                    "replay window shorter than the detector's initial window"
+                )
+            self._pairs.append((data, truth))
+        if not self._pairs:
+            raise ValueError("objective needs at least one replay window")
+        self._config = config
+        self._cache: Dict[Tuple, float] = {}
+        #: Number of non-memoized fitness evaluations performed.
+        self.evaluations = 0
+
+    @property
+    def config(self) -> DBCatcherConfig:
+        return self._config
+
+    @property
+    def n_kpis(self) -> int:
+        return self._config.n_kpis
+
+    def __call__(self, genome: ThresholdGenome) -> float:
+        """Fitness of one genome: detection F-Measure on the replay data."""
+        key = (genome.alphas, round(genome.theta, 6), genome.tolerance)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        candidate = genome.apply_to(self._config)
+        counts = ConfusionCounts()
+        for values, labels in self._pairs:
+            detector = DBCatcher(candidate, n_databases=values.shape[0])
+            detector.detect_series(values)
+            # Fitness uses the same segment-adjusted convention the
+            # evaluation reports, so the GA optimizes what is measured.
+            counts = counts + adjusted_confusion_from_records(
+                detector.history, labels
+            )
+        fitness = scores_from_confusion(counts).f_measure
+        self._cache[key] = fitness
+        self.evaluations += 1
+        return fitness

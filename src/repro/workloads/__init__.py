@@ -1,0 +1,72 @@
+"""Workload models: demand series that drive the cluster simulator.
+
+Three families, matching the paper's datasets:
+
+* :mod:`repro.workloads.sysbench` — Sysbench OLTP read/write runs over the
+  Table IV parameter grid (Sysbench I irregular, Sysbench II periodic);
+* :mod:`repro.workloads.tpcc` — TPC-C runs over the Table IV grid
+  (TPCC I irregular, TPCC II periodic);
+* :mod:`repro.workloads.tencent` — production-like profiles for the
+  business scenarios the Tencent dataset covers (social networks,
+  e-commerce, games, finance), mixed 40 % periodic / 60 % irregular.
+
+Every generator returns a list of per-tick
+:class:`~repro.cluster.requests.RequestMix` objects ready for
+:meth:`repro.cluster.unit.Unit.run`.
+"""
+
+from repro.workloads.patterns import (
+    BurstyPattern,
+    CompositePattern,
+    FlatPattern,
+    LoadPattern,
+    PeriodicPattern,
+    RandomWalkPattern,
+    RegimeSwitchingPattern,
+)
+from repro.workloads.profile import StatementProfile, mixes_from_rates
+from repro.workloads.sysbench import (
+    SYSBENCH_I_SPACE,
+    SYSBENCH_II_SPACE,
+    SysbenchConfig,
+    sysbench_irregular,
+    sysbench_periodic,
+    sysbench_run,
+)
+from repro.workloads.tencent import TENCENT_SCENARIOS, tencent_workload
+from repro.workloads.tpcc import (
+    TPCC_I_SPACE,
+    TPCC_II_SPACE,
+    TPCCConfig,
+    tpcc_irregular,
+    tpcc_periodic,
+    tpcc_run,
+)
+from repro.workloads.drift import drift_workload
+
+__all__ = [
+    "LoadPattern",
+    "FlatPattern",
+    "PeriodicPattern",
+    "BurstyPattern",
+    "RandomWalkPattern",
+    "RegimeSwitchingPattern",
+    "CompositePattern",
+    "StatementProfile",
+    "mixes_from_rates",
+    "SysbenchConfig",
+    "SYSBENCH_I_SPACE",
+    "SYSBENCH_II_SPACE",
+    "sysbench_run",
+    "sysbench_irregular",
+    "sysbench_periodic",
+    "TPCCConfig",
+    "TPCC_I_SPACE",
+    "TPCC_II_SPACE",
+    "tpcc_run",
+    "tpcc_irregular",
+    "tpcc_periodic",
+    "TENCENT_SCENARIOS",
+    "tencent_workload",
+    "drift_workload",
+]

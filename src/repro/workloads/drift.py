@@ -1,0 +1,70 @@
+"""Workload drift composition (Table IX).
+
+Cloud database workloads are user-determined and can change at any time;
+the Table IX experiment measures each method's retraining cost when the
+workload drifts from one family to another (Tencent -> Sysbench,
+Tencent -> TPCC, Sysbench -> TPCC).  :func:`drift_workload` builds the
+demand series for such an experiment: the first family up to the drift
+point, the second after it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.requests import RequestMix
+from repro.workloads.sysbench import sysbench_irregular
+from repro.workloads.tencent import tencent_workload
+from repro.workloads.tpcc import tpcc_irregular
+
+__all__ = ["WORKLOAD_FAMILIES", "drift_workload"]
+
+
+def _tencent(n_ticks: int, rng: np.random.Generator) -> List[RequestMix]:
+    return tencent_workload(n_ticks, scenario="social", periodic=False, rng=rng)
+
+
+#: Family name -> generator used by the drift experiments.
+WORKLOAD_FAMILIES: Dict[str, Callable[[int, np.random.Generator], List[RequestMix]]] = {
+    "tencent": _tencent,
+    "sysbench": lambda n, rng: sysbench_irregular(n, rng),
+    "tpcc": lambda n, rng: tpcc_irregular(n, rng),
+}
+
+
+def drift_workload(
+    before: str,
+    after: str,
+    n_ticks: int,
+    drift_tick: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> List[RequestMix]:
+    """Demand series that switches workload family mid-stream.
+
+    Parameters
+    ----------
+    before, after:
+        Family names from :data:`WORKLOAD_FAMILIES`.
+    n_ticks:
+        Total series length.
+    drift_tick:
+        Tick at which the drift occurs; defaults to the midpoint.
+    rng:
+        Random generator; a fresh one is created when omitted.
+    """
+    for name in (before, after):
+        if name not in WORKLOAD_FAMILIES:
+            raise KeyError(
+                f"unknown workload family {name!r}; choose from "
+                f"{sorted(WORKLOAD_FAMILIES)}"
+            )
+    if drift_tick is None:
+        drift_tick = n_ticks // 2
+    if not 0 < drift_tick < n_ticks:
+        raise ValueError("drift_tick must lie strictly inside the series")
+    generator = rng if rng is not None else np.random.default_rng()
+    head = WORKLOAD_FAMILIES[before](drift_tick, generator)
+    tail = WORKLOAD_FAMILIES[after](n_ticks - drift_tick, generator)
+    return head + tail

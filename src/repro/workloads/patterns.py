@@ -1,0 +1,233 @@
+"""Load-rate patterns: the temporal shapes workloads are built from.
+
+A pattern maps tick indices to a request rate (statements per second at the
+unit level).  Patterns compose additively via :class:`CompositePattern`.
+Random patterns take the generator at sampling time so a pattern object is
+a pure description and stays reusable across seeds.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "LoadPattern",
+    "FlatPattern",
+    "PeriodicPattern",
+    "BurstyPattern",
+    "RandomWalkPattern",
+    "RegimeSwitchingPattern",
+    "CompositePattern",
+]
+
+
+class LoadPattern(abc.ABC):
+    """Maps a tick range to a non-negative rate series."""
+
+    @abc.abstractmethod
+    def sample(self, n_ticks: int, rng: np.random.Generator) -> np.ndarray:
+        """Rate per tick over ``n_ticks`` ticks."""
+
+    def __add__(self, other: "LoadPattern") -> "CompositePattern":
+        return CompositePattern([self, other])
+
+
+class FlatPattern(LoadPattern):
+    """Constant rate with optional relative noise."""
+
+    def __init__(self, level: float, noise: float = 0.0):
+        if level < 0:
+            raise ValueError("level must be non-negative")
+        if noise < 0:
+            raise ValueError("noise must be non-negative")
+        self.level = level
+        self.noise = noise
+
+    def sample(self, n_ticks: int, rng: np.random.Generator) -> np.ndarray:
+        rates = np.full(n_ticks, self.level, dtype=np.float64)
+        if self.noise > 0:
+            rates *= rng.normal(1.0, self.noise, n_ticks)
+        return np.clip(rates, 0.0, None)
+
+
+class PeriodicPattern(LoadPattern):
+    """Sinusoidal (diurnal-like) rate with optional harmonics.
+
+    Parameters
+    ----------
+    base:
+        Mean rate.
+    amplitude:
+        Relative swing of the fundamental (0..1).
+    period:
+        Fundamental period in ticks.
+    harmonics:
+        Relative amplitudes of successive harmonics (e.g. a sharper
+        morning/evening double peak).
+    phase:
+        Phase offset in radians.
+    noise:
+        Relative multiplicative noise.
+    """
+
+    def __init__(
+        self,
+        base: float,
+        amplitude: float = 0.5,
+        period: int = 240,
+        harmonics: Sequence[float] = (),
+        phase: float = 0.0,
+        noise: float = 0.02,
+    ):
+        if base <= 0:
+            raise ValueError("base must be positive")
+        if not 0.0 <= amplitude <= 1.0:
+            raise ValueError("amplitude must lie in [0, 1]")
+        if period < 2:
+            raise ValueError("period must be >= 2 ticks")
+        self.base = base
+        self.amplitude = amplitude
+        self.period = period
+        self.harmonics = tuple(harmonics)
+        self.phase = phase
+        self.noise = noise
+
+    def sample(self, n_ticks: int, rng: np.random.Generator) -> np.ndarray:
+        t = np.arange(n_ticks, dtype=np.float64)
+        omega = 2.0 * np.pi / self.period
+        wave = np.sin(omega * t + self.phase)
+        for order, rel in enumerate(self.harmonics, start=2):
+            wave += rel * np.sin(order * omega * t + self.phase)
+        peak = np.abs(wave).max() or 1.0
+        rates = self.base * (1.0 + self.amplitude * wave / peak)
+        if self.noise > 0:
+            rates *= rng.normal(1.0, self.noise, n_ticks)
+        return np.clip(rates, 0.0, None)
+
+
+class BurstyPattern(LoadPattern):
+    """Background rate plus exponentially decaying random bursts.
+
+    Models the Figure 1 behaviour: e-commerce or game users generating a
+    burst of requests at some point in time.
+    """
+
+    def __init__(
+        self,
+        base: float,
+        burst_probability: float = 0.01,
+        burst_scale: float = 3.0,
+        decay: float = 0.7,
+        noise: float = 0.03,
+    ):
+        if base <= 0:
+            raise ValueError("base must be positive")
+        if not 0.0 <= burst_probability <= 1.0:
+            raise ValueError("burst_probability must lie in [0, 1]")
+        if burst_scale < 0:
+            raise ValueError("burst_scale must be non-negative")
+        if not 0.0 <= decay < 1.0:
+            raise ValueError("decay must lie in [0, 1)")
+        self.base = base
+        self.burst_probability = burst_probability
+        self.burst_scale = burst_scale
+        self.decay = decay
+        self.noise = noise
+
+    def sample(self, n_ticks: int, rng: np.random.Generator) -> np.ndarray:
+        rates = np.empty(n_ticks, dtype=np.float64)
+        excitation = 0.0
+        for t in range(n_ticks):
+            if rng.random() < self.burst_probability:
+                excitation += self.burst_scale * rng.exponential(1.0)
+            rates[t] = self.base * (1.0 + excitation)
+            excitation *= self.decay
+        if self.noise > 0:
+            rates *= rng.normal(1.0, self.noise, n_ticks)
+        return np.clip(rates, 0.0, None)
+
+
+class RandomWalkPattern(LoadPattern):
+    """Mean-reverting random walk (irregular production traffic)."""
+
+    def __init__(
+        self,
+        base: float,
+        sigma: float = 0.05,
+        reversion: float = 0.02,
+        floor: float = 0.1,
+        ceiling: float = 4.0,
+    ):
+        if base <= 0:
+            raise ValueError("base must be positive")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if not 0.0 <= reversion <= 1.0:
+            raise ValueError("reversion must lie in [0, 1]")
+        if not 0.0 < floor < ceiling:
+            raise ValueError("need 0 < floor < ceiling")
+        self.base = base
+        self.sigma = sigma
+        self.reversion = reversion
+        self.floor = floor
+        self.ceiling = ceiling
+
+    def sample(self, n_ticks: int, rng: np.random.Generator) -> np.ndarray:
+        level = 1.0
+        rates = np.empty(n_ticks, dtype=np.float64)
+        for t in range(n_ticks):
+            level += self.reversion * (1.0 - level) + rng.normal(0.0, self.sigma)
+            level = float(np.clip(level, self.floor, self.ceiling))
+            rates[t] = self.base * level
+        return rates
+
+
+class RegimeSwitchingPattern(LoadPattern):
+    """Rate jumping between discrete levels (deploys, feature flags)."""
+
+    def __init__(
+        self,
+        base: float,
+        levels: Sequence[float] = (0.5, 1.0, 1.8),
+        switch_probability: float = 0.01,
+        noise: float = 0.03,
+    ):
+        if base <= 0:
+            raise ValueError("base must be positive")
+        if not levels or any(level <= 0 for level in levels):
+            raise ValueError("levels must be positive")
+        if not 0.0 <= switch_probability <= 1.0:
+            raise ValueError("switch_probability must lie in [0, 1]")
+        self.base = base
+        self.levels = tuple(levels)
+        self.switch_probability = switch_probability
+        self.noise = noise
+
+    def sample(self, n_ticks: int, rng: np.random.Generator) -> np.ndarray:
+        current = int(rng.integers(0, len(self.levels)))
+        rates = np.empty(n_ticks, dtype=np.float64)
+        for t in range(n_ticks):
+            if rng.random() < self.switch_probability:
+                current = int(rng.integers(0, len(self.levels)))
+            rates[t] = self.base * self.levels[current]
+        if self.noise > 0:
+            rates *= rng.normal(1.0, self.noise, n_ticks)
+        return np.clip(rates, 0.0, None)
+
+
+class CompositePattern(LoadPattern):
+    """Sum of patterns (e.g. diurnal baseline + bursts)."""
+
+    def __init__(self, parts: Sequence[LoadPattern]):
+        if not parts:
+            raise ValueError("composite needs at least one part")
+        self.parts = list(parts)
+
+    def sample(self, n_ticks: int, rng: np.random.Generator) -> np.ndarray:
+        total = np.zeros(n_ticks, dtype=np.float64)
+        for part in self.parts:
+            total += part.sample(n_ticks, rng)
+        return total

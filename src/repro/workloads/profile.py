@@ -1,0 +1,92 @@
+"""Statement profiles: turning a scalar rate into a SQL request mix.
+
+A :class:`StatementProfile` describes *what* a workload's statements look
+like (read/write proportions, rows examined, payload sizes, statements per
+transaction); a rate series from :mod:`repro.workloads.patterns` describes
+*how much*.  :func:`mixes_from_rates` combines the two into the per-tick
+:class:`~repro.cluster.requests.RequestMix` list the simulator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.cluster.requests import RequestMix
+
+__all__ = ["StatementProfile", "mixes_from_rates"]
+
+
+@dataclass(frozen=True)
+class StatementProfile:
+    """Statement composition of a workload.
+
+    Fractions must sum to 1 across selects/inserts/updates/deletes.
+
+    Parameters
+    ----------
+    select_fraction, insert_fraction, update_fraction, delete_fraction:
+        Statement type proportions.
+    statements_per_transaction:
+        Average statements grouped per transaction commit.
+    rows_per_select:
+        Average rows examined per read statement.
+    bytes_per_row:
+        Average row payload in bytes.
+    """
+
+    select_fraction: float = 0.8
+    insert_fraction: float = 0.07
+    update_fraction: float = 0.1
+    delete_fraction: float = 0.03
+    statements_per_transaction: float = 10.0
+    rows_per_select: float = 10.0
+    bytes_per_row: float = 200.0
+
+    def __post_init__(self) -> None:
+        fractions = (
+            self.select_fraction,
+            self.insert_fraction,
+            self.update_fraction,
+            self.delete_fraction,
+        )
+        if any(f < 0 for f in fractions):
+            raise ValueError("statement fractions must be non-negative")
+        if abs(sum(fractions) - 1.0) > 1e-6:
+            raise ValueError(f"statement fractions must sum to 1, got {sum(fractions)}")
+        if self.statements_per_transaction <= 0:
+            raise ValueError("statements_per_transaction must be positive")
+        if self.rows_per_select <= 0:
+            raise ValueError("rows_per_select must be positive")
+        if self.bytes_per_row <= 0:
+            raise ValueError("bytes_per_row must be positive")
+
+    def mix_for_rate(
+        self, rate: float, interval_seconds: float = 5.0
+    ) -> RequestMix:
+        """Request mix for one tick at ``rate`` statements/second."""
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        statements = rate * interval_seconds
+        return RequestMix(
+            selects=statements * self.select_fraction,
+            inserts=statements * self.insert_fraction,
+            updates=statements * self.update_fraction,
+            deletes=statements * self.delete_fraction,
+            transactions=statements / self.statements_per_transaction,
+            rows_per_select=self.rows_per_select,
+            bytes_per_row=self.bytes_per_row,
+        )
+
+
+def mixes_from_rates(
+    rates: Sequence[float],
+    profile: StatementProfile,
+    interval_seconds: float = 5.0,
+) -> List[RequestMix]:
+    """Per-tick request mixes from a rate series and a profile."""
+    return [
+        profile.mix_for_rate(float(rate), interval_seconds) for rate in rates
+    ]

@@ -1,0 +1,183 @@
+"""Sysbench OLTP read/write workload model (Table IV).
+
+Models the statement stream a ``sysbench oltp_read_write`` run generates
+against a unit.  One transaction issues 10 point selects, 4 range selects,
+2 updates, 1 delete and 1 insert (the tool's defaults); throughput scales
+with thread count into saturation, and the Table IV parameter space is
+encoded verbatim so datasets sample the exact grid the paper used:
+
+* **Sysbench I** (irregular): tables 5–20, threads 4–64, 100 000 items,
+  0.5–1 minute runs, concatenated back to back;
+* **Sysbench II** (periodic): 10 tables, the 4-8-16-32 thread ladder at
+  0.5 minutes per step, cycled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.requests import RequestMix
+from repro.workloads.profile import StatementProfile
+
+__all__ = [
+    "SysbenchConfig",
+    "SYSBENCH_I_SPACE",
+    "SYSBENCH_II_SPACE",
+    "sysbench_run",
+    "sysbench_irregular",
+    "sysbench_periodic",
+]
+
+#: Statements per oltp_read_write transaction: 14 reads, 2 updates,
+#: 1 delete, 1 insert.
+_STATEMENTS_PER_TX = 18.0
+#: Rows examined per read statement: 10 point selects return 1 row, the 4
+#: range selects scan ~100 rows each.
+_ROWS_PER_SELECT = (10 * 1 + 4 * 100) / 14.0
+#: sbtest row payload (int id, int k, char(120) c, char(60) pad).
+_BYTES_PER_ROW = 220.0
+#: Transactions/second one uncontended thread sustains on the 4C/8G boxes.
+_TPS_PER_THREAD = 120.0
+#: Thread count at which contention halves per-thread throughput.
+_THREAD_HALF_SATURATION = 48.0
+
+#: The Table IV "Sysbench I" parameter space.
+SYSBENCH_I_SPACE = {
+    "tables": (5, 20),
+    "threads": (4, 64),
+    "items": 100_000,
+    "time_minutes": (0.5, 1.0),
+}
+
+#: The Table IV "Sysbench II" parameter space.
+SYSBENCH_II_SPACE = {
+    "tables": 10,
+    "thread_ladder": (4, 8, 16, 32),
+    "items": 100_000,
+    "time_minutes": 0.5,
+}
+
+
+@dataclass(frozen=True)
+class SysbenchConfig:
+    """One sysbench run's parameters (a cell of Table IV)."""
+
+    tables: int = 10
+    threads: int = 16
+    items: int = 100_000
+    time_minutes: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.tables < 1:
+            raise ValueError("tables must be >= 1")
+        if self.threads < 1:
+            raise ValueError("threads must be >= 1")
+        if self.items < 1:
+            raise ValueError("items must be >= 1")
+        if self.time_minutes <= 0:
+            raise ValueError("time_minutes must be positive")
+
+    @property
+    def transactions_per_second(self) -> float:
+        """Saturating throughput model: contention flattens the curve."""
+        return (
+            _TPS_PER_THREAD
+            * self.threads
+            / (1.0 + self.threads / _THREAD_HALF_SATURATION)
+        )
+
+    def duration_ticks(self, interval_seconds: float = 5.0) -> int:
+        return max(1, int(round(self.time_minutes * 60.0 / interval_seconds)))
+
+    def profile(self) -> StatementProfile:
+        """Statement profile of oltp_read_write for this table/item shape."""
+        # Bigger tables make range scans a touch wider (B-tree depth and
+        # fill factor), a second-order but realistic effect.
+        rows = _ROWS_PER_SELECT * (1.0 + 0.01 * self.tables)
+        return StatementProfile(
+            select_fraction=14.0 / _STATEMENTS_PER_TX,
+            update_fraction=2.0 / _STATEMENTS_PER_TX,
+            delete_fraction=1.0 / _STATEMENTS_PER_TX,
+            insert_fraction=1.0 / _STATEMENTS_PER_TX,
+            statements_per_transaction=_STATEMENTS_PER_TX,
+            rows_per_select=rows,
+            bytes_per_row=_BYTES_PER_ROW,
+        )
+
+
+def sysbench_run(
+    config: SysbenchConfig,
+    rng: np.random.Generator,
+    interval_seconds: float = 5.0,
+    rate_noise: float = 0.04,
+) -> List[RequestMix]:
+    """Request mixes for one sysbench run.
+
+    Throughput ramps over the first couple of ticks (connection setup and
+    buffer-pool warmup) then holds steady with small noise.
+    """
+    ticks = config.duration_ticks(interval_seconds)
+    tps = config.transactions_per_second
+    profile = config.profile()
+    statement_rate = tps * _STATEMENTS_PER_TX
+    mixes = []
+    for t in range(ticks):
+        warmup = min(1.0, (t + 1) / 2.0)
+        rate = statement_rate * warmup * max(0.0, rng.normal(1.0, rate_noise))
+        mixes.append(profile.mix_for_rate(rate, interval_seconds))
+    return mixes
+
+
+def _sample_irregular_config(rng: np.random.Generator) -> SysbenchConfig:
+    lo_tab, hi_tab = SYSBENCH_I_SPACE["tables"]
+    lo_thr, hi_thr = SYSBENCH_I_SPACE["threads"]
+    lo_t, hi_t = SYSBENCH_I_SPACE["time_minutes"]
+    return SysbenchConfig(
+        tables=int(rng.integers(lo_tab, hi_tab + 1)),
+        threads=int(rng.integers(lo_thr, hi_thr + 1)),
+        items=SYSBENCH_I_SPACE["items"],
+        time_minutes=float(rng.uniform(lo_t, hi_t)),
+    )
+
+
+def sysbench_irregular(
+    n_ticks: int,
+    rng: Optional[np.random.Generator] = None,
+    interval_seconds: float = 5.0,
+) -> List[RequestMix]:
+    """Sysbench I: random runs from the Table IV grid, concatenated.
+
+    Thread and table counts jump between runs, producing the irregular
+    step-shaped load the paper's irregular datasets exhibit.
+    """
+    generator = rng if rng is not None else np.random.default_rng()
+    mixes: List[RequestMix] = []
+    while len(mixes) < n_ticks:
+        config = _sample_irregular_config(generator)
+        mixes.extend(sysbench_run(config, generator, interval_seconds))
+    return mixes[:n_ticks]
+
+
+def sysbench_periodic(
+    n_ticks: int,
+    rng: Optional[np.random.Generator] = None,
+    interval_seconds: float = 5.0,
+) -> List[RequestMix]:
+    """Sysbench II: the 4-8-16-32 thread ladder cycled periodically."""
+    generator = rng if rng is not None else np.random.default_rng()
+    ladder: Tuple[int, ...] = SYSBENCH_II_SPACE["thread_ladder"]
+    mixes: List[RequestMix] = []
+    step = 0
+    while len(mixes) < n_ticks:
+        config = SysbenchConfig(
+            tables=SYSBENCH_II_SPACE["tables"],
+            threads=ladder[step % len(ladder)],
+            items=SYSBENCH_II_SPACE["items"],
+            time_minutes=SYSBENCH_II_SPACE["time_minutes"],
+        )
+        mixes.extend(sysbench_run(config, generator, interval_seconds))
+        step += 1
+    return mixes[:n_ticks]

@@ -1,0 +1,177 @@
+"""TPC-C workload model (Table IV).
+
+Models the aggregate statement stream of a TPC-C driver: the five
+transaction types at their spec mix (NewOrder 45 %, Payment 43 %,
+OrderStatus 4 %, Delivery 4 %, StockLevel 4 %), with per-type row-operation
+footprints folded into one weighted profile.  Throughput scales with
+threads into warehouse-bound contention, and a warmup ramp precedes the
+measured interval, as the Table IV grid specifies:
+
+* **TPCC I** (irregular): warehouses 5–20, threads 4–24, 0.5–1 minute
+  warmup and runtime, concatenated;
+* **TPCC II** (periodic): 10 warehouses, the 4-8-16-24 thread ladder at
+  0.5 minutes per step, cycled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.requests import RequestMix
+from repro.workloads.profile import StatementProfile
+
+__all__ = [
+    "TPCCConfig",
+    "TPCC_I_SPACE",
+    "TPCC_II_SPACE",
+    "tpcc_run",
+    "tpcc_irregular",
+    "tpcc_periodic",
+]
+
+#: Aggregate statements per transaction, weighted over the five TPC-C
+#: transaction types (NewOrder ~46 statements dominates the average).
+_STATEMENTS_PER_TX = 32.0
+#: Fractions by statement kind across the weighted transaction mix.
+_SELECT_FRACTION = 0.66
+_INSERT_FRACTION = 0.14
+_UPDATE_FRACTION = 0.18
+_DELETE_FRACTION = 0.02
+#: Rows examined per read (StockLevel range scans pull the average up).
+_ROWS_PER_SELECT = 12.0
+#: Average TPC-C row payload (order lines, stock rows, customer rows).
+_BYTES_PER_ROW = 310.0
+#: Transactions/second per uncontended thread.
+_TPS_PER_THREAD = 35.0
+
+#: The Table IV "TPCC I" parameter space.
+TPCC_I_SPACE = {
+    "warehouses": (5, 20),
+    "threads": (4, 24),
+    "warmup_minutes": (0.5, 1.0),
+    "time_minutes": (0.5, 1.0),
+}
+
+#: The Table IV "TPCC II" parameter space.
+TPCC_II_SPACE = {
+    "warehouses": 10,
+    "thread_ladder": (4, 8, 16, 24),
+    "warmup_minutes": 0.5,
+    "time_minutes": 0.5,
+}
+
+
+@dataclass(frozen=True)
+class TPCCConfig:
+    """One TPC-C run's parameters (a cell of Table IV)."""
+
+    warehouses: int = 10
+    threads: int = 8
+    warmup_minutes: float = 0.5
+    time_minutes: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.warehouses < 1:
+            raise ValueError("warehouses must be >= 1")
+        if self.threads < 1:
+            raise ValueError("threads must be >= 1")
+        if self.warmup_minutes < 0:
+            raise ValueError("warmup_minutes must be >= 0")
+        if self.time_minutes <= 0:
+            raise ValueError("time_minutes must be positive")
+
+    @property
+    def transactions_per_second(self) -> float:
+        """Threads saturate once they outnumber warehouse home districts."""
+        half_saturation = 2.0 * self.warehouses
+        return (
+            _TPS_PER_THREAD * self.threads / (1.0 + self.threads / half_saturation)
+        )
+
+    def warmup_ticks(self, interval_seconds: float = 5.0) -> int:
+        return int(round(self.warmup_minutes * 60.0 / interval_seconds))
+
+    def duration_ticks(self, interval_seconds: float = 5.0) -> int:
+        return max(1, int(round(self.time_minutes * 60.0 / interval_seconds)))
+
+    def profile(self) -> StatementProfile:
+        return StatementProfile(
+            select_fraction=_SELECT_FRACTION,
+            insert_fraction=_INSERT_FRACTION,
+            update_fraction=_UPDATE_FRACTION,
+            delete_fraction=_DELETE_FRACTION,
+            statements_per_transaction=_STATEMENTS_PER_TX,
+            rows_per_select=_ROWS_PER_SELECT,
+            bytes_per_row=_BYTES_PER_ROW,
+        )
+
+
+def tpcc_run(
+    config: TPCCConfig,
+    rng: np.random.Generator,
+    interval_seconds: float = 5.0,
+    rate_noise: float = 0.05,
+) -> List[RequestMix]:
+    """Request mixes for one TPC-C run: warmup ramp + measured plateau."""
+    warmup = config.warmup_ticks(interval_seconds)
+    ticks = config.duration_ticks(interval_seconds)
+    statement_rate = config.transactions_per_second * _STATEMENTS_PER_TX
+    profile = config.profile()
+    mixes = []
+    for t in range(warmup + ticks):
+        ramp = min(1.0, (t + 1) / max(warmup, 1))
+        rate = statement_rate * ramp * max(0.0, rng.normal(1.0, rate_noise))
+        mixes.append(profile.mix_for_rate(rate, interval_seconds))
+    return mixes
+
+
+def _sample_irregular_config(rng: np.random.Generator) -> TPCCConfig:
+    lo_wh, hi_wh = TPCC_I_SPACE["warehouses"]
+    lo_thr, hi_thr = TPCC_I_SPACE["threads"]
+    lo_w, hi_w = TPCC_I_SPACE["warmup_minutes"]
+    lo_t, hi_t = TPCC_I_SPACE["time_minutes"]
+    return TPCCConfig(
+        warehouses=int(rng.integers(lo_wh, hi_wh + 1)),
+        threads=int(rng.integers(lo_thr, hi_thr + 1)),
+        warmup_minutes=float(rng.uniform(lo_w, hi_w)),
+        time_minutes=float(rng.uniform(lo_t, hi_t)),
+    )
+
+
+def tpcc_irregular(
+    n_ticks: int,
+    rng: Optional[np.random.Generator] = None,
+    interval_seconds: float = 5.0,
+) -> List[RequestMix]:
+    """TPCC I: random grid cells concatenated into an irregular stream."""
+    generator = rng if rng is not None else np.random.default_rng()
+    mixes: List[RequestMix] = []
+    while len(mixes) < n_ticks:
+        config = _sample_irregular_config(generator)
+        mixes.extend(tpcc_run(config, generator, interval_seconds))
+    return mixes[:n_ticks]
+
+
+def tpcc_periodic(
+    n_ticks: int,
+    rng: Optional[np.random.Generator] = None,
+    interval_seconds: float = 5.0,
+) -> List[RequestMix]:
+    """TPCC II: the 4-8-16-24 thread ladder cycled periodically."""
+    generator = rng if rng is not None else np.random.default_rng()
+    ladder: Tuple[int, ...] = TPCC_II_SPACE["thread_ladder"]
+    mixes: List[RequestMix] = []
+    step = 0
+    while len(mixes) < n_ticks:
+        config = TPCCConfig(
+            warehouses=TPCC_II_SPACE["warehouses"],
+            threads=ladder[step % len(ladder)],
+            warmup_minutes=TPCC_II_SPACE["warmup_minutes"],
+            time_minutes=TPCC_II_SPACE["time_minutes"],
+        )
+        mixes.extend(tpcc_run(config, generator, interval_seconds))
+        step += 1
+    return mixes[:n_ticks]

@@ -1,0 +1,73 @@
+"""Shared fixtures: small deterministic series, configs, datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DBCatcherConfig
+from repro.datasets import build_unit_series
+from repro.presets import default_config
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_config():
+    """Tiny two-KPI config with fast windows for unit tests."""
+    return DBCatcherConfig(
+        kpi_names=("cpu", "rps"),
+        initial_window=8,
+        max_window=24,
+    )
+
+
+@pytest.fixture
+def paper_config():
+    """The standard 14-KPI preset used against simulated units."""
+    return default_config()
+
+
+@pytest.fixture
+def correlated_window(rng):
+    """A (4 dbs, 2 kpis, 40 ticks) window where all databases track."""
+    trend = np.sin(np.linspace(0, 6, 40))
+    base = np.stack([trend, 0.5 * trend + 1.0])  # (2, 40)
+    window = np.stack(
+        [base * (1.0 + 0.05 * d) + 0.01 * rng.standard_normal((2, 40)) for d in range(4)]
+    )
+    return window
+
+
+@pytest.fixture
+def deviating_window(correlated_window, rng):
+    """Same as ``correlated_window`` but database 2 runs its own trend."""
+    window = correlated_window.copy()
+    foreign = np.cumsum(rng.standard_normal(40)) * 0.5 + 5.0
+    window[2, 0, :] = foreign
+    window[2, 1, :] = -foreign
+    return window
+
+
+@pytest.fixture(scope="session")
+def tencent_unit():
+    """One small labelled Tencent-profile unit, shared across tests."""
+    return build_unit_series(
+        profile="tencent", n_databases=5, n_ticks=500, seed=7, abnormal_ratio=0.04
+    )
+
+
+@pytest.fixture(scope="session")
+def clean_unit():
+    """An anomaly-free unit for false-positive and UKPIC tests."""
+    return build_unit_series(
+        profile="tencent",
+        n_databases=5,
+        n_ticks=400,
+        seed=13,
+        abnormal_ratio=0.0,
+        include_fluctuations=False,
+    )

@@ -1,0 +1,130 @@
+"""Tests for segment-adjusted (point-adjust) scoring."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import DatabaseState, JudgementRecord
+from repro.eval.adjust import (
+    adjusted_confusion_from_records,
+    adjusted_confusion_from_windows,
+    label_segments,
+)
+
+
+class TestLabelSegments:
+    def test_empty(self):
+        assert label_segments(np.zeros(10, dtype=bool)) == []
+
+    def test_single_run(self):
+        labels = np.zeros(10, dtype=bool)
+        labels[3:6] = True
+        assert label_segments(labels) == [(3, 6)]
+
+    def test_multiple_runs(self):
+        labels = np.array([True, False, True, True, False, True])
+        assert label_segments(labels) == [(0, 1), (2, 4), (5, 6)]
+
+    def test_full_run(self):
+        assert label_segments(np.ones(4, dtype=bool)) == [(0, 4)]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            label_segments(np.zeros((2, 2), dtype=bool))
+
+
+class TestAdjustedWindows:
+    def test_partial_hit_credits_whole_segment(self):
+        # One anomaly covering windows 1-3; only window 2 is flagged:
+        # all three segment windows become TPs.
+        spans = [(0, 10), (10, 20), (20, 30), (30, 40), (40, 50)]
+        labels = np.zeros((1, 50), dtype=bool)
+        labels[0, 12:38] = True
+        predictions = np.zeros((1, 5), dtype=bool)
+        predictions[0, 2] = True
+        counts = adjusted_confusion_from_windows(predictions, spans, labels)
+        assert counts.tp == 3  # windows 1, 2 and 3 all overlap the segment
+        assert counts.fn == 0
+        assert counts.fp == 0
+        assert counts.tn == 2  # windows 0 and 4 stay clean
+
+    def test_missed_segment_is_all_fn(self):
+        spans = [(0, 10), (10, 20), (20, 30)]
+        labels = np.zeros((1, 30), dtype=bool)
+        labels[0, 12:25] = True
+        predictions = np.zeros((1, 3), dtype=bool)
+        counts = adjusted_confusion_from_windows(predictions, spans, labels)
+        assert counts.tp == 0
+        assert counts.fn == 2
+        assert counts.tn == 1
+
+    def test_false_alarm_outside_segments(self):
+        spans = [(0, 10), (10, 20)]
+        labels = np.zeros((1, 20), dtype=bool)
+        predictions = np.array([[True, False]])
+        counts = adjusted_confusion_from_windows(predictions, spans, labels)
+        assert counts.fp == 1
+        assert counts.tn == 1
+
+    def test_segments_independent(self):
+        # Two segments; only the first is detected.
+        spans = [(0, 10), (20, 30)]
+        labels = np.zeros((1, 30), dtype=bool)
+        labels[0, 2:5] = True
+        labels[0, 22:28] = True
+        predictions = np.array([[True, False]])
+        counts = adjusted_confusion_from_windows(predictions, spans, labels)
+        assert counts.tp == 1
+        assert counts.fn == 1
+
+    def test_multiple_databases_accumulate(self):
+        spans = [(0, 10)]
+        labels = np.zeros((2, 10), dtype=bool)
+        labels[0, 3] = True
+        predictions = np.array([[True], [True]])
+        counts = adjusted_confusion_from_windows(predictions, spans, labels)
+        assert counts.tp == 1
+        assert counts.fp == 1
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            adjusted_confusion_from_windows(
+                np.zeros((1, 3), dtype=bool), [(0, 10)],
+                np.zeros((1, 10), dtype=bool),
+            )
+
+
+class TestAdjustedRecords:
+    def _record(self, db, start, end, abnormal):
+        return JudgementRecord(
+            database=db, window_start=start, window_end=end,
+            state=DatabaseState.ABNORMAL if abnormal else DatabaseState.HEALTHY,
+        )
+
+    def test_variable_windows(self):
+        labels = np.zeros((1, 60), dtype=bool)
+        labels[0, 15:45] = True
+        records = [
+            self._record(0, 0, 20, False),   # overlaps segment -> credited
+            self._record(0, 20, 40, True),   # detection!
+            self._record(0, 40, 60, False),  # overlaps segment -> credited
+        ]
+        counts = adjusted_confusion_from_records(records, labels)
+        assert counts.tp == 3
+        assert counts.fn == 0
+
+    def test_unadjusted_equivalence_when_no_segments(self):
+        labels = np.zeros((1, 40), dtype=bool)
+        records = [
+            self._record(0, 0, 20, True),
+            self._record(0, 20, 40, False),
+        ]
+        counts = adjusted_confusion_from_records(records, labels)
+        assert counts.fp == 1
+        assert counts.tn == 1
+
+    def test_out_of_range_database_rejected(self):
+        labels = np.zeros((1, 40), dtype=bool)
+        with pytest.raises(IndexError):
+            adjusted_confusion_from_records(
+                [self._record(4, 0, 20, True)], labels
+            )

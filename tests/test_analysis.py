@@ -1,0 +1,105 @@
+"""Tests for the analysis package: periodicity and UKPIC study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    classify_periodicity,
+    correlation_heatmap,
+    unit_correlation_matrix,
+    unit_correlation_summary,
+)
+from repro.cluster.kpis import KPI_NAMES
+
+
+class TestPeriodicity:
+    def test_clean_sine_detected(self, rng):
+        series = np.sin(np.linspace(0, 20 * np.pi, 400))
+        result = classify_periodicity(series + 0.05 * rng.standard_normal(400))
+        assert result.periodic
+        assert result.period == pytest.approx(40, abs=3)
+
+    def test_random_walk_not_periodic(self, rng):
+        assert not classify_periodicity(np.cumsum(rng.standard_normal(400))).periodic
+
+    def test_white_noise_not_periodic(self, rng):
+        assert not classify_periodicity(rng.standard_normal(400)).periodic
+
+    def test_flat_not_periodic(self):
+        assert not classify_periodicity(np.ones(200)).periodic
+
+    def test_trend_does_not_fool_it(self, rng):
+        series = np.linspace(0, 100, 300) + rng.standard_normal(300)
+        assert not classify_periodicity(series).periodic
+
+    def test_periodic_plus_trend_detected(self, rng):
+        series = (
+            np.linspace(0, 10, 400)
+            + 5 * np.sin(np.linspace(0, 20 * np.pi, 400))
+            + 0.1 * rng.standard_normal(400)
+        )
+        assert classify_periodicity(series).periodic
+
+    def test_too_short_series(self):
+        result = classify_periodicity(np.sin(np.arange(8)))
+        assert not result.periodic
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            classify_periodicity(np.zeros((3, 3)))
+
+
+class TestUKPIC:
+    def test_matrix_for_kpi(self, clean_unit):
+        matrix = unit_correlation_matrix(clean_unit.values, 0, max_delay=10)
+        assert matrix.shape == (5, 5)
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_summary_finds_ukpic_in_clean_unit(self, clean_unit):
+        summaries = unit_correlation_summary(
+            clean_unit.values[:, :, 50:], KPI_NAMES, max_delay=10
+        )
+        assert len(summaries) == 14
+        assert all(s.has_ukpic for s in summaries)
+
+    def test_summary_validation(self, clean_unit):
+        with pytest.raises(ValueError):
+            unit_correlation_summary(clean_unit.values, KPI_NAMES[:3])
+        with pytest.raises(IndexError):
+            unit_correlation_summary(clean_unit.values, KPI_NAMES, primary=99)
+
+    def test_heatmap_rendering(self):
+        matrix = np.array([[1.0, 0.85], [0.85, 1.0]])
+        text = correlation_heatmap(matrix, labels=["D1", "D2"])
+        assert "D1" in text and "D2" in text
+        assert "0.85" in text
+
+    def test_heatmap_validation(self):
+        with pytest.raises(ValueError):
+            correlation_heatmap(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            correlation_heatmap(np.eye(2), labels=["only-one"])
+
+
+class TestPresets:
+    def test_default_config_shape(self, paper_config):
+        assert paper_config.n_kpis == 14
+        assert paper_config.initial_window == 20
+        assert paper_config.max_window == 60
+        assert paper_config.primary_index == 0
+
+    def test_rr_only_kpis_match_registry(self, paper_config):
+        assert set(paper_config.rr_only_kpis) == {
+            "com_insert",
+            "com_update",
+            "innodb_rows_deleted",
+            "innodb_rows_inserted",
+            "transactions_per_second",
+        }
+
+    def test_overrides_pass_through(self):
+        from repro.presets import default_config
+
+        config = default_config(theta=0.25, max_tolerance_deviations=3)
+        assert config.theta == 0.25
+        assert config.max_tolerance_deviations == 3

@@ -1,0 +1,168 @@
+"""Unit tests for the series injectors (spike, level shift, drift, delays)."""
+
+import numpy as np
+import pytest
+
+from repro.anomalies import (
+    ConceptDriftInjector,
+    LevelShiftInjector,
+    SpikeInjector,
+    shift_database_series,
+)
+from repro.anomalies.base import InjectionInterval
+from repro.core.kcd import kcd
+
+
+@pytest.fixture
+def unit_series(rng):
+    """(4 dbs, 3 kpis, 200 ticks) correlated series + clean labels."""
+    trend = 100.0 + 30.0 * np.sin(np.linspace(0, 12, 200))
+    values = np.stack(
+        [
+            np.stack([trend, 2 * trend, 0.5 * trend])
+            * (1.0 + 0.01 * rng.standard_normal((3, 200)))
+            for _ in range(4)
+        ]
+    )
+    labels = np.zeros((4, 200), dtype=bool)
+    return values, labels
+
+
+class TestInterval:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InjectionInterval(5, 5)
+        with pytest.raises(ValueError):
+            InjectionInterval(-1, 5)
+
+    def test_contains(self):
+        interval = InjectionInterval(10, 20)
+        assert interval.contains(10)
+        assert interval.contains(19)
+        assert not interval.contains(20)
+        assert interval.duration == 10
+
+
+class TestSpike:
+    def test_labels_and_magnitude(self, unit_series, rng):
+        values, labels = unit_series
+        baseline = values.copy()
+        SpikeInjector(1, InjectionInterval(50, 62), magnitude=2.0).inject(
+            values, labels, rng
+        )
+        assert labels[1, 50:62].all()
+        assert not labels[0].any()
+        assert values[1, :, 56].max() > baseline[1, :, 56].max()
+        # Outside the interval nothing changed.
+        assert np.allclose(values[1, :, :50], baseline[1, :, :50])
+
+    def test_breaks_correlation(self, unit_series, rng):
+        values, labels = unit_series
+        SpikeInjector(1, InjectionInterval(50, 64), magnitude=2.5).inject(
+            values, labels, rng
+        )
+        window = values[:, 0, 48:68]
+        # Healthy pairs in this fixture score ~0.99; the spike must pull
+        # the victim clearly out of that regime.
+        assert kcd(window[1], window[0], max_delay=5) < 0.9
+        assert kcd(window[0], window[3], max_delay=5) > 0.95
+
+    def test_kpi_subset(self, unit_series, rng):
+        values, labels = unit_series
+        baseline = values.copy()
+        SpikeInjector(
+            1, InjectionInterval(50, 60), magnitude=2.0, kpi_indices=(1,)
+        ).inject(values, labels, rng)
+        assert np.allclose(values[1, 0], baseline[1, 0])
+        assert not np.allclose(values[1, 1, 50:60], baseline[1, 1, 50:60])
+
+    def test_out_of_range_interval_is_noop(self, unit_series, rng):
+        values, labels = unit_series
+        baseline = values.copy()
+        SpikeInjector(1, InjectionInterval(500, 520)).inject(values, labels, rng)
+        assert np.array_equal(values, baseline)
+        assert not labels.any()
+
+
+class TestLevelShift:
+    def test_shifts_level(self, unit_series, rng):
+        values, labels = unit_series
+        baseline = values.copy()
+        LevelShiftInjector(2, InjectionInterval(80, 140), factor=2.5).inject(
+            values, labels, rng
+        )
+        assert values[2, 0, 90:130].mean() > 1.3 * baseline[2, 0, 90:130].mean()
+        assert labels[2, 80:140].all()
+
+    def test_breaks_correlation_in_steady_state(self, unit_series, rng):
+        # Even a window fully inside the shift must decorrelate: the
+        # flattening replaces the shared trend.
+        values, labels = unit_series
+        LevelShiftInjector(
+            2, InjectionInterval(80, 140), factor=2.0, flatten=1.0
+        ).inject(values, labels, rng)
+        window = values[:, 0, 100:120]
+        # Well below the healthy ~0.99 regime (the tolerance band of the
+        # paper's level-2 classification).
+        assert kcd(window[2], window[0], max_delay=5) < 0.8
+
+    def test_values_stay_non_negative(self, unit_series, rng):
+        values, labels = unit_series
+        LevelShiftInjector(0, InjectionInterval(10, 60), factor=1.1).inject(
+            values, labels, rng
+        )
+        assert (values >= 0).all()
+
+
+class TestConceptDrift:
+    def test_gradual_divergence(self, unit_series, rng):
+        values, labels = unit_series
+        baseline = values.copy()
+        ConceptDriftInjector(3, InjectionInterval(60, 160)).inject(
+            values, labels, rng
+        )
+        early = np.abs(values[3, 0, 60:70] - baseline[3, 0, 60:70]).mean()
+        late = np.abs(values[3, 0, 150:160] - baseline[3, 0, 150:160]).mean()
+        assert late > early
+
+    def test_drifted_portion_decorrelates(self, unit_series, rng):
+        values, labels = unit_series
+        ConceptDriftInjector(3, InjectionInterval(60, 160), intensity=1.0).inject(
+            values, labels, rng
+        )
+        window = values[:, 0, 130:155]
+        assert kcd(window[3], window[0], max_delay=5) < 0.75
+
+    def test_labels_cover_whole_interval(self, unit_series, rng):
+        values, labels = unit_series
+        ConceptDriftInjector(3, InjectionInterval(60, 160)).inject(
+            values, labels, rng
+        )
+        assert labels[3, 60:160].all()
+        assert not labels[3, :60].any()
+
+
+class TestShiftSeries:
+    def test_positive_delay(self, unit_series):
+        values, _ = unit_series
+        shifted = shift_database_series(values, 1, 3)
+        assert np.allclose(shifted[1, :, 3:], values[1, :, :-3])
+        assert np.allclose(shifted[0], values[0])
+
+    def test_negative_delay(self, unit_series):
+        values, _ = unit_series
+        shifted = shift_database_series(values, 1, -3)
+        assert np.allclose(shifted[1, :, :-3], values[1, :, 3:])
+
+    def test_kcd_recovers_shifted_series(self, unit_series):
+        values, _ = unit_series
+        shifted = shift_database_series(values, 1, 4)
+        window = shifted[:, 0, 50:90]
+        assert kcd(window[1], window[0], max_delay=6) > 0.95
+
+    def test_validation(self, unit_series):
+        values, _ = unit_series
+        with pytest.raises(IndexError):
+            shift_database_series(values, 9, 1)
+        with pytest.raises(ValueError):
+            shift_database_series(values, 0, 200)

@@ -1,0 +1,181 @@
+"""Unit tests for the simulation injectors and the anomaly catalog."""
+
+import numpy as np
+import pytest
+
+from repro.anomalies import (
+    FragmentationInjector,
+    LoadBalanceDefectInjector,
+    SlowQueryInjector,
+    StallInjector,
+    TemporalFluctuationInjector,
+    schedule_anomalies,
+)
+from repro.anomalies.base import InjectionInterval, SimulationInjector
+from repro.cluster import BypassMonitor, MonitorSettings, Unit
+from repro.cluster.kpis import KPI_INDEX
+from repro.workloads import FlatPattern, StatementProfile, mixes_from_rates
+
+
+@pytest.fixture
+def steady_mixes(rng):
+    rates = FlatPattern(2000.0, noise=0.05).sample(120, rng)
+    return mixes_from_rates(rates, StatementProfile())
+
+
+def _collect(injector, mixes, seed=0):
+    unit = Unit("u", n_databases=4, seed=seed)
+    monitor = BypassMonitor(unit, MonitorSettings(max_collection_delay=0), seed=1)
+    return monitor.collect(mixes, injectors=[injector])
+
+
+class TestSlowQuery:
+    def test_cpu_inflates_during_interval(self, steady_mixes):
+        injector = SlowQueryInjector(
+            1, InjectionInterval(40, 80), cpu_factor=2.5, rows_factor=3.0, seed=2
+        )
+        values = _collect(injector, steady_mixes)
+        cpu = KPI_INDEX["cpu_utilization"]
+        during = values[1, cpu, 45:75].mean() / values[0, cpu, 45:75].mean()
+        before = values[1, cpu, 5:35].mean() / values[0, cpu, 5:35].mean()
+        assert during > 1.4 * before
+
+    def test_effects_removed_after_interval(self, steady_mixes):
+        injector = SlowQueryInjector(1, InjectionInterval(40, 80), seed=2)
+        values = _collect(injector, steady_mixes)
+        cpu = KPI_INDEX["cpu_utilization"]
+        after = values[1, cpu, 90:115].mean() / values[0, cpu, 90:115].mean()
+        assert after == pytest.approx(1.0, abs=0.25)
+
+    def test_labels_mark_victim_only(self):
+        injector = SlowQueryInjector(1, InjectionInterval(40, 80))
+        labels = injector.labels(4, 120)
+        assert labels[1, 40:80].all()
+        assert labels.sum() == 40
+
+    def test_neutral_factors_rejected(self):
+        with pytest.raises(ValueError):
+            SlowQueryInjector(1, InjectionInterval(0, 10), cpu_factor=1.0,
+                              rows_factor=1.0)
+
+
+class TestStall:
+    def test_throughput_collapses(self, steady_mixes):
+        injector = StallInjector(
+            2, InjectionInterval(40, 80), residual_throughput=0.1, seed=3
+        )
+        values = _collect(injector, steady_mixes)
+        total = KPI_INDEX["total_requests"]
+        during = values[2, total, 45:75].mean()
+        peers = values[0, total, 45:75].mean()
+        assert during < 0.5 * peers
+
+    def test_recovery(self, steady_mixes):
+        injector = StallInjector(2, InjectionInterval(40, 80), seed=3)
+        values = _collect(injector, steady_mixes)
+        total = KPI_INDEX["total_requests"]
+        after = values[2, total, 90:115].mean() / values[0, total, 90:115].mean()
+        assert after == pytest.approx(1.0, abs=0.2)
+
+
+class TestFragmentation:
+    def test_capacity_diverges(self, steady_mixes):
+        injector = FragmentationInjector(
+            1, InjectionInterval(30, 100), leak_bytes_per_tick=8e7, seed=4
+        )
+        values = _collect(injector, steady_mixes)
+        capacity = KPI_INDEX["real_capacity"]
+        victim_growth = values[1, capacity, 105] - values[1, capacity, 25]
+        peer_growth = values[0, capacity, 105] - values[0, capacity, 25]
+        assert victim_growth > 2.0 * max(peer_growth, 1.0)
+
+    def test_page_io_inflates(self, steady_mixes):
+        injector = FragmentationInjector(
+            1, InjectionInterval(30, 100), leak_bytes_per_tick=8e7, seed=4
+        )
+        values = _collect(injector, steady_mixes)
+        bufferpool = KPI_INDEX["bufferpool_read_requests"]
+        late = values[1, bufferpool, 80:100].mean() / values[0, bufferpool, 80:100].mean()
+        assert late > 1.2
+
+
+class TestLoadBalanceDefect:
+    def test_victim_floods(self, steady_mixes):
+        injector = LoadBalanceDefectInjector(
+            3, InjectionInterval(40, 90), skew=0.5
+        )
+        values = _collect(injector, steady_mixes)
+        rps = KPI_INDEX["requests_per_second"]
+        during = values[3, rps, 50:85].mean()
+        peers = np.mean([values[d, rps, 50:85].mean() for d in range(3)])
+        assert during > 1.5 * peers
+
+    def test_balancer_restored_after(self, steady_mixes):
+        injector = LoadBalanceDefectInjector(3, InjectionInterval(40, 90), skew=0.5)
+        unit = Unit("u", n_databases=4, seed=0)
+        original = unit.balancer
+        monitor = BypassMonitor(unit, MonitorSettings(max_collection_delay=0), seed=1)
+        monitor.collect(steady_mixes, injectors=[injector])
+        assert unit.balancer is original
+
+
+class TestFluctuations:
+    def test_labels_are_all_false(self):
+        injector = TemporalFluctuationInjector(seed=0)
+        assert not injector.labels(5, 200).any()
+
+    def test_pulses_touch_cpu_only_briefly(self, steady_mixes):
+        injector = TemporalFluctuationInjector(
+            pulse_probability=0.3, pulse_cpu=20.0, pulse_duration=2, seed=5
+        )
+        values = _collect(injector, steady_mixes)
+        cpu = KPI_INDEX["cpu_utilization"]
+        spread = values[:, cpu, :].std(axis=0).max()
+        assert spread > 2.0  # some tick shows a cross-database CPU gap
+
+
+class TestCatalog:
+    def test_target_ratio_roughly_met(self, rng):
+        plan = schedule_anomalies(5, 3000, rng=rng, abnormal_ratio=0.04)
+        assert plan.abnormal_ratio == pytest.approx(0.04, abs=0.015)
+
+    def test_events_do_not_overlap(self, rng):
+        plan = schedule_anomalies(5, 3000, rng=rng, abnormal_ratio=0.05)
+        spans = sorted(
+            (interval.start, interval.end) for _, _, interval in plan.events
+        )
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_events_cover_both_halves(self, rng):
+        plan = schedule_anomalies(5, 4000, rng=rng, abnormal_ratio=0.04)
+        starts = [interval.start for _, _, interval in plan.events]
+        assert any(s < 2000 for s in starts)
+        assert any(s >= 2000 for s in starts)
+
+    def test_kind_restriction(self, rng):
+        plan = schedule_anomalies(
+            5, 2000, rng=rng, abnormal_ratio=0.04, kinds=["spike"]
+        )
+        assert all(kind == "spike" for kind, _, _ in plan.events)
+        assert not plan.simulation_injectors[1:]  # only the fluctuation one
+
+    def test_unknown_kind_rejected(self, rng):
+        with pytest.raises(ValueError):
+            schedule_anomalies(5, 1000, rng=rng, kinds=["alien"])
+
+    def test_zero_ratio_yields_no_events(self, rng):
+        plan = schedule_anomalies(5, 1000, rng=rng, abnormal_ratio=0.0)
+        assert plan.events == []
+        assert not plan.labels().any()
+
+    def test_fluctuations_optional(self, rng):
+        plan = schedule_anomalies(
+            5, 1000, rng=rng, abnormal_ratio=0.0, include_fluctuations=False
+        )
+        assert plan.simulation_injectors == []
+
+    def test_simulation_injectors_implement_protocol(self, rng):
+        plan = schedule_anomalies(5, 3000, rng=rng, abnormal_ratio=0.05)
+        for injector in plan.simulation_injectors:
+            assert isinstance(injector, SimulationInjector)

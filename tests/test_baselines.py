@@ -1,0 +1,179 @@
+"""Unit tests for the five baseline detectors and the threshold rule."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FFTDetector,
+    JumpStarterDetector,
+    OmniAnomalyDetector,
+    SRCNNDetector,
+    SRDetector,
+    ThresholdRule,
+)
+from repro.baselines.jumpstarter import omp_reconstruct, _dct_dictionary
+from repro.baselines.sr import saliency_map
+from repro.datasets import Dataset, build_unit_series
+
+
+@pytest.fixture(scope="module")
+def train_dataset():
+    units = tuple(
+        build_unit_series(profile="sysbench", n_ticks=300, seed=seed,
+                          abnormal_ratio=0.0, include_fluctuations=False)
+        for seed in (1, 2)
+    )
+    return Dataset(name="train", units=units)
+
+
+@pytest.fixture(scope="module")
+def spiky_unit():
+    return build_unit_series(
+        profile="sysbench", n_ticks=300, seed=77, abnormal_ratio=0.06,
+        anomaly_kinds=["spike"],
+    )
+
+
+class TestThresholdRule:
+    def test_per_kpi_k_of_m(self):
+        scores = np.zeros((2, 3, 40))
+        scores[0, 0, 5] = 9.0
+        scores[0, 1, 6] = 9.0
+        rule = ThresholdRule(window_size=20, threshold=5.0, k=2)
+        verdicts = rule.apply(scores)
+        assert verdicts[0, 0]
+        assert not verdicts[0, 1]
+        assert not verdicts[1].any()
+
+    def test_k_larger_than_hits_suppresses(self):
+        scores = np.zeros((1, 3, 20))
+        scores[0, 0, 5] = 9.0
+        rule = ThresholdRule(window_size=20, threshold=5.0, k=2)
+        assert not rule.apply(scores).any()
+
+    def test_2d_scores(self):
+        scores = np.zeros((2, 40))
+        scores[1, 30] = 9.0
+        rule = ThresholdRule(window_size=20, threshold=5.0)
+        verdicts = rule.apply(scores)
+        assert verdicts[1, 1]
+        assert not verdicts[0].any()
+
+    def test_mean_aggregation(self):
+        scores = np.zeros((1, 20))
+        scores[0, 5] = 10.0  # single point; mean over window = 0.5
+        sharp = ThresholdRule(window_size=20, threshold=1.0, aggregation="max")
+        smooth = ThresholdRule(window_size=20, threshold=1.0, aggregation="mean")
+        assert sharp.apply(scores).any()
+        assert not smooth.apply(scores).any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdRule(window_size=0, threshold=1.0)
+        with pytest.raises(ValueError):
+            ThresholdRule(window_size=10, threshold=1.0, k=0)
+        with pytest.raises(ValueError):
+            ThresholdRule(window_size=10, threshold=1.0, aggregation="median")
+
+
+class TestSaliencyMap:
+    def test_highlights_spike(self):
+        series = np.sin(np.linspace(0, 10, 200))
+        series[100] += 5.0
+        saliency = saliency_map(series)
+        assert np.argmax(saliency) in range(98, 103)
+
+    def test_short_series(self):
+        assert saliency_map(np.array([1.0, 2.0])).shape == (2,)
+
+
+class TestStatelessDetectors:
+    @pytest.mark.parametrize("factory", [FFTDetector, SRDetector])
+    def test_scores_shape(self, factory, train_dataset, spiky_unit):
+        detector = factory()
+        detector.fit(train_dataset)
+        scores = detector.score_unit(spiky_unit)
+        assert scores.shape == spiky_unit.values.shape
+
+    @pytest.mark.parametrize("factory", [FFTDetector, SRDetector])
+    def test_spikes_score_above_background(self, factory, train_dataset, spiky_unit):
+        detector = factory()
+        detector.fit(train_dataset)
+        scores = detector.score_unit(spiky_unit).max(axis=1)  # (D, T)
+        anomalous = scores[spiky_unit.labels]
+        normal = scores[~spiky_unit.labels]
+        assert anomalous.mean() > normal.mean()
+
+
+class TestSRCNN:
+    def test_requires_fit(self, spiky_unit):
+        with pytest.raises(RuntimeError):
+            SRCNNDetector(seed=0).score_unit(spiky_unit)
+
+    def test_scores_are_probabilities(self, train_dataset, spiky_unit):
+        detector = SRCNNDetector(seed=0, epochs=2, n_train_windows=64)
+        detector.fit(train_dataset)
+        scores = detector.score_unit(spiky_unit)
+        assert scores.shape == spiky_unit.values.shape
+        assert scores.min() >= 0.0
+        assert scores.max() <= 1.0
+
+    def test_learns_to_separate(self, train_dataset, spiky_unit):
+        detector = SRCNNDetector(seed=0, epochs=6)
+        detector.fit(train_dataset)
+        scores = detector.score_unit(spiky_unit).max(axis=1)
+        assert scores[spiky_unit.labels].mean() > scores[~spiky_unit.labels].mean()
+
+
+class TestOmniAnomaly:
+    def test_requires_fit(self, spiky_unit):
+        with pytest.raises(RuntimeError):
+            OmniAnomalyDetector(seed=0).score_unit(spiky_unit)
+
+    def test_scores_shape_multivariate(self, train_dataset, spiky_unit):
+        detector = OmniAnomalyDetector(seed=0, epochs=1, n_train_windows=48)
+        detector.fit(train_dataset)
+        scores = detector.score_unit(spiky_unit)
+        assert scores.shape == (spiky_unit.n_databases, spiky_unit.n_ticks)
+        assert (scores >= 0).all()
+
+    def test_reconstruction_error_separates(self, train_dataset, spiky_unit):
+        detector = OmniAnomalyDetector(seed=0, epochs=3)
+        detector.fit(train_dataset)
+        scores = detector.score_unit(spiky_unit)
+        assert scores[spiky_unit.labels].mean() > scores[~spiky_unit.labels].mean()
+
+
+class TestJumpStarter:
+    def test_omp_reconstructs_smooth_signal(self):
+        length = 40
+        t = np.arange(length)
+        signal = np.cos(2 * np.pi * 2 * (t + 0.5) / length)
+        dictionary = _dct_dictionary(length)
+        samples = np.arange(0, length, 2)
+        reconstruction = omp_reconstruct(
+            signal[samples], samples, dictionary, n_atoms=4
+        )
+        assert np.abs(reconstruction - signal).max() < 0.05
+
+    def test_requires_fit(self, spiky_unit):
+        with pytest.raises(RuntimeError):
+            JumpStarterDetector(seed=0).score_unit(spiky_unit)
+
+    def test_scores_shape(self, train_dataset, spiky_unit):
+        detector = JumpStarterDetector(seed=0)
+        detector.fit(train_dataset)
+        scores = detector.score_unit(spiky_unit)
+        assert scores.shape == (spiky_unit.n_databases, spiky_unit.n_ticks)
+
+    def test_residual_separates(self, train_dataset, spiky_unit):
+        detector = JumpStarterDetector(seed=0)
+        detector.fit(train_dataset)
+        scores = detector.score_unit(spiky_unit)
+        assert scores[spiky_unit.labels].mean() > scores[~spiky_unit.labels].mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JumpStarterDetector(sample_fraction=0.0)
+        with pytest.raises(ValueError):
+            JumpStarterDetector(window=4)

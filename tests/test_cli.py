@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "out.npz"])
+        assert args.family == "tencent"
+        assert args.units == 4
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "x.npz", "--family", "db2"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "CPU Utilization" in out
+        assert "default config" in out
+
+    def test_simulate_then_detect_roundtrip(self, tmp_path, capsys):
+        archive = tmp_path / "tiny.npz"
+        assert main([
+            "simulate", str(archive),
+            "--family", "sysbench", "--units", "2", "--ticks", "300",
+            "--seed", "9",
+        ]) == 0
+        assert archive.exists()
+        capsys.readouterr()
+
+        assert main(["detect", str(archive), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "F-Measure=" in out
+
+    def test_detect_with_alpha_override(self, tmp_path, capsys):
+        archive = tmp_path / "tiny.npz"
+        main([
+            "simulate", str(archive),
+            "--family", "sysbench", "--units", "2", "--ticks", "300",
+            "--seed", "9",
+        ])
+        capsys.readouterr()
+        assert main(["detect", str(archive), "--alpha", "0.85"]) == 0
+        out = capsys.readouterr().out
+        assert "Precision=" in out

@@ -1,0 +1,59 @@
+"""Tests for the Table II KPI registry and the simulated UKPIC structure."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import unit_correlation_summary
+from repro.cluster.kpis import KPI_INDEX, KPI_NAMES, KPI_REGISTRY
+
+
+class TestRegistry:
+    def test_fourteen_kpis(self):
+        assert len(KPI_REGISTRY) == 14
+        assert len(KPI_NAMES) == 14
+
+    def test_index_matches_order(self):
+        for position, name in enumerate(KPI_NAMES):
+            assert KPI_INDEX[name] == position
+
+    def test_table2_rr_only_rows(self):
+        rr_only = {
+            kpi.name for kpi in KPI_REGISTRY if kpi.correlation_type == ("R-R",)
+        }
+        assert rr_only == {
+            "com_insert",
+            "com_update",
+            "innodb_rows_deleted",
+            "innodb_rows_inserted",
+            "transactions_per_second",
+        }
+
+    def test_capacity_is_cumulative(self):
+        registry = {kpi.name: kpi for kpi in KPI_REGISTRY}
+        assert registry["real_capacity"].cumulative
+        assert not registry["cpu_utilization"].cumulative
+
+    def test_display_names_match_paper(self):
+        registry = {kpi.name: kpi for kpi in KPI_REGISTRY}
+        assert registry["requests_per_second"].display_name == "Requests Per Second"
+        assert registry["innodb_rows_updated"].display_name == "Innodb Row Updated"
+
+
+class TestSimulatedUKPIC:
+    """The simulator must reproduce Table II's correlation structure."""
+
+    def test_correlation_types_match_table2(self, clean_unit):
+        summaries = unit_correlation_summary(
+            clean_unit.values[:, :, 50:], KPI_NAMES, primary=0, max_delay=10
+        )
+        by_name = {s.kpi: s for s in summaries}
+        for kpi in KPI_REGISTRY:
+            summary = by_name[kpi.name]
+            # R-R correlation holds for every Table II KPI.
+            assert summary.mean_rr > 0.7, f"{kpi.name} lost its R-R correlation"
+            if kpi.primary_correlated:
+                assert summary.mean_pr > 0.7, f"{kpi.name} lost its P-R correlation"
+            else:
+                assert summary.mean_pr < summary.mean_rr, (
+                    f"{kpi.name} should correlate more weakly with the primary"
+                )

@@ -1,0 +1,102 @@
+"""Unit tests for the bypass monitor and the cluster container."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster, GlobalTransactionManager
+from repro.cluster.kpis import KPI_NAMES
+from repro.cluster.monitor import BypassMonitor, MonitorSettings
+from repro.cluster.requests import RequestMix
+from repro.cluster.unit import Unit
+
+
+@pytest.fixture
+def mixes():
+    rates = 2000.0 + 500.0 * np.sin(np.linspace(0, 6, 40))
+    return [RequestMix(selects=r, transactions=r / 10) for r in rates]
+
+
+class TestMonitorSettings:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonitorSettings(interval_seconds=0)
+        with pytest.raises(ValueError):
+            MonitorSettings(max_collection_delay=-1)
+        with pytest.raises(ValueError):
+            MonitorSettings(dropout_probability=1.0)
+
+
+class TestBypassMonitor:
+    def test_collect_shape(self, mixes):
+        unit = Unit("u", n_databases=4, seed=0)
+        monitor = BypassMonitor(unit, seed=1)
+        values = monitor.collect(mixes)
+        assert values.shape == (4, len(KPI_NAMES), len(mixes))
+
+    def test_delays_shift_reported_series(self, mixes):
+        unit = Unit("u", n_databases=3, seed=0)
+        settings = MonitorSettings(max_collection_delay=3)
+        monitor = BypassMonitor(unit, settings, seed=2)
+        raw_unit = Unit("u", n_databases=3, seed=0)
+        raw = raw_unit.run(mixes)
+        reported = monitor.collect(mixes)
+        for db in range(3):
+            delay = int(monitor.delays[db])
+            if delay:
+                assert np.allclose(
+                    reported[db, :, delay:], raw[db, :, : len(mixes) - delay]
+                )
+            else:
+                assert np.allclose(reported[db], raw[db])
+
+    def test_zero_delay_setting(self, mixes):
+        unit = Unit("u", n_databases=3, seed=0)
+        monitor = BypassMonitor(unit, MonitorSettings(max_collection_delay=0), seed=2)
+        assert (monitor.delays == 0).all()
+
+    def test_injectors_called_each_tick(self, mixes):
+        calls = []
+
+        class Spy:
+            def before_tick(self, unit, tick):
+                calls.append(tick)
+
+        unit = Unit("u", n_databases=3, seed=0)
+        BypassMonitor(unit, seed=1).collect(mixes, injectors=[Spy()])
+        assert calls == list(range(len(mixes)))
+
+    def test_dropout_repeats_previous_value(self, mixes):
+        unit = Unit("u", n_databases=3, seed=0)
+        settings = MonitorSettings(max_collection_delay=0, dropout_probability=0.5)
+        reported = BypassMonitor(unit, settings, seed=3).collect(mixes)
+        repeats = sum(
+            np.array_equal(reported[0, :, t], reported[0, :, t - 1])
+            for t in range(1, len(mixes))
+        )
+        assert repeats > 0
+
+
+class TestCluster:
+    def test_gtm_split_preserves_total(self):
+        gtm = GlobalTransactionManager(3, seed=0)
+        mix = RequestMix(selects=3000, transactions=300)
+        shares = gtm.split(mix)
+        assert sum(s.selects for s in shares) == pytest.approx(3000, rel=0.1)
+
+    def test_gtm_weights(self):
+        gtm = GlobalTransactionManager(2, weights=[3.0, 1.0], jitter=0.0, seed=0)
+        shares = gtm.split(RequestMix(selects=4000))
+        assert shares[0].selects == pytest.approx(3000)
+
+    def test_cluster_run_layout(self, mixes):
+        units = [Unit(f"u{i}", n_databases=3, seed=i) for i in range(2)]
+        cluster = Cluster(units, GlobalTransactionManager(2, jitter=0.0, seed=0))
+        series = cluster.run(mixes)
+        assert set(series) == {"u0", "u1"}
+        assert series["u0"].shape == (3, len(KPI_NAMES), len(mixes))
+
+    def test_unit_lookup(self):
+        cluster = Cluster([Unit("alpha", n_databases=2, seed=0)])
+        assert cluster.unit_by_name("alpha").name == "alpha"
+        with pytest.raises(KeyError):
+            cluster.unit_by_name("beta")

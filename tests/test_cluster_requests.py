@@ -1,0 +1,62 @@
+"""Unit tests for request mixes."""
+
+import pytest
+
+from repro.cluster.requests import RequestMix
+
+
+@pytest.fixture
+def mix():
+    return RequestMix(
+        selects=800, inserts=70, updates=100, deletes=30, transactions=100
+    )
+
+
+class TestRequestMix:
+    def test_totals(self, mix):
+        assert mix.writes == 200
+        assert mix.total == 1000
+
+    def test_scaled(self, mix):
+        half = mix.scaled(0.5)
+        assert half.selects == 400
+        assert half.transactions == 50
+        assert half.rows_per_select == mix.rows_per_select
+
+    def test_negative_scale_rejected(self, mix):
+        with pytest.raises(ValueError):
+            mix.scaled(-1.0)
+
+    def test_reads_only(self, mix):
+        reads = mix.reads_only()
+        assert reads.selects == 800
+        assert reads.writes == 0
+        assert reads.transactions == 0
+
+    def test_writes_only(self, mix):
+        writes = mix.writes_only()
+        assert writes.selects == 0
+        assert writes.writes == 200
+        assert writes.transactions == 100
+
+    def test_combined_counts(self, mix):
+        double = mix.combined(mix)
+        assert double.total == 2000
+        assert double.transactions == 200
+
+    def test_combined_weights_row_parameters(self):
+        light = RequestMix(selects=100, rows_per_select=10.0)
+        heavy = RequestMix(selects=300, rows_per_select=30.0)
+        merged = light.combined(heavy)
+        assert merged.rows_per_select == pytest.approx(25.0)
+
+    def test_combined_with_empty(self, mix):
+        merged = mix.combined(RequestMix())
+        assert merged.total == mix.total
+        assert merged.rows_per_select == mix.rows_per_select
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            RequestMix(selects=-1)
+        with pytest.raises(ValueError):
+            RequestMix(rows_per_select=0)

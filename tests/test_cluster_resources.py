@@ -1,0 +1,97 @@
+"""Unit tests for the database resource model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.kpis import KPI_INDEX, KPI_NAMES
+from repro.cluster.requests import RequestMix
+from repro.cluster.resources import DatabaseCondition, ResourceModel
+
+
+@pytest.fixture
+def model():
+    return ResourceModel(noise_scale=0.0)
+
+
+@pytest.fixture
+def mix():
+    return RequestMix(
+        selects=4000, inserts=300, updates=500, deletes=200, transactions=500
+    )
+
+
+class TestResourceModel:
+    def test_kpi_vector_shape(self, model, mix, rng):
+        values = model.compute_kpis(mix, DatabaseCondition(), rng)
+        assert values.shape == (len(KPI_NAMES),)
+        assert (values >= 0).all()
+
+    def test_counters_match_mix(self, model, mix, rng):
+        values = model.compute_kpis(mix, DatabaseCondition(), rng)
+        assert values[KPI_INDEX["com_insert"]] == pytest.approx(300)
+        assert values[KPI_INDEX["com_update"]] == pytest.approx(500)
+        assert values[KPI_INDEX["innodb_rows_deleted"]] == pytest.approx(200)
+        assert values[KPI_INDEX["total_requests"]] == pytest.approx(5000)
+
+    def test_rates_divide_by_interval(self, model, mix, rng):
+        values = model.compute_kpis(mix, DatabaseCondition(), rng)
+        assert values[KPI_INDEX["requests_per_second"]] == pytest.approx(1000)
+        assert values[KPI_INDEX["transactions_per_second"]] == pytest.approx(100)
+
+    def test_cpu_monotone_in_load(self, model, mix, rng):
+        low = model.compute_kpis(mix, DatabaseCondition(), rng)
+        high = model.compute_kpis(mix.scaled(4.0), DatabaseCondition(), rng)
+        assert high[KPI_INDEX["cpu_utilization"]] > low[KPI_INDEX["cpu_utilization"]]
+
+    def test_cpu_saturates_at_100(self, model, mix, rng):
+        values = model.compute_kpis(mix.scaled(1000.0), DatabaseCondition(), rng)
+        assert values[KPI_INDEX["cpu_utilization"]] <= 100.0
+
+    def test_capacity_integrates_inserts_minus_deletes(self, model, rng):
+        condition = DatabaseCondition(stored_bytes=1e9)
+        grow = RequestMix(inserts=1000, bytes_per_row=100.0)
+        model.compute_kpis(grow, condition, rng)
+        assert condition.stored_bytes == pytest.approx(1e9 + 1000 * 100)
+
+    def test_deletes_leave_fragments(self, model, rng):
+        condition = DatabaseCondition(stored_bytes=1e9)
+        shrink = RequestMix(deletes=1000, bytes_per_row=100.0)
+        model.compute_kpis(shrink, condition, rng)
+        assert condition.stored_bytes == pytest.approx(1e9 - 1e5)
+        assert condition.fragmented_bytes > 0
+
+    def test_cpu_multiplier_condition(self, model, mix, rng):
+        base = model.compute_kpis(mix, DatabaseCondition(), rng)
+        hot = model.compute_kpis(mix, DatabaseCondition(cpu_multiplier=2.0), rng)
+        assert hot[KPI_INDEX["cpu_utilization"]] > base[KPI_INDEX["cpu_utilization"]]
+
+    def test_throughput_multiplier_scales_counters(self, model, mix, rng):
+        stalled = model.compute_kpis(
+            mix, DatabaseCondition(throughput_multiplier=0.1), rng
+        )
+        assert stalled[KPI_INDEX["total_requests"]] == pytest.approx(500)
+
+    def test_page_amplification(self, model, mix, rng):
+        base = model.compute_kpis(mix, DatabaseCondition(), rng)
+        fragmented = model.compute_kpis(
+            mix, DatabaseCondition(page_amplification=2.0), rng
+        )
+        assert fragmented[KPI_INDEX["bufferpool_read_requests"]] == pytest.approx(
+            2.0 * base[KPI_INDEX["bufferpool_read_requests"]]
+        )
+
+    def test_reset_effects(self):
+        condition = DatabaseCondition(
+            cpu_multiplier=3.0, capacity_leak_bytes=1e6, page_amplification=2.0
+        )
+        condition.stored_bytes = 42.0
+        condition.reset_effects()
+        assert condition.cpu_multiplier == 1.0
+        assert condition.capacity_leak_bytes == 0.0
+        assert condition.page_amplification == 1.0
+        assert condition.stored_bytes == 42.0  # storage persists
+
+    def test_noise_is_multiplicative_and_bounded(self, mix, rng):
+        noisy_model = ResourceModel(noise_scale=0.01)
+        values = noisy_model.compute_kpis(mix, DatabaseCondition(), rng)
+        assert values[KPI_INDEX["com_insert"]] == pytest.approx(300, rel=0.1)

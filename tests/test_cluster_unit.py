@@ -1,0 +1,141 @@
+"""Unit tests for databases, units and the load balancers."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.database import Database, DatabaseRole
+from repro.cluster.kpis import KPI_INDEX, KPI_NAMES
+from repro.cluster.loadbalancer import (
+    DefectiveBalancer,
+    UniformBalancer,
+    WeightedBalancer,
+)
+from repro.cluster.requests import RequestMix
+from repro.cluster.resources import ResourceModel
+from repro.cluster.unit import Unit
+
+
+@pytest.fixture
+def mix():
+    return RequestMix(
+        selects=5000, inserts=350, updates=500, deletes=150, transactions=500
+    )
+
+
+class TestBalancers:
+    def test_uniform_weights_sum_to_one(self, rng):
+        balancer = UniformBalancer()
+        weights = balancer.read_weights(0, 5, rng)
+        assert weights.shape == (5,)
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.allclose(weights, 0.2, atol=0.1)
+
+    def test_weighted_respects_base(self, rng):
+        balancer = WeightedBalancer([1.0, 1.0, 2.0], concentration=5000)
+        weights = np.mean(
+            [balancer.read_weights(t, 3, rng) for t in range(200)], axis=0
+        )
+        assert weights[2] == pytest.approx(0.5, abs=0.05)
+
+    def test_weighted_size_mismatch(self, rng):
+        balancer = WeightedBalancer([1.0, 1.0])
+        with pytest.raises(ValueError):
+            balancer.read_weights(0, 3, rng)
+
+    def test_defective_skews_victim(self, rng):
+        inner = UniformBalancer()
+        balancer = DefectiveBalancer(inner, victim=1, skew=0.5, start_tick=10)
+        before = np.mean(
+            [balancer.read_weights(t, 5, rng)[1] for t in range(10)]
+        )
+        during = np.mean(
+            [balancer.read_weights(t, 5, rng)[1] for t in range(10, 200)]
+        )
+        assert before == pytest.approx(0.2, abs=0.05)
+        assert during > 0.35
+
+    def test_defective_window(self, rng):
+        balancer = DefectiveBalancer(
+            UniformBalancer(), victim=0, skew=0.5, start_tick=5, end_tick=10
+        )
+        assert not balancer.active(4)
+        assert balancer.active(5)
+        assert not balancer.active(10)
+
+    def test_defective_validation(self):
+        with pytest.raises(ValueError):
+            DefectiveBalancer(UniformBalancer(), victim=0, skew=1.5)
+        with pytest.raises(ValueError):
+            DefectiveBalancer(
+                UniformBalancer(), victim=0, skew=0.4, start_tick=5, end_tick=5
+            )
+
+
+class TestDatabase:
+    def test_replica_requires_replication(self, mix, rng):
+        replica = Database(
+            "r", DatabaseRole.REPLICA, ResourceModel(noise_scale=0.0),
+            np.random.default_rng(0), replication_lag=1,
+        )
+        first = replica.process_tick(mix.reads_only())
+        # No writes have replicated yet: write counters must be zero.
+        assert first[KPI_INDEX["com_insert"]] == 0.0
+
+    def test_replication_arrives_after_lag(self, mix, rng):
+        replica = Database(
+            "r", DatabaseRole.REPLICA, ResourceModel(noise_scale=0.0),
+            np.random.default_rng(0), replication_lag=1,
+        )
+        writes = mix.writes_only()
+        replica.enqueue_replication(writes)
+        replica.process_tick(RequestMix())  # lag tick: nothing applied
+        replica.enqueue_replication(writes)
+        values = replica.process_tick(RequestMix())
+        assert values[KPI_INDEX["com_insert"]] == pytest.approx(mix.inserts)
+
+    def test_primary_rejects_replication(self, mix):
+        primary = Database(
+            "p", DatabaseRole.PRIMARY, ResourceModel(), np.random.default_rng(0)
+        )
+        with pytest.raises(RuntimeError):
+            primary.enqueue_replication(mix)
+
+
+class TestUnit:
+    def test_step_shape(self, mix):
+        unit = Unit("u", n_databases=5, seed=0)
+        values = unit.step(mix)
+        assert values.shape == (5, len(KPI_NAMES))
+
+    def test_run_layout(self, mix):
+        unit = Unit("u", n_databases=4, seed=0)
+        series = unit.run([mix] * 10)
+        assert series.shape == (4, len(KPI_NAMES), 10)
+        assert unit.tick == 10
+
+    def test_reads_are_split_but_writes_are_replicated(self, mix):
+        unit = Unit("u", n_databases=5, seed=0)
+        series = unit.run([mix] * 8)
+        rows_read = series[:, KPI_INDEX["innodb_rows_read"], -1]
+        # Each database handles ~1/5 of the reads.
+        assert rows_read.sum() == pytest.approx(
+            mix.selects * mix.rows_per_select, rel=0.1
+        )
+        # Every replica eventually applies every insert.
+        inserts = series[1:, KPI_INDEX["com_insert"], -1]
+        assert np.allclose(inserts, mix.inserts, rtol=0.05)
+
+    def test_primary_is_database_zero(self):
+        unit = Unit("u", n_databases=3, seed=0)
+        assert unit.primary is unit.databases[0]
+        assert unit.primary.is_primary
+        assert all(not r.is_primary for r in unit.replicas)
+
+    def test_minimum_two_databases(self):
+        with pytest.raises(ValueError):
+            Unit("u", n_databases=1)
+
+    def test_deterministic_given_seed(self, mix):
+        a = Unit("u", n_databases=3, seed=9).run([mix] * 5)
+        b = Unit("u", n_databases=3, seed=9).run([mix] * 5)
+        assert np.array_equal(a, b)

@@ -1,0 +1,87 @@
+"""Unit tests for DBCatcherConfig validation and helpers."""
+
+import pytest
+
+from repro.core.config import ALPHA_RANGE, DBCatcherConfig
+
+
+class TestDefaults:
+    def test_default_alphas_fill_in(self):
+        config = DBCatcherConfig(kpi_names=("a", "b", "c"))
+        assert len(config.alphas) == 3
+        assert all(ALPHA_RANGE[0] <= a <= ALPHA_RANGE[1] for a in config.alphas)
+
+    def test_window_step_defaults_to_initial_window(self):
+        config = DBCatcherConfig(kpi_names=("a",), initial_window=17, max_window=60)
+        assert config.window_step == 17
+
+    def test_n_kpis(self):
+        assert DBCatcherConfig(kpi_names=("a", "b")).n_kpis == 2
+
+
+class TestValidation:
+    def test_empty_kpis_rejected(self):
+        with pytest.raises(ValueError):
+            DBCatcherConfig(kpi_names=())
+
+    def test_alpha_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DBCatcherConfig(kpi_names=("a", "b"), alphas=(0.7,))
+
+    def test_alpha_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            DBCatcherConfig(kpi_names=("a",), alphas=(1.5,))
+
+    def test_max_window_below_initial_rejected(self):
+        with pytest.raises(ValueError):
+            DBCatcherConfig(kpi_names=("a",), initial_window=20, max_window=10)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            DBCatcherConfig(kpi_names=("a",), max_tolerance_deviations=-1)
+
+    def test_bad_aggregation_rejected(self):
+        with pytest.raises(ValueError):
+            DBCatcherConfig(kpi_names=("a",), peer_aggregation="mode")
+
+    def test_rr_only_requires_primary(self):
+        with pytest.raises(ValueError):
+            DBCatcherConfig(kpi_names=("a",), rr_only_kpis=("a",))
+
+    def test_rr_only_must_be_known_kpi(self):
+        with pytest.raises(ValueError):
+            DBCatcherConfig(
+                kpi_names=("a",), rr_only_kpis=("zzz",), primary_index=0
+            )
+
+    def test_bad_delay_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            DBCatcherConfig(kpi_names=("a",), max_delay_fraction=1.0)
+
+
+class TestHelpers:
+    def test_max_delay(self):
+        config = DBCatcherConfig(kpi_names=("a",), max_delay_fraction=0.5)
+        assert config.max_delay(20) == 10
+        assert config.max_delay(21) == 10
+
+    def test_alpha_for(self):
+        config = DBCatcherConfig(kpi_names=("a", "b"), alphas=(0.6, 0.8))
+        assert config.alpha_for("b") == 0.8
+        with pytest.raises(KeyError):
+            config.alpha_for("zzz")
+
+    def test_with_thresholds(self):
+        config = DBCatcherConfig(kpi_names=("a", "b"))
+        tuned = config.with_thresholds([0.65, 0.75], 0.15, 1)
+        assert tuned.alphas == (0.65, 0.75)
+        assert tuned.theta == 0.15
+        assert tuned.max_tolerance_deviations == 1
+        assert tuned.initial_window == config.initial_window
+
+    def test_detection_latency(self):
+        config = DBCatcherConfig(
+            kpi_names=("a",), initial_window=20, interval_seconds=5.0
+        )
+        assert config.detection_latency_seconds() == 100.0
+        assert config.detection_latency_seconds(40) == 200.0

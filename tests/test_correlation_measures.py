@@ -1,0 +1,100 @@
+"""Unit tests for the Table X correlation measures and the MM framework."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.correlation import (
+    dtw_distance,
+    dtw_similarity,
+    make_mm_detector,
+    pearson_measure,
+    spearman_measure,
+)
+from repro.presets import default_config
+
+
+@pytest.fixture
+def sine():
+    return np.sin(np.linspace(0, 4 * np.pi, 50))
+
+
+class TestPearson:
+    def test_identical(self, sine):
+        assert pearson_measure(sine, sine) == pytest.approx(1.0)
+
+    def test_anticorrelated(self, sine):
+        assert pearson_measure(sine, -sine) == pytest.approx(-1.0)
+
+    def test_ignores_delay_argument(self, sine):
+        shifted = np.roll(sine, 5)
+        # Pearson cannot use the delay budget — that is the point.
+        assert pearson_measure(sine, shifted, 10) == pytest.approx(
+            pearson_measure(sine, shifted, None)
+        )
+
+    def test_shifted_scores_below_kcd(self, sine):
+        from repro.core.kcd import kcd
+
+        shifted = np.concatenate([sine[:4], sine[:-4]])
+        assert pearson_measure(sine, shifted) < kcd(sine, shifted, max_delay=6)
+
+    def test_flat_conventions(self):
+        flat = np.ones(10)
+        assert pearson_measure(flat, flat) == 1.0
+        assert pearson_measure(flat, np.arange(10.0)) == 0.0
+
+
+class TestSpearman:
+    def test_monotonic_transform_invariance(self, rng):
+        x = rng.standard_normal(40)
+        y = np.exp(x)  # monotone transform of x
+        assert spearman_measure(x, y) == pytest.approx(1.0)
+
+    def test_reversed_ranks(self):
+        x = np.arange(20.0)
+        assert spearman_measure(x, -x) == pytest.approx(-1.0)
+
+
+class TestDTW:
+    def test_zero_distance_for_identical(self, sine):
+        assert dtw_distance(sine, sine) == pytest.approx(0.0)
+
+    def test_warping_absorbs_shift(self, sine):
+        shifted = np.roll(sine, 3)
+        assert dtw_distance(sine, shifted, band=5) < np.linalg.norm(sine - shifted)
+
+    def test_length_mismatch_rejected(self, sine):
+        with pytest.raises(ValueError):
+            dtw_distance(sine, sine[:-1])
+
+    def test_similarity_bounds(self, sine, rng):
+        noise = rng.standard_normal(50)
+        assert dtw_similarity(sine, sine) == pytest.approx(1.0)
+        assert dtw_similarity(sine, noise, 5) <= 1.0
+
+
+class TestMMFramework:
+    def test_fixed_window_variant(self):
+        config = default_config(initial_window=15, max_window=45)
+        detector = make_mm_detector(config, 5, flexible_window=False)
+        assert detector.config.max_window == detector.config.initial_window
+
+    def test_flexible_variant_keeps_config(self):
+        config = default_config(initial_window=15, max_window=45)
+        detector = make_mm_detector(config, 5, flexible_window=True)
+        assert detector.config.max_window == 45
+
+    def test_custom_measure_is_used(self, tencent_unit):
+        config = default_config()
+        calls = []
+
+        def spy_measure(x, y, max_delay):
+            calls.append(max_delay)
+            return pearson_measure(x, y, max_delay)
+
+        detector = make_mm_detector(
+            config, tencent_unit.n_databases, measure=spy_measure,
+            flexible_window=False,
+        )
+        detector.detect_series(tencent_unit.values[:, :, :60])
+        assert calls  # the measure actually replaced the KCD

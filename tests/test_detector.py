@@ -1,0 +1,151 @@
+"""Unit tests for the streaming DBCatcher detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DBCatcherConfig
+from repro.core.detector import DBCatcher
+from repro.core.records import DatabaseState
+
+
+def _config(**overrides):
+    defaults = dict(
+        kpi_names=("cpu", "rps"),
+        initial_window=10,
+        max_window=30,
+    )
+    defaults.update(overrides)
+    return DBCatcherConfig(**defaults)
+
+
+def _correlated_series(n_dbs=4, n_ticks=100, seed=0):
+    rng = np.random.default_rng(seed)
+    trend = np.sin(np.linspace(0, 10, n_ticks)) + 2.0
+    values = np.stack(
+        [
+            np.stack([trend * (1 + 0.05 * d), 0.7 * trend])
+            + 0.01 * rng.standard_normal((2, n_ticks))
+            for d in range(n_dbs)
+        ]
+    )
+    return values  # (D, K, T)
+
+
+class TestStreaming:
+    def test_no_result_until_window_fills(self):
+        catcher = DBCatcher(_config(), n_databases=4)
+        series = _correlated_series()
+        for t in range(9):
+            assert catcher.ingest(series[:, :, t]) == []
+        results = catcher.ingest(series[:, :, 9])
+        assert len(results) == 1
+
+    def test_rounds_tile_the_stream(self):
+        catcher = DBCatcher(_config(), n_databases=4)
+        results = catcher.detect_series(_correlated_series(n_ticks=100))
+        assert results
+        assert results[0].start == 0
+        for prev, cur in zip(results, results[1:]):
+            assert cur.start == prev.end
+
+    def test_healthy_unit_yields_no_abnormal(self):
+        catcher = DBCatcher(_config(), n_databases=4)
+        results = catcher.detect_series(_correlated_series(n_ticks=100))
+        for result in results:
+            assert result.abnormal_databases == ()
+
+    def test_records_one_per_database(self):
+        catcher = DBCatcher(_config(), n_databases=4)
+        results = catcher.detect_series(_correlated_series(n_ticks=50))
+        for result in results:
+            assert set(result.records) == {0, 1, 2, 3}
+
+    def test_deviating_database_detected(self):
+        series = _correlated_series(n_ticks=100)
+        rng = np.random.default_rng(99)
+        series[2, :, 40:] = np.cumsum(rng.standard_normal((2, 60)), axis=1) + 10.0
+        catcher = DBCatcher(_config(), n_databases=4)
+        results = catcher.detect_series(series)
+        flagged = {db for r in results for db in r.abnormal_databases}
+        assert 2 in flagged
+        assert flagged <= {2}
+
+    def test_history_matches_results(self):
+        catcher = DBCatcher(_config(), n_databases=4)
+        results = catcher.detect_series(_correlated_series(n_ticks=60))
+        assert len(catcher.history) == sum(len(r.records) for r in results)
+
+    def test_average_window_size_defaults_to_initial(self):
+        catcher = DBCatcher(_config(), n_databases=4)
+        assert catcher.average_window_size() == 10.0
+
+    def test_two_databases_minimum(self):
+        with pytest.raises(ValueError):
+            DBCatcher(_config(), n_databases=1)
+
+    def test_bad_series_shape_rejected(self):
+        catcher = DBCatcher(_config(), n_databases=4)
+        with pytest.raises(ValueError):
+            catcher.detect_series(np.zeros((4, 10)))
+
+
+class TestExpansion:
+    def test_expansion_occurs_on_borderline_data(self):
+        # Slight deviation band: db 2 carries a modest extra wiggle that
+        # should trigger at least one "observable" expansion somewhere.
+        series = _correlated_series(n_ticks=200, seed=3)
+        rng = np.random.default_rng(5)
+        series[2, 0, :] *= 1.0 + 0.25 * np.sin(np.linspace(0, 40, 200)) \
+            + 0.05 * rng.standard_normal(200)
+        config = _config(theta=0.35)
+        catcher = DBCatcher(config, n_databases=4)
+        results = catcher.detect_series(series)
+        sizes = {r.window_size for r in results}
+        assert any(size > config.initial_window for size in sizes)
+
+    def test_window_never_exceeds_max(self):
+        series = _correlated_series(n_ticks=200, seed=3)
+        series[2, 0, :] *= 1.0 + 0.3 * np.sin(np.linspace(0, 40, 200))
+        config = _config(theta=0.4, max_window=30)
+        catcher = DBCatcher(config, n_databases=4)
+        for result in catcher.detect_series(series):
+            assert result.window_size <= 30
+
+
+class TestActiveMask:
+    def test_inactive_database_not_judged(self):
+        series = _correlated_series(n_ticks=50)
+        catcher = DBCatcher(
+            _config(), n_databases=4, active=[True, True, False, True]
+        )
+        results = catcher.detect_series(series)
+        for result in results:
+            assert 2 not in result.records
+
+    def test_fewer_than_two_active_idles(self):
+        series = _correlated_series(n_ticks=50)
+        catcher = DBCatcher(
+            _config(), n_databases=4, active=[True, False, False, False]
+        )
+        assert catcher.detect_series(series) == []
+
+    def test_set_active_applies_next_round(self):
+        series = _correlated_series(n_ticks=60)
+        catcher = DBCatcher(_config(), n_databases=4)
+        catcher.ingest_block(series[:, :, :20].transpose(2, 0, 1))
+        catcher.set_active([True, True, True, False])
+        results = catcher.ingest_block(series[:, :, 20:].transpose(2, 0, 1))
+        assert all(3 not in r.records for r in results)
+
+
+class TestConfigSwap:
+    def test_install_config(self):
+        catcher = DBCatcher(_config(), n_databases=4)
+        tuned = _config().with_thresholds([0.6, 0.6], 0.1, 1)
+        catcher.install_config(tuned)
+        assert catcher.config.alphas == (0.6, 0.6)
+
+    def test_kpi_count_must_match(self):
+        catcher = DBCatcher(_config(), n_databases=4)
+        with pytest.raises(ValueError):
+            catcher.install_config(DBCatcherConfig(kpi_names=("one",)))

@@ -1,0 +1,116 @@
+"""Edge-case tests for the streaming detector and window mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DBCatcherConfig
+from repro.core.detector import DBCatcher
+from repro.core.records import DatabaseState
+
+
+def _config(**overrides):
+    defaults = dict(kpi_names=("cpu",), initial_window=10, max_window=30)
+    defaults.update(overrides)
+    return DBCatcherConfig(**defaults)
+
+
+def _correlated(n_dbs, n_ticks, seed=0):
+    rng = np.random.default_rng(seed)
+    trend = np.sin(np.linspace(0, 8, n_ticks)) + 2.0
+    return np.stack(
+        [trend[None, :] + 0.01 * rng.standard_normal((1, n_ticks))
+         for _ in range(n_dbs)]
+    )
+
+
+class TestPartialData:
+    def test_leftover_tail_is_not_judged(self):
+        catcher = DBCatcher(_config(), n_databases=3)
+        catcher.detect_series(_correlated(3, 25))
+        # 25 ticks with W=10: two rounds, 5 leftover ticks unjudged.
+        assert len(catcher.results) == 2
+        assert catcher.results[-1].end == 20
+
+    def test_resume_after_partial(self):
+        series = _correlated(3, 25)
+        catcher = DBCatcher(_config(), n_databases=3)
+        catcher.detect_series(series)
+        more = catcher.detect_series(_correlated(3, 5, seed=1))
+        assert len(more) == 1
+        assert more[0].start == 20
+
+    def test_exact_window_boundary(self):
+        catcher = DBCatcher(_config(), n_databases=3)
+        results = catcher.detect_series(_correlated(3, 30))
+        assert [r.start for r in results] == [0, 10, 20]
+
+
+class TestDegenerateData:
+    def test_all_zero_series_is_healthy(self):
+        catcher = DBCatcher(_config(), n_databases=3)
+        results = catcher.detect_series(np.zeros((3, 1, 40)))
+        for result in results:
+            assert result.abnormal_databases == ()
+
+    def test_identical_databases_are_healthy(self):
+        trend = np.sin(np.linspace(0, 8, 40)) + 2.0
+        series = np.broadcast_to(trend, (3, 1, 40)).copy()
+        catcher = DBCatcher(_config(), n_databases=3)
+        for result in catcher.detect_series(series):
+            assert result.abnormal_databases == ()
+
+    def test_single_flat_database_is_abnormal(self):
+        series = _correlated(3, 40)
+        series[1] = 5.0  # stuck counter
+        catcher = DBCatcher(_config(), n_databases=3)
+        flagged = {
+            db for r in catcher.detect_series(series)
+            for db in r.abnormal_databases
+        }
+        assert flagged == {1}
+
+    def test_nan_free_pipeline_with_huge_values(self):
+        series = _correlated(3, 40) * 1e12
+        catcher = DBCatcher(_config(), n_databases=3)
+        results = catcher.detect_series(series)
+        assert results
+        for record in catcher.history:
+            assert record.state in (DatabaseState.HEALTHY, DatabaseState.ABNORMAL)
+
+
+class TestWindowExpansionAccounting:
+    def test_expanded_round_consumes_expanded_span(self):
+        # Force expansion by keeping one database in the level-2 band.
+        rng = np.random.default_rng(3)
+        n_ticks = 120
+        trend = np.sin(np.linspace(0, 12, n_ticks)) + 2.0
+        series = np.stack(
+            [trend[None, :] + 0.01 * rng.standard_normal((1, n_ticks))
+             for _ in range(3)]
+        )
+        series[2, 0] = trend * (1 + 0.3 * np.sin(np.linspace(0, 47, n_ticks)))
+        config = _config(theta=0.45, max_window=40)
+        catcher = DBCatcher(config, n_databases=3)
+        results = catcher.detect_series(series)
+        for prev, cur in zip(results, results[1:]):
+            assert cur.start == prev.end
+        expanded = [r for r in results if r.window_size > 10]
+        assert expanded, "this series must trigger at least one expansion"
+        for result in expanded:
+            record_sizes = {
+                rec.window_size for rec in result.records.values()
+            }
+            assert max(record_sizes) == result.window_size
+
+    def test_expansions_counted_in_records(self):
+        rng = np.random.default_rng(3)
+        n_ticks = 120
+        trend = np.sin(np.linspace(0, 12, n_ticks)) + 2.0
+        series = np.stack(
+            [trend[None, :] + 0.01 * rng.standard_normal((1, n_ticks))
+             for _ in range(3)]
+        )
+        series[2, 0] = trend * (1 + 0.3 * np.sin(np.linspace(0, 47, n_ticks)))
+        catcher = DBCatcher(_config(theta=0.45, max_window=40), n_databases=3)
+        catcher.detect_series(series)
+        assert any(rec.expansions > 0 for rec in catcher.history)

@@ -1,0 +1,161 @@
+"""Tests for the threshold search, experiment runner and table renderers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FFTDetector, SRDetector
+from repro.datasets import Dataset, build_unit_series, train_test_split
+from repro.eval.runner import (
+    MethodSummary,
+    TrialResult,
+    repeat,
+    run_baseline_trial,
+    run_dbcatcher_trial,
+    summarize,
+)
+from repro.eval.search import evaluate_rule, search_threshold_rule
+from repro.eval.metrics import DetectionScores
+from repro.eval.tables import (
+    render_performance_figure,
+    render_table,
+    render_timing_table,
+    render_window_table,
+)
+from repro.presets import default_config
+from repro.tuning import GeneticThresholdLearner
+
+
+@pytest.fixture(scope="module")
+def tiny_split():
+    units = tuple(
+        build_unit_series(profile="sysbench", n_ticks=400, seed=seed,
+                          abnormal_ratio=0.05)
+        for seed in (21, 22, 23)
+    )
+    return train_test_split(Dataset(name="tiny", units=units))
+
+
+class TestSearch:
+    def test_search_returns_valid_rule(self, tiny_split):
+        train, _ = tiny_split
+        detector = SRDetector()
+        detector.fit(train)
+        result = search_threshold_rule(
+            detector, train, n_candidates=20, rng=np.random.default_rng(0)
+        )
+        assert result.rule.window_size >= 20
+        assert 0.0 <= result.train_f_measure <= 1.0
+
+    def test_search_deterministic_given_rng(self, tiny_split):
+        train, _ = tiny_split
+        detector = FFTDetector()
+        detector.fit(train)
+        scores = detector.score_dataset(train)
+        a = search_threshold_rule(
+            detector, train, n_candidates=15,
+            rng=np.random.default_rng(5), scores_per_unit=scores,
+        )
+        b = search_threshold_rule(
+            detector, train, n_candidates=15,
+            rng=np.random.default_rng(5), scores_per_unit=scores,
+        )
+        assert a.rule == b.rule
+
+    def test_window_grid_too_large_rejected(self, tiny_split):
+        train, _ = tiny_split
+        detector = FFTDetector()
+        detector.fit(train)
+        with pytest.raises(ValueError):
+            search_threshold_rule(detector, train, window_grid=[10_000])
+
+    def test_evaluate_rule_scores(self, tiny_split):
+        train, _ = tiny_split
+        detector = FFTDetector()
+        detector.fit(train)
+        scores = detector.score_dataset(train)
+        result = search_threshold_rule(
+            detector, train, n_candidates=30,
+            rng=np.random.default_rng(1), scores_per_unit=scores,
+        )
+        replay = evaluate_rule(result.rule, scores, train)
+        assert replay.f_measure == pytest.approx(result.train_f_measure)
+
+
+class TestRunner:
+    def test_baseline_trial_fields(self, tiny_split):
+        train, test = tiny_split
+        trial = run_baseline_trial(
+            FFTDetector(), train, test,
+            rng=np.random.default_rng(0), n_candidates=15,
+        )
+        assert trial.method == "FFT"
+        assert trial.train_seconds > 0
+        assert trial.window_size >= 20
+
+    def test_dbcatcher_trial(self, tiny_split):
+        train, test = tiny_split
+        trial = run_dbcatcher_trial(
+            default_config(), train, test,
+            learner=GeneticThresholdLearner(population_size=4, n_iterations=2,
+                                            seed=0),
+        )
+        assert trial.method == "DBCatcher"
+        assert trial.window_size >= default_config().initial_window - 1e-9
+        assert 0.0 <= trial.scores.f_measure <= 1.0
+
+    def test_repeat_and_summarize(self):
+        def trial(rng):
+            f = float(rng.uniform(0.4, 0.6))
+            return TrialResult(
+                method="stub",
+                scores=DetectionScores(precision=f, recall=f, f_measure=f),
+                window_size=20.0,
+                train_seconds=1.0,
+            )
+
+        results = repeat(trial, n_trials=5, seed=0)
+        summary = summarize(results)
+        assert summary.n_trials == 5
+        assert summary.minimum.f_measure <= summary.mean.f_measure
+        assert summary.mean.f_measure <= summary.maximum.f_measure
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestTables:
+    @pytest.fixture
+    def summaries(self):
+        scores = DetectionScores(precision=0.8, recall=0.7, f_measure=0.75)
+        summary = MethodSummary(
+            method="DBCatcher", mean=scores, minimum=scores, maximum=scores,
+            window_size=20.0, train_seconds=12.5, n_trials=3,
+        )
+        return {"Tencent": [summary], "Sysbench": [summary]}
+
+    def test_render_table_alignment(self):
+        text = render_table(["A", "Blong"], [[1, 2.5], ["xy", 3.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "Blong" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_table_row_width_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["A"], [[1, 2]])
+
+    def test_performance_figure(self, summaries):
+        text = render_performance_figure(summaries, "Figure 8")
+        assert "Figure 8" in text
+        assert "DBCatcher" in text
+        assert "75.0" in text
+
+    def test_window_table(self, summaries):
+        text = render_window_table(summaries, "Table V")
+        assert "Tencent" in text and "Sysbench" in text
+        assert "20" in text
+
+    def test_timing_table(self, summaries):
+        text = render_timing_table(summaries, "Table VI")
+        assert "12.5" in text

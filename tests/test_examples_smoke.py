@@ -1,0 +1,53 @@
+"""Smoke tests: the example scripts must run and tell their story."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(_EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "detection rounds:" in out
+        assert "F-Measure" in out
+
+    def test_case_fragmentation(self):
+        out = _run("case_fragmentation.py")
+        assert "<-" in out  # the trend panel highlights the victim
+        assert "abnormal" in out
+
+    def test_case_hot_database(self):
+        out = _run("case_hot_database.py")
+        assert "CPU" in out
+        assert "flagged D1 abnormal" in out
+
+    def test_defective_load_balancer(self):
+        out = _run("defective_load_balancer.py")
+        assert "DEFECT LIVE" in out
+        assert "abnormal" in out
+
+    def test_root_cause_diagnosis(self):
+        out = _run("root_cause_diagnosis.py")
+        assert "slow_queries" in out
+        assert "storage_fragmentation" in out
+        assert "throughput_stall" in out
+
+    def test_hybrid_ensemble(self):
+        out = _run("hybrid_ensemble.py")
+        assert "correlation arm fired: False" in out
+        assert "hybrid verdict:        True" in out

@@ -1,0 +1,183 @@
+"""Tests for the future-work extensions: diagnosis and the hybrid ensemble."""
+
+import numpy as np
+import pytest
+
+from repro import DBCatcher
+from repro.anomalies import (
+    FragmentationInjector,
+    LoadBalanceDefectInjector,
+    SlowQueryInjector,
+    StallInjector,
+)
+from repro.anomalies.base import InjectionInterval
+from repro.baselines import SRDetector, ThresholdRule
+from repro.cluster import BypassMonitor, MonitorSettings, Unit
+from repro.core.diagnosis import diagnose_record
+from repro.core.records import DatabaseState, JudgementRecord
+from repro.datasets import Dataset, UnitSeries, build_unit_series
+from repro.ensemble import HybridDetector
+from repro.presets import default_config
+from repro.workloads import FlatPattern, StatementProfile, mixes_from_rates
+
+
+def _incident_records(injector, seed=0):
+    """Run one injected incident; return the victim's abnormal records.
+
+    Returns
+    -------
+    (records, values, kpi_names) so callers can run directional diagnosis.
+    """
+    rng = np.random.default_rng(seed)
+    rates = FlatPattern(3000.0, noise=0.05).sample(200, rng)
+    mixes = mixes_from_rates(rates, StatementProfile())
+    unit = Unit("diag", n_databases=5, seed=seed)
+    monitor = BypassMonitor(unit, MonitorSettings(max_collection_delay=1), seed=1)
+    values = monitor.collect(mixes, injectors=[injector])
+    config = default_config().with_thresholds([0.8] * 14, 0.12, 2)
+    catcher = DBCatcher(config, n_databases=5)
+    catcher.detect_series(values)
+    records = [
+        r for r in catcher.history
+        if r.state is DatabaseState.ABNORMAL and r.database == injector.victim
+    ]
+    return records, values, config.kpi_names
+
+
+class TestDiagnosis:
+    @pytest.mark.parametrize(
+        "injector,expected",
+        [
+            (
+                SlowQueryInjector(1, InjectionInterval(60, 140),
+                                  cpu_factor=2.5, rows_factor=3.5, seed=5),
+                "slow_queries",
+            ),
+            (
+                FragmentationInjector(2, InjectionInterval(60, 160),
+                                      leak_bytes_per_tick=9e7, seed=6),
+                "storage_fragmentation",
+            ),
+            (
+                StallInjector(3, InjectionInterval(60, 120),
+                              residual_throughput=0.1, seed=7),
+                "throughput_stall",
+            ),
+        ],
+        ids=["slow-query", "fragmentation", "stall"],
+    )
+    def test_signature_matches_true_cause(self, injector, expected):
+        records, values, kpi_names = _incident_records(injector)
+        assert records, "the incident must be detected before diagnosis"
+        top_causes = [
+            hypotheses[0].cause
+            for record in records
+            if (hypotheses := diagnose_record(
+                record, min_confidence=0.3, values=values, kpi_names=kpi_names
+            ))
+        ]
+        assert expected in top_causes, (
+            f"expected {expected} among top hypotheses, got {top_causes}"
+        )
+
+    def test_lb_defect_signature(self):
+        injector = LoadBalanceDefectInjector(
+            1, InjectionInterval(60, 150), skew=0.5
+        )
+        records, values, kpi_names = _incident_records(injector)
+        assert records
+        hypotheses = diagnose_record(
+            records[0], min_confidence=0.3, values=values, kpi_names=kpi_names
+        )
+        assert hypotheses
+        assert hypotheses[0].cause == "load_balance_defect"
+
+    def test_healthy_record_rejected(self):
+        record = JudgementRecord(0, 0, 20, DatabaseState.HEALTHY)
+        with pytest.raises(ValueError):
+            diagnose_record(record)
+
+    def test_record_without_levels_rejected(self):
+        record = JudgementRecord(0, 0, 20, DatabaseState.ABNORMAL)
+        with pytest.raises(ValueError):
+            diagnose_record(record)
+
+    def test_hypotheses_sorted_by_confidence(self):
+        levels = {name: 3 for name in default_config().kpi_names}
+        levels["cpu_utilization"] = 1
+        levels["innodb_rows_read"] = 1
+        record = JudgementRecord(
+            0, 0, 20, DatabaseState.ABNORMAL, kpi_levels=levels
+        )
+        hypotheses = diagnose_record(record, min_confidence=0.0)
+        confidences = [h.confidence for h in hypotheses]
+        assert confidences == sorted(confidences, reverse=True)
+        assert hypotheses[0].cause == "slow_queries"
+
+
+class TestHybridEnsemble:
+    @pytest.fixture(scope="class")
+    def fitted_parts(self):
+        train = Dataset(
+            name="train",
+            units=(
+                build_unit_series(profile="tencent", n_ticks=400, seed=31,
+                                  abnormal_ratio=0.0,
+                                  include_fluctuations=False),
+            ),
+        )
+        detector = SRDetector()
+        detector.fit(train)
+        scores = detector.score_unit(train.units[0])
+        threshold = float(np.quantile(scores, 0.9995))
+        config = default_config()
+        rule = ThresholdRule(
+            window_size=config.initial_window, threshold=threshold, k=3
+        )
+        return config, detector, rule
+
+    def test_window_mismatch_rejected(self, fitted_parts):
+        config, detector, _ = fitted_parts
+        bad_rule = ThresholdRule(window_size=99, threshold=1.0)
+        with pytest.raises(ValueError):
+            HybridDetector(config, detector, bad_rule)
+
+    def test_unit_wide_anomaly_caught_by_point_arm(self, fitted_parts):
+        config, detector, rule = fitted_parts
+        unit = build_unit_series(
+            profile="tencent", n_ticks=400, seed=32, abnormal_ratio=0.0,
+            include_fluctuations=False,
+        )
+        # A unit-wide spike: every database deviates together, UKPIC holds.
+        values = unit.values.copy()
+        values[:, :, 200:206] *= 4.0
+        labels = np.zeros_like(unit.labels)
+        labels[:, 200:206] = True
+        doctored = UnitSeries(
+            name="unit-wide", values=values, labels=labels,
+            kpi_names=unit.kpi_names,
+        )
+        hybrid = HybridDetector(config, detector, rule)
+        verdict = hybrid.detect(doctored)
+        spike_window = next(
+            index for index, (start, end) in enumerate(verdict.spans)
+            if start <= 200 < end
+        )
+        # DBCatcher is structurally blind here...
+        assert not verdict.correlation[:, spike_window].any()
+        # ...but the point arm fires, so the union catches it.
+        assert verdict.point[:, spike_window].any()
+        assert verdict.combined[:, spike_window].any()
+
+    def test_single_database_anomaly_caught_by_correlation_arm(
+        self, fitted_parts
+    ):
+        config, detector, rule = fitted_parts
+        unit = build_unit_series(
+            profile="tencent", n_ticks=400, seed=33, abnormal_ratio=0.05,
+            anomaly_kinds=["concept_drift"],
+        )
+        hybrid = HybridDetector(config, detector, rule)
+        verdict = hybrid.detect(unit)
+        assert verdict.correlation.any(), "DBCatcher arm must fire"
+        assert verdict.combined.sum() >= verdict.correlation.sum()

@@ -1,0 +1,72 @@
+"""Tests for the failover path of the cluster architecture (Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Unit
+from repro.cluster.kpis import KPI_INDEX
+from repro.cluster.requests import RequestMix
+
+
+@pytest.fixture
+def mix():
+    return RequestMix(
+        selects=5000, inserts=300, updates=400, deletes=100, transactions=400
+    )
+
+
+class TestFailover:
+    def test_roles_swap(self, mix):
+        unit = Unit("u", n_databases=4, seed=0)
+        unit.run([mix] * 5)
+        unit.failover(2)
+        assert unit.primary_index == 2
+        assert unit.databases[0].role.value == "replica"
+        assert len(unit.replicas) == 3
+
+    def test_processing_continues_after_failover(self, mix):
+        unit = Unit("u", n_databases=4, seed=0)
+        unit.run([mix] * 5)
+        unit.failover(2)
+        series = unit.run([mix] * 10)
+        # The new primary executes the writes directly...
+        inserts = series[:, KPI_INDEX["com_insert"], -1]
+        assert inserts[2] > 0
+        # ...and every database keeps serving its read share.
+        rows_read = series[:, KPI_INDEX["innodb_rows_read"], -1]
+        assert (rows_read > 0).all()
+
+    def test_replication_reaches_new_replicas(self, mix):
+        unit = Unit("u", n_databases=4, seed=0)
+        unit.run([mix] * 3)
+        unit.failover(1)
+        series = unit.run([mix] * 6)
+        # The demoted database (D1) now applies replication like any
+        # replica: its insert counter follows the write stream.
+        inserts = series[0, KPI_INDEX["com_insert"], -1]
+        assert inserts == pytest.approx(mix.inserts, rel=0.2)
+
+    def test_failover_to_self_is_noop(self, mix):
+        unit = Unit("u", n_databases=3, seed=0)
+        unit.failover(0)
+        assert unit.primary_index == 0
+
+    def test_out_of_range_rejected(self):
+        unit = Unit("u", n_databases=3, seed=0)
+        with pytest.raises(IndexError):
+            unit.failover(7)
+
+    def test_ukpic_survives_failover(self, mix):
+        """Cross-database correlation must hold across a role change."""
+        from repro.core.kcd import kcd
+
+        unit = Unit("u", n_databases=4, seed=3)
+        rng = np.random.default_rng(1)
+        rates = 1.0 + 0.3 * np.sin(np.linspace(0, 8, 80))
+        before = unit.run([mix.scaled(float(r)) for r in rates[:40]])
+        unit.failover(3)
+        after = unit.run([mix.scaled(float(r)) for r in rates[40:]])
+        window = after[:, KPI_INDEX["requests_per_second"], 10:35]
+        for a in range(4):
+            for b in range(a + 1, 4):
+                assert kcd(window[a], window[b], max_delay=5) > 0.85

@@ -1,0 +1,141 @@
+"""Unit tests for the online feedback module."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DBCatcherConfig
+from repro.core.feedback import OnlineFeedback, mark_records
+from repro.core.records import DatabaseState, JudgementRecord
+
+
+def _record(db, start, end, abnormal):
+    return JudgementRecord(
+        database=db,
+        window_start=start,
+        window_end=end,
+        state=DatabaseState.ABNORMAL if abnormal else DatabaseState.HEALTHY,
+    )
+
+
+class TestMarkRecords:
+    def test_abnormal_tick_inside_window_marks_true(self):
+        labels = np.zeros((2, 30), dtype=bool)
+        labels[1, 12] = True
+        marked = mark_records([_record(1, 10, 20, True)], labels)
+        assert marked[0].dba_label is True
+
+    def test_clean_window_marks_false(self):
+        labels = np.zeros((2, 30), dtype=bool)
+        labels[1, 25] = True  # outside the window
+        marked = mark_records([_record(1, 10, 20, True)], labels)
+        assert marked[0].dba_label is False
+
+    def test_other_database_labels_ignored(self):
+        labels = np.zeros((2, 30), dtype=bool)
+        labels[0, 15] = True
+        marked = mark_records([_record(1, 10, 20, False)], labels)
+        assert marked[0].dba_label is False
+
+    def test_out_of_range_database_rejected(self):
+        labels = np.zeros((2, 30), dtype=bool)
+        with pytest.raises(IndexError):
+            mark_records([_record(5, 0, 10, False)], labels)
+
+
+class TestOnlineFeedback:
+    def test_recent_performance_perfect(self):
+        feedback = OnlineFeedback()
+        labels = np.zeros((1, 40), dtype=bool)
+        labels[0, 5] = True
+        feedback.submit(
+            [_record(0, 0, 10, True), _record(0, 10, 20, False)], labels
+        )
+        assert feedback.recent_performance() == pytest.approx(1.0)
+
+    def test_recent_performance_with_errors(self):
+        feedback = OnlineFeedback()
+        labels = np.zeros((1, 40), dtype=bool)
+        labels[0, 5] = True
+        labels[0, 15] = True
+        # One TP, one FN, one FP.
+        feedback.submit(
+            [
+                _record(0, 0, 10, True),
+                _record(0, 10, 20, False),
+                _record(0, 20, 30, True),
+            ],
+            labels,
+        )
+        performance = feedback.recent_performance()
+        assert performance == pytest.approx(2 * 0.5 * 0.5 / (0.5 + 0.5))
+
+    def test_empty_history_returns_none(self):
+        assert OnlineFeedback().recent_performance() is None
+
+    def test_should_retrain_below_criterion(self):
+        feedback = OnlineFeedback(min_f_measure=0.75)
+        labels = np.zeros((1, 40), dtype=bool)
+        labels[0, 5] = True
+        labels[0, 15] = True
+        feedback.submit(
+            [
+                _record(0, 0, 10, True),
+                _record(0, 10, 20, False),
+                _record(0, 20, 30, True),
+            ],
+            labels,
+        )
+        assert feedback.should_retrain()
+
+    def test_should_not_retrain_when_good(self):
+        feedback = OnlineFeedback(min_f_measure=0.75)
+        labels = np.zeros((1, 20), dtype=bool)
+        labels[0, 5] = True
+        feedback.submit([_record(0, 0, 10, True)], labels)
+        assert not feedback.should_retrain()
+
+    def test_history_is_bounded(self):
+        feedback = OnlineFeedback(history_size=5)
+        labels = np.zeros((1, 200), dtype=bool)
+        records = [_record(0, t * 10, t * 10 + 10, False) for t in range(20)]
+        feedback.submit(records, labels)
+        assert len(feedback) == 5
+
+    def test_retrain_without_replay_data_rejected(self):
+        feedback = OnlineFeedback()
+        config = DBCatcherConfig(kpi_names=("a",))
+        with pytest.raises(RuntimeError):
+            feedback.retrain(config, lambda c, v, l: c)
+
+    def test_retrain_invokes_learner(self):
+        feedback = OnlineFeedback()
+        values = np.random.default_rng(0).random((2, 1, 50))
+        labels = np.zeros((2, 50), dtype=bool)
+        feedback.remember_window(values, labels)
+        config = DBCatcherConfig(kpi_names=("a",))
+        calls = []
+
+        def learner(cfg, vals, labs):
+            calls.append((vals.shape, labs.shape))
+            return cfg.with_thresholds([0.66], 0.11, 1)
+
+        tuned = feedback.retrain(config, learner)
+        assert calls == [((2, 1, 50), (2, 50))]
+        assert tuned.alphas == (0.66,)
+
+    def test_maybe_retrain_skips_when_healthy(self):
+        feedback = OnlineFeedback(min_f_measure=0.5)
+        labels = np.zeros((1, 20), dtype=bool)
+        labels[0, 5] = True
+        feedback.submit([_record(0, 0, 10, True)], labels)
+        config = DBCatcherConfig(kpi_names=("a",))
+        assert feedback.maybe_retrain(config, lambda c, v, l: c) is None
+
+    def test_bad_replay_shapes_rejected(self):
+        feedback = OnlineFeedback()
+        with pytest.raises(ValueError):
+            feedback.remember_window(np.zeros((2, 3)), np.zeros((2, 3), dtype=bool))
+        with pytest.raises(ValueError):
+            feedback.remember_window(
+                np.zeros((2, 1, 10)), np.zeros((2, 5), dtype=bool)
+            )

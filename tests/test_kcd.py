@@ -1,0 +1,126 @@
+"""Unit tests for the Key Correlation Distance (Section III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kcd import kcd, kcd_matrix, lagged_correlation_profile
+
+
+@pytest.fixture
+def sine():
+    return np.sin(np.linspace(0, 4 * np.pi, 60))
+
+
+class TestKCD:
+    def test_identical_series_scores_one(self, sine):
+        assert kcd(sine, sine) == pytest.approx(1.0, abs=1e-9)
+
+    def test_scaled_series_scores_one(self, sine):
+        # Trend correlation must ignore magnitude (Eq. 1 normalization).
+        assert kcd(sine, 100.0 * sine + 42.0) == pytest.approx(1.0, abs=1e-9)
+
+    def test_shifted_series_scores_high(self, sine):
+        # The delay scan is the whole point of the KCD.
+        delayed = np.concatenate([sine[:3], sine[:-3]])
+        assert kcd(sine, delayed, max_delay=5) > 0.97
+
+    def test_shift_beyond_scan_range_scores_lower(self, sine):
+        delayed = np.roll(sine, 10)
+        narrow = kcd(sine, delayed, max_delay=2)
+        wide = kcd(sine, delayed, max_delay=12)
+        assert wide > narrow
+
+    def test_independent_noise_scores_low(self, rng):
+        x = rng.standard_normal(60)
+        y = rng.standard_normal(60)
+        # Max-over-lags inflates pure-noise scores, but they stay well
+        # below the correlated regime.
+        assert kcd(x, y, max_delay=5) < 0.7
+
+    def test_both_flat_scores_one(self):
+        assert kcd(np.full(20, 3.0), np.full(20, 9.0)) == 1.0
+
+    def test_one_flat_scores_zero(self, sine):
+        assert kcd(sine[:20], np.full(20, 5.0)) == 0.0
+
+    def test_symmetry(self, sine, rng):
+        other = sine + 0.3 * rng.standard_normal(60)
+        assert kcd(sine, other) == pytest.approx(kcd(other, sine), abs=1e-9)
+
+    def test_bounded(self, rng):
+        for _ in range(20):
+            x = rng.standard_normal(30)
+            y = rng.standard_normal(30)
+            score = kcd(x, y)
+            assert -1.0 <= score <= 1.0 + 1e-12
+
+    def test_length_mismatch_rejected(self, sine):
+        with pytest.raises(ValueError):
+            kcd(sine, sine[:-1])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            kcd(np.array([1.0]), np.array([2.0]))
+
+    def test_zero_max_delay_is_pearson_like(self, sine, rng):
+        noisy = sine + 0.05 * rng.standard_normal(60)
+        profile = lagged_correlation_profile(sine, noisy, max_delay=0)
+        assert profile.shape == (1,)
+        expected = np.corrcoef(sine, noisy)[0, 1]
+        # Centered on the full-series mean of the *normalized* series, so
+        # it matches plain Pearson up to normalization effects.
+        assert profile[0] == pytest.approx(expected, abs=0.05)
+
+
+class TestLaggedProfile:
+    def test_profile_length(self, sine):
+        profile = lagged_correlation_profile(sine, sine, max_delay=7)
+        assert profile.shape == (15,)
+
+    def test_peak_at_true_delay(self, sine):
+        delay = 4
+        delayed = np.concatenate([np.repeat(sine[0], delay), sine[:-delay]])
+        profile = lagged_correlation_profile(sine, delayed, max_delay=8)
+        # delays run -8..8; series y lags x by `delay`, so the peak must
+        # be at a negative lag of x relative to y (x shifted back).
+        peak = int(np.argmax(profile)) - 8
+        assert abs(peak - (-delay)) <= 1
+
+    def test_invalid_delay_rejected(self, sine):
+        with pytest.raises(ValueError):
+            lagged_correlation_profile(sine, sine, max_delay=60)
+
+
+class TestKCDMatrix:
+    def test_shape_and_diagonal(self, correlated_window):
+        matrix = kcd_matrix(correlated_window[:, 0, :])
+        assert matrix.shape == (4, 4)
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_symmetry(self, correlated_window):
+        matrix = kcd_matrix(correlated_window[:, 0, :])
+        assert np.allclose(matrix, matrix.T)
+
+    def test_correlated_unit_scores_high(self, correlated_window):
+        matrix = kcd_matrix(correlated_window[:, 0, :], max_delay=5)
+        off_diag = matrix[np.triu_indices(4, k=1)]
+        assert off_diag.min() > 0.9
+
+    def test_deviating_database_scores_low(self, deviating_window):
+        matrix = kcd_matrix(deviating_window[:, 0, :], max_delay=5)
+        others = [0, 1, 3]
+        assert max(matrix[2, p] for p in others) < 0.8
+        assert matrix[0, 1] > 0.9
+
+    def test_inactive_database_scores_zero(self, correlated_window):
+        active = np.array([True, True, False, True])
+        matrix = kcd_matrix(correlated_window[:, 0, :], active=active)
+        assert matrix[2, 0] == 0.0
+        assert matrix[2, 2] == 1.0  # diagonal stays 1
+        assert matrix[0, 1] > 0.9
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            kcd_matrix(np.zeros((3, 3, 3)))
+        with pytest.raises(ValueError):
+            kcd_matrix(np.zeros((3, 10)), active=np.array([True, False]))

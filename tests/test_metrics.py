@@ -1,0 +1,104 @@
+"""Unit tests for the evaluation metrics (Section IV-A3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import DatabaseState, JudgementRecord
+from repro.eval.metrics import (
+    ConfusionCounts,
+    confusion_from_records,
+    confusion_from_windows,
+    f_measure,
+    scores_from_confusion,
+    window_spans,
+    window_truth,
+)
+
+
+class TestFMeasure:
+    def test_harmonic_mean(self):
+        assert f_measure(0.5, 1.0) == pytest.approx(2 / 3)
+
+    def test_zero_when_both_zero(self):
+        assert f_measure(0.0, 0.0) == 0.0
+
+    def test_perfect(self):
+        assert f_measure(1.0, 1.0) == 1.0
+
+
+class TestConfusion:
+    def test_addition(self):
+        total = ConfusionCounts(1, 2, 3, 4) + ConfusionCounts(1, 1, 1, 1)
+        assert (total.tp, total.fp, total.tn, total.fn) == (2, 3, 4, 5)
+
+    def test_from_records(self):
+        records = [
+            JudgementRecord(0, 0, 10, DatabaseState.ABNORMAL).marked(True),
+            JudgementRecord(0, 10, 20, DatabaseState.ABNORMAL).marked(False),
+            JudgementRecord(0, 20, 30, DatabaseState.HEALTHY).marked(False),
+            JudgementRecord(0, 30, 40, DatabaseState.HEALTHY).marked(True),
+        ]
+        counts = confusion_from_records(records)
+        assert (counts.tp, counts.fp, counts.tn, counts.fn) == (1, 1, 1, 1)
+
+    def test_from_windows(self):
+        pred = np.array([[True, False], [True, True]])
+        truth = np.array([[True, True], [False, True]])
+        counts = confusion_from_windows(pred, truth)
+        assert (counts.tp, counts.fp, counts.tn, counts.fn) == (2, 1, 0, 1)
+
+    def test_from_windows_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_from_windows(np.zeros((2, 2), bool), np.zeros((2, 3), bool))
+
+
+class TestScores:
+    def test_standard_case(self):
+        scores = scores_from_confusion(ConfusionCounts(tp=8, fp=2, tn=80, fn=2))
+        assert scores.precision == pytest.approx(0.8)
+        assert scores.recall == pytest.approx(0.8)
+        assert scores.f_measure == pytest.approx(0.8)
+
+    def test_no_anomalies_no_alarms_is_perfect(self):
+        scores = scores_from_confusion(ConfusionCounts(tp=0, fp=0, tn=50, fn=0))
+        assert scores.f_measure == 1.0
+
+    def test_never_firing_detector_scores_zero(self):
+        scores = scores_from_confusion(ConfusionCounts(tp=0, fp=0, tn=50, fn=5))
+        assert scores.precision == 0.0
+        assert scores.f_measure == 0.0
+
+    def test_always_firing_detector_has_low_precision(self):
+        scores = scores_from_confusion(ConfusionCounts(tp=5, fp=45, tn=0, fn=0))
+        assert scores.recall == 1.0
+        assert scores.precision == pytest.approx(0.1)
+
+    def test_percentages(self):
+        scores = scores_from_confusion(ConfusionCounts(tp=1, fp=1, tn=0, fn=1))
+        p, r, f = scores.as_percentages()
+        assert p == pytest.approx(50.0)
+        assert r == pytest.approx(50.0)
+
+
+class TestWindows:
+    def test_spans_tile_without_remainder(self):
+        spans = window_spans(100, 20)
+        assert spans[0] == (0, 20)
+        assert spans[-1] == (80, 100)
+        assert len(spans) == 5
+
+    def test_partial_tail_dropped(self):
+        spans = window_spans(55, 20)
+        assert len(spans) == 2
+
+    def test_window_truth(self):
+        labels = np.zeros((2, 40), dtype=bool)
+        labels[0, 25] = True
+        truth = window_truth(labels, window_spans(40, 20))
+        assert truth.shape == (2, 2)
+        assert truth[0].tolist() == [False, True]
+        assert truth[1].tolist() == [False, False]
+
+    def test_bad_window_size(self):
+        with pytest.raises(ValueError):
+            window_spans(100, 0)

@@ -1,0 +1,153 @@
+"""Gradient checks for the numpy neural-network blocks."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.nn import GRU, SGD, Conv1D, Dense, relu, sigmoid
+
+
+def numeric_gradient(f, param, epsilon=1e-6):
+    """Central-difference gradient of scalar f w.r.t. an array parameter."""
+    grad = np.zeros_like(param)
+    flat = param.ravel()
+    out = grad.ravel()
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        upper = f()
+        flat[index] = original - epsilon
+        lower = f()
+        flat[index] = original
+        out[index] = (upper - lower) / (2 * epsilon)
+    return grad
+
+
+class TestActivations:
+    def test_sigmoid_range_and_stability(self):
+        x = np.array([-1000.0, -1.0, 0.0, 1.0, 1000.0])
+        out = sigmoid(x)
+        assert (out >= 0).all() and (out <= 1).all()
+        assert out[2] == pytest.approx(0.5)
+
+    def test_relu(self):
+        assert np.allclose(relu(np.array([-2.0, 0.0, 3.0])), [0.0, 0.0, 3.0])
+
+
+class TestDense:
+    def test_gradients_match_numeric(self, rng):
+        layer = Dense(4, 3, rng)
+        x = rng.standard_normal((5, 4))
+        target = rng.standard_normal((5, 3))
+
+        def loss():
+            return float(((layer.forward(x) - target) ** 2).sum())
+
+        out = layer.forward(x)
+        layer.backward(2.0 * (out - target))
+        numeric = numeric_gradient(loss, layer.weight)
+        assert np.allclose(layer.grads["weight"], numeric, atol=1e-4)
+        numeric_b = numeric_gradient(loss, layer.bias)
+        assert np.allclose(layer.grads["bias"], numeric_b, atol=1e-4)
+
+    def test_input_gradient(self, rng):
+        layer = Dense(4, 3, rng)
+        x = rng.standard_normal((2, 4))
+        target = np.zeros((2, 3))
+        out = layer.forward(x)
+        grad_x = layer.backward(2.0 * (out - target))
+        assert grad_x.shape == x.shape
+
+
+class TestConv1D:
+    def test_same_padding_shape(self, rng):
+        layer = Conv1D(2, 4, 5, rng)
+        x = rng.standard_normal((3, 2, 17))
+        assert layer.forward(x).shape == (3, 4, 17)
+
+    def test_even_kernel_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Conv1D(1, 1, 4, rng)
+
+    def test_gradients_match_numeric(self, rng):
+        layer = Conv1D(2, 3, 3, rng)
+        x = rng.standard_normal((2, 2, 8))
+        target = rng.standard_normal((2, 3, 8))
+
+        def loss():
+            return float(((layer.forward(x) - target) ** 2).sum())
+
+        out = layer.forward(x)
+        layer.backward(2.0 * (out - target))
+        numeric = numeric_gradient(loss, layer.weight)
+        assert np.allclose(layer.grads["weight"], numeric, atol=1e-4)
+
+    def test_input_gradient_matches_numeric(self, rng):
+        layer = Conv1D(1, 2, 3, rng)
+        x = rng.standard_normal((1, 1, 6))
+        target = rng.standard_normal((1, 2, 6))
+        out = layer.forward(x)
+        grad_x = layer.backward(2.0 * (out - target))
+
+        def loss_of_x():
+            return float(((layer.forward(x) - target) ** 2).sum())
+
+        numeric = numeric_gradient(loss_of_x, x)
+        assert np.allclose(grad_x, numeric, atol=1e-4)
+
+
+class TestGRU:
+    def test_output_shape(self, rng):
+        gru = GRU(3, 5, rng)
+        x = rng.standard_normal((2, 7, 3))
+        assert gru.forward(x).shape == (2, 7, 5)
+
+    def test_gradients_match_numeric(self, rng):
+        gru = GRU(2, 3, rng)
+        x = rng.standard_normal((2, 4, 2))
+        target = rng.standard_normal((2, 4, 3))
+
+        def loss():
+            return float(((gru.forward(x) - target) ** 2).sum())
+
+        states = gru.forward(x)
+        gru.backward(2.0 * (states - target))
+        for name in ("w_z", "u_h", "b_r", "w_h"):
+            numeric = numeric_gradient(loss, getattr(gru, name))
+            assert np.allclose(gru.grads[name], numeric, atol=1e-4), name
+
+    def test_input_gradient_matches_numeric(self, rng):
+        gru = GRU(2, 3, rng)
+        x = rng.standard_normal((1, 3, 2))
+        target = rng.standard_normal((1, 3, 3))
+        states = gru.forward(x)
+        grad_x = gru.backward(2.0 * (states - target))
+
+        def loss_of_x():
+            return float(((gru.forward(x) - target) ** 2).sum())
+
+        numeric = numeric_gradient(loss_of_x, x)
+        assert np.allclose(grad_x, numeric, atol=1e-4)
+
+
+class TestSGD:
+    def test_descends_a_quadratic(self, rng):
+        layer = Dense(3, 1, rng)
+        x = rng.standard_normal((20, 3))
+        target = x @ np.array([[1.0], [-2.0], [0.5]])
+        optimizer = SGD([layer], learning_rate=0.05)
+        first_loss = None
+        for _ in range(200):
+            out = layer.forward(x)
+            loss = float(((out - target) ** 2).mean())
+            if first_loss is None:
+                first_loss = loss
+            layer.backward(2.0 * (out - target) / x.shape[0])
+            optimizer.step()
+        assert loss < 0.01 * first_loss
+
+    def test_gradient_clipping(self, rng):
+        layer = Dense(2, 2, rng)
+        layer.grads = {"weight": np.full((2, 2), 1e6), "bias": np.zeros(2)}
+        before = layer.weight.copy()
+        SGD([layer], learning_rate=0.1, clip=1.0).step()
+        assert np.abs(layer.weight - before).max() <= 0.11

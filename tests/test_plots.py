@@ -1,0 +1,77 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plots import sparkline, timeline, trend_panel
+
+
+class TestSparkline:
+    def test_width(self):
+        assert len(sparkline(np.arange(600.0), width=60)) == 60
+
+    def test_monotone_series_renders_monotone(self):
+        chart = sparkline(np.arange(100.0), width=20)
+        assert chart[0] == " "
+        assert chart[-1] == "@"
+
+    def test_flat_series(self):
+        chart = sparkline(np.full(30, 5.0), width=10)
+        assert set(chart) == {" "}
+
+    def test_short_series(self):
+        assert len(sparkline(np.array([1.0, 2.0]), width=60)) == 2
+
+    def test_empty(self):
+        assert sparkline(np.array([])) == ""
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sparkline(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            sparkline(np.arange(5.0), width=0)
+
+
+class TestTrendPanel:
+    def test_default_labels(self):
+        panel = trend_panel(np.random.default_rng(0).random((3, 50)))
+        lines = panel.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("D1")
+
+    def test_highlight(self):
+        panel = trend_panel(np.ones((2, 10)), highlight=1)
+        lines = panel.splitlines()
+        assert not lines[0].endswith("<-")
+        assert lines[1].endswith("<-")
+
+    def test_label_count_validated(self):
+        with pytest.raises(ValueError):
+            trend_panel(np.ones((2, 10)), labels=["only-one"])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            trend_panel(np.ones(10))
+
+
+class TestTimeline:
+    def test_event_band(self):
+        band = timeline(100, [(50, 60, "x")], width=10)
+        assert len(band) == 10
+        assert band[5] == "x"
+        assert band[0] == " "
+
+    def test_multiple_events(self):
+        band = timeline(100, [(0, 10, "a"), (90, 100, "b")], width=10)
+        assert band[0] == "a"
+        assert band[-1] == "b"
+
+    def test_tiny_event_still_visible(self):
+        band = timeline(1000, [(500, 501, "!")], width=10)
+        assert "!" in band
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            timeline(0, [])
+        with pytest.raises(ValueError):
+            timeline(100, [(5, 5, "x")])

@@ -1,0 +1,140 @@
+"""Property-based tests for metrics, streams, rules and genomes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines.base import ThresholdRule
+from repro.core.streams import KPIStreams
+from repro.eval.metrics import (
+    ConfusionCounts,
+    confusion_from_windows,
+    scores_from_confusion,
+    window_spans,
+    window_truth,
+)
+from repro.tuning.genome import ThresholdGenome
+
+
+class TestMetricsProperties:
+    @given(
+        st.integers(0, 100), st.integers(0, 100),
+        st.integers(0, 100), st.integers(0, 100),
+    )
+    def test_scores_bounded(self, tp, fp, tn, fn):
+        scores = scores_from_confusion(ConfusionCounts(tp, fp, tn, fn))
+        assert 0.0 <= scores.precision <= 1.0
+        assert 0.0 <= scores.recall <= 1.0
+        assert 0.0 <= scores.f_measure <= 1.0
+
+    @given(st.integers(1, 100), st.integers(0, 100), st.integers(0, 100))
+    def test_f_between_precision_and_recall(self, tp, fp, fn):
+        scores = scores_from_confusion(ConfusionCounts(tp, fp, 0, fn))
+        low = min(scores.precision, scores.recall)
+        high = max(scores.precision, scores.recall)
+        assert low - 1e-12 <= scores.f_measure <= high + 1e-12
+
+    @given(
+        arrays(np.bool_, st.tuples(st.integers(1, 4), st.integers(1, 50))),
+    )
+    def test_confusion_total_equals_samples(self, truth):
+        predictions = np.zeros_like(truth)
+        counts = confusion_from_windows(predictions, truth)
+        assert counts.total == truth.size
+
+    @given(st.integers(1, 300), st.integers(1, 60))
+    def test_window_spans_tile_exactly(self, n_ticks, window):
+        spans = window_spans(n_ticks, window)
+        for index, (start, end) in enumerate(spans):
+            assert end - start == window
+            if index:
+                assert start == spans[index - 1][1]
+        if spans:
+            assert spans[-1][1] <= n_ticks
+
+    @given(
+        arrays(np.bool_, st.tuples(st.integers(1, 3), st.integers(10, 80))),
+        st.integers(2, 20),
+    )
+    def test_window_truth_matches_any(self, labels, window):
+        spans = window_spans(labels.shape[1], window)
+        truth = window_truth(labels, spans)
+        for db in range(labels.shape[0]):
+            for w, (start, end) in enumerate(spans):
+                assert truth[db, w] == labels[db, start:end].any()
+
+
+class TestStreamProperties:
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=20))
+    def test_interleaved_append_and_trim(self, operations):
+        streams = KPIStreams(2, ("a",), capacity_hint=4)
+        tick_value = 0
+        for keep in operations:
+            streams.append(np.full((2, 1), tick_value, dtype=float))
+            tick_value += 1
+            streams.trim(min(keep, streams.next_tick))
+            # Invariant: any still-buffered window reads back its tick id.
+            if len(streams) >= 1:
+                window = streams.window(streams.first_tick, streams.next_tick)
+                expected = np.arange(streams.first_tick, streams.next_tick)
+                assert np.allclose(window[0, 0], expected)
+
+
+class TestRuleProperties:
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 3), st.integers(2, 4), st.integers(10, 60)),
+            elements=st.floats(0, 100, allow_nan=False),
+        ),
+        st.integers(2, 20),
+        st.floats(0, 100, allow_nan=False),
+    )
+    @settings(max_examples=40)
+    def test_higher_threshold_never_adds_alarms(self, scores, window, threshold):
+        low_rule = ThresholdRule(window_size=window, threshold=threshold, k=1)
+        high_rule = ThresholdRule(
+            window_size=window, threshold=threshold + 5.0, k=1
+        )
+        low = low_rule.apply(scores)
+        high = high_rule.apply(scores)
+        assert not (high & ~low).any()
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 3), st.integers(2, 4), st.integers(10, 60)),
+            elements=st.floats(0, 100, allow_nan=False),
+        ),
+        st.integers(1, 3),
+    )
+    @settings(max_examples=40)
+    def test_larger_k_never_adds_alarms(self, scores, k):
+        base = ThresholdRule(window_size=10, threshold=50.0, k=k).apply(scores)
+        stricter = ThresholdRule(window_size=10, threshold=50.0, k=k + 1).apply(scores)
+        assert not (stricter & ~base).any()
+
+
+class TestGenomeProperties:
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 10))
+    def test_crossover_preserves_alpha_multiset_positions(self, seed, n_kpis):
+        rng = np.random.default_rng(seed)
+        a = ThresholdGenome.random(n_kpis, rng)
+        b = ThresholdGenome.random(n_kpis, rng)
+        first, second = a.crossover(b, rng)
+        for position in range(n_kpis):
+            parents = {a.alphas[position], b.alphas[position]}
+            assert first.alphas[position] in parents
+            assert second.alphas[position] in parents
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_mutation_keeps_genome_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        genome = ThresholdGenome.random(5, rng)
+        for _ in range(5):
+            genome = genome.mutate(rng)
+            assert all(-1.0 <= a <= 1.0 for a in genome.alphas)
+            assert genome.theta >= 0.0
+            assert genome.tolerance >= 0

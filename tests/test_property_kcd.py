@@ -1,0 +1,104 @@
+"""Property-based tests for the correlation core (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.kcd import kcd, kcd_matrix, lagged_correlation_profile
+from repro.core.normalize import minmax_normalize
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def series_strategy(min_size=4, max_size=64):
+    return arrays(
+        dtype=np.float64,
+        shape=st.integers(min_size, max_size),
+        elements=finite_floats,
+    )
+
+
+@st.composite
+def series_pair(draw, min_size=4, max_size=64):
+    n = draw(st.integers(min_size, max_size))
+    shape = st.just(n)
+    x = draw(arrays(np.float64, shape, elements=finite_floats))
+    y = draw(arrays(np.float64, shape, elements=finite_floats))
+    return x, y
+
+
+class TestNormalizeProperties:
+    @given(series_strategy())
+    def test_output_in_unit_interval(self, series):
+        out = minmax_normalize(series)
+        assert (out >= 0.0).all() and (out <= 1.0).all()
+
+    @given(series_strategy(), st.floats(0.1, 100.0), st.floats(-1e3, 1e3))
+    def test_affine_invariance(self, series, scale, offset):
+        # Skip spans that vanish in float once the offset is added — the
+        # transform is then no longer injective at double precision.
+        span = series.max() - series.min()
+        assume(span > 1e-6 * max(np.abs(series).max(), abs(offset), 1.0))
+        base = minmax_normalize(series)
+        transformed = minmax_normalize(scale * series + offset)
+        assert np.allclose(base, transformed, atol=1e-6)
+
+
+class TestKCDProperties:
+    @given(series_pair())
+    @settings(max_examples=60)
+    def test_bounded(self, pair):
+        x, y = pair
+        score = kcd(x, y)
+        assert -1.0 - 1e-9 <= score <= 1.0 + 1e-9
+
+    @given(series_pair())
+    @settings(max_examples=60)
+    def test_symmetric(self, pair):
+        x, y = pair
+        # Equal up to FFT round-off (the cross-correlation of (x, y) and
+        # (y, x) traverses different floating-point paths).
+        assert kcd(x, y) == pytest.approx(kcd(y, x), abs=1e-9)
+
+    @given(series_strategy())
+    @settings(max_examples=60)
+    def test_self_correlation_is_one(self, series):
+        assert kcd(series, series) >= 1.0 - 1e-9
+
+    @given(series_pair(), st.integers(0, 5))
+    @settings(max_examples=40)
+    def test_wider_delay_scan_never_lowers_score(self, pair, extra):
+        x, y = pair
+        m = min(len(x) - 1, 3)
+        narrow = kcd(x, y, max_delay=m)
+        wide = kcd(x, y, max_delay=min(len(x) - 1, m + extra))
+        assert wide >= narrow - 1e-9
+
+    @given(series_pair())
+    @settings(max_examples=40)
+    def test_profile_length(self, pair):
+        x, y = pair
+        m = min(len(x) - 1, 4)
+        profile = lagged_correlation_profile(x, y, max_delay=m)
+        assert profile.shape == (2 * m + 1,)
+
+
+class TestMatrixProperties:
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(2, 5), st.integers(4, 32)),
+            elements=finite_floats,
+        )
+    )
+    @settings(max_examples=40)
+    def test_matrix_symmetric_unit_diagonal(self, data):
+        matrix = kcd_matrix(data)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 1.0)
+        assert (matrix <= 1.0 + 1e-9).all()
+        assert (matrix >= -1.0 - 1e-9).all()

@@ -1,0 +1,60 @@
+"""Unit tests for judgement records and database states."""
+
+import pytest
+
+from repro.core.records import DatabaseState, JudgementRecord
+
+
+def _record(**overrides):
+    defaults = dict(
+        database=1,
+        window_start=0,
+        window_end=20,
+        state=DatabaseState.HEALTHY,
+    )
+    defaults.update(overrides)
+    return JudgementRecord(**defaults)
+
+
+class TestDatabaseState:
+    def test_final_states(self):
+        assert DatabaseState.HEALTHY.is_final
+        assert DatabaseState.ABNORMAL.is_final
+        assert not DatabaseState.OBSERVABLE.is_final
+
+
+class TestJudgementRecord:
+    def test_window_size(self):
+        assert _record(window_start=5, window_end=25).window_size == 20
+
+    def test_observable_rejected(self):
+        with pytest.raises(ValueError):
+            _record(state=DatabaseState.OBSERVABLE)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            _record(window_start=10, window_end=10)
+
+    def test_predicted_abnormal(self):
+        assert _record(state=DatabaseState.ABNORMAL).predicted_abnormal
+        assert not _record(state=DatabaseState.HEALTHY).predicted_abnormal
+
+    def test_marked_copy(self):
+        record = _record()
+        marked = record.marked(True)
+        assert marked.dba_label is True
+        assert record.dba_label is None  # original untouched
+
+    def test_confusion_cells(self):
+        tp = _record(state=DatabaseState.ABNORMAL).marked(True)
+        fp = _record(state=DatabaseState.ABNORMAL).marked(False)
+        tn = _record(state=DatabaseState.HEALTHY).marked(False)
+        fn = _record(state=DatabaseState.HEALTHY).marked(True)
+        assert tp.confusion_cell() == (1, 0, 0, 0)
+        assert fp.confusion_cell() == (0, 1, 0, 0)
+        assert tn.confusion_cell() == (0, 0, 1, 0)
+        assert fn.confusion_cell() == (0, 0, 0, 1)
+
+    def test_unmarked_confusion_rejected(self):
+        with pytest.raises(ValueError):
+            _record().confusion_cell()

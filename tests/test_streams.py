@@ -1,0 +1,81 @@
+"""Unit tests for the data processing module's sample queues."""
+
+import numpy as np
+import pytest
+
+from repro.core.streams import KPIStreams
+
+
+@pytest.fixture
+def streams():
+    return KPIStreams(n_databases=3, kpi_names=("cpu", "rps"), capacity_hint=4)
+
+
+class TestAppend:
+    def test_append_and_length(self, streams):
+        streams.append(np.zeros((3, 2)))
+        assert len(streams) == 1
+        assert streams.next_tick == 1
+
+    def test_shape_validation(self, streams):
+        with pytest.raises(ValueError):
+            streams.append(np.zeros((2, 2)))
+
+    def test_growth_beyond_capacity_hint(self, streams):
+        for t in range(20):
+            streams.append(np.full((3, 2), t))
+        assert len(streams) == 20
+        window = streams.window(0, 20)
+        assert window[0, 0, 19] == 19.0
+
+    def test_extend(self, streams):
+        streams.extend(np.arange(24, dtype=float).reshape(4, 3, 2))
+        assert len(streams) == 4
+
+
+class TestWindow:
+    def test_window_layout(self, streams):
+        for t in range(5):
+            streams.append(np.full((3, 2), t))
+        window = streams.window(1, 4)
+        assert window.shape == (3, 2, 3)
+        assert np.allclose(window[0, 0], [1, 2, 3])
+
+    def test_future_window_rejected(self, streams):
+        streams.append(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            streams.window(0, 2)
+
+    def test_empty_window_rejected(self, streams):
+        with pytest.raises(ValueError):
+            streams.window(3, 3)
+
+
+class TestTrim:
+    def test_trim_drops_old_ticks(self, streams):
+        for t in range(10):
+            streams.append(np.full((3, 2), t))
+        streams.trim(6)
+        assert streams.first_tick == 6
+        assert len(streams) == 4
+        with pytest.raises(ValueError):
+            streams.window(5, 7)
+        window = streams.window(6, 8)
+        assert window[0, 0, 0] == 6.0
+
+    def test_trim_is_idempotent(self, streams):
+        for t in range(5):
+            streams.append(np.zeros((3, 2)))
+        streams.trim(3)
+        streams.trim(3)
+        streams.trim(1)  # no-op going backwards
+        assert streams.first_tick == 3
+
+    def test_absolute_indexing_survives_trim(self, streams):
+        for t in range(10):
+            streams.append(np.full((3, 2), t))
+        streams.trim(4)
+        for t in range(10, 14):
+            streams.append(np.full((3, 2), t))
+        window = streams.window(9, 12)
+        assert np.allclose(window[1, 1], [9, 10, 11])

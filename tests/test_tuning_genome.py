@@ -1,0 +1,98 @@
+"""Unit tests for the threshold genome (Section III-D)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    ALPHA_RANGE,
+    DBCatcherConfig,
+    THETA_RANGE,
+    TOLERANCE_RANGE,
+)
+from repro.tuning.genome import ThresholdGenome
+
+
+@pytest.fixture
+def genome():
+    return ThresholdGenome(alphas=(0.6, 0.7, 0.8), theta=0.2, tolerance=1)
+
+
+class TestConstruction:
+    def test_random_within_ranges(self, rng):
+        for _ in range(20):
+            genome = ThresholdGenome.random(5, rng)
+            assert all(
+                ALPHA_RANGE[0] <= a <= ALPHA_RANGE[1] for a in genome.alphas
+            )
+            assert THETA_RANGE[0] <= genome.theta <= THETA_RANGE[1]
+            assert TOLERANCE_RANGE[0] <= genome.tolerance <= TOLERANCE_RANGE[1]
+
+    def test_from_and_to_config(self):
+        config = DBCatcherConfig(
+            kpi_names=("a", "b"), alphas=(0.65, 0.75), theta=0.15,
+            max_tolerance_deviations=1,
+        )
+        genome = ThresholdGenome.from_config(config)
+        assert genome.alphas == (0.65, 0.75)
+        rebuilt = genome.apply_to(config)
+        assert rebuilt.alphas == config.alphas
+        assert rebuilt.theta == config.theta
+
+    def test_apply_kpi_count_mismatch(self, genome):
+        config = DBCatcherConfig(kpi_names=("only",))
+        with pytest.raises(ValueError):
+            genome.apply_to(config)
+
+    def test_empty_alphas_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdGenome(alphas=(), theta=0.2, tolerance=1)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdGenome(alphas=(2.0,), theta=0.2, tolerance=1)
+        with pytest.raises(ValueError):
+            ThresholdGenome(alphas=(0.7,), theta=-0.1, tolerance=1)
+        with pytest.raises(ValueError):
+            ThresholdGenome(alphas=(0.7,), theta=0.2, tolerance=-1)
+
+
+class TestCrossover:
+    def test_children_mix_parent_alphas(self, rng):
+        parent_a = ThresholdGenome(alphas=(0.0, 0.0, 0.0, 0.0), theta=0.1, tolerance=0)
+        parent_b = ThresholdGenome(alphas=(1.0, 1.0, 1.0, 1.0), theta=0.3, tolerance=3)
+        first, second = parent_a.crossover(parent_b, rng)
+        # Complementary split: together the children hold each position
+        # once from each parent.
+        for position in range(4):
+            pair = {first.alphas[position], second.alphas[position]}
+            assert pair == {0.0, 1.0}
+
+    def test_children_theta_from_parents(self, rng):
+        parent_a = ThresholdGenome(alphas=(0.5,), theta=0.1, tolerance=0)
+        parent_b = ThresholdGenome(alphas=(0.9,), theta=0.3, tolerance=2)
+        for _ in range(10):
+            first, second = parent_a.crossover(parent_b, rng)
+            assert first.theta in (0.1, 0.3)
+            assert second.tolerance in (0, 2)
+
+    def test_kpi_count_mismatch_rejected(self, genome, rng):
+        with pytest.raises(ValueError):
+            genome.crossover(ThresholdGenome(alphas=(0.7,), theta=0.2, tolerance=1), rng)
+
+
+class TestMutation:
+    def test_alphas_move_by_learning_rate(self, genome, rng):
+        mutated = genome.mutate(rng, learning_rate=0.1)
+        for old, new in zip(genome.alphas, mutated.alphas):
+            assert abs(abs(new - old) - 0.1) < 1e-9 or abs(new) == 1.0
+
+    def test_mutation_stays_in_bounds(self, rng):
+        genome = ThresholdGenome(alphas=(0.99, -0.99), theta=0.2, tolerance=1)
+        mutated = genome.mutate(rng, learning_rate=0.5)
+        assert all(-1.0 <= a <= 1.0 for a in mutated.alphas)
+
+    def test_perturb_is_local(self, genome, rng):
+        neighbour = genome.perturb(rng, scale=0.01)
+        for old, new in zip(genome.alphas, neighbour.alphas):
+            assert abs(new - old) < 0.1
+        assert abs(neighbour.tolerance - genome.tolerance) <= 1

@@ -1,0 +1,123 @@
+"""Tests for the three threshold searchers sharing one objective."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DBCatcherConfig
+from repro.tuning import (
+    AnnealingThresholdLearner,
+    DetectionObjective,
+    GeneticThresholdLearner,
+    RandomThresholdLearner,
+    ThresholdGenome,
+)
+
+
+@pytest.fixture(scope="module")
+def labelled_data():
+    """Small correlated unit with an obvious deviation on database 2."""
+    rng = np.random.default_rng(42)
+    n_ticks = 160
+    trend = np.sin(np.linspace(0, 10, n_ticks)) + 2.0
+    values = np.stack(
+        [
+            np.stack([trend, 0.6 * trend]) + 0.01 * rng.standard_normal((2, n_ticks))
+            for _ in range(4)
+        ]
+    )
+    labels = np.zeros((4, n_ticks), dtype=bool)
+    values[2, :, 60:100] = rng.random((2, 40)) * 3.0
+    labels[2, 60:100] = True
+    return values, labels
+
+
+@pytest.fixture
+def objective(labelled_data):
+    config = DBCatcherConfig(kpi_names=("cpu", "rps"), initial_window=10, max_window=30)
+    return DetectionObjective(config, *labelled_data)
+
+
+class TestObjective:
+    def test_fitness_in_unit_interval(self, objective, rng):
+        genome = ThresholdGenome.random(2, rng)
+        fitness = objective(genome)
+        assert 0.0 <= fitness <= 1.0
+
+    def test_memoization(self, objective, rng):
+        genome = ThresholdGenome.random(2, rng)
+        objective(genome)
+        evaluations = objective.evaluations
+        objective(genome)
+        assert objective.evaluations == evaluations
+
+    def test_reasonable_thresholds_score_well(self, objective):
+        genome = ThresholdGenome(alphas=(0.7, 0.7), theta=0.2, tolerance=2)
+        assert objective(genome) > 0.5
+
+    def test_multi_unit_input(self, labelled_data):
+        values, labels = labelled_data
+        config = DBCatcherConfig(
+            kpi_names=("cpu", "rps"), initial_window=10, max_window=30
+        )
+        multi = DetectionObjective(config, [values, values], [labels, labels])
+        single = DetectionObjective(config, values, labels)
+        genome = ThresholdGenome(alphas=(0.7, 0.7), theta=0.2, tolerance=2)
+        assert multi(genome) == pytest.approx(single(genome))
+
+    def test_shape_validation(self, labelled_data):
+        values, labels = labelled_data
+        config = DBCatcherConfig(kpi_names=("cpu", "rps"))
+        with pytest.raises(ValueError):
+            DetectionObjective(config, values[:, :1, :], labels)
+        with pytest.raises(ValueError):
+            DetectionObjective(config, values, labels[:, :10])
+
+
+class TestLearners:
+    @pytest.mark.parametrize(
+        "learner_factory",
+        [
+            lambda: GeneticThresholdLearner(population_size=6, n_iterations=3, seed=0),
+            lambda: AnnealingThresholdLearner(n_iterations=12, seed=0),
+            lambda: RandomThresholdLearner(n_iterations=12, seed=0),
+        ],
+        ids=["GA", "SAA", "Random"],
+    )
+    def test_search_never_worse_than_incumbent(self, objective, learner_factory):
+        incumbent = ThresholdGenome.from_config(objective.config)
+        incumbent_fitness = objective(incumbent)
+        learner = learner_factory()
+        _, best_fitness = learner.search(objective)
+        assert best_fitness >= incumbent_fitness - 1e-12
+
+    def test_trace_is_monotone(self, objective):
+        learner = GeneticThresholdLearner(population_size=6, n_iterations=4, seed=1)
+        learner.search(objective)
+        trace = learner.last_trace.best_fitness
+        assert list(trace) == sorted(trace)
+
+    def test_callable_interface_returns_config(self, labelled_data):
+        values, labels = labelled_data
+        config = DBCatcherConfig(
+            kpi_names=("cpu", "rps"), initial_window=10, max_window=30
+        )
+        learner = GeneticThresholdLearner(population_size=4, n_iterations=2, seed=2)
+        tuned = learner(config, values, labels)
+        assert isinstance(tuned, DBCatcherConfig)
+        assert tuned.initial_window == config.initial_window
+
+    def test_deterministic_given_seed(self, objective):
+        first = GeneticThresholdLearner(population_size=6, n_iterations=3, seed=7)
+        second = GeneticThresholdLearner(population_size=6, n_iterations=3, seed=7)
+        genome_a, fitness_a = first.search(objective)
+        genome_b, fitness_b = second.search(objective)
+        assert genome_a == genome_b
+        assert fitness_a == fitness_b
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            GeneticThresholdLearner(population_size=1)
+        with pytest.raises(ValueError):
+            AnnealingThresholdLearner(cooling=1.5)
+        with pytest.raises(ValueError):
+            RandomThresholdLearner(n_iterations=0)

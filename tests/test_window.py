@@ -1,0 +1,99 @@
+"""Unit tests for the flexible time window (Section III-C, Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DBCatcherConfig
+from repro.core.levels import CorrelationLevels
+from repro.core.records import DatabaseState
+from repro.core.window import FlexibleWindow, classify_database
+
+
+def _levels(per_db_levels):
+    """Build CorrelationLevels from a list of per-database level rows."""
+    arr = np.asarray(per_db_levels)
+    names = tuple(f"k{i}" for i in range(arr.shape[1]))
+    return CorrelationLevels(kpi_names=names, levels=arr, scores=np.ones(arr.shape))
+
+
+def _config(**overrides):
+    defaults = dict(
+        kpi_names=tuple(f"k{i}" for i in range(4)),
+        initial_window=10,
+        max_window=30,
+        max_tolerance_deviations=2,
+    )
+    defaults.update(overrides)
+    return DBCatcherConfig(**defaults)
+
+
+class TestClassify:
+    def test_all_level3_is_healthy(self):
+        state = classify_database(_levels([[3, 3, 3, 3]]), 0, _config())
+        assert state is DatabaseState.HEALTHY
+
+    def test_any_level1_is_abnormal(self):
+        state = classify_database(_levels([[3, 1, 3, 3]]), 0, _config())
+        assert state is DatabaseState.ABNORMAL
+
+    def test_few_level2_is_observable(self):
+        state = classify_database(_levels([[3, 2, 2, 3]]), 0, _config())
+        assert state is DatabaseState.OBSERVABLE
+
+    def test_too_many_level2_is_abnormal(self):
+        state = classify_database(_levels([[2, 2, 2, 3]]), 0, _config())
+        assert state is DatabaseState.ABNORMAL
+
+    def test_zero_tolerance_makes_one_level2_abnormal(self):
+        config = _config(max_tolerance_deviations=0)
+        state = classify_database(_levels([[3, 2, 3, 3]]), 0, config)
+        assert state is DatabaseState.ABNORMAL
+
+    def test_level1_beats_tolerance(self):
+        # Even a single level-1 dominates any number of level-3s.
+        config = _config(max_tolerance_deviations=3)
+        state = classify_database(_levels([[1, 3, 3, 3]]), 0, config)
+        assert state is DatabaseState.ABNORMAL
+
+
+class TestFlexibleWindow:
+    def test_expansion_arithmetic(self):
+        window = FlexibleWindow(_config(initial_window=10, window_step=10, max_window=30))
+        assert window.initial_size == 10
+        assert window.expanded_size(10) == 20
+        assert window.expanded_size(20) == 30
+        assert window.expanded_size(25) == 30  # capped at W_M
+
+    def test_can_expand(self):
+        window = FlexibleWindow(_config())
+        assert window.can_expand(10)
+        assert not window.can_expand(30)
+
+    def test_final_state_decision(self):
+        window = FlexibleWindow(_config())
+        decision = window.decide(_levels([[3, 3, 3, 3]]), 0, 10, 0)
+        assert decision.final
+        assert decision.state is DatabaseState.HEALTHY
+
+    def test_observable_requests_expansion(self):
+        window = FlexibleWindow(_config())
+        decision = window.decide(_levels([[3, 2, 3, 3]]), 0, 10, 0)
+        assert not decision.final
+        assert decision.next_window == 20
+
+    def test_observable_at_max_forced_abnormal(self):
+        window = FlexibleWindow(_config(resolve_max_window_as_abnormal=True))
+        decision = window.decide(_levels([[3, 2, 3, 3]]), 0, 30, 2)
+        assert decision.final
+        assert decision.state is DatabaseState.ABNORMAL
+
+    def test_observable_at_max_forced_healthy_when_configured(self):
+        window = FlexibleWindow(_config(resolve_max_window_as_abnormal=False))
+        decision = window.decide(_levels([[3, 2, 3, 3]]), 0, 30, 2)
+        assert decision.final
+        assert decision.state is DatabaseState.HEALTHY
+
+    def test_expansions_carried_through(self):
+        window = FlexibleWindow(_config())
+        decision = window.decide(_levels([[3, 1, 3, 3]]), 0, 20, 1)
+        assert decision.expansions == 1

@@ -1,0 +1,197 @@
+"""Unit tests for load patterns and the three workload families."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import classify_periodicity
+from repro.workloads import (
+    BurstyPattern,
+    CompositePattern,
+    FlatPattern,
+    PeriodicPattern,
+    RandomWalkPattern,
+    RegimeSwitchingPattern,
+    StatementProfile,
+    SysbenchConfig,
+    TPCCConfig,
+    drift_workload,
+    mixes_from_rates,
+    sysbench_irregular,
+    sysbench_periodic,
+    sysbench_run,
+    tencent_workload,
+    tpcc_irregular,
+    tpcc_periodic,
+    tpcc_run,
+)
+
+
+class TestPatterns:
+    def test_flat(self, rng):
+        rates = FlatPattern(100.0).sample(50, rng)
+        assert np.allclose(rates, 100.0)
+
+    def test_periodic_mean_and_period(self, rng):
+        pattern = PeriodicPattern(1000.0, amplitude=0.5, period=40, noise=0.0)
+        rates = pattern.sample(400, rng)
+        assert rates.mean() == pytest.approx(1000.0, rel=0.05)
+        result = classify_periodicity(rates)
+        assert result.periodic
+        assert result.period == pytest.approx(40, abs=2)
+
+    def test_bursty_exceeds_base(self, rng):
+        rates = BurstyPattern(100.0, burst_probability=0.1, burst_scale=5.0).sample(
+            500, rng
+        )
+        assert rates.max() > 200.0
+
+    def test_random_walk_bounded(self, rng):
+        pattern = RandomWalkPattern(100.0, sigma=0.2, floor=0.5, ceiling=2.0)
+        rates = pattern.sample(1000, rng)
+        assert rates.min() >= 50.0 - 1e-9
+        assert rates.max() <= 200.0 + 1e-9
+
+    def test_regime_levels(self, rng):
+        pattern = RegimeSwitchingPattern(
+            100.0, levels=(1.0, 2.0), switch_probability=0.2, noise=0.0
+        )
+        rates = pattern.sample(500, rng)
+        assert set(np.round(rates).astype(int)) <= {100, 200}
+
+    def test_composite_adds(self, rng):
+        combo = CompositePattern([FlatPattern(10.0), FlatPattern(5.0)])
+        assert np.allclose(combo.sample(10, rng), 15.0)
+
+    def test_all_rates_non_negative(self, rng):
+        for pattern in (
+            FlatPattern(10, noise=0.5),
+            PeriodicPattern(10, amplitude=1.0, period=8, noise=0.5),
+            BurstyPattern(10),
+            RandomWalkPattern(10),
+            RegimeSwitchingPattern(10),
+        ):
+            assert (pattern.sample(200, rng) >= 0).all()
+
+
+class TestStatementProfile:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            StatementProfile(select_fraction=0.9, insert_fraction=0.9)
+
+    def test_mix_for_rate(self):
+        profile = StatementProfile()
+        mix = profile.mix_for_rate(100.0, interval_seconds=5.0)
+        assert mix.total == pytest.approx(500.0)
+        assert mix.transactions == pytest.approx(50.0)
+
+    def test_mixes_from_rates(self):
+        mixes = mixes_from_rates([10.0, 20.0], StatementProfile())
+        assert len(mixes) == 2
+        assert mixes[1].total == pytest.approx(2 * mixes[0].total)
+
+
+class TestSysbench:
+    def test_throughput_monotone_in_threads(self):
+        low = SysbenchConfig(threads=4).transactions_per_second
+        high = SysbenchConfig(threads=32).transactions_per_second
+        assert high > low
+
+    def test_throughput_saturates(self):
+        gain_low = (
+            SysbenchConfig(threads=8).transactions_per_second
+            / SysbenchConfig(threads=4).transactions_per_second
+        )
+        gain_high = (
+            SysbenchConfig(threads=64).transactions_per_second
+            / SysbenchConfig(threads=32).transactions_per_second
+        )
+        assert gain_low > gain_high
+
+    def test_run_length(self, rng):
+        config = SysbenchConfig(time_minutes=0.5)
+        mixes = sysbench_run(config, rng)
+        assert len(mixes) == config.duration_ticks()
+
+    def test_irregular_exact_length(self, rng):
+        assert len(sysbench_irregular(300, rng)) == 300
+
+    def test_periodic_ladder_repeats(self, rng):
+        mixes = sysbench_periodic(400, rng)
+        rates = np.array([m.total for m in mixes])
+        result = classify_periodicity(rates)
+        assert result.periodic
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SysbenchConfig(threads=0)
+        with pytest.raises(ValueError):
+            SysbenchConfig(time_minutes=0)
+
+
+class TestTPCC:
+    def test_warmup_ramp(self, rng):
+        config = TPCCConfig(warmup_minutes=0.5, time_minutes=0.5)
+        mixes = tpcc_run(config, rng, rate_noise=0.0)
+        warmup = config.warmup_ticks()
+        assert mixes[0].total < mixes[warmup].total
+
+    def test_throughput_warehouse_bound(self):
+        small = TPCCConfig(warehouses=5, threads=24).transactions_per_second
+        large = TPCCConfig(warehouses=20, threads=24).transactions_per_second
+        assert large > small
+
+    def test_irregular_exact_length(self, rng):
+        assert len(tpcc_irregular(250, rng)) == 250
+
+    def test_periodic_is_periodic(self, rng):
+        rates = np.array([m.total for m in tpcc_periodic(400, rng)])
+        assert classify_periodicity(rates).periodic
+
+
+class TestTencent:
+    @pytest.mark.parametrize("scenario", ["social", "ecommerce", "game", "finance"])
+    def test_scenarios_produce_demand(self, scenario, rng):
+        mixes = tencent_workload(100, scenario=scenario, rng=rng)
+        assert len(mixes) == 100
+        assert all(m.total >= 0 for m in mixes)
+
+    def test_periodic_variant_is_periodic(self, rng):
+        rates = np.array(
+            [m.total for m in tencent_workload(720, scenario="social",
+                                               periodic=True, rng=rng)]
+        )
+        assert classify_periodicity(rates).periodic
+
+    def test_irregular_variant_is_not_periodic(self, rng):
+        rates = np.array(
+            [m.total for m in tencent_workload(720, scenario="social",
+                                               periodic=False, rng=rng)]
+        )
+        assert not classify_periodicity(rates).periodic
+
+    def test_unknown_scenario_rejected(self, rng):
+        with pytest.raises(KeyError):
+            tencent_workload(10, scenario="blockchain", rng=rng)
+
+    def test_rate_scale(self, rng):
+        base = tencent_workload(50, rng=np.random.default_rng(1))
+        scaled = tencent_workload(50, rng=np.random.default_rng(1), rate_scale=2.0)
+        assert scaled[10].total == pytest.approx(2 * base[10].total)
+
+
+class TestDrift:
+    def test_drift_switches_family(self, rng):
+        mixes = drift_workload("tencent", "sysbench", 200, drift_tick=100, rng=rng)
+        assert len(mixes) == 200
+
+    def test_default_drift_at_midpoint(self, rng):
+        mixes = drift_workload("sysbench", "tpcc", 100, rng=rng)
+        assert len(mixes) == 100
+
+    def test_unknown_family_rejected(self, rng):
+        with pytest.raises(KeyError):
+            drift_workload("oracle", "sysbench", 100, rng=rng)
+
+    def test_bad_drift_tick_rejected(self, rng):
+        with pytest.raises(ValueError):
+            drift_workload("tencent", "tpcc", 100, drift_tick=100, rng=rng)
