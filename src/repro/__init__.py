@@ -32,16 +32,38 @@ from repro.core import (
     kcd_matrix,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Service-layer names resolved lazily so `import repro` stays light —
+#: the fleet scheduler pulls in datasets/cluster machinery that pure
+#: detector users never need.
+_SERVICE_EXPORTS = (
+    "DetectionService",
+    "ServiceConfig",
+    "ServiceReport",
+    "detect_fleet",
+)
 
 __all__ = [
     "DBCatcher",
     "DBCatcherConfig",
     "DatabaseState",
+    "DetectionService",
     "JudgementRecord",
     "OnlineFeedback",
+    "ServiceConfig",
+    "ServiceReport",
     "UnitDetectionResult",
+    "detect_fleet",
     "kcd",
     "kcd_matrix",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_EXPORTS:
+        from repro import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

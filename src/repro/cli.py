@@ -1,12 +1,17 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the library's everyday entry points without writing
+Four commands cover the library's everyday entry points without writing
 code:
 
 * ``simulate`` — build a labelled unit/dataset and save it as ``.npz``;
 * ``detect``   — run DBCatcher over a saved dataset and print verdicts
-  plus detection scores;
-* ``info``     — show the KPI registry and the default configuration.
+  plus detection scores (``--jobs N`` fans the fleet out over worker
+  processes);
+* ``serve``    — run the online multi-unit detection service over a saved
+  dataset replay or a live simulated fleet, with alert sinks and a
+  metrics summary;
+* ``info``     — show the KPI registry, the default detector
+  configuration and the service defaults.
 """
 
 from __future__ import annotations
@@ -19,7 +24,6 @@ import numpy as np
 
 from repro import __version__
 from repro.cluster.kpis import KPI_REGISTRY
-from repro.core.detector import DBCatcher
 from repro.eval.adjust import adjusted_confusion_from_records
 from repro.eval.metrics import scores_from_confusion
 from repro.eval.tables import render_table
@@ -64,9 +68,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="uniform correlation threshold (default: paper mid-range)",
     )
     detect.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the fleet scheduler (1 = serial; "
+             "verdicts are identical either way)",
+    )
+    detect.add_argument(
         "--quiet", action="store_true",
         help="print only the summary scores, not per-round verdicts",
     )
+
+    serve = commands.add_parser(
+        "serve", help="run the online multi-unit detection service"
+    )
+    serve.add_argument(
+        "dataset", nargs="?", default=None,
+        help="path of a .npz archive to replay (omit with --live)",
+    )
+    serve.add_argument(
+        "--live", action="store_true",
+        help="feed the service from live simulated units through the "
+             "bypass monitor instead of a saved dataset",
+    )
+    serve.add_argument("--family", choices=("tencent", "sysbench", "tpcc"),
+                       default="tencent", help="workload family for --live")
+    serve.add_argument("--units", type=int, default=4,
+                       help="fleet size for --live")
+    serve.add_argument("--databases", type=int, default=5,
+                       help="databases per unit for --live")
+    serve.add_argument("--ticks", type=int, default=400,
+                       help="ticks per unit for --live")
+    serve.add_argument("--seed", type=int, default=0, help="seed for --live")
+    serve.add_argument("--jobs", type=int, default=0,
+                       help="worker processes (0 = serial in-process)")
+    serve.add_argument("--batch-ticks", type=int, default=32,
+                       help="ticks buffered per unit per worker round-trip")
+    serve.add_argument("--queue-capacity", type=int, default=256,
+                       help="per-unit ingest queue bound, in ticks")
+    serve.add_argument("--backpressure", choices=("block", "drop-oldest"),
+                       default="block",
+                       help="what a full ingest queue does to the producer")
+    serve.add_argument("--sink", action="append", default=None,
+                       metavar="SPEC",
+                       help="alert sink: stdout, null, or jsonl:<path> "
+                            "(repeatable; default stdout)")
+    serve.add_argument("--max-ticks", type=int, default=None,
+                       help="stop after this many ticks per unit")
+    serve.add_argument("--initial-window", type=int, default=20)
+    serve.add_argument("--max-window", type=int, default=60)
 
     commands.add_parser("info", help="show the KPI registry and defaults")
     return parser
@@ -90,22 +138,28 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
-def _cmd_detect(args) -> int:
-    from repro.datasets import load_dataset
-
-    dataset = load_dataset(args.dataset)
+def _detect_config(args):
     config = default_config(
         initial_window=args.initial_window, max_window=args.max_window
     )
-    if args.alpha is not None:
+    if getattr(args, "alpha", None) is not None:
         config = config.with_thresholds(
             [args.alpha] * config.n_kpis, config.theta,
             config.max_tolerance_deviations,
         )
+    return config
+
+
+def _cmd_detect(args) -> int:
+    from repro.datasets import load_dataset
+    from repro.service import detect_fleet
+
+    dataset = load_dataset(args.dataset)
+    config = _detect_config(args)
+    report = detect_fleet(dataset, config=config, jobs=args.jobs)
     counts = None
     for unit in dataset.units:
-        detector = DBCatcher(config, n_databases=unit.n_databases)
-        for result in detector.detect_series(unit.values):
+        for result in report.results[unit.name]:
             if result.abnormal_databases and not args.quiet:
                 flagged = ", ".join(
                     f"D{db + 1}" for db in result.abnormal_databases
@@ -113,13 +167,77 @@ def _cmd_detect(args) -> int:
                 print(f"{unit.name} ticks [{result.start}, {result.end}): "
                       f"abnormal {flagged}")
         unit_counts = adjusted_confusion_from_records(
-            detector.history, unit.labels
+            report.records_for(unit.name), unit.labels
         )
         counts = unit_counts if counts is None else counts + unit_counts
     scores = scores_from_confusion(counts)
     print(f"\nPrecision={scores.precision:.3f} Recall={scores.recall:.3f} "
           f"F-Measure={scores.f_measure:.3f} "
           f"(segment-adjusted, {counts.total} window verdicts)")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import (
+        DetectionService,
+        MonitorSource,
+        ReplaySource,
+        ServiceConfig,
+    )
+
+    if args.live:
+        source = MonitorSource.simulate(
+            n_units=args.units,
+            family=args.family,
+            n_databases=args.databases,
+            n_ticks=args.ticks,
+            seed=args.seed,
+        )
+    elif args.dataset is not None:
+        source = ReplaySource(args.dataset)
+    else:
+        print("serve needs a dataset path or --live", file=sys.stderr)
+        return 2
+    service_config = ServiceConfig(
+        n_workers=args.jobs,
+        batch_ticks=args.batch_ticks,
+        queue_capacity=args.queue_capacity,
+        backpressure=args.backpressure.replace("-", "_"),
+    )
+    service = DetectionService(
+        default_config(
+            initial_window=args.initial_window, max_window=args.max_window
+        ),
+        service_config=service_config,
+        sinks=tuple(args.sink) if args.sink else ("stdout",),
+    )
+    report = service.run(source, max_ticks=args.max_ticks)
+    # Each ingested tick carries one (n_databases, n_kpis) matrix; the
+    # fleet is homogeneous in KPI count but may not be in database count,
+    # so average the per-tick point load over the fleet.
+    mean_databases = sum(source.units.values()) / len(source.units)
+    points = report.ticks_ingested * len(source.kpi_names) * mean_databases
+    mode = f"{args.jobs} workers" if args.jobs > 0 else "serial"
+    print(f"\nserved {len(source.units)} units ({mode}): "
+          f"{report.ticks_ingested:,} ticks in {report.elapsed_seconds:.2f}s, "
+          f"{report.rounds_completed} rounds, "
+          f"{report.alerts_emitted} alerts")
+    print(f"  backpressure: {report.ticks_dropped} dropped, "
+          f"{sum(report.sequence_gaps.values())} sequence gaps; "
+          f"{report.ticks_lost} lost to crashes, "
+          f"{report.worker_restarts} worker restarts")
+    if report.elapsed_seconds > 0:
+        print(f"  throughput: ~{points / report.elapsed_seconds:,.0f} "
+              f"KPI points/s")
+    comp = report.component_seconds
+    if comp.get("correlation") or comp.get("observation"):
+        print(f"  detection time: correlation {comp.get('correlation', 0.0):.2f}s, "
+              f"observation {comp.get('observation', 0.0):.2f}s")
+    for name in ("ingest_latency_seconds", "dispatch_latency_seconds"):
+        snap = report.metrics.get(name)
+        if snap and snap["count"]:
+            print(f"  {name}: mean {snap['mean'] * 1e3:.3f}ms "
+                  f"max {snap['max'] * 1e3:.3f}ms over {snap['count']}")
     return 0
 
 
@@ -137,6 +255,18 @@ def _cmd_info(args) -> int:
           f"W_M={config.max_window}, alpha={config.alphas[0]:.2f}, "
           f"theta={config.theta}, tolerance={config.max_tolerance_deviations}, "
           f"interval={config.interval_seconds}s")
+    from repro.service import ServiceConfig
+
+    service = ServiceConfig()
+    pool = "serial in-process" if service.n_workers == 0 else (
+        f"{service.n_workers} workers"
+    )
+    print(f"service defaults: pool={pool}, "
+          f"batch_ticks={service.batch_ticks}, "
+          f"queue_capacity={service.queue_capacity}, "
+          f"backpressure={service.backpressure}, "
+          f"sinks=stdout|jsonl:<path>|null, "
+          f"restart_budget={service.max_worker_restarts}")
     return 0
 
 
@@ -145,9 +275,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "simulate": _cmd_simulate,
         "detect": _cmd_detect,
+        "serve": _cmd_serve,
         "info": _cmd_info,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except (ValueError, OSError) as exc:
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -11,7 +11,7 @@ delays are exactly what the KCD's delay scan compensates for.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -128,3 +128,45 @@ class BypassMonitor:
                     if drops[db, t]:
                         reported[db, :, t] = reported[db, :, t - 1]
         return reported
+
+    def stream(
+        self,
+        mixes: Sequence[RequestMix],
+        injectors: Sequence = (),
+    ) -> Iterator[np.ndarray]:
+        """Online variant of :meth:`collect`: yield one reported tick at a
+        time, as the real bypass pipeline delivers them every 5 seconds.
+
+        Each yielded array has shape ``(n_databases, n_kpis)`` and applies
+        the same per-database point-in-time delays (a short raw-frame ring
+        covers the deepest delay) and dropout semantics as the batch path.
+        With ``dropout_probability == 0`` the stream is tick-for-tick
+        identical to :meth:`collect` on the same monitor seed; with
+        dropout the RNG is consumed per tick instead of upfront, so the
+        two paths match in distribution rather than sample-for-sample.
+        This is what :class:`repro.service.sources.MonitorSource` feeds
+        the online detection service from.
+        """
+        n_dbs = self.unit.n_databases
+        max_delay = int(self.delays.max()) if n_dbs else 0
+        history: List[np.ndarray] = []
+        previous: Optional[np.ndarray] = None
+        dropout = self.settings.dropout_probability
+        for mix in mixes:
+            tick = self.unit.tick
+            for injector in injectors:
+                injector.before_tick(self.unit, tick)
+            raw = self.unit.step(mix)
+            history.append(raw)
+            if len(history) > max_delay + 1:
+                history.pop(0)
+            reported = np.empty_like(raw)
+            for db in range(n_dbs):
+                index = len(history) - 1 - int(self.delays[db])
+                source = history[index] if index >= 0 else history[0]
+                reported[db] = source[db]
+            if dropout > 0.0 and previous is not None:
+                drops = self._rng.random(n_dbs) < dropout
+                reported[drops] = previous[drops]
+            previous = reported
+            yield reported

@@ -89,6 +89,19 @@ class DBCatcher:
         Optional replacement correlation measure with signature
         ``measure(x, y, max_delay) -> float``; ``None`` uses the KCD.
         Exists for the Table X comparators (MM-Pearson, MM-DTW).
+    history_limit:
+        Completed rounds (and their judgement records) to retain; older
+        entries are discarded as new rounds finish.  ``None`` (default)
+        keeps everything, which suits offline evaluation; long-running
+        serving (:mod:`repro.service`) sets a small limit so detector
+        memory stays bounded no matter how long the stream runs.
+
+    Notes
+    -----
+    A detector with ``measure=None`` is picklable (plain config, numpy
+    buffers and dataclass records), which is what lets the fleet
+    scheduler ship per-unit detectors into worker processes.  A custom
+    ``measure`` must itself be picklable to cross that boundary.
 
     Examples
     --------
@@ -110,9 +123,13 @@ class DBCatcher:
         n_databases: int,
         active: Optional[Sequence[bool]] = None,
         measure=None,
+        history_limit: Optional[int] = None,
     ):
         if n_databases < 2:
             raise ValueError("UKPIC needs at least two databases in a unit")
+        if history_limit is not None and history_limit < 1:
+            raise ValueError("history_limit must be >= 1 or None")
+        self._history_limit = history_limit
         self._config = config
         self._n_databases = n_databases
         if active is None:
@@ -128,6 +145,7 @@ class DBCatcher:
         self._cursor = 0
         self._history: List[JudgementRecord] = []
         self._results: List[UnitDetectionResult] = []
+        self._rounds_completed = 0
         #: Cumulative seconds per component (Section IV-D4's breakdown):
         #: "correlation" covers the correlation-measurement module,
         #: "observation" the flexible-window level/state machinery.
@@ -231,6 +249,11 @@ class DBCatcher:
             if len(pending) < 2:
                 # Correlation evidence needs at least two active databases;
                 # with fewer, DBCatcher has nothing to compare and idles.
+                # Idling must not hoard ticks: consume them unjudged so a
+                # long-running serve loop keeps the buffer bounded, and a
+                # later re-activation starts a fresh window from live data.
+                self._cursor = self._streams.next_tick
+                self._streams.trim(self._cursor)
                 return None
             self._round = _RoundState(
                 start=self._cursor,
@@ -285,13 +308,36 @@ class DBCatcher:
             start=state.start, end=end, records=dict(state.records)
         )
         self._results.append(result)
+        self._rounds_completed += 1
         self._history.extend(
             state.records[db] for db in sorted(state.records)
         )
+        if self._history_limit is not None:
+            if len(self._results) > self._history_limit:
+                del self._results[: len(self._results) - self._history_limit]
+            record_limit = self._history_limit * self._n_databases
+            if len(self._history) > record_limit:
+                del self._history[: len(self._history) - record_limit]
         self._cursor = end
         self._round = None
         self._streams.trim(self._cursor)
         return result
+
+    def export_state(self) -> Dict[str, object]:
+        """Operational snapshot for the service's worker telemetry.
+
+        Everything here is a plain scalar/dict so the snapshot crosses
+        process boundaries and serializes to JSON without ceremony.
+        """
+        return {
+            "cursor": self._cursor,
+            "next_tick": self._streams.next_tick,
+            "buffered_ticks": len(self._streams),
+            "round_open": self._round is not None,
+            "rounds_completed": self._rounds_completed,
+            "records_retained": len(self._history),
+            "component_seconds": dict(self.component_seconds),
+        }
 
     def average_window_size(self) -> float:
         """Mean final window size over all completed rounds.

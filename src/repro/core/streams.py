@@ -92,12 +92,26 @@ class KPIStreams:
     def extend(self, samples: np.ndarray) -> None:
         """Append many ticks of shape ``(n_ticks, n_databases, n_kpis)``."""
         block = np.asarray(samples, dtype=np.float64)
-        if block.ndim != 3:
+        expected = (self._n_databases, self.n_kpis)
+        if block.ndim != 3 or block.shape[1:] != expected:
             raise ValueError(
-                f"expected (n_ticks, n_databases, n_kpis), got {block.shape}"
+                f"expected (n_ticks, {expected[0]}, {expected[1]}), "
+                f"got {block.shape}"
             )
-        for tick in block:
-            self.append(tick)
+        n_new = block.shape[0]
+        if not n_new:
+            return
+        capacity = self._buffer.shape[0]
+        if self._length + n_new > capacity:
+            while capacity < self._length + n_new:
+                capacity *= 2
+            grown = np.zeros(
+                (capacity,) + self._buffer.shape[1:], dtype=np.float64
+            )
+            grown[: self._length] = self._buffer[: self._length]
+            self._buffer = grown
+        self._buffer[self._length : self._length + n_new] = block
+        self._length += n_new
 
     def window(self, start: int, end: int) -> np.ndarray:
         """Samples for absolute ticks ``[start, end)``.
@@ -123,12 +137,35 @@ class KPIStreams:
         # Buffer layout is (tick, db, kpi); the detector wants (db, kpi, tick).
         return np.ascontiguousarray(self._buffer[lo:hi].transpose(1, 2, 0))
 
+    @property
+    def capacity(self) -> int:
+        """Ticks the current allocation can hold without growing."""
+        return self._buffer.shape[0]
+
     def trim(self, keep_from: int) -> None:
-        """Drop all ticks before the absolute index ``keep_from``."""
+        """Drop all ticks before the absolute index ``keep_from``.
+
+        When the retained tail occupies under a quarter of a large
+        allocation, the buffer is also reallocated smaller, so a one-off
+        backlog burst (e.g. a batch replay through ``ingest_block``)
+        does not pin its peak footprint for the rest of a long-running
+        serve.
+        """
         if keep_from <= self._base:
             return
         drop = min(keep_from - self._base, self._length)
-        if drop:
-            self._buffer[: self._length - drop] = self._buffer[drop : self._length]
-            self._length -= drop
-            self._base += drop
+        if not drop:
+            return
+        capacity = self._buffer.shape[0]
+        remaining = self._length - drop
+        if capacity > 64 and capacity > 4 * max(remaining, 16):
+            shrunk = np.zeros(
+                (max(2 * remaining, 16),) + self._buffer.shape[1:],
+                dtype=np.float64,
+            )
+            shrunk[:remaining] = self._buffer[drop : self._length]
+            self._buffer = shrunk
+        else:
+            self._buffer[:remaining] = self._buffer[drop : self._length]
+        self._length = remaining
+        self._base += drop

@@ -1,0 +1,85 @@
+"""Online multi-unit detection service (the §IV-D4 deployment shape).
+
+The library's :class:`~repro.core.detector.DBCatcher` screens one unit;
+this package runs a *fleet* of them online:
+
+* :mod:`~repro.service.sources` — tick sources (dataset replay, live
+  simulated bypass monitoring);
+* :mod:`~repro.service.queues` — the ingestion bridge: bounded per-unit
+  queues with block / drop-oldest backpressure and sequence accounting;
+* :mod:`~repro.service.workers` — the sharded worker pool
+  (``multiprocessing`` with crash-restart, serial in-process fallback);
+* :mod:`~repro.service.alerts` — the alert pipeline and its sinks;
+* :mod:`~repro.service.metrics` — counters / gauges / latency histograms;
+* :mod:`~repro.service.scheduler` — :class:`DetectionService`, which
+  wires it all together, and :func:`detect_fleet` for offline fan-out.
+
+Quick start::
+
+    from repro.service import DetectionService, ServiceConfig, ReplaySource
+
+    service = DetectionService(
+        default_config(),
+        service_config=ServiceConfig(n_workers=4),
+        sinks=("stdout",),
+    )
+    report = service.run(ReplaySource("fleet.npz"))
+    print(report.alerts_emitted, report.metrics["dispatch_latency_seconds"])
+"""
+
+from repro.service.alerts import (
+    Alert,
+    AlertPipeline,
+    AlertSink,
+    CallbackSink,
+    JSONLSink,
+    MemorySink,
+    StdoutSink,
+    build_sink,
+)
+from repro.service.config import BACKPRESSURE_POLICIES, ServiceConfig
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.queues import IngestionBridge, QueueClosed, QueueFull, TickQueue
+from repro.service.scheduler import DetectionService, ServiceReport, detect_fleet
+from repro.service.sources import MonitorSource, ReplaySource, TickEvent
+from repro.service.workers import (
+    ProcessWorkerPool,
+    SerialWorkerPool,
+    UnitSpec,
+    WorkerDied,
+    make_pool,
+    shard_units,
+)
+
+__all__ = [
+    "Alert",
+    "AlertPipeline",
+    "AlertSink",
+    "BACKPRESSURE_POLICIES",
+    "CallbackSink",
+    "Counter",
+    "DetectionService",
+    "Gauge",
+    "Histogram",
+    "IngestionBridge",
+    "JSONLSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "MonitorSource",
+    "ProcessWorkerPool",
+    "QueueClosed",
+    "QueueFull",
+    "ReplaySource",
+    "SerialWorkerPool",
+    "ServiceConfig",
+    "ServiceReport",
+    "StdoutSink",
+    "TickEvent",
+    "TickQueue",
+    "UnitSpec",
+    "WorkerDied",
+    "build_sink",
+    "detect_fleet",
+    "make_pool",
+    "shard_units",
+]

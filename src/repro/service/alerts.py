@@ -1,0 +1,254 @@
+"""Alert pipeline: detection rounds out, operator notifications in.
+
+Every completed :class:`~repro.core.detector.UnitDetectionResult` flows
+through the :class:`AlertPipeline`; rounds that judged at least one
+database abnormal become :class:`Alert`\\ s and fan out to the configured
+sinks.  Sinks are deliberately tiny — stdout for interactive runs, JSONL
+for ingestion into downstream tooling, callback/memory for embedding and
+tests — and new ones only need ``emit`` and ``close``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, IO, List, Optional, Sequence, Tuple, Union
+
+from repro.core.detector import UnitDetectionResult
+from repro.service.metrics import MetricsRegistry
+
+__all__ = [
+    "Alert",
+    "AlertSink",
+    "StdoutSink",
+    "JSONLSink",
+    "CallbackSink",
+    "MemorySink",
+    "AlertPipeline",
+    "build_sink",
+]
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One abnormal detection round, flattened for operators.
+
+    Parameters
+    ----------
+    unit:
+        Name of the unit the round belongs to.
+    start, end:
+        Absolute tick span ``[start, end)`` of the round's final window.
+    abnormal_databases:
+        Indices judged abnormal.
+    expansions:
+        Flexible-window expansions of the worst judged database — a proxy
+        for how long the verdict stayed ambiguous.
+    kpi_levels:
+        Per abnormal database, the KPI -> correlation-level map behind the
+        verdict (level 1 = extreme deviation), for root-cause triage.
+    latency_seconds:
+        Detection latency implied by the window: ticks consumed times the
+        collection interval.
+    """
+
+    unit: str
+    start: int
+    end: int
+    abnormal_databases: Tuple[int, ...]
+    expansions: int = 0
+    kpi_levels: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    latency_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "unit": self.unit,
+            "start": self.start,
+            "end": self.end,
+            "abnormal_databases": list(self.abnormal_databases),
+            "expansions": self.expansions,
+            "kpi_levels": {
+                str(db): dict(levels) for db, levels in self.kpi_levels.items()
+            },
+            "latency_seconds": self.latency_seconds,
+        }
+
+    @classmethod
+    def from_result(
+        cls,
+        unit: str,
+        result: UnitDetectionResult,
+        interval_seconds: float = 5.0,
+    ) -> "Alert":
+        """Build an alert from an abnormal detection round."""
+        abnormal = result.abnormal_databases
+        records = {db: result.records[db] for db in abnormal}
+        return cls(
+            unit=unit,
+            start=result.start,
+            end=result.end,
+            abnormal_databases=abnormal,
+            expansions=max(
+                (record.expansions for record in records.values()), default=0
+            ),
+            kpi_levels={
+                db: dict(record.kpi_levels) for db, record in records.items()
+            },
+            latency_seconds=result.window_size * interval_seconds,
+        )
+
+
+class AlertSink:
+    """Destination for alerts.  Subclasses override :meth:`emit`."""
+
+    def emit(self, alert: Alert) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class StdoutSink(AlertSink):
+    """Human-readable one-liners, the default for ``repro serve``."""
+
+    def __init__(self, stream: Optional[IO[str]] = None):
+        self._stream = stream
+
+    def emit(self, alert: Alert) -> None:
+        stream = self._stream if self._stream is not None else sys.stdout
+        flagged = ", ".join(f"D{db + 1}" for db in alert.abnormal_databases)
+        print(
+            f"ALERT {alert.unit} ticks [{alert.start}, {alert.end}): "
+            f"abnormal {flagged} (expansions={alert.expansions}, "
+            f"latency={alert.latency_seconds:.0f}s)",
+            file=stream,
+        )
+
+
+class JSONLSink(AlertSink):
+    """One JSON object per alert, appended to a file."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: Optional[IO[str]] = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, alert: Alert) -> None:
+        if self._handle is None:
+            raise RuntimeError("sink is closed")
+        json.dump(alert.to_dict(), self._handle, sort_keys=True)
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class CallbackSink(AlertSink):
+    """Invokes a user callable per alert (embedding the service in-app)."""
+
+    def __init__(self, callback: Callable[[Alert], None]):
+        if not callable(callback):
+            raise TypeError("callback must be callable")
+        self._callback = callback
+
+    def emit(self, alert: Alert) -> None:
+        self._callback(alert)
+
+
+class MemorySink(AlertSink):
+    """Collects alerts in a list; the test workhorse."""
+
+    def __init__(self):
+        self.alerts: List[Alert] = []
+
+    def emit(self, alert: Alert) -> None:
+        self.alerts.append(alert)
+
+
+def build_sink(spec: Union[str, AlertSink, Callable[[Alert], None]]) -> AlertSink:
+    """Resolve a sink specification.
+
+    Accepts an :class:`AlertSink` (passed through), a callable (wrapped in
+    a :class:`CallbackSink`), or one of the string forms ``"stdout"``,
+    ``"memory"``, ``"null"`` and ``"jsonl:<path>"`` used by the CLI.
+    """
+    if isinstance(spec, AlertSink):
+        return spec
+    if callable(spec):
+        return CallbackSink(spec)
+    if not isinstance(spec, str):
+        raise TypeError(f"cannot build a sink from {type(spec).__name__}")
+    if spec == "stdout":
+        return StdoutSink()
+    if spec == "memory":
+        return MemorySink()
+    if spec == "null":
+        return _NullSink()
+    if spec.startswith("jsonl:"):
+        path = spec.split(":", 1)[1]
+        if not path:
+            raise ValueError("jsonl sink needs a path: jsonl:<path>")
+        return JSONLSink(path)
+    raise ValueError(
+        f"unknown sink spec {spec!r}; expected stdout, memory, null or "
+        "jsonl:<path>"
+    )
+
+
+class _NullSink(AlertSink):
+    def emit(self, alert: Alert) -> None:
+        pass
+
+
+class AlertPipeline:
+    """Routes detection rounds to sinks and keeps the alert metrics.
+
+    Parameters
+    ----------
+    sinks:
+        Sink specifications, resolved through :func:`build_sink`.
+    metrics:
+        Registry receiving ``rounds_completed`` / ``alerts_emitted``
+        counters; a private one is created when omitted.
+    interval_seconds:
+        Collection interval used to derive alert latencies.
+    min_databases:
+        Minimum abnormal databases for a round to alert.
+    """
+
+    def __init__(
+        self,
+        sinks: Sequence[Union[str, AlertSink, Callable[[Alert], None]]] = ("stdout",),
+        metrics: Optional[MetricsRegistry] = None,
+        interval_seconds: float = 5.0,
+        min_databases: int = 1,
+    ):
+        self.sinks: Tuple[AlertSink, ...] = tuple(build_sink(s) for s in sinks)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.interval_seconds = float(interval_seconds)
+        self.min_databases = int(min_databases)
+        self._closed = False
+
+    def publish(self, unit: str, result: UnitDetectionResult) -> Optional[Alert]:
+        """Feed one completed round; returns the alert if one was emitted."""
+        if self._closed:
+            raise RuntimeError("alert pipeline is closed")
+        self.metrics.counter("rounds_completed").increment()
+        if len(result.abnormal_databases) < self.min_databases:
+            return None
+        alert = Alert.from_result(unit, result, self.interval_seconds)
+        for sink in self.sinks:
+            sink.emit(alert)
+        self.metrics.counter("alerts_emitted").increment()
+        return alert
+
+    def close(self) -> None:
+        if not self._closed:
+            for sink in self.sinks:
+                sink.close()
+            self._closed = True

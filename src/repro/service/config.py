@@ -1,0 +1,98 @@
+"""Configuration of the online detection service.
+
+Everything operational lives here — pool size, batching, queue bounds,
+backpressure policy, alert sinks, restart budget — separate from
+:class:`~repro.core.config.DBCatcherConfig`, which stays purely about the
+detection algorithm.  The split mirrors the paper's architecture: §III
+defines the detector, §IV-D4 describes how a fleet of them is driven
+online.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["ServiceConfig", "BACKPRESSURE_POLICIES"]
+
+#: What the ingestion bridge does when a unit's bounded queue is full.
+#: ``block`` makes the producer wait (lossless, propagates pressure to the
+#: collector); ``drop_oldest`` evicts the stalest tick (bounded staleness,
+#: lossy under sustained overload).
+BACKPRESSURE_POLICIES: Tuple[str, ...] = ("block", "drop_oldest")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Immutable operational configuration for :class:`DetectionService`.
+
+    Parameters
+    ----------
+    n_workers:
+        Detection worker processes.  ``0`` (default) runs every unit's
+        detector serially in-process — no pickling, no IPC — and is the
+        reference the parallel path must match bit-for-bit.
+    batch_ticks:
+        Ticks buffered per unit before a worker round-trip.  Larger
+        batches amortize IPC per dispatch; smaller batches lower detection
+        latency.  The serial path is insensitive to this knob.
+    queue_capacity:
+        Bound of each unit's ingest queue, in ticks.
+    backpressure:
+        ``"block"`` or ``"drop_oldest"`` (see
+        :data:`BACKPRESSURE_POLICIES`).
+    put_timeout_seconds:
+        How long a blocked producer waits before the put fails; ``None``
+        waits forever.  Only meaningful under the ``block`` policy.
+    max_worker_restarts:
+        Crash-restart budget per worker process.  A worker dying beyond
+        this budget fails the run instead of looping on a hard crash.
+    history_limit:
+        Completed rounds each worker-side detector retains; the service
+        collects results after every dispatch, so workers only need a
+        small tail for debugging.  ``None`` keeps everything (unbounded —
+        not what a long-running service wants).
+    alert_min_databases:
+        Minimum abnormal databases in a round before an alert is emitted;
+        1 alerts on every abnormal verdict.
+    """
+
+    n_workers: int = 0
+    batch_ticks: int = 32
+    queue_capacity: int = 256
+    backpressure: str = "block"
+    put_timeout_seconds: Optional[float] = 30.0
+    max_worker_restarts: int = 2
+    history_limit: Optional[int] = 8
+    alert_min_databases: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 0:
+            raise ValueError("n_workers must be >= 0")
+        if self.batch_ticks < 1:
+            raise ValueError("batch_ticks must be >= 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.queue_capacity < self.batch_ticks:
+            raise ValueError(
+                "queue_capacity must be >= batch_ticks, otherwise a batch "
+                "can never accumulate"
+            )
+        if self.backpressure not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"backpressure must be one of {BACKPRESSURE_POLICIES}, "
+                f"got {self.backpressure!r}"
+            )
+        if self.put_timeout_seconds is not None and self.put_timeout_seconds <= 0:
+            raise ValueError("put_timeout_seconds must be positive or None")
+        if self.max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts must be >= 0")
+        if self.history_limit is not None and self.history_limit < 1:
+            raise ValueError("history_limit must be >= 1 or None")
+        if self.alert_min_databases < 1:
+            raise ValueError("alert_min_databases must be >= 1")
+
+    @property
+    def parallel(self) -> bool:
+        """Whether the sharded process pool is in play."""
+        return self.n_workers > 0

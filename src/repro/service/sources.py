@@ -1,0 +1,210 @@
+"""Tick sources feeding the ingestion bridge.
+
+Two ways monitoring ticks reach the service:
+
+* :class:`ReplaySource` — replays a saved labelled dataset (a ``.npz``
+  archive from ``repro simulate`` or an in-memory
+  :class:`~repro.datasets.containers.Dataset`) tick by tick, interleaving
+  the fleet's units in collection order.  This is the reproducible path
+  the parity tests and benches use.
+* :class:`MonitorSource` — drives live simulated units through the
+  :meth:`~repro.cluster.monitor.BypassMonitor.stream` online collector,
+  so ticks are *generated* as the service consumes them, exactly like the
+  paper's bypass monitoring pipeline feeding DBCatcher every 5 s.
+
+Both yield :class:`TickEvent`\\ s with per-unit monotonically increasing
+sequence numbers, which is what the bridge's loss accounting keys on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["TickEvent", "ReplaySource", "MonitorSource"]
+
+
+@dataclass(frozen=True)
+class TickEvent:
+    """One collected monitoring tick for one unit.
+
+    Parameters
+    ----------
+    unit:
+        Unit name.
+    seq:
+        Per-unit sequence number (0-based, gapless at the source).
+    sample:
+        KPI matrix of shape ``(n_databases, n_kpis)``.
+    """
+
+    unit: str
+    seq: int
+    sample: np.ndarray
+
+
+class ReplaySource:
+    """Replays a saved dataset as an interleaved stream of tick events.
+
+    Parameters
+    ----------
+    dataset:
+        A :class:`~repro.datasets.containers.Dataset` or a path to a
+        ``.npz`` archive written by ``repro simulate``.
+    max_ticks:
+        Optional cap on ticks replayed per unit (``None`` replays all).
+    """
+
+    def __init__(self, dataset, max_ticks: Optional[int] = None):
+        from repro.datasets import Dataset, load_dataset
+
+        if isinstance(dataset, (str, Path)):
+            dataset = load_dataset(dataset)
+        if not isinstance(dataset, Dataset):
+            raise TypeError(
+                f"expected a Dataset or .npz path, got {type(dataset).__name__}"
+            )
+        if max_ticks is not None and max_ticks < 1:
+            raise ValueError("max_ticks must be >= 1 or None")
+        self.dataset = dataset
+        self.max_ticks = max_ticks
+
+    @property
+    def units(self) -> Dict[str, int]:
+        """Unit name -> database count, for sharding and detector setup."""
+        return {unit.name: unit.n_databases for unit in self.dataset.units}
+
+    @property
+    def kpi_names(self) -> Tuple[str, ...]:
+        return self.dataset.kpi_names
+
+    @property
+    def interval_seconds(self) -> float:
+        return self.dataset.units[0].interval_seconds
+
+    def __iter__(self) -> Iterator[TickEvent]:
+        units = self.dataset.units
+        horizon = max(unit.n_ticks for unit in units)
+        if self.max_ticks is not None:
+            horizon = min(horizon, self.max_ticks)
+        for t in range(horizon):
+            for unit in units:
+                if t < unit.n_ticks:
+                    yield TickEvent(
+                        unit=unit.name, seq=t, sample=unit.values[:, :, t]
+                    )
+
+
+class MonitorSource:
+    """Live simulation feed: units stepped online through bypass monitors.
+
+    Parameters
+    ----------
+    units:
+        Simulated :class:`~repro.cluster.unit.Unit` objects.
+    demands:
+        Per-unit request-mix sequences (one
+        :class:`~repro.cluster.requests.RequestMix` per tick); all units
+        run the same horizon, the shortest sequence bounds it.
+    settings:
+        Shared :class:`~repro.cluster.monitor.MonitorSettings`.
+    seed:
+        Base seed for the per-unit monitors (unit ``i`` gets ``seed + i``).
+    """
+
+    def __init__(
+        self,
+        units: Sequence,
+        demands: Sequence[Sequence],
+        settings=None,
+        seed: Optional[int] = None,
+    ):
+        from repro.cluster.monitor import BypassMonitor
+
+        if len(units) != len(demands):
+            raise ValueError("need one demand sequence per unit")
+        if not units:
+            raise ValueError("need at least one unit")
+        names = [unit.name for unit in units]
+        if len(set(names)) != len(names):
+            raise ValueError("unit names must be unique")
+        self._units = list(units)
+        self._demands = [list(d) for d in demands]
+        self._monitors = [
+            BypassMonitor(
+                unit,
+                settings=settings,
+                seed=None if seed is None else seed + index,
+            )
+            for index, unit in enumerate(units)
+        ]
+
+    @classmethod
+    def simulate(
+        cls,
+        n_units: int = 4,
+        family: str = "tencent",
+        n_databases: int = 5,
+        n_ticks: int = 600,
+        seed: int = 0,
+        periodic: bool = False,
+        settings=None,
+    ) -> "MonitorSource":
+        """Build a fleet of healthy simulated units with fresh workloads."""
+        from repro.cluster.unit import Unit
+        from repro.workloads.sysbench import sysbench_irregular, sysbench_periodic
+        from repro.workloads.tencent import TENCENT_SCENARIOS, tencent_workload
+        from repro.workloads.tpcc import tpcc_irregular, tpcc_periodic
+
+        if n_units < 1:
+            raise ValueError("n_units must be >= 1")
+        units, demands = [], []
+        for index in range(n_units):
+            rng = np.random.default_rng(seed + 1000 * index)
+            if family == "tencent":
+                names = sorted(TENCENT_SCENARIOS)
+                scenario = names[int(rng.integers(0, len(names)))]
+                mixes = tencent_workload(
+                    n_ticks, scenario=scenario, periodic=periodic, rng=rng
+                )
+            elif family == "sysbench":
+                build = sysbench_periodic if periodic else sysbench_irregular
+                mixes = build(n_ticks, rng)
+            elif family == "tpcc":
+                build = tpcc_periodic if periodic else tpcc_irregular
+                mixes = build(n_ticks, rng)
+            else:
+                raise ValueError(
+                    f"unknown workload family {family!r}; "
+                    "choose tencent, sysbench or tpcc"
+                )
+            units.append(
+                Unit(f"unit-{index:03d}", n_databases=n_databases, seed=seed + index)
+            )
+            demands.append(mixes)
+        return cls(units, demands, settings=settings, seed=seed)
+
+    @property
+    def units(self) -> Dict[str, int]:
+        return {unit.name: unit.n_databases for unit in self._units}
+
+    @property
+    def kpi_names(self) -> Tuple[str, ...]:
+        return tuple(self._units[0].kpi_names)
+
+    @property
+    def interval_seconds(self) -> float:
+        return float(self._monitors[0].settings.interval_seconds)
+
+    def __iter__(self) -> Iterator[TickEvent]:
+        streams: List[Iterator[np.ndarray]] = [
+            monitor.stream(demand)
+            for monitor, demand in zip(self._monitors, self._demands)
+        ]
+        horizon = min(len(d) for d in self._demands)
+        for t in range(horizon):
+            for unit, stream in zip(self._units, streams):
+                yield TickEvent(unit=unit.name, seq=t, sample=next(stream))

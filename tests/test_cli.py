@@ -53,3 +53,76 @@ class TestCommands:
         assert main(["detect", str(archive), "--alpha", "0.85"]) == 0
         out = capsys.readouterr().out
         assert "Precision=" in out
+
+
+class TestServeCommand:
+    @pytest.fixture
+    def archive(self, tmp_path):
+        path = tmp_path / "fleet.npz"
+        main([
+            "simulate", str(path),
+            "--family", "sysbench", "--units", "2", "--ticks", "200",
+            "--seed", "3",
+        ])
+        return path
+
+    def test_serve_replay_summary(self, archive, capsys):
+        capsys.readouterr()
+        assert main(["serve", str(archive), "--sink", "null"]) == 0
+        out = capsys.readouterr().out
+        assert "served 2 units (serial)" in out
+        assert "400 ticks" in out
+        assert "worker restarts" in out
+        assert "dispatch_latency_seconds" in out
+
+    def test_serve_jsonl_sink(self, archive, tmp_path, capsys):
+        capsys.readouterr()
+        alerts_path = tmp_path / "alerts.jsonl"
+        assert main([
+            "serve", str(archive), "--sink", f"jsonl:{alerts_path}",
+        ]) == 0
+        capsys.readouterr()
+        assert alerts_path.exists()
+
+    def test_serve_needs_a_source(self, capsys):
+        assert main(["serve"]) == 2
+        assert "needs a dataset path or --live" in capsys.readouterr().err
+
+    def test_serve_live_fleet(self, capsys):
+        assert main([
+            "serve", "--live", "--units", "2", "--databases", "3",
+            "--ticks", "80", "--seed", "1", "--sink", "null",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "served 2 units (serial)" in out
+        assert "160 ticks" in out
+
+    def test_serve_max_ticks(self, archive, capsys):
+        capsys.readouterr()
+        assert main([
+            "serve", str(archive), "--sink", "null", "--max-ticks", "60",
+        ]) == 0
+        assert "120 ticks" in capsys.readouterr().out
+
+
+class TestDetectJobs:
+    def test_jobs_flag_preserves_scores(self, tmp_path, capsys):
+        archive = tmp_path / "tiny.npz"
+        main([
+            "simulate", str(archive),
+            "--family", "sysbench", "--units", "2", "--ticks", "200",
+            "--seed", "9",
+        ])
+        capsys.readouterr()
+        assert main(["detect", str(archive)]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["detect", str(archive), "--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+        assert "F-Measure=" in parallel_out
+
+    def test_info_shows_service_defaults(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "service defaults:" in out
+        assert "backpressure=block" in out

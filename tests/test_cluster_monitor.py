@@ -100,3 +100,40 @@ class TestCluster:
         assert cluster.unit_by_name("alpha").name == "alpha"
         with pytest.raises(KeyError):
             cluster.unit_by_name("beta")
+
+
+class TestMonitorStream:
+    """The online tick-at-a-time collector behind repro.service."""
+
+    def test_stream_matches_collect_without_dropout(self, mixes):
+        settings = MonitorSettings(max_collection_delay=3)
+        batch = BypassMonitor(
+            Unit("u", n_databases=4, seed=3), settings=settings, seed=11
+        ).collect(mixes)
+        streamed = np.stack(
+            list(
+                BypassMonitor(
+                    Unit("u", n_databases=4, seed=3), settings=settings, seed=11
+                ).stream(mixes)
+            ),
+            axis=-1,
+        )
+        assert streamed.shape == batch.shape
+        assert np.allclose(streamed, batch)
+
+    def test_stream_yields_per_tick_frames(self, mixes):
+        monitor = BypassMonitor(Unit("u", n_databases=3, seed=0), seed=1)
+        stream = monitor.stream(mixes)
+        frame = next(stream)
+        assert frame.shape == (3, len(KPI_NAMES))
+
+    def test_stream_dropout_repeats_previous_frame(self, mixes):
+        settings = MonitorSettings(dropout_probability=0.4)
+        monitor = BypassMonitor(Unit("u", n_databases=3, seed=0),
+                                settings=settings, seed=5)
+        frames = list(monitor.stream(mixes))
+        repeats = sum(
+            np.array_equal(frames[t][0], frames[t - 1][0])
+            for t in range(1, len(frames))
+        )
+        assert repeats > 0

@@ -114,3 +114,88 @@ class TestWindowExpansionAccounting:
         catcher = DBCatcher(_config(theta=0.45, max_window=40), n_databases=3)
         catcher.detect_series(series)
         assert any(rec.expansions > 0 for rec in catcher.history)
+
+
+class TestBoundedServing:
+    """Long-running serve loops must not grow detector memory unboundedly."""
+
+    def test_buffer_stays_bounded_over_5k_ticks(self):
+        """Regression: per-tick serving over >=5k ticks keeps the ring
+        buffer trimmed to at most one round's worth of backlog."""
+        config = _config()
+        catcher = DBCatcher(config, n_databases=3, history_limit=4)
+        rng = np.random.default_rng(0)
+        n_ticks = 5000
+        trend = np.sin(np.linspace(0, 400, n_ticks)) + 2.0
+        peak_buffered = 0
+        peak_capacity = 0
+        for t in range(n_ticks):
+            tick = trend[t] + 0.01 * rng.standard_normal((3, 1))
+            catcher.ingest(tick)
+            peak_buffered = max(peak_buffered, len(catcher._streams))
+            peak_capacity = max(peak_capacity, catcher._streams.capacity)
+        # The worst case holds one expanded-but-unfinished window, so the
+        # buffer never outgrows its initial allocation hint.
+        assert peak_buffered <= config.max_window + config.initial_window
+        assert peak_capacity <= 256
+        assert len(catcher.results) <= 4
+        assert len(catcher.history) <= 4 * 3
+
+    def test_idle_detector_trims_unusable_ticks(self):
+        """With fewer than two active databases nothing can be judged, but
+        the buffer must not hoard the unjudgeable backlog either."""
+        catcher = DBCatcher(_config(), n_databases=3)
+        catcher.set_active([True, False, False])
+        for t in range(500):
+            catcher.ingest(np.full((3, 1), float(t)))
+        assert len(catcher._streams) <= 1
+        assert catcher.results == ()
+
+    def test_reactivation_after_idle_resumes_detection(self):
+        catcher = DBCatcher(_config(), n_databases=3)
+        catcher.set_active([True, False, False])
+        for t in range(50):
+            catcher.ingest(np.full((3, 1), float(t)))
+        catcher.set_active([True, True, True])
+        results = catcher.detect_series(_correlated(3, 40))
+        assert results
+        # The fresh round starts at the stream position where the fleet
+        # became judgeable again, not back at tick zero.
+        assert results[0].start >= 50
+
+    def test_history_limit_keeps_latest_rounds(self):
+        catcher = DBCatcher(_config(), n_databases=3, history_limit=2)
+        catcher.detect_series(_correlated(3, 100))
+        assert len(catcher.results) == 2
+        assert catcher.results[-1].end == 100
+        assert catcher.export_state()["rounds_completed"] == 10
+        assert len(catcher.history) <= 2 * 3
+
+    def test_history_limit_validation(self):
+        with pytest.raises(ValueError):
+            DBCatcher(_config(), n_databases=3, history_limit=0)
+
+    def test_export_state_snapshot(self):
+        catcher = DBCatcher(_config(), n_databases=3)
+        catcher.detect_series(_correlated(3, 25))
+        state = catcher.export_state()
+        assert state["rounds_completed"] == 2
+        assert state["cursor"] == 20
+        assert state["next_tick"] == 25
+        assert state["buffered_ticks"] == 5
+        assert state["component_seconds"]["correlation"] > 0.0
+
+
+class TestDetectorPickling:
+    def test_detector_round_trips_through_pickle(self):
+        """The fleet scheduler ships detectors into worker processes."""
+        import pickle
+
+        series = _correlated(3, 35)
+        catcher = DBCatcher(_config(), n_databases=3)
+        first = catcher.detect_series(series[:, :, :25])
+        clone = pickle.loads(pickle.dumps(catcher))
+        rest = series[:, :, 25:]
+        assert clone.detect_series(rest) == catcher.detect_series(rest)
+        assert clone.history == catcher.history
+        assert first  # the pre-pickle rounds actually happened

@@ -1,0 +1,131 @@
+"""Alert pipeline and sink tests."""
+
+import json
+
+import pytest
+
+from repro.core.records import DatabaseState, JudgementRecord
+from repro.core.detector import UnitDetectionResult
+from repro.service.alerts import (
+    Alert,
+    AlertPipeline,
+    CallbackSink,
+    JSONLSink,
+    MemorySink,
+    StdoutSink,
+    build_sink,
+)
+from repro.service.metrics import MetricsRegistry
+
+
+def _record(db, state, start=0, end=20, expansions=0):
+    return JudgementRecord(
+        database=db,
+        window_start=start,
+        window_end=end,
+        state=state,
+        expansions=expansions,
+        kpi_levels={"cpu": 1 if state is DatabaseState.ABNORMAL else 3},
+    )
+
+
+def _result(abnormal=(1,), start=0, end=20):
+    records = {
+        0: _record(0, DatabaseState.HEALTHY, start, end),
+        1: _record(
+            1,
+            DatabaseState.ABNORMAL if 1 in abnormal else DatabaseState.HEALTHY,
+            start,
+            end,
+            expansions=2 if 1 in abnormal else 0,
+        ),
+    }
+    return UnitDetectionResult(start=start, end=end, records=records)
+
+
+class TestAlert:
+    def test_from_result_flattens_verdict(self):
+        alert = Alert.from_result("unit-7", _result(), interval_seconds=5.0)
+        assert alert.unit == "unit-7"
+        assert alert.abnormal_databases == (1,)
+        assert alert.expansions == 2
+        assert alert.kpi_levels[1]["cpu"] == 1
+        assert alert.latency_seconds == 100.0
+
+    def test_to_dict_round_trips_through_json(self):
+        alert = Alert.from_result("u", _result())
+        decoded = json.loads(json.dumps(alert.to_dict()))
+        assert decoded["abnormal_databases"] == [1]
+
+
+class TestSinks:
+    def test_memory_sink_collects(self):
+        sink = MemorySink()
+        alert = Alert.from_result("u", _result())
+        sink.emit(alert)
+        assert sink.alerts == [alert]
+
+    def test_stdout_sink_prints_one_liner(self, capsys):
+        StdoutSink().emit(Alert.from_result("u", _result()))
+        out = capsys.readouterr().out
+        assert "ALERT u ticks [0, 20): abnormal D2" in out
+
+    def test_jsonl_sink_appends_and_closes(self, tmp_path):
+        path = tmp_path / "alerts" / "out.jsonl"
+        sink = JSONLSink(path)
+        sink.emit(Alert.from_result("u", _result()))
+        sink.emit(Alert.from_result("u", _result(start=20, end=40)))
+        sink.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["start"] == 20
+        with pytest.raises(RuntimeError):
+            sink.emit(Alert.from_result("u", _result()))
+
+    def test_callback_sink(self):
+        seen = []
+        CallbackSink(seen.append).emit(Alert.from_result("u", _result()))
+        assert len(seen) == 1
+
+    def test_build_sink_specs(self, tmp_path):
+        assert isinstance(build_sink("stdout"), StdoutSink)
+        assert isinstance(build_sink("memory"), MemorySink)
+        assert isinstance(build_sink(lambda alert: None), CallbackSink)
+        jsonl = build_sink(f"jsonl:{tmp_path / 'a.jsonl'}")
+        assert isinstance(jsonl, JSONLSink)
+        jsonl.close()
+        with pytest.raises(ValueError):
+            build_sink("kafka:topic")
+        with pytest.raises(ValueError):
+            build_sink("jsonl:")
+
+
+class TestPipeline:
+    def test_healthy_rounds_do_not_alert(self):
+        sink = MemorySink()
+        pipeline = AlertPipeline([sink])
+        assert pipeline.publish("u", _result(abnormal=())) is None
+        assert sink.alerts == []
+        assert pipeline.metrics.counter("rounds_completed").value == 1
+        assert pipeline.metrics.counter("alerts_emitted").value == 0
+
+    def test_abnormal_round_fans_out_to_all_sinks(self):
+        first, second = MemorySink(), MemorySink()
+        pipeline = AlertPipeline([first, second])
+        alert = pipeline.publish("u", _result())
+        assert first.alerts == [alert]
+        assert second.alerts == [alert]
+        assert pipeline.metrics.counter("alerts_emitted").value == 1
+
+    def test_min_databases_threshold(self):
+        sink = MemorySink()
+        pipeline = AlertPipeline([sink], min_databases=2)
+        pipeline.publish("u", _result())  # one abnormal DB < threshold
+        assert sink.alerts == []
+
+    def test_closed_pipeline_rejects_publish(self):
+        metrics = MetricsRegistry()
+        pipeline = AlertPipeline([MemorySink()], metrics=metrics)
+        pipeline.close()
+        with pytest.raises(RuntimeError):
+            pipeline.publish("u", _result())

@@ -1,0 +1,104 @@
+"""Unit tests for the service metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increment(self):
+        counter = Counter("ticks")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("ticks").increment(-1)
+
+    def test_thread_safety(self):
+        counter = Counter("ticks")
+
+        def bump():
+            for _ in range(1000):
+                counter.increment()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 4000
+
+
+class TestGauge:
+    def test_tracks_value_and_max(self):
+        gauge = Gauge("queue_depth")
+        gauge.set(3)
+        gauge.set(9)
+        gauge.set(1)
+        assert gauge.value == 1
+        assert gauge.max == 9
+
+
+class TestHistogram:
+    def test_buckets_and_stats(self):
+        histogram = Histogram("latency", bounds=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 4
+        assert snap["min"] == 0.005
+        assert snap["max"] == 5.0
+        assert snap["buckets"] == {
+            "le_0.01": 1, "le_0.1": 1, "le_1": 1, "overflow": 1,
+        }
+
+    def test_mean(self):
+        histogram = Histogram("latency", bounds=(1.0,))
+        histogram.observe(1.0)
+        histogram.observe(3.0)
+        assert histogram.mean == pytest.approx(2.0)
+
+    def test_timer_records_elapsed(self):
+        histogram = Histogram("latency")
+        with histogram.time():
+            pass
+        assert histogram.count == 1
+        assert histogram.sum >= 0.0
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("latency", bounds=(1.0, 0.1))
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_snapshot_is_plain_data(self):
+        registry = MetricsRegistry()
+        registry.counter("ticks").increment(2)
+        registry.gauge("depth").set(7)
+        registry.histogram("lat", bounds=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["ticks"] == 2
+        assert snap["depth"] == {"value": 7.0, "max": 7.0}
+        assert snap["lat"]["count"] == 1
+        import json
+
+        json.dumps(snap)  # must serialize without custom encoders

@@ -79,3 +79,44 @@ class TestTrim:
             streams.append(np.full((3, 2), t))
         window = streams.window(9, 12)
         assert np.allclose(window[1, 1], [9, 10, 11])
+
+
+class TestBulkExtend:
+    def test_bulk_extend_matches_appends(self, streams):
+        block = np.arange(30, dtype=float).reshape(5, 3, 2)
+        streams.extend(block)
+        reference = KPIStreams(n_databases=3, kpi_names=("cpu", "rps"))
+        for tick in block:
+            reference.append(tick)
+        assert np.allclose(streams.window(0, 5), reference.window(0, 5))
+
+    def test_bulk_extend_validates_shape(self, streams):
+        with pytest.raises(ValueError):
+            streams.extend(np.zeros((4, 2, 2)))  # wrong database count
+        with pytest.raises(ValueError):
+            streams.extend(np.zeros((4, 3)))  # not 3-D
+
+    def test_empty_extend_is_noop(self, streams):
+        streams.extend(np.zeros((0, 3, 2)))
+        assert len(streams) == 0
+
+
+class TestCapacityRelease:
+    def test_trim_releases_burst_capacity(self):
+        streams = KPIStreams(n_databases=2, kpi_names=("cpu",), capacity_hint=16)
+        streams.extend(np.random.default_rng(0).random((2048, 2, 1)))
+        assert streams.capacity >= 2048
+        streams.trim(2040)
+        # A one-off backlog burst must not pin its peak allocation.
+        assert streams.capacity < 2048
+        assert len(streams) == 8
+        window = streams.window(2040, 2048)
+        assert window.shape == (2, 1, 8)
+
+    def test_small_buffers_do_not_thrash(self):
+        streams = KPIStreams(n_databases=2, kpi_names=("cpu",), capacity_hint=16)
+        for t in range(40):
+            streams.append(np.full((2, 1), float(t)))
+            streams.trim(max(0, t - 4))
+        assert streams.capacity <= 64
+        assert np.allclose(streams.window(36, 40)[0, 0], [36, 37, 38, 39])
