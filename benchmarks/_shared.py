@@ -8,6 +8,10 @@ are environment variables so a longer run can approach paper scale:
 * ``REPRO_BENCH_TICKS``  — ticks per unit (default 800; paper 2.6k-11k)
 * ``REPRO_BENCH_TRIALS`` — repetitions per method (default 2; paper 20)
 
+Setting ``REPRO_BENCH_JSON`` to a file path makes every bench that calls
+:func:`record_bench_result` merge its headline numbers into that JSON
+file — what the CI smoke job uploads as a workflow artifact.
+
 Datasets and the expensive mixed-dataset experiment are cached per pytest
 session so the figure/table benches that share them (Fig. 8 / Table V /
 Table VI, etc.) pay for them once.
@@ -15,11 +19,10 @@ Table VI, etc.) pay for them once.
 
 from __future__ import annotations
 
+import json
 import os
 from functools import lru_cache
 from typing import Dict, List
-
-import numpy as np
 
 from repro.baselines import (
     FFTDetector,
@@ -161,6 +164,34 @@ def variant_experiment(kind: str, periodic: bool):
     """Irregular/periodic comparison (cached; Figs. 9/10, Tables VII/VIII)."""
     train, test = variant_split(kind, periodic)
     return tuple(run_methods(train, test, seed=78 + int(periodic)))
+
+
+def record_bench_result(name: str, **metrics) -> None:
+    """Merge one bench's headline metrics into ``$REPRO_BENCH_JSON``.
+
+    A no-op unless the environment variable is set, so interactive runs
+    stay file-free.  The file accumulates a ``{bench name: metrics}``
+    object across the whole pytest invocation; metrics must be
+    JSON-serialisable scalars.
+    """
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path:
+        return
+    results: Dict[str, Dict[str, object]] = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            results = json.load(handle)
+    results[name] = {
+        "scale": {
+            "units": BENCH_UNITS,
+            "ticks": BENCH_TICKS,
+            "trials": BENCH_TRIALS,
+        },
+        **metrics,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def scale_note() -> str:

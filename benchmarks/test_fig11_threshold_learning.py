@@ -16,7 +16,7 @@ from repro.tuning import (
     RandomThresholdLearner,
 )
 
-from _shared import DATASET_KINDS, DATASET_TITLES, mixed_split, scale_note
+from _shared import DATASET_KINDS, mixed_split, scale_note
 
 #: Shared fitness-evaluation budget per search.
 _BUDGET = 48

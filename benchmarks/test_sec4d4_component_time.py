@@ -8,13 +8,11 @@ component split, and extrapolates the time for the paper's 120-hour
 volume.
 """
 
-import numpy as np
-
 from repro import DBCatcher
 from repro.eval.tables import render_table
 from repro.presets import default_config
 
-from _shared import mixed_dataset, scale_note
+from _shared import mixed_dataset, record_bench_result, scale_note
 
 #: 120 hours at one point per 5 s, for 50 units x 5 databases x 14 KPIs.
 _PAPER_POINTS = int(120 * 3600 / 5) * 50 * 5 * 14
@@ -60,6 +58,16 @@ def test_sec4d4_component_time(benchmark):
     print(f"  extrapolated 120 h / 50-unit volume ({_PAPER_POINTS:,} points): "
           f"{extrapolated:.0f} s (paper: {_PAPER_SECONDS:.0f} s on a "
           f"12-core 4 GHz server)")
+
+    record_bench_result(
+        "sec4d4_component_time",
+        correlation_seconds=round(correlation, 4),
+        observation_seconds=round(observation, 4),
+        correlation_share=round(correlation / total, 4),
+        points=points,
+        points_per_second=round(throughput, 1),
+        extrapolated_paper_volume_seconds=round(extrapolated, 1),
+    )
 
     assert correlation > observation, (
         "correlation measurement must dominate (paper: 70/30 split)"

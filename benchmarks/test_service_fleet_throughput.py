@@ -29,6 +29,8 @@ from repro.eval.tables import render_table
 from repro.presets import default_config
 from repro.service import ServiceConfig, detect_fleet
 
+from _shared import record_bench_result
+
 FLEET_UNITS = max(16, int(os.environ.get("REPRO_BENCH_FLEET_UNITS", "16")))
 FLEET_TICKS = int(os.environ.get("REPRO_BENCH_FLEET_TICKS", "400"))
 WORKERS = 4
@@ -119,6 +121,23 @@ def test_fleet_throughput_scaling():
         ),
     ))
     assert serial.total_rounds > 0
+
+    record_bench_result(
+        "service_fleet_throughput",
+        fleet_units=FLEET_UNITS,
+        fleet_ticks=FLEET_TICKS,
+        points=points,
+        serial_seconds=round(serial_seconds, 3),
+        serial_points_per_second=round(points / serial_seconds, 1),
+        parallel_seconds=(
+            None if parallel is None else round(parallel_seconds, 3)
+        ),
+        speedup=(
+            None if parallel is None
+            else round(serial_seconds / parallel_seconds, 3)
+        ),
+        cores=cores,
+    )
 
     if parallel is None:
         import pytest

@@ -9,7 +9,7 @@ P-R (primary-replica) and/or R-R (replica-replica).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

@@ -1,0 +1,71 @@
+"""Chaos harness: fault injection across simulator -> detector -> service.
+
+DBCatcher's value claim is *online* detection on noisy production
+telemetry; this package makes the noise first-class.  A
+:class:`ChaosSource` wraps any tick source with a schedule of seeded,
+deterministic fault injectors (:mod:`~repro.chaos.faults`), the hardened
+pipeline degrades gracefully instead of crashing or silently mis-scoring,
+and a :class:`ChaosReport` measures — rather than asserts — what each
+fault cost in detection quality versus the clean run.
+
+Quick start::
+
+    from repro.chaos import preset_scenario, run_scenario
+
+    report = run_scenario("fleet.npz", scenario=preset_scenario("blackout"))
+    print(report.render())
+    assert report.survived
+
+Scenario files are plain JSON (see :mod:`~repro.chaos.scenario`);
+``python -m repro chaos`` exposes the same flow on the command line.
+"""
+
+from repro.chaos.faults import (
+    Blackout,
+    ClockSkew,
+    DropoutBurst,
+    DuplicateTicks,
+    FaultInjector,
+    MembershipChange,
+    NaNGauge,
+    OutOfOrderTicks,
+    StuckGauge,
+    WorkerKill,
+)
+from repro.chaos.report import ChaosReport, VerdictDiff, compare_runs
+from repro.chaos.runner import run_scenario
+from repro.chaos.scenario import (
+    FAULT_TYPES,
+    PRESETS,
+    ChaosScenario,
+    fault_from_dict,
+    load_scenario,
+    preset_scenario,
+    scenario_from_dict,
+)
+from repro.chaos.source import ChaosSource
+
+__all__ = [
+    "Blackout",
+    "ChaosReport",
+    "ChaosScenario",
+    "ChaosSource",
+    "ClockSkew",
+    "DropoutBurst",
+    "DuplicateTicks",
+    "FAULT_TYPES",
+    "FaultInjector",
+    "MembershipChange",
+    "NaNGauge",
+    "OutOfOrderTicks",
+    "PRESETS",
+    "StuckGauge",
+    "VerdictDiff",
+    "WorkerKill",
+    "compare_runs",
+    "fault_from_dict",
+    "load_scenario",
+    "preset_scenario",
+    "run_scenario",
+    "scenario_from_dict",
+]

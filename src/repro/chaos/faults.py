@@ -1,0 +1,397 @@
+"""Schedulable, seeded fault injectors for the chaos harness.
+
+Each injector is a deterministic transformation of the tick-event stream
+flowing from a :mod:`repro.service.sources` source into the detection
+service.  Faults model the degradations a bypass monitoring pipeline
+actually suffers in production (PerfCE-style chaos drills over database
+observability):
+
+* :class:`DropoutBurst` / :class:`Blackout` — ticks lost in bursts;
+* :class:`NaNGauge` — gauges reporting NaN for a window;
+* :class:`StuckGauge` — gauges frozen at their last pre-fault value;
+* :class:`DuplicateTicks` — the transport re-delivering a tick;
+* :class:`OutOfOrderTicks` — adjacent ticks swapped in flight;
+* :class:`ClockSkew` — one database's samples lagging its unit peers;
+* :class:`MembershipChange` — replica failover / database add-remove;
+* :class:`WorkerKill` — a §IV-D4 kill drill against the worker pool.
+
+Injectors compose: :class:`~repro.chaos.source.ChaosSource` chains their
+``wrap`` generators in order, handing each its own RNG derived from the
+scenario seed, so a scenario replays bit-identically run after run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.service.sources import TickEvent
+
+__all__ = [
+    "FaultInjector",
+    "DropoutBurst",
+    "Blackout",
+    "NaNGauge",
+    "StuckGauge",
+    "DuplicateTicks",
+    "OutOfOrderTicks",
+    "ClockSkew",
+    "MembershipChange",
+    "WorkerKill",
+]
+
+
+class FaultInjector:
+    """One schedulable fault: a deterministic tick-stream transformation.
+
+    Subclasses implement :meth:`wrap`, a generator over the incoming
+    event stream.  All per-run state must live inside ``wrap`` locals so
+    the same injector instance can be reused across runs (scenarios are
+    replayed clean-vs-chaos and again by the parity tests).
+    """
+
+    #: Scenario-file type tag; subclasses override.
+    kind: str = "fault"
+
+    def wrap(
+        self,
+        events: Iterator[TickEvent],
+        rng: np.random.Generator,
+        actions: List[tuple],
+    ) -> Iterator[TickEvent]:
+        """Transform the event stream.
+
+        Parameters
+        ----------
+        events:
+            Upstream tick events, in source order.
+        rng:
+            Injector-private generator seeded from the scenario seed, so
+            stochastic faults replay deterministically.
+        actions:
+            Control-plane outbox: append ``("kill_worker", unit)``-style
+            tuples for the scheduler to pick up via ``take_actions``.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        return repr(self)
+
+
+def _in_window(seq: int, start: int, end: Optional[int]) -> bool:
+    return seq >= start and (end is None or seq < end)
+
+
+def _unit_matches(unit: str, units: Optional[Sequence[str]]) -> bool:
+    return units is None or unit in units
+
+
+def _select(
+    sample: np.ndarray,
+    databases: Optional[Sequence[int]],
+    kpis: Optional[Sequence[int]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Row/column index arrays of the affected cells, bounds-clipped."""
+    n_dbs, n_kpis = sample.shape
+    rows = (
+        np.arange(n_dbs)
+        if databases is None
+        else np.asarray([d for d in databases if 0 <= d < n_dbs], dtype=int)
+    )
+    cols = (
+        np.arange(n_kpis)
+        if kpis is None
+        else np.asarray([k for k in kpis if 0 <= k < n_kpis], dtype=int)
+    )
+    return rows, cols
+
+
+@dataclass
+class DropoutBurst(FaultInjector):
+    """KPI dropout: ticks for the selected units vanish inside a window.
+
+    Parameters
+    ----------
+    start, end:
+        Per-unit sequence window ``[start, end)`` the fault is armed in
+        (``end=None`` keeps it armed forever).
+    units:
+        Affected unit names (``None`` = every unit).
+    probability:
+        Chance an armed tick is dropped; ``1.0`` is a full blackout.
+    """
+
+    start: int = 0
+    end: Optional[int] = None
+    units: Optional[Tuple[str, ...]] = None
+    probability: float = 1.0
+    kind = "dropout"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must lie in (0, 1]")
+
+    def wrap(self, events, rng, actions):
+        for event in events:
+            if (
+                _unit_matches(event.unit, self.units)
+                and _in_window(event.seq, self.start, self.end)
+                and (self.probability >= 1.0 or rng.random() < self.probability)
+            ):
+                continue
+            yield event
+
+
+@dataclass
+class Blackout(DropoutBurst):
+    """Monitor blackout: every tick of the window is lost (dropout p=1)."""
+
+    kind = "blackout"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "probability", 1.0)
+        super().__post_init__()
+
+
+@dataclass
+class NaNGauge(FaultInjector):
+    """Selected gauges report NaN inside the fault window.
+
+    ``databases`` / ``kpis`` are index sequences (``None`` = all); cells
+    outside a unit's actual shape are ignored, so one fault spec can cover
+    a heterogeneous fleet.
+    """
+
+    start: int = 0
+    end: Optional[int] = None
+    units: Optional[Tuple[str, ...]] = None
+    databases: Optional[Tuple[int, ...]] = None
+    kpis: Optional[Tuple[int, ...]] = None
+    probability: float = 1.0
+    kind = "nan_gauge"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must lie in (0, 1]")
+
+    def wrap(self, events, rng, actions):
+        for event in events:
+            if (
+                _unit_matches(event.unit, self.units)
+                and _in_window(event.seq, self.start, self.end)
+                and (self.probability >= 1.0 or rng.random() < self.probability)
+            ):
+                sample = event.sample.copy()
+                rows, cols = _select(sample, self.databases, self.kpis)
+                sample[np.ix_(rows, cols)] = np.nan
+                event = dataclasses.replace(event, sample=sample)
+            yield event
+
+
+@dataclass
+class StuckGauge(FaultInjector):
+    """Selected gauges freeze at their last pre-fault value.
+
+    A stuck collector keeps exporting the same number while the database
+    moves on — the classic silent telemetry failure.  Until a first value
+    is seen the fault is inert (nothing to stick to).
+    """
+
+    start: int = 0
+    end: Optional[int] = None
+    units: Optional[Tuple[str, ...]] = None
+    databases: Optional[Tuple[int, ...]] = None
+    kpis: Optional[Tuple[int, ...]] = None
+    kind = "stuck_gauge"
+
+    def wrap(self, events, rng, actions):
+        last_seen: Dict[str, np.ndarray] = {}
+        for event in events:
+            armed = _unit_matches(event.unit, self.units) and _in_window(
+                event.seq, self.start, self.end
+            )
+            if armed and event.unit in last_seen:
+                sample = event.sample.copy()
+                rows, cols = _select(sample, self.databases, self.kpis)
+                cells = np.ix_(rows, cols)
+                sample[cells] = last_seen[event.unit][cells]
+                event = dataclasses.replace(event, sample=sample)
+            else:
+                last_seen[event.unit] = event.sample
+            yield event
+
+
+@dataclass
+class DuplicateTicks(FaultInjector):
+    """The transport re-delivers ticks (same unit, same sequence number).
+
+    The ingestion bridge must reject the duplicates as stale; a consumer
+    that accepted them would feed a detector the same instant twice.
+    """
+
+    start: int = 0
+    end: Optional[int] = None
+    units: Optional[Tuple[str, ...]] = None
+    probability: float = 0.1
+    kind = "duplicate"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must lie in (0, 1]")
+
+    def wrap(self, events, rng, actions):
+        for event in events:
+            yield event
+            if (
+                _unit_matches(event.unit, self.units)
+                and _in_window(event.seq, self.start, self.end)
+                and rng.random() < self.probability
+            ):
+                yield dataclasses.replace(event, sample=event.sample.copy())
+
+
+@dataclass
+class OutOfOrderTicks(FaultInjector):
+    """Adjacent ticks of one unit swap places in flight.
+
+    With probability ``probability`` a tick is held back and emitted
+    *after* the unit's next tick, producing a ``seq`` inversion.  The
+    bridge records a gap for the early tick and rejects the late one as
+    stale — one tick of data lost, zero corruption.
+    """
+
+    start: int = 0
+    end: Optional[int] = None
+    units: Optional[Tuple[str, ...]] = None
+    probability: float = 0.1
+    kind = "out_of_order"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must lie in (0, 1]")
+
+    def wrap(self, events, rng, actions):
+        held: Dict[str, TickEvent] = {}
+        for event in events:
+            delayed = held.pop(event.unit, None)
+            if delayed is not None:
+                yield event
+                yield delayed
+                continue
+            if (
+                _unit_matches(event.unit, self.units)
+                and _in_window(event.seq, self.start, self.end)
+                and rng.random() < self.probability
+            ):
+                held[event.unit] = event
+                continue
+            yield event
+        for event in held.values():
+            yield event
+
+
+@dataclass
+class ClockSkew(FaultInjector):
+    """Selected databases report samples ``skew_ticks`` behind their peers.
+
+    Models clock skew between databases of a unit beyond the collection
+    delays the monitor already draws — exactly the offset the KCD's delay
+    scan is supposed to absorb (until it exceeds ``max_delay``).  Warmup
+    ticks repeat the earliest buffered sample, like a warming pipeline.
+    """
+
+    skew_ticks: int = 2
+    databases: Optional[Tuple[int, ...]] = None
+    start: int = 0
+    end: Optional[int] = None
+    units: Optional[Tuple[str, ...]] = None
+    kind = "clock_skew"
+
+    def __post_init__(self) -> None:
+        if self.skew_ticks < 1:
+            raise ValueError("skew_ticks must be >= 1")
+
+    def wrap(self, events, rng, actions):
+        history: Dict[str, List[np.ndarray]] = {}
+        for event in events:
+            ring = history.setdefault(event.unit, [])
+            ring.append(event.sample)
+            if len(ring) > self.skew_ticks + 1:
+                ring.pop(0)
+            if _unit_matches(event.unit, self.units) and _in_window(
+                event.seq, self.start, self.end
+            ):
+                sample = event.sample.copy()
+                stale = ring[max(len(ring) - 1 - self.skew_ticks, 0)]
+                rows, _ = _select(sample, self.databases, None)
+                sample[rows] = stale[rows]
+                event = dataclasses.replace(event, sample=sample)
+            yield event
+
+
+@dataclass
+class MembershipChange(FaultInjector):
+    """Replica failover / database add-remove mid-stream.
+
+    Inside the window the affected databases stop reporting entirely
+    (their rows go NaN, as a deprovisioned or failing-over replica's
+    would); afterwards they rejoin.  The detector's finite-data mask must
+    shrink around them and re-admit them without manual intervention.
+    """
+
+    start: int
+    end: Optional[int]
+    databases: Tuple[int, ...]
+    units: Optional[Tuple[str, ...]] = None
+    kind = "membership"
+
+    def __post_init__(self) -> None:
+        if not self.databases:
+            raise ValueError("membership changes need at least one database")
+
+    def wrap(self, events, rng, actions):
+        for event in events:
+            if _unit_matches(event.unit, self.units) and _in_window(
+                event.seq, self.start, self.end
+            ):
+                sample = event.sample.copy()
+                rows, _ = _select(sample, self.databases, None)
+                sample[rows] = np.nan
+                event = dataclasses.replace(event, sample=sample)
+            yield event
+
+
+@dataclass
+class WorkerKill(FaultInjector):
+    """Kill drill: fell the worker process owning a unit mid-stream.
+
+    When a matching unit's sequence number first reaches ``at_tick`` the
+    injector queues a ``("kill_worker", unit)`` control action; the
+    scheduler executes it against the pool (a no-op drill on the serial
+    pool, a real ``os._exit`` on the process pool, which must then
+    crash-restart within budget).
+    """
+
+    at_tick: int
+    units: Optional[Tuple[str, ...]] = None
+    kind = "worker_kill"
+
+    def __post_init__(self) -> None:
+        if self.at_tick < 0:
+            raise ValueError("at_tick must be >= 0")
+
+    def wrap(self, events, rng, actions):
+        fired: Dict[str, bool] = {}
+        for event in events:
+            if (
+                _unit_matches(event.unit, self.units)
+                and event.seq >= self.at_tick
+                and not fired.get(event.unit)
+            ):
+                fired[event.unit] = True
+                actions.append(("kill_worker", event.unit))
+            yield event

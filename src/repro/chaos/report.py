@@ -1,0 +1,172 @@
+"""ChaosReport: measured (not asserted) robustness of a chaos run.
+
+Detection quality under fault injection is compared against the clean run
+of the same fleet: the report lists abnormal verdicts the chaos run
+*missed* and the *spurious* ones it invented, plus the transport-level
+damage tally (dropped / stale / lost ticks, sequence gaps, restarts).
+Because dropped ticks shift every later window boundary, verdicts are
+matched by *overlap* per ``(unit, database)`` rather than by identical
+window coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.levels import LEVEL_CORRELATED, LEVEL_EXTREME_DEVIATION
+from repro.core.records import DatabaseState
+from repro.eval.tables import render_table
+from repro.service.scheduler import ServiceReport
+
+__all__ = ["VerdictDiff", "ChaosReport", "compare_runs"]
+
+#: An abnormal verdict as ``(unit, database, window_start, window_end)``.
+Verdict = Tuple[str, int, int, int]
+
+
+@dataclass(frozen=True)
+class VerdictDiff:
+    """Abnormal-verdict agreement between the clean and chaos runs."""
+
+    clean_abnormal: int
+    chaos_abnormal: int
+    missed: Tuple[Verdict, ...]
+    spurious: Tuple[Verdict, ...]
+
+    @property
+    def quality_delta(self) -> int:
+        """Total disagreement: missed plus spurious abnormal verdicts."""
+        return len(self.missed) + len(self.spurious)
+
+
+@dataclass
+class ChaosReport:
+    """Everything one fault scenario did to the detection service."""
+
+    scenario: str
+    fault_kinds: Tuple[str, ...]
+    diff: VerdictDiff
+    clean_rounds: int = 0
+    chaos_rounds: int = 0
+    #: Records whose state or levels left the valid domain (must stay 0 —
+    #: degraded telemetry may cost verdicts, never corrupt them).
+    invalid_verdicts: int = 0
+    ticks_ingested: int = 0
+    ticks_dropped: int = 0
+    ticks_stale: int = 0
+    ticks_lost: int = 0
+    sequence_gaps: int = 0
+    worker_restarts: int = 0
+    kill_drills: int = 0
+    elapsed_seconds: float = 0.0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def survived(self) -> bool:
+        """No crash made it here, and no verdict left the valid domain."""
+        return self.invalid_verdicts == 0
+
+    def render(self) -> str:
+        """ASCII summary in the house table style."""
+        rows = [
+            ["rounds (clean / chaos)", f"{self.clean_rounds} / {self.chaos_rounds}"],
+            [
+                "abnormal verdicts (clean / chaos)",
+                f"{self.diff.clean_abnormal} / {self.diff.chaos_abnormal}",
+            ],
+            ["missed abnormal verdicts", str(len(self.diff.missed))],
+            ["spurious abnormal verdicts", str(len(self.diff.spurious))],
+            ["invalid verdicts", str(self.invalid_verdicts)],
+            ["ticks ingested", str(self.ticks_ingested)],
+            ["ticks dropped (backpressure)", str(self.ticks_dropped)],
+            ["ticks rejected stale", str(self.ticks_stale)],
+            ["ticks lost to crashes", str(self.ticks_lost)],
+            ["sequence gaps", str(self.sequence_gaps)],
+            [
+                "worker restarts / kill drills",
+                f"{self.worker_restarts} / {self.kill_drills}",
+            ],
+        ]
+        title = f"Chaos report — {self.scenario} [{', '.join(self.fault_kinds)}]"
+        out = render_table(["Measure", "Value"], rows, title=title)
+        if self.notes:
+            out += "\n" + "\n".join(f"  note: {note}" for note in self.notes)
+        return out
+
+
+def _abnormal_verdicts(report: ServiceReport) -> List[Verdict]:
+    verdicts: List[Verdict] = []
+    for unit in sorted(report.results):
+        for record in report.records_for(unit):
+            if record.predicted_abnormal:
+                verdicts.append(
+                    (unit, record.database, record.window_start, record.window_end)
+                )
+    return verdicts
+
+
+def _count_invalid(report: ServiceReport) -> int:
+    """Verdicts outside the valid domain (non-final state, broken levels)."""
+    invalid = 0
+    for unit in report.results:
+        for record in report.records_for(unit):
+            ok = record.state in (DatabaseState.HEALTHY, DatabaseState.ABNORMAL)
+            ok = ok and all(
+                LEVEL_EXTREME_DEVIATION <= level <= LEVEL_CORRELATED
+                and level == int(level)
+                for level in record.kpi_levels.values()
+            )
+            if not ok:
+                invalid += 1
+    return invalid
+
+
+def _overlaps(a: Verdict, b: Verdict) -> bool:
+    """Same unit and database, and the windows intersect."""
+    return a[0] == b[0] and a[1] == b[1] and a[2] < b[3] and b[2] < a[3]
+
+
+def diff_verdicts(clean: ServiceReport, chaos: ServiceReport) -> VerdictDiff:
+    """Overlap-match abnormal verdicts between the two runs."""
+    clean_abnormal = _abnormal_verdicts(clean)
+    chaos_abnormal = _abnormal_verdicts(chaos)
+    missed = tuple(
+        v for v in clean_abnormal
+        if not any(_overlaps(v, w) for w in chaos_abnormal)
+    )
+    spurious = tuple(
+        w for w in chaos_abnormal
+        if not any(_overlaps(w, v) for v in clean_abnormal)
+    )
+    return VerdictDiff(
+        clean_abnormal=len(clean_abnormal),
+        chaos_abnormal=len(chaos_abnormal),
+        missed=missed,
+        spurious=spurious,
+    )
+
+
+def compare_runs(
+    scenario_name: str,
+    fault_kinds: Tuple[str, ...],
+    clean: ServiceReport,
+    chaos: ServiceReport,
+) -> ChaosReport:
+    """Build the report from a clean run and its fault-injected twin."""
+    return ChaosReport(
+        scenario=scenario_name,
+        fault_kinds=fault_kinds,
+        diff=diff_verdicts(clean, chaos),
+        clean_rounds=clean.total_rounds,
+        chaos_rounds=chaos.total_rounds,
+        invalid_verdicts=_count_invalid(chaos),
+        ticks_ingested=chaos.ticks_ingested,
+        ticks_dropped=chaos.ticks_dropped,
+        ticks_stale=chaos.ticks_stale,
+        ticks_lost=chaos.ticks_lost,
+        sequence_gaps=sum(chaos.sequence_gaps.values()),
+        worker_restarts=chaos.worker_restarts,
+        kill_drills=chaos.kill_drills,
+        elapsed_seconds=chaos.elapsed_seconds,
+    )

@@ -1,0 +1,89 @@
+"""Run a chaos scenario end to end and measure the detection-quality delta.
+
+The runner drives the full service twice over the same fleet — once clean,
+once through a :class:`~repro.chaos.source.ChaosSource` carrying the
+scenario's faults — and folds both runs into a
+:class:`~repro.chaos.report.ChaosReport`.  Sources are built fresh per run
+from a dataset (or a caller-supplied factory), because live sources such
+as :class:`~repro.service.sources.MonitorSource` step stateful simulators
+and cannot be iterated twice.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.chaos.report import ChaosReport, compare_runs
+from repro.chaos.scenario import ChaosScenario
+from repro.chaos.source import ChaosSource
+from repro.core.config import DBCatcherConfig
+from repro.service.config import ServiceConfig
+from repro.service.scheduler import DetectionService, ServiceReport
+
+__all__ = ["run_scenario"]
+
+
+def run_scenario(
+    dataset=None,
+    scenario: Optional[ChaosScenario] = None,
+    config: Optional[DBCatcherConfig] = None,
+    service_config: Optional[ServiceConfig] = None,
+    source_factory: Optional[Callable[[], object]] = None,
+    max_ticks: Optional[int] = None,
+) -> ChaosReport:
+    """Replay a fault scenario and report detection-quality deltas.
+
+    Parameters
+    ----------
+    dataset:
+        A :class:`~repro.datasets.containers.Dataset` or ``.npz`` path,
+        replayed through :class:`~repro.service.sources.ReplaySource`.
+        Ignored when ``source_factory`` is given.
+    scenario:
+        The fault schedule to inject (required).
+    config:
+        Detector configuration; the cluster preset when omitted.
+    service_config:
+        Operational knobs; the serial in-process profile when omitted.
+        Kill drills only fell real processes when ``n_workers > 0``.
+    source_factory:
+        Zero-argument callable building a fresh source per run — use this
+        to chaos-test live :class:`~repro.service.sources.MonitorSource`
+        fleets, which cannot be re-iterated.
+    max_ticks:
+        Optional per-unit tick cap forwarded to both runs.
+    """
+    if scenario is None:
+        raise ValueError("run_scenario needs a ChaosScenario")
+    if source_factory is None:
+        if dataset is None:
+            raise ValueError("run_scenario needs a dataset or a source_factory")
+        from repro.service.sources import ReplaySource
+
+        def source_factory() -> object:
+            return ReplaySource(dataset)
+
+    if config is None:
+        from repro.presets import default_config
+
+        config = default_config()
+    base = service_config if service_config is not None else ServiceConfig()
+
+    clean = _run(config, base, source_factory(), max_ticks)
+    chaos = _run(
+        config,
+        base,
+        ChaosSource(source_factory(), scenario.faults, seed=scenario.seed),
+        max_ticks,
+    )
+    return compare_runs(scenario.name, scenario.fault_kinds, clean, chaos)
+
+
+def _run(
+    config: DBCatcherConfig,
+    service_config: ServiceConfig,
+    source,
+    max_ticks: Optional[int],
+) -> ServiceReport:
+    service = DetectionService(config, service_config=service_config, sinks=("null",))
+    return service.run(source, max_ticks=max_ticks)

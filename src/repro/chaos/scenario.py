@@ -1,0 +1,206 @@
+"""Chaos scenarios: named fault schedules, loadable from JSON files.
+
+A scenario is an ordered list of fault specs plus a seed.  The JSON shape
+mirrors the injector dataclasses one-to-one::
+
+    {
+      "name": "blackout-then-failover",
+      "seed": 7,
+      "faults": [
+        {"type": "blackout", "start": 60, "end": 90, "units": ["unit-000"]},
+        {"type": "membership", "start": 120, "end": 200, "databases": [2]}
+      ]
+    }
+
+``PRESETS`` ships one ready-made scenario per fault family so ``repro
+chaos --scenario <name>`` and the smoke tests need no files on disk.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Tuple, Type, Union
+
+from repro.chaos.faults import (
+    Blackout,
+    ClockSkew,
+    DropoutBurst,
+    DuplicateTicks,
+    FaultInjector,
+    MembershipChange,
+    NaNGauge,
+    OutOfOrderTicks,
+    StuckGauge,
+    WorkerKill,
+)
+
+__all__ = [
+    "FAULT_TYPES",
+    "ChaosScenario",
+    "fault_from_dict",
+    "scenario_from_dict",
+    "load_scenario",
+    "PRESETS",
+    "preset_scenario",
+]
+
+#: Scenario-file ``type`` tag -> injector class.
+FAULT_TYPES: Dict[str, Type[FaultInjector]] = {
+    cls.kind: cls
+    for cls in (
+        DropoutBurst,
+        Blackout,
+        NaNGauge,
+        StuckGauge,
+        DuplicateTicks,
+        OutOfOrderTicks,
+        ClockSkew,
+        MembershipChange,
+        WorkerKill,
+    )
+}
+
+#: JSON list fields coerced to the tuples the dataclasses expect.
+_TUPLE_FIELDS = ("units", "databases", "kpis")
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One named, seeded fault schedule."""
+
+    name: str
+    faults: Tuple[FaultInjector, ...]
+    seed: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        for fault in self.faults:
+            if not isinstance(fault, FaultInjector):
+                raise TypeError(f"not a fault injector: {fault!r}")
+
+    @property
+    def fault_kinds(self) -> Tuple[str, ...]:
+        return tuple(fault.kind for fault in self.faults)
+
+
+def fault_from_dict(spec: Dict[str, object]) -> FaultInjector:
+    """Build one injector from its scenario-file dict."""
+    payload = dict(spec)
+    try:
+        kind = payload.pop("type")
+    except KeyError:
+        raise ValueError(f"fault spec needs a 'type' field: {spec!r}") from None
+    try:
+        cls = FAULT_TYPES[kind]
+    except KeyError:
+        known = ", ".join(sorted(FAULT_TYPES))
+        raise ValueError(f"unknown fault type {kind!r} (known: {known})") from None
+    for name in _TUPLE_FIELDS:
+        if payload.get(name) is not None:
+            payload[name] = tuple(payload[name])
+    try:
+        return cls(**payload)
+    except TypeError as exc:
+        raise ValueError(f"bad fields for fault {kind!r}: {exc}") from None
+
+
+def scenario_from_dict(spec: Dict[str, object]) -> ChaosScenario:
+    """Build a scenario from its JSON object form."""
+    faults = spec.get("faults")
+    if not isinstance(faults, (list, tuple)) or not faults:
+        raise ValueError("scenario needs a non-empty 'faults' list")
+    return ChaosScenario(
+        name=str(spec.get("name", "scenario")),
+        faults=tuple(fault_from_dict(f) for f in faults),
+        seed=int(spec.get("seed", 0)),
+        description=str(spec.get("description", "")),
+    )
+
+
+def load_scenario(path: Union[str, Path]) -> ChaosScenario:
+    """Load a scenario from a JSON file written in the shape above."""
+    with open(path, "r", encoding="utf-8") as handle:
+        spec = json.load(handle)
+    if not isinstance(spec, dict):
+        raise ValueError(f"{path}: scenario file must hold a JSON object")
+    return scenario_from_dict(spec)
+
+
+def _presets() -> Dict[str, ChaosScenario]:
+    """One representative scenario per fault family, bench-scale windows."""
+    presets = {
+        "dropout-burst": ChaosScenario(
+            "dropout-burst",
+            (DropoutBurst(start=40, end=120, probability=0.5),),
+            description="half the ticks lost for 80 ticks, all units",
+        ),
+        "blackout": ChaosScenario(
+            "blackout",
+            (Blackout(start=60, end=100),),
+            description="total monitor blackout for 40 ticks",
+        ),
+        "nan-gauges": ChaosScenario(
+            "nan-gauges",
+            (NaNGauge(start=50, end=110, databases=(1,), probability=0.8),),
+            description="database 1's gauges report NaN for 60 ticks",
+        ),
+        "stuck-gauge": ChaosScenario(
+            "stuck-gauge",
+            (StuckGauge(start=50, end=130, databases=(0,)),),
+            description="database 0 frozen at its last value for 80 ticks",
+        ),
+        "duplicates": ChaosScenario(
+            "duplicates",
+            (DuplicateTicks(probability=0.2),),
+            description="transport re-delivers ~20% of ticks",
+        ),
+        "reorder": ChaosScenario(
+            "reorder",
+            (OutOfOrderTicks(probability=0.15),),
+            description="~15% of ticks arrive swapped with their successor",
+        ),
+        "clock-skew": ChaosScenario(
+            "clock-skew",
+            (ClockSkew(skew_ticks=2, databases=(2,)),),
+            description="database 2 lags its peers by 2 ticks throughout",
+        ),
+        "failover": ChaosScenario(
+            "failover",
+            (MembershipChange(start=60, end=140, databases=(1,)),),
+            description="database 1 leaves the unit for 80 ticks, rejoins",
+        ),
+        "worker-kill": ChaosScenario(
+            "worker-kill",
+            (WorkerKill(at_tick=64),),
+            description="kill drill against every unit's worker at tick 64",
+        ),
+        "kitchen-sink": ChaosScenario(
+            "kitchen-sink",
+            (
+                DropoutBurst(start=30, end=70, probability=0.3),
+                NaNGauge(start=80, end=120, databases=(1,), probability=0.7),
+                StuckGauge(start=130, end=170, databases=(0,)),
+                DuplicateTicks(probability=0.1),
+                OutOfOrderTicks(probability=0.1),
+                ClockSkew(skew_ticks=2, databases=(2,), start=100),
+                MembershipChange(start=180, end=240, databases=(3,)),
+            ),
+            description="every telemetry fault family at once",
+        ),
+    }
+    return presets
+
+
+#: Ready-made scenarios, keyed by name.
+PRESETS: Dict[str, ChaosScenario] = _presets()
+
+
+def preset_scenario(name: str) -> ChaosScenario:
+    """Look up a preset scenario, with a helpful error on typos."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise ValueError(f"unknown scenario {name!r} (known: {known})") from None

@@ -1,0 +1,80 @@
+"""ChaosSource: fault-injecting wrapper around any tick source.
+
+Sits between a :mod:`repro.service.sources` source and the detection
+service, chaining the scenario's fault injectors over the event stream.
+With no injectors the wrapper is a pure passthrough — verdicts are
+bit-identical to running the service on the bare source, which the parity
+tests pin down.  Every injector gets its own RNG deterministically derived
+from ``(seed, injector index)``, so a scenario replays identically run
+after run regardless of how faults interleave.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.chaos.faults import FaultInjector
+from repro.service.sources import TickEvent
+
+__all__ = ["ChaosSource"]
+
+
+class ChaosSource:
+    """Wrap a tick source with an ordered chain of fault injectors.
+
+    Parameters
+    ----------
+    source:
+        Anything the service accepts: exposes ``units``, ``kpi_names``,
+        ``interval_seconds`` and yields
+        :class:`~repro.service.sources.TickEvent` on iteration.
+    faults:
+        Injectors applied in order (earlier injectors feed later ones).
+    seed:
+        Scenario seed; injector ``i`` draws from
+        ``np.random.default_rng([seed, i])``.
+    """
+
+    def __init__(
+        self,
+        source,
+        faults: Sequence[FaultInjector] = (),
+        seed: int = 0,
+    ):
+        self._source = source
+        self.faults: Tuple[FaultInjector, ...] = tuple(faults)
+        self.seed = int(seed)
+        self._actions: List[tuple] = []
+
+    @property
+    def units(self) -> Dict[str, int]:
+        return dict(self._source.units)
+
+    @property
+    def kpi_names(self) -> Tuple[str, ...]:
+        return tuple(self._source.kpi_names)
+
+    @property
+    def interval_seconds(self) -> float:
+        return float(self._source.interval_seconds)
+
+    def take_actions(self) -> List[tuple]:
+        """Drain pending control-plane actions (kill drills and friends).
+
+        The scheduler polls this between ticks; injectors append to the
+        shared outbox from inside their generators.
+        """
+        if not self._actions:
+            return []
+        drained = self._actions[:]
+        self._actions.clear()
+        return drained
+
+    def __iter__(self) -> Iterator[TickEvent]:
+        events: Iterator[TickEvent] = iter(self._source)
+        for index, fault in enumerate(self.faults):
+            rng = np.random.default_rng([self.seed, index])
+            events = fault.wrap(events, rng, self._actions)
+        return events

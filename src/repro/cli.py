@@ -10,6 +10,9 @@ code:
 * ``serve``    — run the online multi-unit detection service over a saved
   dataset replay or a live simulated fleet, with alert sinks and a
   metrics summary;
+* ``chaos``    — replay a fault-injection scenario (preset or JSON file)
+  against the service and report the detection-quality delta versus the
+  clean run;
 * ``info``     — show the KPI registry, the default detector
   configuration and the service defaults.
 """
@@ -19,8 +22,6 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
-
-import numpy as np
 
 from repro import __version__
 from repro.cluster.kpis import KPI_REGISTRY
@@ -115,6 +116,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stop after this many ticks per unit")
     serve.add_argument("--initial-window", type=int, default=20)
     serve.add_argument("--max-window", type=int, default=60)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="replay a fault scenario and report detection-quality deltas",
+    )
+    chaos.add_argument(
+        "dataset", nargs="?", default=None,
+        help="path of a .npz archive to replay (omit with --list)",
+    )
+    chaos.add_argument(
+        "--scenario", default="kitchen-sink", metavar="NAME|FILE",
+        help="preset scenario name or path to a JSON scenario file "
+             "(default kitchen-sink)",
+    )
+    chaos.add_argument(
+        "--list", action="store_true",
+        help="list the preset scenarios and exit",
+    )
+    chaos.add_argument("--jobs", type=int, default=0,
+                       help="worker processes (0 = serial; kill drills only "
+                            "fell real processes when > 0)")
+    chaos.add_argument("--max-ticks", type=int, default=None,
+                       help="stop after this many ticks per unit")
+    chaos.add_argument("--initial-window", type=int, default=20)
+    chaos.add_argument("--max-window", type=int, default=60)
 
     commands.add_parser("info", help="show the KPI registry and defaults")
     return parser
@@ -241,6 +267,48 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from pathlib import Path
+
+    from repro.chaos import PRESETS, load_scenario, preset_scenario, run_scenario
+    from repro.service import ServiceConfig
+
+    if args.list:
+        for name in sorted(PRESETS):
+            scenario = PRESETS[name]
+            print(f"{name:16s} {scenario.description}")
+        return 0
+    if args.dataset is None:
+        print("chaos needs a dataset path (or --list)", file=sys.stderr)
+        return 2
+    if Path(args.scenario).is_file():
+        scenario = load_scenario(args.scenario)
+    else:
+        scenario = preset_scenario(args.scenario)
+    report = run_scenario(
+        args.dataset,
+        scenario=scenario,
+        config=_detect_config(args),
+        service_config=ServiceConfig(n_workers=args.jobs),
+        max_ticks=args.max_ticks,
+    )
+    print(report.render())
+    if not report.survived:
+        print(
+            f"\nFAILED: {report.invalid_verdicts} verdicts left the valid "
+            "domain under fault injection",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"\nsurvived: quality delta {report.diff.quality_delta} "
+        f"({len(report.diff.missed)} missed, "
+        f"{len(report.diff.spurious)} spurious) over "
+        f"{report.chaos_rounds} rounds"
+    )
+    return 0
+
+
 def _cmd_info(args) -> int:
     rows = [
         [kpi.display_name, kpi.name, ", ".join(kpi.correlation_type)]
@@ -276,6 +344,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "detect": _cmd_detect,
         "serve": _cmd_serve,
+        "chaos": _cmd_chaos,
         "info": _cmd_info,
     }
     try:

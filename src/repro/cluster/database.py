@@ -22,7 +22,7 @@ from typing import Deque, Optional, Tuple
 
 import numpy as np
 
-from repro.cluster.kpis import KPI_INDEX, KPI_NAMES, KPI_REGISTRY
+from repro.cluster.kpis import KPI_INDEX, KPI_REGISTRY
 from repro.cluster.requests import RequestMix
 from repro.cluster.resources import DatabaseCondition, ResourceModel
 

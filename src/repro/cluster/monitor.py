@@ -99,6 +99,17 @@ class BypassMonitor:
             Database ``d``'s reported value at tick ``t`` is its raw value
             at ``t - delay[d]`` (the first ticks repeat the earliest raw
             sample, as a warming pipeline would).
+
+        Notes
+        -----
+        RNG contract versus :meth:`stream`: this batch path draws the whole
+        ``(n_databases, n_ticks)`` dropout matrix *upfront* (tick 0's row is
+        drawn but never applied), while the online path draws one
+        ``n_databases`` vector *per tick* starting at tick 1.  The two
+        paths therefore agree tick-for-tick at ``dropout_probability == 0``
+        and agree only *in distribution* (same per-tick dropout rate, same
+        repeat-last-frame semantics, different individual draws) under
+        nonzero dropout — an equivalence pinned by the monitor tests.
         """
         if injectors:
             frames = []

@@ -8,7 +8,7 @@ database's share into KPI values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 
 __all__ = ["RequestMix"]
 

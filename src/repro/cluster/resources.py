@@ -14,7 +14,7 @@ leak terms that the injectors of :mod:`repro.anomalies` adjust per tick.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

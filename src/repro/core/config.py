@@ -9,7 +9,7 @@ learner (:mod:`repro.tuning`) searches inside those ranges.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Tuple
 
 import numpy as np

@@ -267,16 +267,39 @@ class DBCatcher:
                 return None  # blocked until more ticks arrive
             window = self._streams.window(state.start, end)
             started = time.perf_counter()
+            # Degraded-telemetry guard: a database with NaN/inf anywhere in
+            # this window is treated as temporarily inactive for the round.
+            # Shrinking the mask keeps non-finite values out of
+            # ``minmax_normalize`` (which would silently flatten the series
+            # and mis-score the database as maximally decorrelated) and out
+            # of its peers' correlation evidence.
+            round_active = self._active & self._streams.finite_databases(
+                state.start, end
+            )
+            if not np.array_equal(round_active, self._active):
+                # Databases without usable data this round get no
+                # judgement record: a data gap is absence of evidence,
+                # not evidence of health or abnormality.
+                state.pending = [db for db in state.pending if round_active[db]]
+            if int(round_active.sum()) < 2 or not state.pending:
+                # Fewer than two databases with usable data (or nothing
+                # left to judge): no correlation evidence is obtainable,
+                # so resolve the round with whatever was already recorded
+                # instead of expanding forever on a degraded window.
+                self.component_seconds["correlation"] += (
+                    time.perf_counter() - started
+                )
+                return self._finish_round(state)
             matrices = build_correlation_matrices(
                 window,
                 self._config.kpi_names,
                 max_delay=self._config.max_delay(state.size),
-                active=self._active,
+                active=round_active,
                 measure=self._measure,
             )
             after_correlation = time.perf_counter()
             self.component_seconds["correlation"] += after_correlation - started
-            levels = calculate_levels(matrices, self._config, active=self._active)
+            levels = calculate_levels(matrices, self._config, active=round_active)
             still_pending: List[int] = []
             for db in state.pending:
                 decision = self._window_ctl.decide(

@@ -18,7 +18,7 @@ level-2, and scores at or above ``alpha`` are level-3.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 

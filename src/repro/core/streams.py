@@ -137,6 +137,37 @@ class KPIStreams:
         # Buffer layout is (tick, db, kpi); the detector wants (db, kpi, tick).
         return np.ascontiguousarray(self._buffer[lo:hi].transpose(1, 2, 0))
 
+    def finite_databases(self, start: int, end: int) -> np.ndarray:
+        """Per-database mask of fully finite data over ``[start, end)``.
+
+        Degraded telemetry (monitor blackouts, NaN gauges, failovers) can
+        leave NaN/inf holes in the buffer.  The detector uses this mask to
+        shrink the ``active`` set fed to the correlation measurement for
+        the round instead of letting non-finite values reach
+        ``minmax_normalize`` — which would silently flatten the series and
+        mis-score the database as maximally decorrelated.
+
+        Returns
+        -------
+        numpy.ndarray
+            Boolean array of shape ``(n_databases,)``; ``True`` where every
+            KPI point of the database in the window is finite.
+        """
+        if end <= start:
+            raise ValueError("window end must be greater than start")
+        if start < self._base:
+            raise ValueError(
+                f"tick {start} was trimmed (oldest available is {self._base})"
+            )
+        if end > self.next_tick:
+            raise ValueError(
+                f"tick {end} not collected yet (next tick is {self.next_tick})"
+            )
+        lo = start - self._base
+        hi = end - self._base
+        # Buffer layout is (tick, db, kpi); reduce over tick and kpi axes.
+        return np.isfinite(self._buffer[lo:hi]).all(axis=(0, 2))
+
     @property
     def capacity(self) -> int:
         """Ticks the current allocation can hold without growing."""

@@ -15,7 +15,6 @@ from dataclasses import dataclass
 
 from repro.core.config import DBCatcherConfig
 from repro.core.levels import (
-    LEVEL_CORRELATED,
     LEVEL_EXTREME_DEVIATION,
     LEVEL_SLIGHT_DEVIATION,
     CorrelationLevels,

@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from typing import Tuple
 
-import numpy as np
-
 from repro.analysis.periodicity import classify_periodicity
 from repro.cluster.kpis import KPI_INDEX
 from repro.datasets.containers import Dataset, UnitSeries

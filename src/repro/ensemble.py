@@ -13,7 +13,7 @@ unit-wide deviations DBCatcher is structurally blind to.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -25,14 +25,12 @@ import numpy as np
 from repro.baselines.base import BaselineDetector
 from repro.core.config import DBCatcherConfig
 from repro.core.detector import DBCatcher
-from repro.core.feedback import mark_records
 from repro.datasets.containers import Dataset
 from repro.eval.adjust import adjusted_confusion_from_records
 from repro.eval.metrics import (
     ConfusionCounts,
     DetectionScores,
     scores_from_confusion,
-    scores_from_records,
 )
 from repro.eval.search import DEFAULT_WINDOW_GRID, evaluate_rule, search_threshold_rule
 from repro.tuning.genetic import GeneticThresholdLearner

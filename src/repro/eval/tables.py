@@ -7,7 +7,7 @@ window-size tables, timing tables, dataset statistics).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Iterable, List, Mapping, Sequence
 
 from repro.eval.runner import MethodSummary
 

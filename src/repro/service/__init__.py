@@ -41,7 +41,12 @@ from repro.service.config import BACKPRESSURE_POLICIES, ServiceConfig
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.service.queues import IngestionBridge, QueueClosed, QueueFull, TickQueue
 from repro.service.scheduler import DetectionService, ServiceReport, detect_fleet
-from repro.service.sources import MonitorSource, ReplaySource, TickEvent
+from repro.service.sources import (
+    MonitorSource,
+    ReplaySource,
+    RetryingSource,
+    TickEvent,
+)
 from repro.service.workers import (
     ProcessWorkerPool,
     SerialWorkerPool,
@@ -70,6 +75,7 @@ __all__ = [
     "QueueClosed",
     "QueueFull",
     "ReplaySource",
+    "RetryingSource",
     "SerialWorkerPool",
     "ServiceConfig",
     "ServiceReport",

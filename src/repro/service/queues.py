@@ -8,7 +8,10 @@ what happens: ``block`` stalls the producer (lossless), ``drop_oldest``
 evicts the stalest tick so the queue always holds the freshest window of
 traffic (lossy, bounded staleness).  Per-unit sequence tracking makes any
 loss visible: every tick carries its source sequence number, and the
-bridge records gaps instead of silently compacting them away.
+bridge records gaps instead of silently compacting them away.  Duplicate
+and out-of-order arrivals (seen under degraded transports and exercised
+by :mod:`repro.chaos`) are rejected as *stale* and counted, never fed to
+a detector twice.
 """
 
 from __future__ import annotations
@@ -165,6 +168,9 @@ class IngestionBridge:
         self._next_seq: Dict[str, int] = {name: 0 for name in unit_names}
         #: Sequence gaps observed per unit (ticks the source never delivered).
         self.sequence_gaps: Dict[str, int] = {name: 0 for name in unit_names}
+        #: Stale ticks rejected per unit (duplicates and out-of-order
+        #: arrivals whose sequence number the bridge had already passed).
+        self.stale_rejected: Dict[str, int] = {name: 0 for name in unit_names}
 
     @property
     def unit_names(self) -> List[str]:
@@ -174,18 +180,20 @@ class IngestionBridge:
         """Enqueue one :class:`~repro.service.sources.TickEvent`.
 
         Returns the number of ticks evicted by backpressure.  Raises
-        ``KeyError`` for unknown units and ``ValueError`` when a unit's
-        ticks arrive out of order — the bridge relies on per-unit FIFO
-        delivery, which every source in :mod:`repro.service.sources`
-        guarantees.
+        ``KeyError`` for unknown units.  A *stale* tick — a duplicate or
+        out-of-order arrival whose sequence number the bridge has already
+        passed — is rejected rather than enqueued: accepting it would feed
+        the unit's detector the same wall-clock instant twice (or in the
+        wrong order) and silently skew every window after it.  Rejections
+        are counted in :attr:`stale_rejected` and the ``ticks_stale``
+        metric, so a degraded transport is visible, not fatal.
         """
         queue = self._queues[event.unit]
         expected = self._next_seq[event.unit]
         if event.seq < expected:
-            raise ValueError(
-                f"unit {event.unit!r} tick {event.seq} arrived after "
-                f"{expected - 1} (per-unit order is required)"
-            )
+            self.stale_rejected[event.unit] += 1
+            self.metrics.counter("ticks_stale").increment()
+            return 0
         if event.seq > expected:
             self.sequence_gaps[event.unit] += event.seq - expected
         self._next_seq[event.unit] = event.seq + 1

@@ -54,10 +54,13 @@ class ServiceReport:
     ticks_ingested: int = 0
     ticks_dropped: int = 0
     ticks_lost: int = 0
+    ticks_stale: int = 0
     rounds_completed: int = 0
     alerts_emitted: int = 0
     worker_restarts: int = 0
+    kill_drills: int = 0
     sequence_gaps: Dict[str, int] = field(default_factory=dict)
+    stale_ticks: Dict[str, int] = field(default_factory=dict)
     component_seconds: Dict[str, float] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
     metrics: Dict[str, object] = field(default_factory=dict)
@@ -172,9 +175,13 @@ class DetectionService:
         ingest_latency = self.metrics.histogram("ingest_latency_seconds")
         dispatch_latency = self.metrics.histogram("dispatch_latency_seconds")
         started = time.perf_counter()
+        take_actions = getattr(source, "take_actions", None)
         try:
             consumed: Dict[str, int] = {name: 0 for name in units}
             for event in source:
+                if take_actions is not None:
+                    for action in take_actions():
+                        self._apply_action(pool, action, report)
                 if max_ticks is not None and consumed[event.unit] >= max_ticks:
                     continue
                 consumed[event.unit] += 1
@@ -203,9 +210,28 @@ class DetectionService:
         self.metrics.counter("worker_restarts").increment(pool.restarts)
         self.metrics.counter("ticks_lost").increment(pool.ticks_lost)
         report.sequence_gaps = dict(bridge.sequence_gaps)
+        report.stale_ticks = dict(bridge.stale_rejected)
+        report.ticks_stale = sum(bridge.stale_rejected.values())
         report.component_seconds = pool.component_seconds()
         report.metrics = self.metrics.snapshot()
         return report
+
+    def _apply_action(self, pool, action: tuple, report: ServiceReport) -> None:
+        """Apply one control-plane action from a chaos-wrapped source.
+
+        Only ``("kill_worker", unit)`` is understood today: the §IV-D4
+        kill drill, which fells the worker process owning ``unit`` exactly
+        as a segfault would.  The serial pool has no processes to kill, so
+        there the drill degenerates to a no-op (still counted, so a
+        scenario's drill schedule remains visible in the report).
+        """
+        kind = action[0]
+        if kind == "kill_worker":
+            report.kill_drills += 1
+            if getattr(pool, "n_workers", 0):
+                pool.crash_worker(action[1])
+        else:
+            raise ValueError(f"unknown chaos action {kind!r}")
 
     def _dispatch_round(
         self,

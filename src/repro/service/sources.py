@@ -11,20 +11,24 @@ Two ways monitoring ticks reach the service:
   :meth:`~repro.cluster.monitor.BypassMonitor.stream` online collector,
   so ticks are *generated* as the service consumes them, exactly like the
   paper's bypass monitoring pipeline feeding DBCatcher every 5 s.
+* :class:`RetryingSource` — resilience wrapper: rebuilds a failing source
+  with exponential backoff and resumes where delivery stopped, so one
+  transport hiccup costs a sequence gap instead of the whole run.
 
-Both yield :class:`TickEvent`\\ s with per-unit monotonically increasing
+All yield :class:`TickEvent`\\ s with per-unit monotonically increasing
 sequence numbers, which is what the bridge's loss accounting keys on.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["TickEvent", "ReplaySource", "MonitorSource"]
+__all__ = ["TickEvent", "ReplaySource", "MonitorSource", "RetryingSource"]
 
 
 @dataclass(frozen=True)
@@ -208,3 +212,86 @@ class MonitorSource:
         for t in range(horizon):
             for unit, stream in zip(self._units, streams):
                 yield TickEvent(unit=unit.name, seq=t, sample=next(stream))
+
+
+class RetryingSource:
+    """Retry-with-backoff wrapper around a fallible tick source.
+
+    A real collection pipeline fails in bursts: a connection drops, the
+    source raises mid-iteration, and a naive consumer loses the whole run.
+    This wrapper rebuilds the source from a factory, waits an
+    exponentially growing backoff between attempts, and *resumes*: events
+    whose sequence number was already delivered for a unit are skipped, so
+    downstream consumers see each ``(unit, seq)`` at most once and a crash
+    surfaces as an ordinary sequence gap in the bridge's accounting.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable returning a fresh source (anything with
+        ``units`` / ``kpi_names`` / ``interval_seconds`` and iteration
+        yielding :class:`TickEvent`).  Called once up front for metadata
+        and again after every failure.
+    max_retries:
+        Source rebuilds allowed over one iteration before the last error
+        propagates.
+    backoff_seconds:
+        Sleep before retry ``k`` is ``backoff_seconds * 2**(k - 1)``;
+        ``0`` disables sleeping (what the tests use).
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], object],
+        max_retries: int = 3,
+        backoff_seconds: float = 0.1,
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be >= 0")
+        self._factory = factory
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        #: Source rebuilds performed so far (across iterations).
+        self.retries = 0
+        self._current = factory()
+
+    @property
+    def units(self) -> Dict[str, int]:
+        return dict(self._current.units)
+
+    @property
+    def kpi_names(self) -> Tuple[str, ...]:
+        return tuple(self._current.kpi_names)
+
+    @property
+    def interval_seconds(self) -> float:
+        return float(self._current.interval_seconds)
+
+    def take_actions(self) -> List[tuple]:
+        """Forward control-plane actions from the wrapped source, if any."""
+        inner = getattr(self._current, "take_actions", None)
+        return inner() if inner is not None else []
+
+    def __iter__(self) -> Iterator[TickEvent]:
+        delivered: Dict[str, int] = {}
+        failures = 0
+        source = self._current
+        while True:
+            try:
+                for event in source:
+                    if event.seq < delivered.get(event.unit, 0):
+                        continue  # already delivered before a retry
+                    delivered[event.unit] = event.seq + 1
+                    yield event
+                return
+            except Exception:
+                failures += 1
+                if failures > self.max_retries:
+                    raise
+                if self.backoff_seconds:
+                    time.sleep(self.backoff_seconds * 2 ** (failures - 1))
+                self.retries += 1
+                source = self._factory()
+                self._current = source

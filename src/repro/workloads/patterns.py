@@ -9,7 +9,7 @@ a pure description and stays reusable across seeds.
 from __future__ import annotations
 
 import abc
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

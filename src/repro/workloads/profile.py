@@ -12,8 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
-import numpy as np
-
 from repro.cluster.requests import RequestMix
 
 __all__ = ["StatementProfile", "mixes_from_rates"]

@@ -1,0 +1,182 @@
+"""Unit tests for the chaos fault injectors' stream transformations."""
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    Blackout,
+    ChaosSource,
+    ClockSkew,
+    DropoutBurst,
+    DuplicateTicks,
+    MembershipChange,
+    NaNGauge,
+    OutOfOrderTicks,
+    StuckGauge,
+    WorkerKill,
+)
+from repro.service.sources import TickEvent
+
+
+class FakeSource:
+    """Two-unit, deterministic tick stream with recognizable samples."""
+
+    def __init__(self, n_ticks=20, n_databases=3, n_kpis=2, units=("u0", "u1")):
+        self.n_ticks = n_ticks
+        self.n_databases = n_databases
+        self.n_kpis = n_kpis
+        self._names = tuple(units)
+
+    @property
+    def units(self):
+        return {name: self.n_databases for name in self._names}
+
+    @property
+    def kpi_names(self):
+        return tuple(f"k{i}" for i in range(self.n_kpis))
+
+    @property
+    def interval_seconds(self):
+        return 5.0
+
+    def __iter__(self):
+        for t in range(self.n_ticks):
+            for name in self._names:
+                sample = np.full(
+                    (self.n_databases, self.n_kpis), float(t), dtype=np.float64
+                )
+                sample += 0.1 * (name == "u1")
+                yield TickEvent(unit=name, seq=t, sample=sample)
+
+
+def _apply(fault, source, seed=0):
+    return list(ChaosSource(source, [fault], seed=seed))
+
+
+class TestDropoutAndBlackout:
+    def test_blackout_removes_window(self):
+        events = _apply(Blackout(start=5, end=10, units=("u0",)), FakeSource())
+        u0_seqs = [e.seq for e in events if e.unit == "u0"]
+        assert u0_seqs == [t for t in range(20) if not 5 <= t < 10]
+        # The other unit is untouched.
+        assert [e.seq for e in events if e.unit == "u1"] == list(range(20))
+
+    def test_partial_dropout_is_deterministic(self):
+        fault = DropoutBurst(start=0, end=None, probability=0.5)
+        first = [(e.unit, e.seq) for e in _apply(fault, FakeSource(), seed=3)]
+        second = [(e.unit, e.seq) for e in _apply(fault, FakeSource(), seed=3)]
+        assert first == second
+        assert len(first) < 40  # something was dropped
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            DropoutBurst(probability=0.0)
+
+
+class TestValueFaults:
+    def test_nan_gauge_hits_selected_cells_only(self):
+        fault = NaNGauge(start=2, end=4, databases=(1,), kpis=(0,))
+        events = _apply(fault, FakeSource())
+        for event in events:
+            nan_mask = np.isnan(event.sample)
+            if 2 <= event.seq < 4:
+                assert nan_mask[1, 0]
+                assert nan_mask.sum() == 1
+            else:
+                assert not nan_mask.any()
+
+    def test_stuck_gauge_freezes_last_pre_fault_value(self):
+        fault = StuckGauge(start=5, end=9, units=("u0",), databases=(0,))
+        events = _apply(fault, FakeSource())
+        for event in events:
+            if event.unit == "u0" and 5 <= event.seq < 9:
+                assert event.sample[0, 0] == 4.0  # last value before the fault
+                assert event.sample[1, 0] == float(event.seq)
+            else:
+                assert event.sample[0, 0] == pytest.approx(
+                    float(event.seq), abs=0.2
+                )
+
+    def test_clock_skew_lags_selected_database(self):
+        fault = ClockSkew(skew_ticks=2, databases=(2,), units=("u0",))
+        events = _apply(fault, FakeSource())
+        for event in events:
+            if event.unit != "u0":
+                continue
+            expected = float(max(event.seq - 2, 0))
+            assert event.sample[2, 0] == expected
+            assert event.sample[0, 0] == float(event.seq)
+
+    def test_membership_change_blanks_rows_then_restores(self):
+        fault = MembershipChange(start=3, end=6, databases=(1, 2))
+        events = _apply(fault, FakeSource())
+        for event in events:
+            gone = np.isnan(event.sample).all(axis=1)
+            if 3 <= event.seq < 6:
+                assert gone[1] and gone[2] and not gone[0]
+            else:
+                assert not gone.any()
+
+
+class TestOrderingFaults:
+    def test_duplicates_reuse_sequence_numbers(self):
+        fault = DuplicateTicks(probability=1.0, start=0, end=5)
+        events = _apply(fault, FakeSource())
+        u0 = [e.seq for e in events if e.unit == "u0"]
+        assert u0[:4] == [0, 0, 1, 1]
+        assert len(u0) == 25  # 5 duplicated + 15 plain
+
+    def test_out_of_order_swaps_adjacent_ticks(self):
+        fault = OutOfOrderTicks(probability=1.0, start=0, end=1, units=("u0",))
+        events = _apply(fault, FakeSource(n_ticks=4))
+        u0 = [e.seq for e in events if e.unit == "u0"]
+        assert u0 == [1, 0, 2, 3]
+
+    def test_held_tick_flushes_at_stream_end(self):
+        fault = OutOfOrderTicks(probability=1.0, start=3, end=4, units=("u0",))
+        events = _apply(fault, FakeSource(n_ticks=4))
+        u0 = [e.seq for e in events if e.unit == "u0"]
+        assert sorted(u0) == [0, 1, 2, 3]
+
+
+class TestWorkerKill:
+    def test_action_queued_once_per_unit(self):
+        source = ChaosSource(FakeSource(), [WorkerKill(at_tick=7)], seed=0)
+        drained = []
+        for _ in source:
+            drained.extend(source.take_actions())
+        assert sorted(drained) == [("kill_worker", "u0"), ("kill_worker", "u1")]
+
+    def test_take_actions_drains(self):
+        source = ChaosSource(FakeSource(), [WorkerKill(at_tick=0)], seed=0)
+        iterator = iter(source)
+        next(iterator)
+        assert source.take_actions() == [("kill_worker", "u0")]
+        assert source.take_actions() == []
+
+
+class TestChaosSourcePassthrough:
+    def test_metadata_passthrough(self):
+        base = FakeSource()
+        wrapped = ChaosSource(base)
+        assert wrapped.units == base.units
+        assert wrapped.kpi_names == base.kpi_names
+        assert wrapped.interval_seconds == base.interval_seconds
+
+    def test_no_faults_is_identity(self):
+        base_events = [(e.unit, e.seq, e.sample.copy()) for e in FakeSource()]
+        wrapped = list(ChaosSource(FakeSource()))
+        assert len(wrapped) == len(base_events)
+        for (unit, seq, sample), event in zip(base_events, wrapped):
+            assert (unit, seq) == (event.unit, event.seq)
+            assert np.array_equal(sample, event.sample)
+
+    def test_fault_chain_applies_in_order(self):
+        faults = [
+            Blackout(start=0, end=2, units=("u0",)),
+            DuplicateTicks(probability=1.0, start=2, end=3, units=("u0",)),
+        ]
+        events = [
+            e.seq for e in ChaosSource(FakeSource(n_ticks=4), faults) if e.unit == "u0"
+        ]
+        assert events == [2, 2, 3]

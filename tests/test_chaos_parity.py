@@ -1,0 +1,211 @@
+"""Chaos acceptance tests: no-fault parity plus per-fault survival.
+
+Two contracts from the chaos harness:
+
+* wrapping a source in :class:`ChaosSource` with no injectors is free —
+  the service produces bit-identical verdicts to the unwrapped run;
+* every fault type is survivable — the run finishes, no verdict leaves
+  the valid domain, and the quality delta in the ``ChaosReport`` stays
+  bounded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    Blackout,
+    ChaosScenario,
+    ChaosSource,
+    ClockSkew,
+    DropoutBurst,
+    DuplicateTicks,
+    MembershipChange,
+    NaNGauge,
+    OutOfOrderTicks,
+    StuckGauge,
+    WorkerKill,
+    run_scenario,
+)
+from repro.core.config import DBCatcherConfig
+from repro.datasets.containers import Dataset, UnitSeries
+from repro.service import DetectionService, ReplaySource, ServiceConfig
+
+CONFIG = DBCatcherConfig(kpi_names=("cpu", "rps"), initial_window=10, max_window=30)
+
+
+def _unit(name, seed, n_db=4, n_ticks=240):
+    rng = np.random.default_rng(seed)
+    trend = np.sin(np.linspace(0, 15, n_ticks)) + 2.0
+    values = np.stack(
+        [trend[None, :] * (1 + 0.02 * d) + 0.01 * rng.standard_normal((2, n_ticks))
+         for d in range(n_db)]
+    )
+    values[1, :, 100:140] = rng.standard_normal((2, 40)) * 3.0 + 9.0
+    labels = np.zeros((n_db, n_ticks), dtype=bool)
+    labels[1, 100:140] = True
+    return UnitSeries(
+        name=name, values=values, labels=labels, kpi_names=("cpu", "rps")
+    )
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return Dataset(
+        name="chaos-fleet", units=(_unit("u0", 7), _unit("u1", 8))
+    )
+
+
+def _service_run(fleet, source):
+    service = DetectionService(
+        CONFIG, service_config=ServiceConfig(), sinks=("null",)
+    )
+    return service.run(source)
+
+
+class TestParity:
+    def test_disabled_chaos_is_bit_identical(self, fleet):
+        clean = _service_run(fleet, ReplaySource(fleet))
+        wrapped = _service_run(fleet, ChaosSource(ReplaySource(fleet), seed=99))
+        assert clean.results == wrapped.results
+        assert clean.total_rounds == wrapped.total_rounds
+        assert clean.ticks_ingested == wrapped.ticks_ingested
+
+
+def _scenario(name, *faults):
+    return ChaosScenario(name=name, faults=tuple(faults), seed=11)
+
+
+def _check_survival(report, max_delta=12):
+    assert report.survived
+    assert report.invalid_verdicts == 0
+    assert report.chaos_rounds > 0
+    assert report.diff.quality_delta <= max_delta
+
+
+class TestFaultSurvival:
+    """One survival test per fault family (acceptance criterion)."""
+
+    def test_dropout_burst(self, fleet):
+        report = run_scenario(
+            fleet,
+            scenario=_scenario(
+                "dropout", DropoutBurst(start=30, end=90, probability=0.4)
+            ),
+            config=CONFIG,
+        )
+        _check_survival(report)
+
+    def test_monitor_blackout(self, fleet):
+        report = run_scenario(
+            fleet,
+            scenario=_scenario("blackout", Blackout(start=60, end=110)),
+            config=CONFIG,
+        )
+        _check_survival(report)
+        # A 50-tick blackout shortens the run; rounds may shrink, never NaN.
+        assert report.chaos_rounds <= report.clean_rounds
+
+    def test_nan_gauges(self, fleet):
+        report = run_scenario(
+            fleet,
+            scenario=_scenario(
+                "nan", NaNGauge(start=40, end=120, databases=(0,), probability=0.8)
+            ),
+            config=CONFIG,
+        )
+        _check_survival(report)
+
+    def test_stuck_gauge(self, fleet):
+        report = run_scenario(
+            fleet,
+            scenario=_scenario("stuck", StuckGauge(start=50, end=130, databases=(2,))),
+            config=CONFIG,
+            max_ticks=200,
+        )
+        assert report.survived
+        assert report.invalid_verdicts == 0
+        # A long-stuck gauge *is* an anomaly: every extra abnormal verdict
+        # must land on the faulted database (2) or the genuinely anomalous
+        # one (1), and nothing real goes missing.
+        assert report.diff.missed == ()
+        assert all(verdict[1] in (1, 2) for verdict in report.diff.spurious)
+
+    def test_duplicate_ticks(self, fleet):
+        report = run_scenario(
+            fleet,
+            scenario=_scenario("dup", DuplicateTicks(probability=0.3)),
+            config=CONFIG,
+        )
+        _check_survival(report)
+        assert report.ticks_stale > 0  # duplicates rejected, not crashed on
+
+    def test_out_of_order_ticks(self, fleet):
+        report = run_scenario(
+            fleet,
+            scenario=_scenario("ooo", OutOfOrderTicks(probability=0.3)),
+            config=CONFIG,
+        )
+        _check_survival(report)
+
+    def test_clock_skew(self, fleet):
+        report = run_scenario(
+            fleet,
+            scenario=_scenario("skew", ClockSkew(skew_ticks=3, databases=(3,))),
+            config=CONFIG,
+        )
+        _check_survival(report)
+
+    def test_membership_change(self, fleet):
+        report = run_scenario(
+            fleet,
+            scenario=_scenario(
+                "member", MembershipChange(start=80, end=150, databases=(3,))
+            ),
+            config=CONFIG,
+        )
+        _check_survival(report)
+
+    def test_worker_kill_drill_serial(self, fleet):
+        report = run_scenario(
+            fleet,
+            scenario=_scenario("kill", WorkerKill(at_tick=60)),
+            config=CONFIG,
+        )
+        _check_survival(report, max_delta=0)  # serial pool: counted no-op
+        assert report.kill_drills == 2
+
+    def test_worker_kill_drill_process_pool(self, fleet):
+        report = run_scenario(
+            fleet,
+            scenario=_scenario("kill-proc", WorkerKill(at_tick=60)),
+            config=CONFIG,
+            service_config=ServiceConfig(n_workers=2),
+        )
+        _check_survival(report)
+        assert report.kill_drills == 2
+        assert report.worker_restarts >= 2
+
+    def test_combined_kitchen_sink(self, fleet):
+        report = run_scenario(
+            fleet,
+            scenario=_scenario(
+                "sink",
+                DropoutBurst(start=20, end=60, probability=0.3),
+                NaNGauge(start=70, end=110, databases=(0,), probability=0.5),
+                DuplicateTicks(probability=0.1),
+                ClockSkew(skew_ticks=2, databases=(3,)),
+            ),
+            config=CONFIG,
+        )
+        _check_survival(report, max_delta=16)
+
+    def test_report_renders(self, fleet):
+        report = run_scenario(
+            fleet,
+            scenario=_scenario("render", Blackout(start=60, end=80)),
+            config=CONFIG,
+        )
+        text = report.render()
+        assert "Chaos report" in text
+        assert "blackout" in text
+        assert "invalid verdicts" in text

@@ -1,0 +1,123 @@
+"""Property tests backing the chaos hardening (hypothesis).
+
+Two invariants the fault-tolerant pipeline rests on:
+
+* masking databases out of :func:`kcd_matrix` via ``active`` is exactly
+  equivalent to deleting their rows from the input — so shrinking the
+  active mask around NaN-poisoned databases changes nothing for the
+  survivors;
+* NaN-bearing windows never surface as NaN (or otherwise invalid)
+  verdicts out of :meth:`DBCatcher.detect_series`.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.config import DBCatcherConfig
+from repro.core.detector import DBCatcher
+from repro.core.kcd import kcd_matrix
+from repro.core.levels import LEVEL_CORRELATED, LEVEL_EXTREME_DEVIATION
+from repro.core.records import DatabaseState
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def unit_window(draw, min_dbs=3, max_dbs=6, min_points=8, max_points=32):
+    n_dbs = draw(st.integers(min_dbs, max_dbs))
+    n_points = draw(st.integers(min_points, max_points))
+    series = draw(
+        arrays(np.float64, st.just((n_dbs, n_points)), elements=finite_floats)
+    )
+    # At least two databases stay active so a correlation matrix exists.
+    active = draw(
+        arrays(np.bool_, st.just(n_dbs)).filter(lambda m: m.sum() >= 2)
+    )
+    return series, active
+
+
+class TestActiveMaskEquivalence:
+    @given(unit_window())
+    @settings(max_examples=50, deadline=None)
+    def test_mask_equals_dropping_rows(self, window):
+        series, active = window
+        masked = kcd_matrix(series, active=active)
+        dense = kcd_matrix(series[active])
+        idx = np.flatnonzero(active)
+        # Active block matches the matrix computed on the surviving rows.
+        assert np.allclose(masked[np.ix_(idx, idx)], dense, atol=1e-9)
+        # Inactive rows/columns carry zero scores with a unit diagonal.
+        inactive = np.flatnonzero(~active)
+        for database in inactive:
+            assert masked[database, database] == 1.0
+            off_row = np.delete(masked[database], database)
+            off_col = np.delete(masked[:, database], database)
+            assert (off_row == 0.0).all() and (off_col == 0.0).all()
+
+    @given(unit_window())
+    @settings(max_examples=30, deadline=None)
+    def test_all_active_mask_is_identity(self, window):
+        series, _ = window
+        everyone = np.ones(series.shape[0], dtype=bool)
+        assert np.array_equal(
+            kcd_matrix(series, active=everyone), kcd_matrix(series)
+        )
+
+
+@st.composite
+def nan_poisoned_series(draw):
+    """A small unit series with NaNs splattered over part of the run."""
+    n_dbs = draw(st.integers(3, 5))
+    n_ticks = draw(st.integers(40, 64))
+    values = draw(
+        arrays(
+            np.float64, st.just((n_dbs, 2, n_ticks)), elements=finite_floats
+        )
+    )
+    n_holes = draw(st.integers(1, 12))
+    for _ in range(n_holes):
+        database = draw(st.integers(0, n_dbs - 1))
+        kpi = draw(st.integers(0, 1))
+        tick = draw(st.integers(0, n_ticks - 1))
+        values[database, kpi, tick] = np.nan
+    return values
+
+
+class TestNaNNeverLeaks:
+    @given(nan_poisoned_series())
+    @settings(max_examples=25, deadline=None)
+    def test_detect_series_yields_only_valid_verdicts(self, values):
+        config = DBCatcherConfig(
+            kpi_names=("cpu", "rps"), initial_window=8, max_window=16
+        )
+        detector = DBCatcher(config, n_databases=values.shape[0])
+        results = detector.detect_series(values)
+        for result in results:
+            for record in result.records.values():
+                assert record.state in (
+                    DatabaseState.HEALTHY, DatabaseState.ABNORMAL
+                )
+                for level in record.kpi_levels.values():
+                    assert not math.isnan(level)
+                    assert LEVEL_EXTREME_DEVIATION <= level <= LEVEL_CORRELATED
+                    assert level == int(level)
+
+    def test_fully_nan_database_gets_no_verdicts(self):
+        rng = np.random.default_rng(0)
+        values = rng.random((4, 2, 48))
+        values[2] = np.nan
+        config = DBCatcherConfig(
+            kpi_names=("cpu", "rps"), initial_window=8, max_window=16
+        )
+        results = DBCatcher(config, n_databases=4).detect_series(values)
+        judged = [
+            record for result in results for record in result.records.values()
+        ]
+        assert judged  # the healthy databases still get judged
+        assert all(record.database != 2 for record in judged)

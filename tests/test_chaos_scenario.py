@@ -1,0 +1,136 @@
+"""Scenario-file loading, presets, and the chaos CLI surface."""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    FAULT_TYPES,
+    PRESETS,
+    Blackout,
+    ChaosScenario,
+    DropoutBurst,
+    NaNGauge,
+    fault_from_dict,
+    load_scenario,
+    preset_scenario,
+    scenario_from_dict,
+)
+from repro.cli import main
+
+
+class TestFaultFromDict:
+    def test_builds_typed_injector(self):
+        fault = fault_from_dict(
+            {"type": "nan_gauge", "start": 5, "end": 9, "databases": [1, 2]}
+        )
+        assert isinstance(fault, NaNGauge)
+        assert fault.start == 5
+        assert fault.databases == (1, 2)
+
+    def test_list_fields_become_tuples(self):
+        fault = fault_from_dict({"type": "nan_gauge", "units": ["u0"], "kpis": [0]})
+        assert fault.units == ("u0",)
+        assert fault.kpis == (0,)
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(ValueError, match="'type'"):
+            fault_from_dict({"start": 0})
+
+    def test_unknown_type_lists_known_kinds(self):
+        with pytest.raises(ValueError, match="blackout"):
+            fault_from_dict({"type": "meteor-strike"})
+
+    def test_bad_field_rejected(self):
+        with pytest.raises(ValueError, match="blackout"):
+            fault_from_dict({"type": "blackout", "no_such_field": 1})
+
+
+class TestScenarioRoundTrip:
+    def test_json_file_round_trip(self, tmp_path):
+        spec = {
+            "name": "blackout-then-failover",
+            "seed": 7,
+            "description": "doc example",
+            "faults": [
+                {"type": "blackout", "start": 60, "end": 90, "units": ["u0"]},
+                {"type": "membership", "start": 120, "end": 200, "databases": [2]},
+            ],
+        }
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(spec))
+        scenario = load_scenario(path)
+        assert scenario.name == "blackout-then-failover"
+        assert scenario.seed == 7
+        assert scenario.fault_kinds == ("blackout", "membership")
+        assert isinstance(scenario.faults[0], Blackout)
+
+    def test_empty_faults_rejected(self):
+        with pytest.raises(ValueError, match="faults"):
+            scenario_from_dict({"name": "x", "faults": []})
+
+    def test_non_object_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_scenario(path)
+
+    def test_non_injector_fault_rejected(self):
+        with pytest.raises(TypeError, match="injector"):
+            ChaosScenario(name="x", faults=("not-a-fault",))
+
+
+class TestPresets:
+    def test_every_fault_family_covered(self):
+        covered = {
+            kind for preset in PRESETS.values() for kind in preset.fault_kinds
+        }
+        assert covered == set(FAULT_TYPES)
+        assert len(covered) >= 6
+
+    def test_kitchen_sink_is_composite(self):
+        sink = preset_scenario("kitchen-sink")
+        assert len(sink.faults) >= 6
+
+    def test_unknown_preset_lists_names(self):
+        with pytest.raises(ValueError, match="kitchen-sink"):
+            preset_scenario("nope")
+
+    def test_presets_reload_identically(self):
+        assert preset_scenario("blackout").faults == (
+            Blackout(start=60, end=100),
+        )
+        assert preset_scenario("dropout-burst").faults == (
+            DropoutBurst(start=40, end=120, probability=0.5),
+        )
+
+
+class TestChaosCli:
+    def test_list_prints_presets(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in PRESETS:
+            assert name in out
+
+    def test_scenario_file_run(self, tmp_path, capsys):
+        dataset = tmp_path / "fleet.npz"
+        assert main(
+            ["simulate", str(dataset), "--units", "1", "--ticks", "200",
+             "--seed", "5"]
+        ) == 0
+        scenario = tmp_path / "blackout.json"
+        scenario.write_text(json.dumps({
+            "name": "file-blackout",
+            "faults": [{"type": "blackout", "start": 40, "end": 70}],
+        }))
+        assert main(
+            [
+                "chaos", str(dataset),
+                "--scenario", str(scenario),
+                "--initial-window", "10",
+                "--max-window", "30",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "file-blackout" in out
+        assert "survived" in out

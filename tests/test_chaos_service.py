@@ -1,0 +1,194 @@
+"""Service-side resilience: retrying sources, stale ticks, kill drills."""
+
+import numpy as np
+import pytest
+
+from repro.chaos import ChaosSource, DuplicateTicks, WorkerKill
+from repro.core.config import DBCatcherConfig
+from repro.datasets.containers import Dataset, UnitSeries
+from repro.service import (
+    DetectionService,
+    ReplaySource,
+    RetryingSource,
+    ServiceConfig,
+)
+from repro.service.sources import TickEvent
+
+CONFIG = DBCatcherConfig(kpi_names=("cpu", "rps"), initial_window=8, max_window=24)
+
+
+class FlakySource:
+    """Yields ticks for one unit, crashing at chosen sequence numbers."""
+
+    def __init__(self, crash_at, n_ticks=12, delivered=None):
+        self.crash_at = set(crash_at)
+        self.n_ticks = n_ticks
+        self.delivered = [] if delivered is None else delivered
+
+    @property
+    def units(self):
+        return {"u0": 2}
+
+    @property
+    def kpi_names(self):
+        return ("cpu", "rps")
+
+    @property
+    def interval_seconds(self):
+        return 5.0
+
+    def __iter__(self):
+        for seq in range(self.n_ticks):
+            if seq in self.crash_at:
+                self.crash_at.discard(seq)
+                raise ConnectionError(f"link died at {seq}")
+            self.delivered.append(seq)
+            yield TickEvent(
+                unit="u0", seq=seq, sample=np.full((2, 2), float(seq))
+            )
+
+
+class TestRetryingSource:
+    def test_resumes_without_duplicates(self):
+        state = {"crash_at": {4}}
+
+        def factory():
+            return FlakySource(state.pop("crash_at", set()))
+
+        source = RetryingSource(factory, max_retries=2, backoff_seconds=0)
+        seqs = [event.seq for event in source]
+        assert seqs == list(range(12))
+        assert source.retries == 1
+
+    def test_gives_up_after_max_retries(self):
+        def factory():
+            return FlakySource({0})  # crashes immediately, every rebuild
+
+        source = RetryingSource(factory, max_retries=2, backoff_seconds=0)
+        with pytest.raises(ConnectionError):
+            list(source)
+        assert source.retries == 2
+
+    def test_metadata_and_validation(self):
+        source = RetryingSource(lambda: FlakySource(set()), backoff_seconds=0)
+        assert source.units == {"u0": 2}
+        assert source.kpi_names == ("cpu", "rps")
+        assert source.interval_seconds == 5.0
+        with pytest.raises(ValueError):
+            RetryingSource(lambda: FlakySource(set()), max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryingSource(lambda: FlakySource(set()), backoff_seconds=-1.0)
+
+    def test_forwards_chaos_actions(self):
+        def factory():
+            return ChaosSource(
+                FlakySource(set()), [WorkerKill(at_tick=0)], seed=0
+            )
+
+        source = RetryingSource(factory, backoff_seconds=0)
+        actions = []
+        for _ in source:
+            actions.extend(source.take_actions())
+        assert actions == [("kill_worker", "u0")]
+
+    def test_plain_source_has_no_actions(self):
+        source = RetryingSource(lambda: FlakySource(set()), backoff_seconds=0)
+        assert source.take_actions() == []
+
+
+def _fleet(n_ticks=160):
+    rng = np.random.default_rng(21)
+    trend = np.sin(np.linspace(0, 9, n_ticks)) + 2.0
+    values = np.stack(
+        [trend[None, :] * (1 + 0.02 * d) + 0.01 * rng.standard_normal((2, n_ticks))
+         for d in range(3)]
+    )
+    unit = UnitSeries(
+        name="u0",
+        values=values,
+        labels=np.zeros((3, n_ticks), dtype=bool),
+        kpi_names=("cpu", "rps"),
+    )
+    return Dataset(name="svc", units=(unit,))
+
+
+class TestServiceUnderChaos:
+    def test_duplicates_counted_as_stale(self):
+        fleet = _fleet()
+        source = ChaosSource(
+            ReplaySource(fleet), [DuplicateTicks(probability=0.25)], seed=4
+        )
+        service = DetectionService(CONFIG, sinks=("null",))
+        report = service.run(source)
+        assert report.ticks_stale > 0
+        assert report.stale_ticks["u0"] == report.ticks_stale
+        # Duplicates cost nothing: same verdicts as the clean run.
+        clean = DetectionService(CONFIG, sinks=("null",)).run(ReplaySource(fleet))
+        assert report.results == clean.results
+
+    def test_retrying_source_feeds_service(self):
+        fleet = _fleet()
+        state = {"crash": True}
+
+        def factory():
+            if state.pop("crash", False):
+                return FlakyReplay(fleet, crash_at=40)
+            return ReplaySource(fleet)
+
+        source = RetryingSource(factory, max_retries=1, backoff_seconds=0)
+        report = DetectionService(CONFIG, sinks=("null",)).run(source)
+        assert report.ticks_ingested == 160
+
+    def test_kill_drill_recorded_on_serial_pool(self):
+        fleet = _fleet()
+        source = ChaosSource(ReplaySource(fleet), [WorkerKill(at_tick=30)])
+        report = DetectionService(CONFIG, sinks=("null",)).run(source)
+        assert report.kill_drills == 1
+        assert report.worker_restarts == 0
+
+    def test_kill_drill_restarts_process_worker(self):
+        fleet = _fleet()
+        source = ChaosSource(ReplaySource(fleet), [WorkerKill(at_tick=30)])
+        service = DetectionService(
+            CONFIG, service_config=ServiceConfig(n_workers=1), sinks=("null",)
+        )
+        report = service.run(source)
+        assert report.kill_drills == 1
+        assert report.worker_restarts >= 1
+        assert report.total_rounds > 0
+
+    def test_unknown_action_rejected(self):
+        class BadActionSource:
+            def __init__(self, fleet):
+                self._inner = ReplaySource(fleet)
+                self.units = self._inner.units
+                self.kpi_names = self._inner.kpi_names
+                self.interval_seconds = self._inner.interval_seconds
+
+            def take_actions(self):
+                return [("set-on-fire", "u0")]
+
+            def __iter__(self):
+                return iter(self._inner)
+
+        with pytest.raises(ValueError, match="set-on-fire"):
+            DetectionService(CONFIG, sinks=("null",)).run(
+                BadActionSource(_fleet())
+            )
+
+
+class FlakyReplay:
+    """ReplaySource that dies once partway through the stream."""
+
+    def __init__(self, fleet, crash_at):
+        self._inner = ReplaySource(fleet)
+        self._crash_at = crash_at
+        self.units = self._inner.units
+        self.kpi_names = self._inner.kpi_names
+        self.interval_seconds = self._inner.interval_seconds
+
+    def __iter__(self):
+        for event in self._inner:
+            if event.seq == self._crash_at:
+                raise ConnectionError("replay link died")
+            yield event

@@ -1,7 +1,5 @@
 """Tests for the Table II KPI registry and the simulated UKPIC structure."""
 
-import numpy as np
-import pytest
 
 from repro.analysis import unit_correlation_summary
 from repro.cluster.kpis import KPI_INDEX, KPI_NAMES, KPI_REGISTRY

@@ -1,6 +1,5 @@
 """Unit tests for the database resource model."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.kpis import KPI_INDEX, KPI_NAMES

@@ -6,7 +6,6 @@ import pytest
 from repro.cluster.kpis import KPI_NAMES
 from repro.datasets import (
     DATASET_SPECS,
-    Dataset,
     UnitSeries,
     build_mixed_dataset,
     build_unit_series,

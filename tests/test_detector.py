@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.config import DBCatcherConfig
 from repro.core.detector import DBCatcher
-from repro.core.records import DatabaseState
 
 
 def _config(**overrides):

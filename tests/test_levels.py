@@ -13,7 +13,7 @@ from repro.core.levels import (
     calculate_levels,
     score_to_level,
 )
-from repro.core.matrices import CorrelationMatrix, build_correlation_matrices
+from repro.core.matrices import build_correlation_matrices
 
 
 class TestScoreToLevel:

@@ -120,11 +120,23 @@ class TestIngestionBridge:
         bridge.offer(_event("u0", 3))  # source skipped 1 and 2
         assert bridge.sequence_gaps["u0"] == 2
 
-    def test_out_of_order_rejected(self):
-        bridge = IngestionBridge(["u0"], capacity=8)
+    def test_out_of_order_rejected_as_stale(self):
+        metrics = MetricsRegistry()
+        bridge = IngestionBridge(["u0"], capacity=8, metrics=metrics)
         bridge.offer(_event("u0", 1))
-        with pytest.raises(ValueError):
-            bridge.offer(_event("u0", 0))
+        # A tick from before the bridge's high-water mark is rejected and
+        # counted, never enqueued — detectors must not see an instant twice.
+        assert bridge.offer(_event("u0", 0)) == 0
+        assert bridge.stale_rejected["u0"] == 1
+        assert metrics.counter("ticks_stale").value == 1
+        assert [event.seq for event in bridge.drain("u0")] == [1]
+
+    def test_duplicate_rejected_as_stale(self):
+        bridge = IngestionBridge(["u0"], capacity=8)
+        bridge.offer(_event("u0", 0))
+        bridge.offer(_event("u0", 0))
+        assert bridge.stale_rejected["u0"] == 1
+        assert [event.seq for event in bridge.drain("u0")] == [0]
 
     def test_unknown_unit_rejected(self):
         bridge = IngestionBridge(["u0"], capacity=8)

@@ -1,6 +1,5 @@
 """Unit tests for the threshold genome (Section III-D)."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import (

@@ -1,7 +1,6 @@
 """Unit tests for the flexible time window (Section III-C, Fig. 7)."""
 
 import numpy as np
-import pytest
 
 from repro.core.config import DBCatcherConfig
 from repro.core.levels import CorrelationLevels
