@@ -3,5 +3,18 @@
 import sys
 from pathlib import Path
 
+import pytest
+
 # Make the sibling _shared module importable regardless of rootdir.
 sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark as slow so coverage runs can deselect them.
+
+    The coverage CI job runs ``-m "not slow"`` over tests *and*
+    benchmarks; blanket-marking here means a new bench file is excluded
+    from coverage timing by default without remembering a decorator.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.slow)

@@ -6,10 +6,20 @@ correlation measurement at ~70 % of the time and the window observation at
 ~30 %.  The bench measures our per-point detection throughput, prints the
 component split, and extrapolates the time for the paper's 120-hour
 volume.
+
+A second bench compares the same detection pass with the ``repro.obs``
+instrumentation *enabled* (ambient registry + spans recording) against
+the bare disabled-runtime default, and asserts the enabled overhead stays
+within the budget (5 % by default; ``REPRO_BENCH_OBS_MAX_OVERHEAD``
+overrides the ratio for noisy CI machines).
 """
+
+import os
+import time
 
 from repro import DBCatcher
 from repro.eval.tables import render_table
+from repro.obs import runtime as obs
 from repro.presets import default_config
 
 from _shared import mixed_dataset, record_bench_result, scale_note
@@ -74,4 +84,69 @@ def test_sec4d4_component_time(benchmark):
     )
     assert extrapolated < 3600, (
         "online detection must remain practical for the paper's volume"
+    )
+
+
+#: Enabled-instrumentation overhead budget, as a ratio over the bare run.
+_OBS_MAX_OVERHEAD = float(os.environ.get("REPRO_BENCH_OBS_MAX_OVERHEAD", "1.05"))
+
+#: Timing trials per mode; min-of-N suppresses scheduler noise.
+_OBS_TRIALS = 5
+
+
+def test_obs_instrumentation_overhead():
+    """Instrumented vs bare detection: spans and counters cost <= 5 %.
+
+    Both modes run the identical workload; the only difference is whether
+    the ambient observability runtime is enabled.  Min-of-N wall times
+    make the comparison robust to one-off scheduler hiccups, and the
+    bare mode doubles as proof that the disabled runtime really is the
+    advertised no-op (its registry snapshot stays empty).
+    """
+    dataset = mixed_dataset("tencent")
+
+    def detect_all() -> float:
+        started = time.perf_counter()
+        for unit in dataset.units:
+            detector = DBCatcher(default_config(), n_databases=unit.n_databases)
+            detector.detect_series(unit.values)
+        return time.perf_counter() - started
+
+    obs.disable()
+    detect_all()  # warm caches before either timed mode
+
+    bare = min(detect_all() for _ in range(_OBS_TRIALS))
+
+    registry = obs.enable()
+    try:
+        instrumented = min(detect_all() for _ in range(_OBS_TRIALS))
+        snapshot = registry.snapshot()
+    finally:
+        obs.disable()
+
+    ratio = instrumented / bare
+    rounds = snapshot.get("detector.rounds_completed", 0)
+    span_count = snapshot.get("span.detector.correlate.wall_seconds", {}).get(
+        "count", 0
+    )
+    print()
+    print(f"  bare: {bare:.3f}s  instrumented: {instrumented:.3f}s  "
+          f"ratio: {ratio:.3f} (budget {_OBS_MAX_OVERHEAD:.2f})")
+    print(f"  recorded while instrumented: {rounds} rounds, "
+          f"{span_count} correlate spans")
+
+    record_bench_result(
+        "obs_instrumentation_overhead",
+        bare_seconds=round(bare, 4),
+        instrumented_seconds=round(instrumented, 4),
+        overhead_ratio=round(ratio, 4),
+        budget_ratio=_OBS_MAX_OVERHEAD,
+    )
+
+    # The instrumented run must actually have instrumented something,
+    # otherwise the comparison proves nothing.
+    assert rounds > 0 and span_count > 0
+    assert ratio <= _OBS_MAX_OVERHEAD, (
+        f"enabled instrumentation cost {(ratio - 1) * 100:.1f}% "
+        f"(budget {(_OBS_MAX_OVERHEAD - 1) * 100:.0f}%)"
     )

@@ -28,6 +28,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import runtime as obs
 from repro.service.sources import TickEvent
 
 __all__ = [
@@ -80,6 +81,18 @@ class FaultInjector:
     def describe(self) -> str:
         """Human-readable one-liner for reports."""
         return repr(self)
+
+    def record_activation(self, count: int = 1) -> None:
+        """Count one actual injection in the ambient observability registry.
+
+        Every injector calls this at the moment it *fires* (drops, corrupts
+        or reorders a tick, queues a kill), not merely when armed, so a
+        chaos run can report what it actually injected.  A no-op unless
+        observability is enabled — the chaos runner enables a scoped
+        registry around its runs.
+        """
+        obs.counter("chaos.fault_activations").increment(count)
+        obs.counter(f"chaos.activations.{self.kind}").increment(count)
 
 
 def _in_window(seq: int, start: int, end: Optional[int]) -> bool:
@@ -142,6 +155,7 @@ class DropoutBurst(FaultInjector):
                 and _in_window(event.seq, self.start, self.end)
                 and (self.probability >= 1.0 or rng.random() < self.probability)
             ):
+                self.record_activation()
                 continue
             yield event
 
@@ -189,6 +203,7 @@ class NaNGauge(FaultInjector):
                 rows, cols = _select(sample, self.databases, self.kpis)
                 sample[np.ix_(rows, cols)] = np.nan
                 event = dataclasses.replace(event, sample=sample)
+                self.record_activation()
             yield event
 
 
@@ -220,6 +235,7 @@ class StuckGauge(FaultInjector):
                 cells = np.ix_(rows, cols)
                 sample[cells] = last_seen[event.unit][cells]
                 event = dataclasses.replace(event, sample=sample)
+                self.record_activation()
             else:
                 last_seen[event.unit] = event.sample
             yield event
@@ -251,6 +267,7 @@ class DuplicateTicks(FaultInjector):
                 and _in_window(event.seq, self.start, self.end)
                 and rng.random() < self.probability
             ):
+                self.record_activation()
                 yield dataclasses.replace(event, sample=event.sample.copy())
 
 
@@ -288,6 +305,7 @@ class OutOfOrderTicks(FaultInjector):
                 and rng.random() < self.probability
             ):
                 held[event.unit] = event
+                self.record_activation()
                 continue
             yield event
         for event in held.values():
@@ -330,6 +348,7 @@ class ClockSkew(FaultInjector):
                 rows, _ = _select(sample, self.databases, None)
                 sample[rows] = stale[rows]
                 event = dataclasses.replace(event, sample=sample)
+                self.record_activation()
             yield event
 
 
@@ -362,6 +381,7 @@ class MembershipChange(FaultInjector):
                 rows, _ = _select(sample, self.databases, None)
                 sample[rows] = np.nan
                 event = dataclasses.replace(event, sample=sample)
+                self.record_activation()
             yield event
 
 
@@ -394,4 +414,5 @@ class WorkerKill(FaultInjector):
             ):
                 fired[event.unit] = True
                 actions.append(("kill_worker", event.unit))
+                self.record_activation()
             yield event

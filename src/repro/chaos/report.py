@@ -12,7 +12,7 @@ window coordinates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.levels import LEVEL_CORRELATED, LEVEL_EXTREME_DEVIATION
 from repro.core.records import DatabaseState
@@ -60,6 +60,9 @@ class ChaosReport:
     worker_restarts: int = 0
     kill_drills: int = 0
     elapsed_seconds: float = 0.0
+    #: Fault activations observed during the chaos run, keyed by fault
+    #: kind (from the ambient ``chaos.activations.<kind>`` counters).
+    fault_activations: Dict[str, int] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
 
     @property
@@ -88,6 +91,12 @@ class ChaosReport:
                 f"{self.worker_restarts} / {self.kill_drills}",
             ],
         ]
+        if self.fault_activations:
+            fired = ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(self.fault_activations.items())
+            )
+            rows.append(["fault activations", fired])
         title = f"Chaos report — {self.scenario} [{', '.join(self.fault_kinds)}]"
         out = render_table(["Measure", "Value"], rows, title=title)
         if self.notes:

@@ -11,12 +11,14 @@ and cannot be iterated twice.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+import contextlib
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.chaos.report import ChaosReport, compare_runs
 from repro.chaos.scenario import ChaosScenario
 from repro.chaos.source import ChaosSource
 from repro.core.config import DBCatcherConfig
+from repro.obs import runtime as obs
 from repro.service.config import ServiceConfig
 from repro.service.scheduler import DetectionService, ServiceReport
 
@@ -70,13 +72,38 @@ def run_scenario(
     base = service_config if service_config is not None else ServiceConfig()
 
     clean = _run(config, base, source_factory(), max_ticks)
-    chaos = _run(
-        config,
-        base,
-        ChaosSource(source_factory(), scenario.faults, seed=scenario.seed),
-        max_ticks,
+    # Fault activations land on the ambient obs registry.  When the caller
+    # already enabled one, read before/after deltas from it; otherwise
+    # enable a private scoped registry just for the chaos run.
+    scope: contextlib.AbstractContextManager = (
+        contextlib.nullcontext() if obs.is_enabled() else obs.scoped()
     )
-    return compare_runs(scenario.name, scenario.fault_kinds, clean, chaos)
+    before = _activation_counts(scenario.fault_kinds)
+    with scope:
+        chaos = _run(
+            config,
+            base,
+            ChaosSource(source_factory(), scenario.faults, seed=scenario.seed),
+            max_ticks,
+        )
+        after = _activation_counts(scenario.fault_kinds)
+    report = compare_runs(scenario.name, scenario.fault_kinds, clean, chaos)
+    report.fault_activations = {
+        kind: after.get(kind, 0) - before.get(kind, 0)
+        for kind in scenario.fault_kinds
+    }
+    return report
+
+
+def _activation_counts(kinds: Sequence[str]) -> Dict[str, int]:
+    """Current ``chaos.activations.<kind>`` counter values (ambient)."""
+    if not obs.is_enabled():
+        return {}
+    registry = obs.get_registry()
+    return {
+        kind: registry.counter(f"chaos.activations.{kind}").value
+        for kind in kinds
+    }
 
 
 def _run(

@@ -13,8 +13,15 @@ code:
 * ``chaos``    — replay a fault-injection scenario (preset or JSON file)
   against the service and report the detection-quality delta versus the
   clean run;
+* ``obs``      — run one instrumented detection pass and emit the
+  observability exposition (Prometheus text or JSON), including the
+  per-stage detection latency histograms;
 * ``info``     — show the KPI registry, the default detector
   configuration and the service defaults.
+
+``serve`` additionally accepts ``--obs-port`` (live ``/metrics`` endpoint
+while the service runs) and ``--obs-snapshot PATH`` (write the final
+exposition to a file; JSON when the path ends in ``.json``).
 """
 
 from __future__ import annotations
@@ -116,6 +123,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stop after this many ticks per unit")
     serve.add_argument("--initial-window", type=int, default=20)
     serve.add_argument("--max-window", type=int, default=60)
+    serve.add_argument("--obs-port", type=int, default=None, metavar="PORT",
+                       help="serve /metrics and /metrics.json on this port "
+                            "while the service runs (0 = any free port)")
+    serve.add_argument("--obs-snapshot", default=None, metavar="PATH",
+                       help="write the final observability exposition here "
+                            "(JSON when PATH ends in .json, else Prometheus "
+                            "text)")
 
     chaos = commands.add_parser(
         "chaos",
@@ -141,6 +155,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stop after this many ticks per unit")
     chaos.add_argument("--initial-window", type=int, default=20)
     chaos.add_argument("--max-window", type=int, default=60)
+
+    obs_cmd = commands.add_parser(
+        "obs",
+        help="run one instrumented detection pass and emit the "
+             "observability exposition",
+    )
+    obs_cmd.add_argument(
+        "dataset", nargs="?", default=None,
+        help="path of a .npz archive to replay (omit with --live)",
+    )
+    obs_cmd.add_argument(
+        "--live", action="store_true",
+        help="feed the run from live simulated units instead of a dataset",
+    )
+    obs_cmd.add_argument("--family", choices=("tencent", "sysbench", "tpcc"),
+                         default="tencent", help="workload family for --live")
+    obs_cmd.add_argument("--units", type=int, default=2,
+                         help="fleet size for --live")
+    obs_cmd.add_argument("--databases", type=int, default=5,
+                         help="databases per unit for --live")
+    obs_cmd.add_argument("--ticks", type=int, default=200,
+                         help="ticks per unit for --live")
+    obs_cmd.add_argument("--seed", type=int, default=0, help="seed for --live")
+    obs_cmd.add_argument("--max-ticks", type=int, default=None,
+                         help="stop after this many ticks per unit")
+    obs_cmd.add_argument("--initial-window", type=int, default=20)
+    obs_cmd.add_argument("--max-window", type=int, default=60)
+    obs_cmd.add_argument("--format", choices=("prometheus", "json"),
+                         default="prometheus",
+                         help="exposition format printed to stdout")
+    obs_cmd.add_argument("--output", default=None, metavar="PATH",
+                         help="write the exposition here instead of stdout")
 
     commands.add_parser("info", help="show the KPI registry and defaults")
     return parser
@@ -203,25 +249,47 @@ def _cmd_detect(args) -> int:
     return 0
 
 
-def _cmd_serve(args) -> int:
-    from repro.service import (
-        DetectionService,
-        MonitorSource,
-        ReplaySource,
-        ServiceConfig,
-    )
+def _build_tick_source(args):
+    """Shared ``serve`` / ``obs`` source selection (dataset or --live)."""
+    from repro.service import MonitorSource, ReplaySource
 
     if args.live:
-        source = MonitorSource.simulate(
+        return MonitorSource.simulate(
             n_units=args.units,
             family=args.family,
             n_databases=args.databases,
             n_ticks=args.ticks,
             seed=args.seed,
         )
-    elif args.dataset is not None:
-        source = ReplaySource(args.dataset)
-    else:
+    if args.dataset is not None:
+        return ReplaySource(args.dataset)
+    return None
+
+
+def _write_exposition(registry, path) -> None:
+    """Write one exposition file; JSON when the suffix says so."""
+    from pathlib import Path
+
+    from repro.obs import to_json, to_prometheus
+
+    target = Path(path)
+    text = (
+        to_json(registry) if target.suffix == ".json" else to_prometheus(registry)
+    )
+    if not text.endswith("\n"):
+        text += "\n"
+    target.write_text(text)
+
+
+def _cmd_serve(args) -> int:
+    import contextlib
+
+    from repro.obs import ObsServer
+    from repro.obs import runtime as obs
+    from repro.service import DetectionService, ServiceConfig
+
+    source = _build_tick_source(args)
+    if source is None:
         print("serve needs a dataset path or --live", file=sys.stderr)
         return 2
     service_config = ServiceConfig(
@@ -230,14 +298,31 @@ def _cmd_serve(args) -> int:
         queue_capacity=args.queue_capacity,
         backpressure=args.backpressure.replace("-", "_"),
     )
-    service = DetectionService(
-        default_config(
-            initial_window=args.initial_window, max_window=args.max_window
-        ),
-        service_config=service_config,
-        sinks=tuple(args.sink) if args.sink else ("stdout",),
-    )
-    report = service.run(source, max_ticks=args.max_ticks)
+    observing = args.obs_port is not None or args.obs_snapshot is not None
+    scope = obs.scoped() if observing else contextlib.nullcontext()
+    with scope as registry:
+        server = None
+        if args.obs_port is not None:
+            server = ObsServer(registry, port=args.obs_port)
+            print(f"observability endpoint: {server.url}/metrics "
+                  f"(and /metrics.json)", file=sys.stderr)
+        try:
+            service = DetectionService(
+                default_config(
+                    initial_window=args.initial_window,
+                    max_window=args.max_window,
+                ),
+                service_config=service_config,
+                sinks=tuple(args.sink) if args.sink else ("stdout",),
+            )
+            report = service.run(source, max_ticks=args.max_ticks)
+        finally:
+            if server is not None:
+                server.close()
+        if args.obs_snapshot is not None:
+            _write_exposition(registry, args.obs_snapshot)
+            print(f"wrote observability snapshot to {args.obs_snapshot}",
+                  file=sys.stderr)
     # Each ingested tick carries one (n_databases, n_kpis) matrix; the
     # fleet is homogeneous in KPI count but may not be in database count,
     # so average the per-tick point load over the fleet.
@@ -309,6 +394,47 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    from repro.obs import runtime as obs
+    from repro.obs import to_json, to_prometheus
+    from repro.service import DetectionService, ServiceConfig
+
+    source = _build_tick_source(args)
+    if source is None:
+        print("obs needs a dataset path or --live", file=sys.stderr)
+        return 2
+    # Serial pool: detector spans and KCD counters are recorded in-process,
+    # so the exposition carries the full per-stage latency picture (forked
+    # workers would keep their spans to themselves).
+    with obs.scoped() as registry:
+        service = DetectionService(
+            default_config(
+                initial_window=args.initial_window, max_window=args.max_window
+            ),
+            service_config=ServiceConfig(n_workers=0),
+            sinks=("null",),
+        )
+        report = service.run(source, max_ticks=args.max_ticks)
+    text = to_prometheus(registry) if args.format == "prometheus" else (
+        to_json(registry)
+    )
+    if not text.endswith("\n"):
+        text += "\n"
+    if args.output is not None:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"wrote {args.format} exposition to {args.output}",
+              file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    print(f"instrumented run: {len(source.units)} units, "
+          f"{report.ticks_ingested:,} ticks, "
+          f"{report.rounds_completed} rounds in "
+          f"{report.elapsed_seconds:.2f}s", file=sys.stderr)
+    return 0
+
+
 def _cmd_info(args) -> int:
     rows = [
         [kpi.display_name, kpi.name, ", ".join(kpi.correlation_type)]
@@ -345,6 +471,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "detect": _cmd_detect,
         "serve": _cmd_serve,
         "chaos": _cmd_chaos,
+        "obs": _cmd_obs,
         "info": _cmd_info,
     }
     try:

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.cluster.requests import RequestMix
 from repro.cluster.unit import Unit
+from repro.obs import runtime as obs
 
 __all__ = ["MonitorSettings", "BypassMonitor"]
 
@@ -138,6 +139,11 @@ class BypassMonitor:
                 for t in range(1, n_ticks):
                     if drops[db, t]:
                         reported[db, :, t] = reported[db, :, t - 1]
+            if obs.is_enabled():
+                obs.counter("monitor.dropout_ticks").increment(
+                    int(np.count_nonzero(drops[:, 1:]))
+                )
+        obs.counter("monitor.ticks_collected").increment(n_ticks)
         return reported
 
     def stream(
@@ -179,5 +185,10 @@ class BypassMonitor:
             if dropout > 0.0 and previous is not None:
                 drops = self._rng.random(n_dbs) < dropout
                 reported[drops] = previous[drops]
+                if obs.is_enabled():
+                    obs.counter("monitor.dropout_ticks").increment(
+                        int(np.count_nonzero(drops))
+                    )
             previous = reported
+            obs.counter("monitor.ticks_streamed").increment()
             yield reported

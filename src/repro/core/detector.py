@@ -25,6 +25,7 @@ from repro.core.matrices import build_correlation_matrices
 from repro.core.records import DatabaseState, JudgementRecord
 from repro.core.streams import KPIStreams
 from repro.core.window import FlexibleWindow
+from repro.obs import runtime as obs
 
 __all__ = ["DBCatcher", "UnitDetectionResult"]
 
@@ -265,17 +266,18 @@ class DBCatcher:
             end = state.start + state.size
             if self._streams.next_tick < end:
                 return None  # blocked until more ticks arrive
-            window = self._streams.window(state.start, end)
-            started = time.perf_counter()
-            # Degraded-telemetry guard: a database with NaN/inf anywhere in
-            # this window is treated as temporarily inactive for the round.
-            # Shrinking the mask keeps non-finite values out of
-            # ``minmax_normalize`` (which would silently flatten the series
-            # and mis-score the database as maximally decorrelated) and out
-            # of its peers' correlation evidence.
-            round_active = self._active & self._streams.finite_databases(
-                state.start, end
-            )
+            with obs.span("detector.normalize"):
+                window = self._streams.window(state.start, end)
+                started = time.perf_counter()
+                # Degraded-telemetry guard: a database with NaN/inf anywhere
+                # in this window is treated as temporarily inactive for the
+                # round.  Shrinking the mask keeps non-finite values out of
+                # ``minmax_normalize`` (which would silently flatten the
+                # series and mis-score the database as maximally
+                # decorrelated) and out of its peers' correlation evidence.
+                round_active = self._active & self._streams.finite_databases(
+                    state.start, end
+                )
             if not np.array_equal(round_active, self._active):
                 # Databases without usable data this round get no
                 # judgement record: a data gap is absence of evidence,
@@ -290,32 +292,37 @@ class DBCatcher:
                     time.perf_counter() - started
                 )
                 return self._finish_round(state)
-            matrices = build_correlation_matrices(
-                window,
-                self._config.kpi_names,
-                max_delay=self._config.max_delay(state.size),
-                active=round_active,
-                measure=self._measure,
-            )
+            with obs.span("detector.correlate"):
+                matrices = build_correlation_matrices(
+                    window,
+                    self._config.kpi_names,
+                    max_delay=self._config.max_delay(state.size),
+                    active=round_active,
+                    measure=self._measure,
+                )
             after_correlation = time.perf_counter()
             self.component_seconds["correlation"] += after_correlation - started
-            levels = calculate_levels(matrices, self._config, active=round_active)
-            still_pending: List[int] = []
-            for db in state.pending:
-                decision = self._window_ctl.decide(
-                    levels, db, state.size, state.expansions
+            with obs.span("detector.threshold"):
+                levels = calculate_levels(
+                    matrices, self._config, active=round_active
                 )
-                if decision.final:
-                    state.records[db] = JudgementRecord(
-                        database=db,
-                        window_start=state.start,
-                        window_end=end,
-                        state=decision.state,
-                        expansions=decision.expansions,
-                        kpi_levels=levels.for_database(db),
+            still_pending: List[int] = []
+            with obs.span("detector.verdict"):
+                for db in state.pending:
+                    decision = self._window_ctl.decide(
+                        levels, db, state.size, state.expansions
                     )
-                else:
-                    still_pending.append(db)
+                    if decision.final:
+                        state.records[db] = JudgementRecord(
+                            database=db,
+                            window_start=state.start,
+                            window_end=end,
+                            state=decision.state,
+                            expansions=decision.expansions,
+                            kpi_levels=levels.for_database(db),
+                        )
+                    else:
+                        still_pending.append(db)
             self.component_seconds["observation"] += (
                 time.perf_counter() - after_correlation
             )
@@ -324,6 +331,7 @@ class DBCatcher:
             state.pending = still_pending
             state.size = self._window_ctl.expanded_size(state.size)
             state.expansions += 1
+            obs.counter("detector.window_expansions").increment()
 
     def _finish_round(self, state: _RoundState) -> UnitDetectionResult:
         end = state.start + state.size
@@ -344,6 +352,11 @@ class DBCatcher:
         self._cursor = end
         self._round = None
         self._streams.trim(self._cursor)
+        obs.counter("detector.rounds_completed").increment()
+        obs.counter("detector.abnormal_verdicts").increment(
+            len(result.abnormal_databases)
+        )
+        obs.gauge("detector.buffered_ticks").set(len(self._streams))
         return result
 
     def export_state(self) -> Dict[str, object]:

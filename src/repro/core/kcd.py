@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.normalize import minmax_normalize
+from repro.obs import runtime as obs
 
 __all__ = ["kcd", "kcd_matrix", "lagged_correlation_profile"]
 
@@ -33,6 +34,16 @@ _BOTH_FLAT_SCORE = 1.0
 #: the other does not follow, which is maximal decorrelation evidence.
 _ONE_FLAT_SCORE = 0.0
 
+#: Shared flatness criterion: a segment is flat when its centered variance
+#: is below ``_FLAT_REL_VAR`` of its raw sum of squares (plus an absolute
+#: floor for all-zero segments).  Judging flatness *relative* to the
+#: segment's magnitude absorbs the ~1e-15 cancellation residue float math
+#: leaves on mathematically constant segments.  Every profile
+#: implementation uses this one rule so the differential oracle test can
+#: demand elementwise agreement.
+_FLAT_REL_VAR = 1e-9
+_FLAT_ABS_VAR = 1e-30
+
 
 def _centered_segment_score(x_seg: np.ndarray, y_seg: np.ndarray) -> float:
     """Correlation of two aligned segments, centered on their own means.
@@ -43,17 +54,15 @@ def _centered_segment_score(x_seg: np.ndarray, y_seg: np.ndarray) -> float:
     """
     x_c = x_seg - x_seg.mean()
     y_c = y_seg - y_seg.mean()
-    x_norm = float(np.linalg.norm(x_c))
-    y_norm = float(np.linalg.norm(y_c))
-    # Flatness relative to segment magnitude (centering leaves float dust
-    # on mathematically constant segments).
-    x_flat = x_norm <= 3e-5 * float(np.linalg.norm(x_seg)) + 1e-15
-    y_flat = y_norm <= 3e-5 * float(np.linalg.norm(y_seg)) + 1e-15
+    var_x = float(np.dot(x_c, x_c))
+    var_y = float(np.dot(y_c, y_c))
+    x_flat = var_x <= _FLAT_REL_VAR * (float(np.dot(x_seg, x_seg)) + _FLAT_ABS_VAR)
+    y_flat = var_y <= _FLAT_REL_VAR * (float(np.dot(y_seg, y_seg)) + _FLAT_ABS_VAR)
     if x_flat and y_flat:
         return _BOTH_FLAT_SCORE
     if x_flat or y_flat:
         return _ONE_FLAT_SCORE
-    return float(np.dot(x_c, y_c) / (x_norm * y_norm))
+    return float(np.dot(x_c, y_c) / np.sqrt(var_x * var_y))
 
 
 def _profile_reference(x_arr: np.ndarray, y_arr: np.ndarray, m: int) -> np.ndarray:
@@ -121,15 +130,16 @@ def _profile_fast(x_arr: np.ndarray, y_arr: np.ndarray, m: int) -> np.ndarray:
     norm_x = np.sqrt(np.clip(var_x, 0.0, None))
     norm_y = np.sqrt(np.clip(var_y, 0.0, None))
 
-    # Flatness must be judged relative to the segment's magnitude: the
-    # prefix-sum formulation leaves ~1e-15 cancellation residue on
-    # mathematically flat segments.
-    flat_x = var_x <= 1e-9 * (sum_x2 + 1e-30)
-    flat_y = var_y <= 1e-9 * (sum_y2 + 1e-30)
+    flat_x = var_x <= _FLAT_REL_VAR * (sum_x2 + _FLAT_ABS_VAR)
+    flat_y = var_y <= _FLAT_REL_VAR * (sum_y2 + _FLAT_ABS_VAR)
     denominator = np.where(flat_x | flat_y, 1.0, norm_x * norm_y)
     profile = centered_dot / denominator
     profile[flat_x & flat_y] = _BOTH_FLAT_SCORE
     profile[flat_x ^ flat_y] = _ONE_FLAT_SCORE
+    if obs.is_enabled():
+        obs.counter("kcd.flat_segments").increment(
+            int(np.count_nonzero(flat_x | flat_y))
+        )
     return np.clip(profile, -1.0, 1.0)
 
 
@@ -175,7 +185,9 @@ def lagged_correlation_profile(
     if normalize:
         x_arr = minmax_normalize(x_arr)
         y_arr = minmax_normalize(y_arr)
-    return _profile_fast(x_arr, y_arr, m)
+    obs.counter("kcd.profile_calls").increment()
+    with obs.span("kcd.profile"):
+        return _profile_fast(x_arr, y_arr, m)
 
 
 def kcd(
@@ -270,12 +282,16 @@ def _pairwise_profiles(
     var_x = sum_x2 - lengths * mean_x**2
     var_y = sum_y2 - lengths * mean_y**2
     norm = np.sqrt(np.clip(var_x, 0.0, None) * np.clip(var_y, 0.0, None))
-    flat_x = var_x <= 1e-9 * (sum_x2 + 1e-30)
-    flat_y = var_y <= 1e-9 * (sum_y2 + 1e-30)
+    flat_x = var_x <= _FLAT_REL_VAR * (sum_x2 + _FLAT_ABS_VAR)
+    flat_y = var_y <= _FLAT_REL_VAR * (sum_y2 + _FLAT_ABS_VAR)
     denominator = np.where(flat_x | flat_y, 1.0, norm)
     profiles = centered_dot / denominator
     profiles[flat_x & flat_y] = _BOTH_FLAT_SCORE
     profiles[flat_x ^ flat_y] = _ONE_FLAT_SCORE
+    if obs.is_enabled():
+        obs.counter("kcd.flat_segments").increment(
+            int(np.count_nonzero(flat_x | flat_y))
+        )
     return np.clip(profiles, -1.0, 1.0)
 
 
@@ -326,6 +342,8 @@ def kcd_matrix(
     m = n_points // 2 if max_delay is None else int(max_delay)
     if m < 0 or m >= n_points:
         raise ValueError(f"max_delay must lie in [0, {n_points - 1}], got {m}")
+    if obs.is_enabled():
+        obs.counter("kcd.matrix_calls").increment()
     # Normalize each row once instead of per pair.
     normalized = np.vstack([minmax_normalize(row) for row in data])
     matrix = np.eye(n_dbs, dtype=np.float64)
@@ -335,7 +353,10 @@ def kcd_matrix(
         live_i = rows_i[both_active]
         live_j = rows_j[both_active]
         if live_i.size:
-            profiles = _pairwise_profiles(normalized, live_i, live_j, m)
+            if obs.is_enabled():
+                obs.counter("kcd.pairs_scored").increment(int(live_i.size))
+            with obs.span("kcd.pairwise_profiles"):
+                profiles = _pairwise_profiles(normalized, live_i, live_j, m)
             scores = profiles.max(axis=1)
             matrix[live_i, live_j] = scores
             matrix[live_j, live_i] = scores

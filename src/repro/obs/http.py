@@ -1,0 +1,109 @@
+"""Optional HTTP snapshot endpoint for a live service run.
+
+A tiny stdlib server (one daemon thread, ``http.server``) exposing the
+ambient registry of a running process:
+
+* ``GET /metrics``       — Prometheus text exposition;
+* ``GET /metrics.json``  — JSON snapshot;
+* ``GET /healthz``       — liveness probe (``ok``).
+
+``repro serve --obs-port 9178`` starts one next to the detection service;
+``port=0`` picks a free ephemeral port (reported via :attr:`ObsServer.port`),
+which is what the tests use.  The server reads shared thread-safe
+instruments and never blocks the detection path.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.obs.export import to_json, to_prometheus
+from repro.obs.metrics import RegistryLike
+
+__all__ = ["ObsServer"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ObsServer:
+    """Serve a registry's exposition formats over HTTP.
+
+    Parameters
+    ----------
+    registry:
+        The registry to expose; usually the service's shared one.
+    host, port:
+        Bind address.  ``port=0`` (default) picks a free ephemeral port.
+    """
+
+    def __init__(
+        self,
+        registry: RegistryLike,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        obs_registry = registry
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - stdlib API name
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    body = to_prometheus(obs_registry).encode("utf-8")
+                    content_type = PROMETHEUS_CONTENT_TYPE
+                elif path == "/metrics.json":
+                    body = to_json(obs_registry).encode("utf-8")
+                    content_type = "application/json"
+                elif path == "/healthz":
+                    body = b"ok\n"
+                    content_type = "text/plain; charset=utf-8"
+                else:
+                    self.send_error(404, "unknown path")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format: str, *args) -> None:
+                pass  # scrapers would flood stderr otherwise
+
+        self.registry = registry
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-obs-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop serving and release the socket."""
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "ObsServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,210 +1,29 @@
-"""Lightweight metrics registry for the online detection service.
+"""Service metrics — re-exported from the canonical :mod:`repro.obs` layer.
 
-The paper reports operational numbers — per-component computation time,
-online throughput (§IV-D4) — that a deployed system would expose through a
-metrics endpoint.  This module is a dependency-free stand-in for such an
-endpoint: counters, gauges and fixed-bucket latency histograms behind one
-thread-safe registry whose :meth:`MetricsRegistry.snapshot` returns a plain
-dict suitable for printing, JSON-encoding, or asserting on in tests.
+The metrics registry started life here, private to the online service;
+the observability subsystem (:mod:`repro.obs`) promoted it to a
+library-wide layer with spans, a null no-op runtime and exposition
+formats.  This module stays as the service-facing import path —
+``from repro.service import MetricsRegistry`` keeps working — and simply
+re-exports the canonical implementations.
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from typing import Dict, Iterator, Optional, Sequence, Tuple
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NullRegistry",
     "DEFAULT_LATENCY_BUCKETS",
 ]
-
-#: Default latency buckets in seconds: microseconds through tens of seconds,
-#: roughly log-spaced — tick ingest sits at the bottom, a full worker
-#: round-trip over a big batch at the top.
-DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
-    1e-5, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 30.0,
-)
-
-
-class Counter:
-    """Monotonically increasing count."""
-
-    def __init__(self, name: str):
-        self.name = name
-        self._value = 0
-        self._lock = threading.Lock()
-
-    def increment(self, amount: int = 1) -> None:
-        if amount < 0:
-            raise ValueError("counters only go up")
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> int:
-        return self._value
-
-    def snapshot(self) -> int:
-        return self._value
-
-
-class Gauge:
-    """Last-written value plus the maximum ever observed.
-
-    Queue depths are the main consumer: the instantaneous value tells the
-    operator where the system is now, the max tells them how close to the
-    bound the backlog ever got.
-    """
-
-    def __init__(self, name: str):
-        self.name = name
-        self._value = 0.0
-        self._max = 0.0
-        self._lock = threading.Lock()
-
-    def set(self, value: float) -> None:
-        with self._lock:
-            self._value = float(value)
-            if value > self._max:
-                self._max = float(value)
-
-    @property
-    def value(self) -> float:
-        return self._value
-
-    @property
-    def max(self) -> float:
-        return self._max
-
-    def snapshot(self) -> Dict[str, float]:
-        return {"value": self._value, "max": self._max}
-
-
-class Histogram:
-    """Fixed-bucket histogram with count / sum / min / max.
-
-    Buckets are cumulative-upper-bound style (as in Prometheus): bucket
-    ``i`` counts observations ``<= bounds[i]``; one implicit overflow
-    bucket catches the rest.
-    """
-
-    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
-        if not bounds or list(bounds) != sorted(bounds):
-            raise ValueError("histogram bounds must be a sorted non-empty sequence")
-        self.name = name
-        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
-        self._counts = [0] * (len(self.bounds) + 1)
-        self._count = 0
-        self._sum = 0.0
-        self._min: Optional[float] = None
-        self._max: Optional[float] = None
-        self._lock = threading.Lock()
-
-    def observe(self, value: float) -> None:
-        value = float(value)
-        with self._lock:
-            index = len(self.bounds)
-            for i, bound in enumerate(self.bounds):
-                if value <= bound:
-                    index = i
-                    break
-            self._counts[index] += 1
-            self._count += 1
-            self._sum += value
-            if self._min is None or value < self._min:
-                self._min = value
-            if self._max is None or value > self._max:
-                self._max = value
-
-    def time(self) -> "_Timer":
-        """Context manager recording the elapsed wall-clock seconds."""
-        return _Timer(self)
-
-    @property
-    def count(self) -> int:
-        return self._count
-
-    @property
-    def sum(self) -> float:
-        return self._sum
-
-    @property
-    def mean(self) -> float:
-        return self._sum / self._count if self._count else 0.0
-
-    def snapshot(self) -> Dict[str, object]:
-        with self._lock:
-            return {
-                "count": self._count,
-                "sum": self._sum,
-                "mean": self.mean,
-                "min": self._min,
-                "max": self._max,
-                "buckets": dict(zip(
-                    [f"le_{b:g}" for b in self.bounds] + ["overflow"],
-                    list(self._counts),
-                )),
-            }
-
-
-class _Timer:
-    def __init__(self, histogram: Histogram):
-        self._histogram = histogram
-        self._started = 0.0
-
-    def __enter__(self) -> "_Timer":
-        self._started = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self._histogram.observe(time.perf_counter() - self._started)
-
-
-class MetricsRegistry:
-    """Named metric instruments, created on first use.
-
-    ``registry.counter("ticks_ingested").increment()`` is the whole API:
-    asking twice for the same name returns the same instrument, asking for
-    a name already registered as a different kind raises.
-    """
-
-    def __init__(self):
-        self._metrics: Dict[str, object] = {}
-        self._lock = threading.Lock()
-
-    def _get(self, name: str, kind, **kwargs):
-        with self._lock:
-            existing = self._metrics.get(name)
-            if existing is None:
-                existing = kind(name, **kwargs)
-                self._metrics[name] = existing
-            elif not isinstance(existing, kind):
-                raise TypeError(
-                    f"metric {name!r} already registered as "
-                    f"{type(existing).__name__}, not {kind.__name__}"
-                )
-            return existing
-
-    def counter(self, name: str) -> Counter:
-        return self._get(name, Counter)
-
-    def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge)
-
-    def histogram(
-        self, name: str, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS
-    ) -> Histogram:
-        return self._get(name, Histogram, bounds=bounds)
-
-    def __iter__(self) -> Iterator[str]:
-        return iter(sorted(self._metrics))
-
-    def snapshot(self) -> Dict[str, object]:
-        """One plain dict of every instrument's current state."""
-        with self._lock:
-            items = sorted(self._metrics.items())
-        return {name: metric.snapshot() for name, metric in items}

@@ -145,8 +145,10 @@ class IngestionBridge:
     capacity, policy:
         Queue bound and overflow policy, shared by every unit.
     metrics:
-        Registry receiving ``ticks_ingested`` / ``ticks_dropped`` counters
-        and the ``queue_depth`` gauge.
+        Registry receiving the ``ticks_ingested`` / ``ticks_dropped`` /
+        ``ticks_stale`` / ``sequence_gap_ticks`` counters and the
+        ``queue_depth`` / ``queue_stale_total`` / ``queue_evictions_total``
+        gauges.
     """
 
     def __init__(
@@ -164,6 +166,10 @@ class IngestionBridge:
         self._queues: Dict[str, TickQueue] = {
             name: TickQueue(capacity, policy) for name in unit_names
         }
+        #: Guards the sequence bookkeeping (stale / gap / next-seq) so the
+        #: accept-or-reject decision is atomic under concurrent producers
+        #: and the stale counters never lose updates to interleaving.
+        self._seq_lock = threading.Lock()
         #: Next sequence number expected per unit (monotonic source order).
         self._next_seq: Dict[str, int] = {name: 0 for name in unit_names}
         #: Sequence gaps observed per unit (ticks the source never delivered).
@@ -189,19 +195,29 @@ class IngestionBridge:
         metric, so a degraded transport is visible, not fatal.
         """
         queue = self._queues[event.unit]
-        expected = self._next_seq[event.unit]
-        if event.seq < expected:
-            self.stale_rejected[event.unit] += 1
-            self.metrics.counter("ticks_stale").increment()
-            return 0
-        if event.seq > expected:
-            self.sequence_gaps[event.unit] += event.seq - expected
-        self._next_seq[event.unit] = event.seq + 1
+        with self._seq_lock:
+            expected = self._next_seq[event.unit]
+            if event.seq < expected:
+                self.stale_rejected[event.unit] += 1
+                self.metrics.counter("ticks_stale").increment()
+                self.metrics.gauge("queue_stale_total").set(
+                    sum(self.stale_rejected.values())
+                )
+                return 0
+            if event.seq > expected:
+                gap = event.seq - expected
+                self.sequence_gaps[event.unit] += gap
+                self.metrics.counter("sequence_gap_ticks").increment(gap)
+            self._next_seq[event.unit] = event.seq + 1
         dropped = queue.put(event, timeout=timeout)
         self.metrics.counter("ticks_ingested").increment()
         if dropped:
             self.metrics.counter("ticks_dropped").increment(dropped)
         self.metrics.gauge("queue_depth").set(len(queue))
+        if dropped:
+            self.metrics.gauge("queue_evictions_total").set(
+                self.total_dropped()
+            )
         return dropped
 
     def pending(self, unit: str) -> int:

@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.config import DBCatcherConfig
 from repro.core.detector import UnitDetectionResult
 from repro.core.records import JudgementRecord
+from repro.obs import runtime as obs
 from repro.service.alerts import Alert, AlertPipeline, AlertSink
 from repro.service.config import ServiceConfig
 from repro.service.metrics import MetricsRegistry
@@ -97,7 +98,11 @@ class DetectionService:
     sinks:
         Alert sink specs (see :func:`~repro.service.alerts.build_sink`).
     metrics:
-        Shared registry; a private one is created when omitted.
+        Shared registry.  When omitted, the ambient observability registry
+        is used if one is enabled (``repro.obs.runtime.enable()``), so a
+        ``repro obs`` / ``serve --obs-port`` run folds service counters and
+        detector spans into one exposition; otherwise a private registry
+        is created.
     """
 
     def __init__(
@@ -111,7 +116,12 @@ class DetectionService:
         self.service_config = (
             service_config if service_config is not None else ServiceConfig()
         )
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if metrics is not None:
+            self.metrics = metrics
+        elif obs.is_enabled():
+            self.metrics = obs.get_registry()
+        else:
+            self.metrics = MetricsRegistry()
         self._sinks = tuple(sinks)
 
     def _config_for(self, unit: str, n_databases: int) -> DBCatcherConfig:
@@ -228,6 +238,7 @@ class DetectionService:
         kind = action[0]
         if kind == "kill_worker":
             report.kill_drills += 1
+            self.metrics.counter("kill_drills").increment()
             if getattr(pool, "n_workers", 0):
                 pool.crash_worker(action[1])
         else:
@@ -248,9 +259,10 @@ class DetectionService:
             events: List[TickEvent] = bridge.drain(unit)
             if events:
                 batches[unit] = np.stack([event.sample for event in events])
+        self.metrics.gauge("queue_backlog_total").set(bridge.total_pending())
         if not batches:
             return
-        with dispatch_latency.time():
+        with dispatch_latency.time(), obs.span("service.dispatch_round"):
             results = pool.dispatch(batches)
         for unit, unit_results in results.items():
             for result in unit_results:

@@ -1,0 +1,145 @@
+"""Golden end-to-end snapshot: one seeded detection run, serialized.
+
+:func:`build_golden_snapshot` runs DBCatcher over a fixed seeded tencent
+workload and captures everything downstream code depends on — verdicts,
+per-record state-machine paths, correlation levels, and per-round KCD
+matrix summaries — as a plain JSON-serializable dict.  The committed
+fixture ``golden/tencent_seed0.json`` is one such snapshot; the parity
+test re-runs the build and compares, so *any* behavioural drift in the
+normalize → correlate → threshold → verdict pipeline shows up as a
+readable diff against the golden file.
+
+Regenerate (only after an intentional behaviour change) with::
+
+    PYTHONPATH=src python tests/golden_fixture.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "tencent_seed0.json"
+
+#: The run every snapshot field derives from.  Changing any of these
+#: invalidates the committed fixture.
+GOLDEN_FAMILY = "tencent"
+GOLDEN_SEED = 0
+GOLDEN_UNITS = 2
+GOLDEN_TICKS = 240
+GOLDEN_INITIAL_WINDOW = 20
+GOLDEN_MAX_WINDOW = 60
+
+#: Matrix-summary agreement tolerance for the parity test.  Verdicts,
+#: levels and window geometry must match exactly; the float summaries
+#: get an epsilon for cross-platform BLAS reduction-order differences.
+MATRIX_TOLERANCE = 1e-9
+
+
+def _state_path(record) -> List[str]:
+    """The Fig-7 state-machine path implied by one judgement record.
+
+    Every round starts HEALTHY-presumed; each window expansion is one
+    pass through OBSERVABLE; the record's final state closes the path.
+    """
+    return ["OBSERVABLE"] * record.expansions + [record.state.name]
+
+
+def _matrix_summaries(matrices) -> Dict[str, Dict[str, float]]:
+    """Per-KPI min/max/mean of each round's dense KCD matrix."""
+    summaries: Dict[str, Dict[str, float]] = {}
+    for matrix in matrices:
+        dense = matrix.to_dense()
+        summaries[matrix.kpi] = {
+            "min": float(dense.min()),
+            "max": float(dense.max()),
+            "mean": float(dense.mean()),
+        }
+    return summaries
+
+
+def build_golden_snapshot() -> Dict[str, object]:
+    """Run the golden configuration and capture the full snapshot."""
+    from repro.core.detector import DBCatcher
+    from repro.core.matrices import build_correlation_matrices
+    from repro.datasets import build_mixed_dataset
+    from repro.presets import default_config
+
+    dataset = build_mixed_dataset(
+        GOLDEN_FAMILY,
+        seed=GOLDEN_SEED,
+        n_units=GOLDEN_UNITS,
+        ticks_per_unit=GOLDEN_TICKS,
+    )
+    config = default_config(
+        initial_window=GOLDEN_INITIAL_WINDOW, max_window=GOLDEN_MAX_WINDOW
+    )
+    snapshot: Dict[str, object] = {
+        "family": GOLDEN_FAMILY,
+        "seed": GOLDEN_SEED,
+        "units_requested": GOLDEN_UNITS,
+        "ticks_per_unit": GOLDEN_TICKS,
+        "config": {
+            "initial_window": GOLDEN_INITIAL_WINDOW,
+            "max_window": GOLDEN_MAX_WINDOW,
+        },
+        "units": {},
+    }
+    for unit in dataset.units:
+        values = np.asarray(unit.values, dtype=np.float64)
+        detector = DBCatcher(config, unit.n_databases)
+        results = detector.detect_series(values)
+        rounds = []
+        for result in results:
+            matrices = build_correlation_matrices(
+                values[:, :, result.start:result.end],
+                config.kpi_names,
+                max_delay=config.max_delay(result.window_size),
+            )
+            rounds.append({
+                "start": result.start,
+                "end": result.end,
+                "window_size": result.window_size,
+                "abnormal_databases": list(result.abnormal_databases),
+                "records": {
+                    str(db): {
+                        "window_start": record.window_start,
+                        "window_end": record.window_end,
+                        "state": record.state.name,
+                        "expansions": record.expansions,
+                        "state_path": _state_path(record),
+                        "kpi_levels": {
+                            kpi: int(level)
+                            for kpi, level in sorted(record.kpi_levels.items())
+                        },
+                    }
+                    for db, record in sorted(result.records.items())
+                },
+                "matrix_summaries": _matrix_summaries(matrices),
+            })
+        snapshot["units"][unit.name] = {  # type: ignore[index]
+            "n_databases": unit.n_databases,
+            "n_ticks": unit.n_ticks,
+            "rounds": rounds,
+        }
+    return snapshot
+
+
+def write_golden_fixture(path: Path = GOLDEN_PATH) -> Path:
+    """Regenerate the committed fixture file."""
+    snapshot = build_golden_snapshot()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_golden_fixture(path: Path = GOLDEN_PATH) -> Dict[str, object]:
+    return json.loads(path.read_text())
+
+
+if __name__ == "__main__":
+    target = write_golden_fixture()
+    print(f"wrote {target}")

@@ -1,0 +1,109 @@
+"""Fault-activation accounting: injectors count fires, reports show them."""
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    ChaosScenario,
+    ChaosSource,
+    DropoutBurst,
+    NaNGauge,
+    StuckGauge,
+    run_scenario,
+)
+from repro.core.config import DBCatcherConfig
+from repro.datasets.containers import Dataset, UnitSeries
+from repro.obs import runtime as obs
+from repro.service.sources import TickEvent
+
+
+@pytest.fixture(autouse=True)
+def _disabled_runtime():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _tiny_dataset(n_ticks=80, n_databases=3, seed=11):
+    rng = np.random.default_rng(seed)
+    values = rng.random((n_databases, 2, n_ticks))
+    return Dataset(
+        name="tiny",
+        units=(
+            UnitSeries(
+                name="u0",
+                values=values,
+                labels=np.zeros((n_databases, n_ticks), dtype=bool),
+                kpi_names=("cpu", "rps"),
+            ),
+        ),
+    )
+
+
+def _events(n=40, n_databases=3):
+    for seq in range(n):
+        yield TickEvent(
+            unit="u0", seq=seq,
+            sample=np.full((n_databases, 2), float(seq)),
+        )
+
+
+class TestInjectorActivationCounters:
+    def test_fires_land_on_ambient_counters(self):
+        with obs.scoped() as registry:
+            source = ChaosSource(
+                _events(), (DropoutBurst(start=5, end=25, probability=1.0),),
+                seed=3,
+            )
+            delivered = sum(1 for _ in source)
+        fired = registry.counter("chaos.fault_activations").value
+        by_kind = registry.counter("chaos.activations.dropout").value
+        assert fired == by_kind == 40 - delivered > 0
+
+    def test_disabled_runtime_counts_nothing(self):
+        source = ChaosSource(
+            _events(), (NaNGauge(start=0, end=10, databases=(0,)),), seed=3
+        )
+        list(source)
+        assert obs.get_registry().snapshot() == {}
+
+
+class TestRunScenarioActivations:
+    def test_report_carries_per_kind_activations(self):
+        scenario = ChaosScenario(
+            name="act",
+            faults=(
+                DropoutBurst(start=10, end=30, probability=1.0),
+                StuckGauge(start=35, end=50, databases=(1,)),
+            ),
+        )
+        report = run_scenario(
+            _tiny_dataset(),
+            scenario=scenario,
+            config=DBCatcherConfig(
+                kpi_names=("cpu", "rps"), initial_window=8, max_window=16
+            ),
+        )
+        assert set(report.fault_activations) == {"dropout", "stuck_gauge"}
+        assert report.fault_activations["dropout"] > 0
+        assert report.fault_activations["stuck_gauge"] > 0
+        rendered = report.render()
+        assert "fault activations" in rendered
+        assert "dropout=" in rendered
+        # The scoped chaos-run registry must not leak into ambient state.
+        assert not obs.is_enabled()
+
+    def test_deltas_not_absolutes_when_already_enabled(self):
+        """With a caller registry, the report shows this run's fires only."""
+        scenario = ChaosScenario(
+            name="act", faults=(DropoutBurst(start=10, end=30, probability=1.0),)
+        )
+        config = DBCatcherConfig(
+            kpi_names=("cpu", "rps"), initial_window=8, max_window=16
+        )
+        with obs.scoped() as registry:
+            registry.counter("chaos.activations.dropout").increment(1000)
+            report = run_scenario(
+                _tiny_dataset(), scenario=scenario, config=config
+            )
+        assert 0 < report.fault_activations["dropout"] < 1000

@@ -1,0 +1,114 @@
+"""Golden end-to-end regression: one seeded run pinned bit-for-bit.
+
+The committed fixture (``golden/tencent_seed0.json``) captures verdicts,
+state-machine paths, correlation levels and per-round KCD matrix
+summaries from one seeded tencent-workload detection run.  A fresh run
+of the same configuration must reproduce it: verdict/level/geometry
+fields exactly, matrix float summaries within 1e-9.  An intentional
+behaviour change regenerates the fixture via
+``PYTHONPATH=src python tests/golden_fixture.py`` — the git diff of the
+JSON then *is* the behaviour-change review artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.golden_fixture import (
+    GOLDEN_PATH,
+    MATRIX_TOLERANCE,
+    build_golden_snapshot,
+    load_golden_fixture,
+)
+
+
+@pytest.fixture(scope="module")
+def fresh_snapshot():
+    return build_golden_snapshot()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    assert GOLDEN_PATH.is_file(), (
+        f"missing golden fixture {GOLDEN_PATH}; regenerate with "
+        "`PYTHONPATH=src python tests/golden_fixture.py`"
+    )
+    return load_golden_fixture()
+
+
+def test_run_parameters_match(golden, fresh_snapshot):
+    for key in ("family", "seed", "units_requested", "ticks_per_unit", "config"):
+        assert golden[key] == fresh_snapshot[key], key
+
+
+def test_same_units_and_round_structure(golden, fresh_snapshot):
+    assert set(golden["units"]) == set(fresh_snapshot["units"])
+    for name, unit in golden["units"].items():
+        fresh = fresh_snapshot["units"][name]
+        assert fresh["n_databases"] == unit["n_databases"]
+        assert fresh["n_ticks"] == unit["n_ticks"]
+        assert len(fresh["rounds"]) == len(unit["rounds"]), name
+
+
+def test_verdicts_states_and_levels_exact(golden, fresh_snapshot):
+    """The discrete outputs — verdicts, paths, levels — match exactly."""
+    for name, unit in golden["units"].items():
+        fresh_rounds = fresh_snapshot["units"][name]["rounds"]
+        for index, expected in enumerate(unit["rounds"]):
+            actual = fresh_rounds[index]
+            context = f"{name} round {index}"
+            assert actual["start"] == expected["start"], context
+            assert actual["end"] == expected["end"], context
+            assert actual["window_size"] == expected["window_size"], context
+            assert (
+                actual["abnormal_databases"] == expected["abnormal_databases"]
+            ), context
+            assert set(actual["records"]) == set(expected["records"]), context
+            for db, record in expected["records"].items():
+                fresh_record = actual["records"][db]
+                for field in (
+                    "window_start",
+                    "window_end",
+                    "state",
+                    "expansions",
+                    "state_path",
+                    "kpi_levels",
+                ):
+                    assert fresh_record[field] == record[field], (
+                        f"{context} db {db} field {field}"
+                    )
+
+
+def test_matrix_summaries_within_tolerance(golden, fresh_snapshot):
+    """Per-round KCD matrix min/max/mean agree to 1e-9 per KPI."""
+    for name, unit in golden["units"].items():
+        fresh_rounds = fresh_snapshot["units"][name]["rounds"]
+        for index, expected in enumerate(unit["rounds"]):
+            actual = fresh_rounds[index]["matrix_summaries"]
+            assert set(actual) == set(expected["matrix_summaries"])
+            for kpi, stats in expected["matrix_summaries"].items():
+                for stat, value in stats.items():
+                    assert actual[kpi][stat] == pytest.approx(
+                        value, abs=MATRIX_TOLERANCE
+                    ), f"{name} round {index} {kpi} {stat}"
+
+
+def test_golden_covers_interesting_behaviour(golden):
+    """Guard the fixture itself: it must exercise the state machine.
+
+    A fixture with no abnormal verdicts or no window expansions would
+    pin only the trivial path and silently stop covering the Fig-7
+    machinery; fail loudly instead so regeneration picks a richer run.
+    """
+    abnormal = 0
+    expansions = 0
+    healthy = 0
+    for unit in golden["units"].values():
+        for round_ in unit["rounds"]:
+            abnormal += len(round_["abnormal_databases"])
+            for record in round_["records"].values():
+                expansions += record["expansions"]
+                healthy += record["state"] == "HEALTHY"
+    assert abnormal > 0, "fixture pins no abnormal verdicts"
+    assert expansions > 0, "fixture never expands the flexible window"
+    assert healthy > 0, "fixture pins no healthy verdicts"

@@ -1,0 +1,151 @@
+"""Tests for tracing spans and the ambient observability runtime."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry, SpanRecord, Tracer
+from repro.obs import runtime as obs
+from repro.obs.spans import NULL_SPAN, SPAN_BUCKETS
+
+
+@pytest.fixture(autouse=True)
+def _disabled_runtime():
+    """Every test starts (and ends) with the ambient runtime disabled."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+class TestTracer:
+    def test_span_records_wall_and_cpu_histograms(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry)
+        with tracer.span("stage"):
+            pass
+        wall = registry.histogram("span.stage.wall_seconds", bounds=SPAN_BUCKETS)
+        cpu = registry.histogram("span.stage.cpu_seconds", bounds=SPAN_BUCKETS)
+        assert wall.count == 1
+        assert cpu.count == 1
+        assert wall.sum >= 0.0
+
+    def test_spans_nest_with_parent_and_depth(self):
+        records = []
+        tracer = Tracer(MetricsRegistry(), hooks=[records.append])
+        with tracer.span("outer"):
+            assert tracer.current() == "outer"
+            with tracer.span("inner"):
+                assert tracer.current() == "inner"
+        assert tracer.current() is None
+        inner, outer = records  # inner closes first
+        assert inner == SpanRecord(
+            name="inner",
+            wall_seconds=inner.wall_seconds,
+            cpu_seconds=inner.cpu_seconds,
+            parent="outer",
+            depth=1,
+        )
+        assert outer.parent is None
+        assert outer.depth == 0
+        assert outer.wall_seconds >= inner.wall_seconds
+
+    def test_span_pops_even_when_body_raises(self):
+        tracer = Tracer(MetricsRegistry())
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("body failed")
+        assert tracer.current() is None
+
+    def test_hooks_add_and_remove(self):
+        seen = []
+        tracer = Tracer(MetricsRegistry())
+        tracer.add_hook(seen.append)
+        with tracer.span("a"):
+            pass
+        tracer.remove_hook(seen.append)
+        with tracer.span("b"):
+            pass
+        assert [record.name for record in seen] == ["a"]
+
+    def test_span_stacks_are_per_thread(self):
+        tracer = Tracer(MetricsRegistry())
+        inner_current = []
+
+        def worker():
+            with tracer.span("worker-span"):
+                inner_current.append(tracer.current())
+
+        with tracer.span("main-span"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            # The worker's span must not leak into this thread's stack.
+            assert tracer.current() == "main-span"
+        assert inner_current == ["worker-span"]
+
+
+class TestAmbientRuntime:
+    def test_disabled_by_default_everything_is_noop(self):
+        assert not obs.is_enabled()
+        assert obs.span("x") is NULL_SPAN
+        obs.counter("c").increment()
+        obs.gauge("g").set(1.0)
+        obs.histogram("h").observe(1.0)
+        assert obs.get_registry().snapshot() == {}
+
+    def test_enable_disable_roundtrip(self):
+        registry = obs.enable()
+        assert obs.is_enabled()
+        assert obs.get_registry() is registry
+        obs.counter("c").increment(2)
+        assert registry.counter("c").value == 2
+        obs.disable()
+        assert not obs.is_enabled()
+        # Instruments fetched after disable are no-ops again.
+        obs.counter("c").increment(5)
+        assert registry.counter("c").value == 2
+
+    def test_scoped_restores_prior_state(self):
+        with obs.scoped() as registry:
+            assert obs.is_enabled()
+            obs.counter("inside").increment()
+            assert registry.counter("inside").value == 1
+        assert not obs.is_enabled()
+
+    def test_scoped_accepts_external_registry(self):
+        mine = MetricsRegistry()
+        with obs.scoped(mine) as registry:
+            assert registry is mine
+            obs.counter("c").increment()
+        assert mine.counter("c").value == 1
+
+    def test_scoped_nesting_restores_outer_registry(self):
+        outer = obs.enable()
+        try:
+            with obs.scoped() as inner:
+                assert obs.get_registry() is inner
+                assert inner is not outer
+            assert obs.get_registry() is outer
+        finally:
+            obs.disable()
+
+    def test_ambient_spans_record_into_enabled_registry(self):
+        with obs.scoped() as registry:
+            with obs.span("stage"):
+                pass
+        snap = registry.snapshot()
+        assert snap["span.stage.wall_seconds"]["count"] == 1
+        assert snap["span.stage.cpu_seconds"]["count"] == 1
+
+    def test_span_hooks_via_runtime(self):
+        seen = []
+        obs.add_span_hook(seen.append)
+        try:
+            with obs.scoped():
+                with obs.span("hooked"):
+                    pass
+        finally:
+            obs.remove_span_hook(seen.append)
+        assert [record.name for record in seen] == ["hooked"]
