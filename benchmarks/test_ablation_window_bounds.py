@@ -26,7 +26,7 @@ def _f_for_window(test, initial_window):
     avg_window = []
     for unit in test.units:
         detector = DBCatcher(config, n_databases=unit.n_databases)
-        detector.detect_series(unit.values)
+        detector.process(unit.values, time_axis=-1)
         marked.extend(mark_records(detector.history, unit.labels))
         avg_window.append(detector.average_window_size())
     scores = scores_from_records(marked)

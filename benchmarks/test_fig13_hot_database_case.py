@@ -42,7 +42,7 @@ def test_fig13_hot_database_case(benchmark):
 
     def detect():
         catcher = DBCatcher(config, n_databases=5)
-        catcher.detect_series(values)
+        catcher.process(values, time_axis=-1)
         return catcher
 
     catcher = benchmark.pedantic(detect, rounds=3, iterations=1)

@@ -36,7 +36,7 @@ def test_sec4d4_component_time(benchmark):
         detectors = []
         for unit in dataset.units:
             detector = DBCatcher(default_config(), n_databases=unit.n_databases)
-            detector.detect_series(unit.values)
+            detector.process(unit.values, time_axis=-1)
             detectors.append(detector)
         return detectors
 
@@ -109,7 +109,7 @@ def test_obs_instrumentation_overhead():
         started = time.perf_counter()
         for unit in dataset.units:
             detector = DBCatcher(default_config(), n_databases=unit.n_databases)
-            detector.detect_series(unit.values)
+            detector.process(unit.values, time_axis=-1)
         return time.perf_counter() - started
 
     obs.disable()

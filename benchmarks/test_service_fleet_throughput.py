@@ -71,7 +71,7 @@ def test_fleet_parity_parallel_vs_detect_series():
     assert report.ticks_dropped == 0
     for unit in dataset.units:
         detector = DBCatcher(config, n_databases=unit.n_databases)
-        reference = detector.detect_series(unit.values)
+        reference = detector.process(unit.values, time_axis=-1)
         assert report.results[unit.name] == reference, unit.name
         assert report.records_for(unit.name) == list(detector.history)
 

@@ -64,7 +64,7 @@ def _variant_f(measure, flexible, dataset, alpha):
         detector = make_mm_detector(
             config, unit.n_databases, measure=measure, flexible_window=flexible
         )
-        detector.detect_series(unit.values)
+        detector.process(unit.values, time_axis=-1)
         unit_counts = adjusted_confusion_from_records(
             detector.history, unit.labels
         )

@@ -43,7 +43,7 @@ def main() -> None:
                            [(incident.start, incident.end, "^")]) + "  incident")
 
     catcher = DBCatcher(default_config(), n_databases=unit.n_databases)
-    catcher.detect_series(values)
+    catcher.process(values, time_axis=-1)
 
     print("\nDBCatcher verdicts around the incident:")
     for record in catcher.history:

@@ -65,7 +65,7 @@ def main() -> None:
     # tolerance band [alpha - theta, alpha) is what catches it.
     config = default_config().with_thresholds([0.8] * 14, 0.12, 2)
     catcher = DBCatcher(config, n_databases=unit.n_databases)
-    catcher.detect_series(values)
+    catcher.process(values, time_axis=-1)
     flagged_rounds = [
         r for r in catcher.results
         if victim in r.abnormal_databases

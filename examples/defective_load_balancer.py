@@ -47,7 +47,7 @@ def main() -> None:
     # learning settles on in production.
     config = default_config().with_thresholds([0.8] * 14, 0.12, 2)
     catcher = DBCatcher(config, n_databases=unit.n_databases)
-    catcher.detect_series(values)
+    catcher.process(values, time_axis=-1)
 
     print("\ntimeline of DBCatcher verdicts for the flooded database:")
     for result in catcher.results:

@@ -27,7 +27,7 @@ from repro.workloads import drift_workload
 
 def detect_segment(catcher, values, labels, offset):
     """Run detection over one segment; returns marked records."""
-    results = catcher.detect_series(values)
+    results = catcher.process(values, time_axis=-1)
     records = [r for result in results for r in result.records.values()]
     return mark_records(records, labels)
 
@@ -63,7 +63,7 @@ def main() -> None:
     # Phase 1: before the drift.
     head = slice(0, drift_tick)
     catcher = DBCatcher(config, n_databases=5)
-    catcher.detect_series(values[:, :, head])
+    catcher.process(values[:, :, head], time_axis=-1)
     marked = mark_records(catcher.history, labels[:, head])
     feedback._records.extend(marked)  # seed history with phase-1 records
     phase1 = scores_from_records(marked)
@@ -73,7 +73,7 @@ def main() -> None:
     tail_values = values[:, :, drift_tick:]
     tail_labels = labels[:, drift_tick:]
     catcher2 = DBCatcher(config, n_databases=5)
-    catcher2.detect_series(tail_values)
+    catcher2.process(tail_values, time_axis=-1)
     marked2 = mark_records(catcher2.history, tail_labels)
     phase2 = scores_from_records(marked2)
     print(f"phase 2 (after drift, stale thresholds): F={phase2.f_measure:.2f}")
@@ -91,7 +91,7 @@ def main() -> None:
         return
 
     catcher3 = DBCatcher(tuned, n_databases=5)
-    catcher3.detect_series(tail_values)
+    catcher3.process(tail_values, time_axis=-1)
     phase3 = scores_from_records(mark_records(catcher3.history, tail_labels))
     print(f"phase 3 (after adaptive threshold learning): "
           f"F={phase3.f_measure:.2f}")

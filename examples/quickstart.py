@@ -39,7 +39,7 @@ def main() -> None:
 
     # 3. Stream the monitoring ticks through the detector.
     print("\ndetection rounds:")
-    for result in catcher.detect_series(unit.values):
+    for result in catcher.process(unit.values, time_axis=-1):
         flagged = result.abnormal_databases
         marker = f"  -> abnormal: {list(flagged)}" if flagged else ""
         print(f"  ticks [{result.start:4d}, {result.end:4d})"

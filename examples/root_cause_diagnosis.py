@@ -46,7 +46,7 @@ def main() -> None:
 
     config = default_config().with_thresholds([0.8] * 14, 0.12, 2)
     catcher = DBCatcher(config, n_databases=5)
-    catcher.detect_series(values)
+    catcher.process(values, time_axis=-1)
 
     print("injected incidents:")
     for label, injector in incidents:

@@ -17,7 +17,7 @@ Quick start::
                              seed=7)
     config = DBCatcherConfig(kpi_names=unit.kpi_names)
     catcher = DBCatcher(config, n_databases=unit.n_databases)
-    for result in catcher.detect_series(unit.values):
+    for result in catcher.process(unit.values, time_axis=-1):
         print(result.start, result.abnormal_databases)
 """
 
@@ -32,7 +32,7 @@ from repro.core import (
     kcd_matrix,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Service-layer names resolved lazily so `import repro` stays light —
 #: the fleet scheduler pulls in datasets/cluster machinery that pure
@@ -44,12 +44,19 @@ _SERVICE_EXPORTS = (
     "detect_fleet",
 )
 
+#: Engine names resolved lazily for the same reason.
+_ENGINE_EXPORTS = (
+    "KCDEngine",
+    "make_engine",
+)
+
 __all__ = [
     "DBCatcher",
     "DBCatcherConfig",
     "DatabaseState",
     "DetectionService",
     "JudgementRecord",
+    "KCDEngine",
     "OnlineFeedback",
     "ServiceConfig",
     "ServiceReport",
@@ -57,6 +64,7 @@ __all__ = [
     "detect_fleet",
     "kcd",
     "kcd_matrix",
+    "make_engine",
     "__version__",
 ]
 
@@ -66,4 +74,8 @@ def __getattr__(name: str):
         from repro import service
 
         return getattr(service, name)
+    if name in _ENGINE_EXPORTS:
+        from repro import engine
+
+        return getattr(engine, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

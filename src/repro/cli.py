@@ -40,6 +40,23 @@ from repro.presets import default_config
 __all__ = ["main", "build_parser"]
 
 
+def _add_detector_flags(parser: argparse.ArgumentParser) -> None:
+    """Detector flags shared by detect / serve / chaos / obs.
+
+    Each flag is the kebab-case spelling of the
+    :class:`~repro.core.config.DBCatcherConfig` field it sets, so the CLI
+    surface stays derivable from the config dataclass.
+    """
+    from repro.core.config import BACKENDS
+
+    parser.add_argument("--initial-window", type=int, default=20,
+                        help="initial observation window W, in ticks")
+    parser.add_argument("--max-window", type=int, default=60,
+                        help="expansion ceiling W_M, in ticks")
+    parser.add_argument("--backend", choices=BACKENDS, default="batched",
+                        help="KCD compute engine (DBCatcherConfig.backend)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -69,8 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
         "detect", help="run DBCatcher over a saved dataset"
     )
     detect.add_argument("dataset", help="path of a .npz archive from `simulate`")
-    detect.add_argument("--initial-window", type=int, default=20)
-    detect.add_argument("--max-window", type=int, default=60)
+    _add_detector_flags(detect)
     detect.add_argument(
         "--alpha", type=float, default=None,
         help="uniform correlation threshold (default: paper mid-range)",
@@ -121,8 +137,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "(repeatable; default stdout)")
     serve.add_argument("--max-ticks", type=int, default=None,
                        help="stop after this many ticks per unit")
-    serve.add_argument("--initial-window", type=int, default=20)
-    serve.add_argument("--max-window", type=int, default=60)
+    _add_detector_flags(serve)
+    serve.add_argument("--history-limit", type=int, default=None,
+                       metavar="ROUNDS",
+                       help="completed rounds each worker detector retains "
+                            "(default: the service's bounded-memory default)")
     serve.add_argument("--obs-port", type=int, default=None, metavar="PORT",
                        help="serve /metrics and /metrics.json on this port "
                             "while the service runs (0 = any free port)")
@@ -153,8 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "fell real processes when > 0)")
     chaos.add_argument("--max-ticks", type=int, default=None,
                        help="stop after this many ticks per unit")
-    chaos.add_argument("--initial-window", type=int, default=20)
-    chaos.add_argument("--max-window", type=int, default=60)
+    _add_detector_flags(chaos)
 
     obs_cmd = commands.add_parser(
         "obs",
@@ -180,8 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
     obs_cmd.add_argument("--seed", type=int, default=0, help="seed for --live")
     obs_cmd.add_argument("--max-ticks", type=int, default=None,
                          help="stop after this many ticks per unit")
-    obs_cmd.add_argument("--initial-window", type=int, default=20)
-    obs_cmd.add_argument("--max-window", type=int, default=60)
+    _add_detector_flags(obs_cmd)
     obs_cmd.add_argument("--format", choices=("prometheus", "json"),
                          default="prometheus",
                          help="exposition format printed to stdout")
@@ -211,9 +228,13 @@ def _cmd_simulate(args) -> int:
 
 
 def _detect_config(args):
+    import dataclasses
+
     config = default_config(
         initial_window=args.initial_window, max_window=args.max_window
     )
+    if getattr(args, "backend", None) is not None:
+        config = dataclasses.replace(config, backend=args.backend)
     if getattr(args, "alpha", None) is not None:
         config = config.with_thresholds(
             [args.alpha] * config.n_kpis, config.theta,
@@ -292,12 +313,15 @@ def _cmd_serve(args) -> int:
     if source is None:
         print("serve needs a dataset path or --live", file=sys.stderr)
         return 2
-    service_config = ServiceConfig(
+    service_kwargs = dict(
         n_workers=args.jobs,
         batch_ticks=args.batch_ticks,
         queue_capacity=args.queue_capacity,
         backpressure=args.backpressure.replace("-", "_"),
     )
+    if args.history_limit is not None:
+        service_kwargs["history_limit"] = args.history_limit
+    service_config = ServiceConfig(**service_kwargs)
     observing = args.obs_port is not None or args.obs_snapshot is not None
     scope = obs.scoped() if observing else contextlib.nullcontext()
     with scope as registry:
@@ -308,10 +332,7 @@ def _cmd_serve(args) -> int:
                   f"(and /metrics.json)", file=sys.stderr)
         try:
             service = DetectionService(
-                default_config(
-                    initial_window=args.initial_window,
-                    max_window=args.max_window,
-                ),
+                _detect_config(args),
                 service_config=service_config,
                 sinks=tuple(args.sink) if args.sink else ("stdout",),
             )
@@ -408,9 +429,7 @@ def _cmd_obs(args) -> int:
     # workers would keep their spans to themselves).
     with obs.scoped() as registry:
         service = DetectionService(
-            default_config(
-                initial_window=args.initial_window, max_window=args.max_window
-            ),
+            _detect_config(args),
             service_config=ServiceConfig(n_workers=0),
             sinks=("null",),
         )

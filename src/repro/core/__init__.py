@@ -14,7 +14,7 @@ The core package implements the four modules of Figure 6:
   (:mod:`repro.core.records`, :mod:`repro.core.feedback`).
 """
 
-from repro.core.config import DBCatcherConfig
+from repro.core.config import BACKENDS, DBCatcherConfig
 from repro.core.detector import DBCatcher, UnitDetectionResult
 from repro.core.diagnosis import CauseHypothesis, diagnose_record
 from repro.core.feedback import OnlineFeedback
@@ -33,6 +33,7 @@ from repro.core.streams import KPIStreams
 from repro.core.window import FlexibleWindow, WindowDecision
 
 __all__ = [
+    "BACKENDS",
     "DBCatcher",
     "DBCatcherConfig",
     "CauseHypothesis",

@@ -17,12 +17,19 @@ import numpy as np
 __all__ = [
     "DBCatcherConfig",
     "ALPHA_RANGE",
+    "BACKENDS",
     "THETA_RANGE",
     "TOLERANCE_RANGE",
     "INITIAL_WINDOW_RANGE",
     "MAX_WINDOW_RANGE",
     "LEARNING_RATE",
 ]
+
+#: KCD compute backends (:mod:`repro.engine`).  ``batched`` evaluates all
+#: database pairs and all KPIs of a unit in one vectorized pass with
+#: incremental window caching; ``reference`` is the straightforward
+#: per-pair, per-lag oracle the batched engine is verified against.
+BACKENDS: Tuple[str, ...] = ("batched", "reference")
 
 #: Initial per-KPI correlation threshold range (paper Section III-D).
 ALPHA_RANGE: Tuple[float, float] = (0.6, 0.8)
@@ -93,6 +100,18 @@ class DBCatcherConfig:
     interval_seconds:
         Monitoring collection interval; 5 s in the paper.  Only used to
         convert window sizes to wall-clock latencies in reports.
+    backend:
+        KCD compute backend (:data:`BACKENDS`).  ``batched`` (default)
+        evaluates every database pair and every KPI in one vectorized
+        pass with incremental window caching; ``reference`` runs the
+        per-pair, per-lag oracle loop — slow, but the ground truth the
+        differential tests hold the batched engine to.
+    history_limit:
+        Completed rounds (and their judgement records) the detector
+        retains; older entries are discarded as new rounds finish.
+        ``None`` (default) keeps everything, which suits offline
+        evaluation; long-running serving sets a small limit so detector
+        memory stays bounded no matter how long the stream runs.
     """
 
     kpi_names: Tuple[str, ...]
@@ -108,6 +127,8 @@ class DBCatcherConfig:
     rr_only_kpis: Tuple[str, ...] = ()
     resolve_max_window_as_abnormal: bool = True
     interval_seconds: float = 5.0
+    backend: str = "batched"
+    history_limit: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.kpi_names:
@@ -151,6 +172,12 @@ class DBCatcherConfig:
             raise ValueError("primary_index must be >= 0")
         if self.interval_seconds <= 0:
             raise ValueError("interval_seconds must be positive")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.history_limit is not None and self.history_limit < 1:
+            raise ValueError("history_limit must be >= 1 or None")
 
     @property
     def n_kpis(self) -> int:

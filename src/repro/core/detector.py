@@ -1,12 +1,13 @@
 """DBCatcher streaming detector.
 
 Ties the four modules of Figure 6 together.  Monitoring ticks enter through
-:meth:`DBCatcher.ingest`; whenever the initial window ``W`` fills, a
-*detection round* runs: the correlation-measurement module builds the ``Q``
-correlation matrices, Algorithm 1 assigns correlation levels, and the
-Fig. 7 state machine resolves each database to HEALTHY or ABNORMAL —
-expanding the window by ``Delta`` (waiting for more ticks if necessary)
-while any database stays OBSERVABLE.  Each resolved database yields a
+:meth:`DBCatcher.process`; whenever the initial window ``W`` fills, a
+*detection round* runs: the correlation-measurement module (the KCD engine
+selected by ``DBCatcherConfig.backend``) builds the ``Q`` correlation
+matrices, Algorithm 1 assigns correlation levels, and the Fig. 7 state
+machine resolves each database to HEALTHY or ABNORMAL — expanding the
+window by ``Delta`` (waiting for more ticks if necessary) while any
+database stays OBSERVABLE.  Each resolved database yields a
 :class:`~repro.core.records.JudgementRecord`; completed rounds advance the
 stream cursor by the round's final window size.
 """
@@ -14,20 +15,24 @@ stream cursor by the round's final window size.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import DBCatcherConfig
 from repro.core.levels import calculate_levels
-from repro.core.matrices import build_correlation_matrices
 from repro.core.records import DatabaseState, JudgementRecord
 from repro.core.streams import KPIStreams
 from repro.core.window import FlexibleWindow
 from repro.obs import runtime as obs
 
 __all__ = ["DBCatcher", "UnitDetectionResult"]
+
+#: Sentinel distinguishing "kwarg omitted" from an explicit ``None`` in the
+#: deprecated ``history_limit`` constructor parameter.
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -80,7 +85,8 @@ class DBCatcher:
     Parameters
     ----------
     config:
-        Detector thresholds and window geometry.
+        Detector thresholds, window geometry, compute ``backend`` and
+        ``history_limit`` — the single construction-time knob surface.
     n_databases:
         Number of databases in the unit.
     active:
@@ -89,13 +95,12 @@ class DBCatcher:
     measure:
         Optional replacement correlation measure with signature
         ``measure(x, y, max_delay) -> float``; ``None`` uses the KCD.
-        Exists for the Table X comparators (MM-Pearson, MM-DTW).
+        Exists for the Table X comparators (MM-Pearson, MM-DTW); a custom
+        measure always runs on the reference engine.
     history_limit:
-        Completed rounds (and their judgement records) to retain; older
-        entries are discarded as new rounds finish.  ``None`` (default)
-        keeps everything, which suits offline evaluation; long-running
-        serving (:mod:`repro.service`) sets a small limit so detector
-        memory stays bounded no matter how long the stream runs.
+        Deprecated — set ``DBCatcherConfig.history_limit`` instead.
+        Passing it still works (it overrides the config field) but emits a
+        :class:`DeprecationWarning`.
 
     Notes
     -----
@@ -113,7 +118,7 @@ class DBCatcher:
     >>> catcher = DBCatcher(config, n_databases=3)
     >>> trend = np.sin(np.linspace(0, 3, 8))
     >>> ticks = np.stack([np.stack([trend + 0.01 * d]) for d in range(3)])
-    >>> results = catcher.ingest_block(ticks.transpose(2, 0, 1))
+    >>> results = catcher.process(ticks.transpose(2, 0, 1))
     >>> [r.abnormal_databases for r in results]
     [()]
     """
@@ -124,13 +129,22 @@ class DBCatcher:
         n_databases: int,
         active: Optional[Sequence[bool]] = None,
         measure=None,
-        history_limit: Optional[int] = None,
+        history_limit: object = _UNSET,
     ):
+        # Local import: repro.engine depends on repro.core.config, so a
+        # module-level import here would close an import cycle.
+        from repro.engine.base import make_engine
+
         if n_databases < 2:
             raise ValueError("UKPIC needs at least two databases in a unit")
-        if history_limit is not None and history_limit < 1:
-            raise ValueError("history_limit must be >= 1 or None")
-        self._history_limit = history_limit
+        if history_limit is not _UNSET:
+            warnings.warn(
+                "the history_limit argument of DBCatcher is deprecated; "
+                "set DBCatcherConfig(history_limit=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = replace(config, history_limit=history_limit)
         self._config = config
         self._n_databases = n_databases
         if active is None:
@@ -140,6 +154,7 @@ class DBCatcher:
             if self._active.shape != (n_databases,):
                 raise ValueError("active mask must have one entry per database")
         self._measure = measure
+        self._engine = make_engine(config.backend, measure=measure)
         self._streams = KPIStreams(n_databases, config.kpi_names)
         self._window_ctl = FlexibleWindow(config)
         self._round: Optional[_RoundState] = None
@@ -162,6 +177,11 @@ class DBCatcher:
     @property
     def n_databases(self) -> int:
         return self._n_databases
+
+    @property
+    def engine(self):
+        """The KCD compute engine this detector runs rounds through."""
+        return self._engine
 
     @property
     def history(self) -> Tuple[JudgementRecord, ...]:
@@ -192,41 +212,90 @@ class DBCatcher:
         """
         if config.n_kpis != self._config.n_kpis:
             raise ValueError("new config must keep the same number of KPIs")
+        from repro.engine.base import make_engine
+
         self._config = config
         self._window_ctl = FlexibleWindow(config)
+        self._engine = make_engine(config.backend, measure=self._measure)
 
-    def ingest(self, sample: np.ndarray) -> List[UnitDetectionResult]:
-        """Feed one monitoring tick of shape ``(n_databases, n_kpis)``.
+    def process(
+        self, samples: np.ndarray, time_axis: int = 0
+    ) -> List[UnitDetectionResult]:
+        """Feed monitoring data and run every round it unblocks.
+
+        The one ingestion entry point: a 2-D array is a single tick, a 3-D
+        array is a block of ticks.
+
+        Parameters
+        ----------
+        samples:
+            ``(n_databases, n_kpis)`` for one tick, or a 3-D block whose
+            time axis is named by ``time_axis``.
+        time_axis:
+            Position of the tick axis in a 3-D block: ``0`` (default) for
+            streaming layout ``(n_ticks, n_databases, n_kpis)``; ``-1`` or
+            ``2`` for the :mod:`repro.datasets` layout ``(n_databases,
+            n_kpis, n_ticks)``.  Ignored for single ticks.
 
         Returns
         -------
         list of UnitDetectionResult
-            Rounds completed by this tick (usually zero or one; more when a
-            backlog unblocks several rounds at once).
+            Rounds completed by this data (possibly empty; more than one
+            when a backlog unblocks several rounds at once).
         """
-        self._streams.append(sample)
+        data = np.asarray(samples, dtype=np.float64)
+        if data.ndim == 2:
+            self._streams.append(data)
+            return self._drain()
+        if data.ndim != 3:
+            raise ValueError(
+                "expected one (n_databases, n_kpis) tick or a 3-D block, "
+                f"got shape {data.shape}"
+            )
+        axis = data.ndim + time_axis if time_axis < 0 else time_axis
+        if axis == 0:
+            block = data
+        elif axis == 2:
+            block = data.transpose(2, 0, 1)
+        else:
+            raise ValueError(
+                f"time_axis must be 0 or -1/2 for a 3-D block, got {time_axis}"
+            )
+        self._streams.extend(block)
         return self._drain()
+
+    def ingest(self, sample: np.ndarray) -> List[UnitDetectionResult]:
+        """Deprecated alias for :meth:`process` with one tick."""
+        warnings.warn(
+            "DBCatcher.ingest is deprecated; use process(sample)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.process(sample)
 
     def ingest_block(self, samples: np.ndarray) -> List[UnitDetectionResult]:
-        """Feed many ticks of shape ``(n_ticks, n_databases, n_kpis)``."""
-        self._streams.extend(samples)
-        return self._drain()
+        """Deprecated alias for :meth:`process` with a tick-major block."""
+        warnings.warn(
+            "DBCatcher.ingest_block is deprecated; use process(samples)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.process(samples)
 
     def detect_series(self, values: np.ndarray) -> List[UnitDetectionResult]:
-        """Offline convenience: run the streaming pipeline over a batch.
-
-        Parameters
-        ----------
-        values:
-            Array of shape ``(n_databases, n_kpis, n_ticks)`` — the layout
-            used by :mod:`repro.datasets`.
-        """
+        """Deprecated alias for :meth:`process` on dataset-layout blocks."""
+        warnings.warn(
+            "DBCatcher.detect_series is deprecated; use "
+            "process(values, time_axis=-1)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         data = np.asarray(values, dtype=np.float64)
         if data.ndim != 3:
             raise ValueError(
                 f"expected (n_databases, n_kpis, n_ticks), got {data.shape}"
             )
-        return self.ingest_block(data.transpose(2, 0, 1))
+        return self.process(data, time_axis=-1)
 
     def _drain(self) -> List[UnitDetectionResult]:
         """Run detection rounds while buffered data allows."""
@@ -293,12 +362,12 @@ class DBCatcher:
                 )
                 return self._finish_round(state)
             with obs.span("detector.correlate"):
-                matrices = build_correlation_matrices(
+                matrices = self._engine.matrices(
                     window,
                     self._config.kpi_names,
                     max_delay=self._config.max_delay(state.size),
                     active=round_active,
-                    measure=self._measure,
+                    window_start=state.start,
                 )
             after_correlation = time.perf_counter()
             self.component_seconds["correlation"] += after_correlation - started
@@ -343,10 +412,11 @@ class DBCatcher:
         self._history.extend(
             state.records[db] for db in sorted(state.records)
         )
-        if self._history_limit is not None:
-            if len(self._results) > self._history_limit:
-                del self._results[: len(self._results) - self._history_limit]
-            record_limit = self._history_limit * self._n_databases
+        limit = self._config.history_limit
+        if limit is not None:
+            if len(self._results) > limit:
+                del self._results[: len(self._results) - limit]
+            record_limit = limit * self._n_databases
             if len(self._history) > record_limit:
                 del self._history[: len(self._history) - record_limit]
         self._cursor = end

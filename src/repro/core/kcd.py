@@ -19,6 +19,8 @@ trend of one database has deviated — the anomaly signal DBCatcher uses.
 
 from __future__ import annotations
 
+from typing import Tuple
+
 import numpy as np
 
 from repro.core.normalize import minmax_normalize
@@ -214,45 +216,41 @@ def kcd(
     return float(profile.max())
 
 
-def _pairwise_profiles(
-    rows: np.ndarray, pairs_i: np.ndarray, pairs_j: np.ndarray, m: int
-) -> np.ndarray:
-    """Lagged correlation profiles for many row pairs at once.
+def _row_prefix_sums(rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row prefix sums and prefix sums of squares, zero-padded.
 
-    One batched FFT cross-correlation plus shared prefix sums replaces the
-    per-pair scans: for a unit's 10 database pairs over 14 KPIs this is
-    the difference between ~3000 small numpy calls per detection round and
-    ~10 vectorized ones.
-
-    Parameters
-    ----------
-    rows:
-        ``(n_rows, n)`` of already min-max-normalized series.
-    pairs_i, pairs_j:
-        Row indices of each pair.
-    m:
-        Delay scan bound.
-
-    Returns
-    -------
-    numpy.ndarray
-        ``(n_pairs, 2 * m + 1)`` profiles for lags ``-m .. m``.
+    The returned arrays have shape ``(n_rows, n + 1)`` so segment sums over
+    ``[a, b)`` are ``prefix[:, b] - prefix[:, a]``.  Shared by the in-place
+    fast path and the batched engine's incremental window cache.
     """
-    n_rows, n = rows.shape
-    size = 1 << int(np.ceil(np.log2(max(2 * n, 2))))
-    spectra = np.fft.rfft(rows, size, axis=1)
-    cross = spectra[pairs_i] * np.conj(spectra[pairs_j])
-    circular = np.fft.irfft(cross, size, axis=1)  # (P, size)
-    lags = np.arange(-m, m + 1)
-    dot_index = np.where(lags >= 0, lags, size + lags)
-    dots = circular[:, dot_index]
-
+    n_rows = rows.shape[0]
     prefix = np.concatenate(
         [np.zeros((n_rows, 1)), np.cumsum(rows, axis=1)], axis=1
     )
     prefix_sq = np.concatenate(
         [np.zeros((n_rows, 1)), np.cumsum(rows**2, axis=1)], axis=1
     )
+    return prefix, prefix_sq
+
+
+def _pair_profiles_from_stats(
+    dots: np.ndarray,
+    prefix: np.ndarray,
+    prefix_sq: np.ndarray,
+    pairs_i: np.ndarray,
+    pairs_j: np.ndarray,
+    m: int,
+    n: int,
+) -> np.ndarray:
+    """Finish batched lag profiles from raw dots and per-row prefix sums.
+
+    Applies the mean/variance bookkeeping of Eq. (3)/(4) and the shared
+    flat-sentinel rules elementwise over a ``(n_pairs, 2 * m + 1)`` grid.
+    Both :func:`_pairwise_profiles` and the batched engine
+    (:mod:`repro.engine.batched`) call this, so the two stay elementwise
+    identical by construction.
+    """
+    lags = np.arange(-m, m + 1)
     lengths = (n - np.abs(lags)).astype(np.float64)
     positive = lags >= 0
     s_pos = lags[positive]
@@ -293,6 +291,57 @@ def _pairwise_profiles(
             int(np.count_nonzero(flat_x | flat_y))
         )
     return np.clip(profiles, -1.0, 1.0)
+
+
+def _lagged_raw_dots(
+    rows: np.ndarray, pairs_i: np.ndarray, pairs_j: np.ndarray, m: int
+) -> np.ndarray:
+    """Raw lagged segment dot products for many row pairs via one FFT.
+
+    Computes ``dots[p, k] = sum_i x[i + lag_k] * y[i]`` over the overlap
+    for every pair ``p`` and lag ``-m .. m`` using a single batched
+    circular cross-correlation (zero-padded to the next power of two).
+    """
+    n = rows.shape[1]
+    size = 1 << int(np.ceil(np.log2(max(2 * n, 2))))
+    spectra = np.fft.rfft(rows, size, axis=1)
+    cross = spectra[pairs_i] * np.conj(spectra[pairs_j])
+    circular = np.fft.irfft(cross, size, axis=1)  # (P, size)
+    lags = np.arange(-m, m + 1)
+    dot_index = np.where(lags >= 0, lags, size + lags)
+    return circular[:, dot_index]
+
+
+def _pairwise_profiles(
+    rows: np.ndarray, pairs_i: np.ndarray, pairs_j: np.ndarray, m: int
+) -> np.ndarray:
+    """Lagged correlation profiles for many row pairs at once.
+
+    One batched FFT cross-correlation plus shared prefix sums replaces the
+    per-pair scans: for a unit's 10 database pairs over 14 KPIs this is
+    the difference between ~3000 small numpy calls per detection round and
+    ~10 vectorized ones.
+
+    Parameters
+    ----------
+    rows:
+        ``(n_rows, n)`` of already min-max-normalized series.
+    pairs_i, pairs_j:
+        Row indices of each pair.
+    m:
+        Delay scan bound.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_pairs, 2 * m + 1)`` profiles for lags ``-m .. m``.
+    """
+    n = rows.shape[1]
+    dots = _lagged_raw_dots(rows, pairs_i, pairs_j, m)
+    prefix, prefix_sq = _row_prefix_sums(rows)
+    return _pair_profiles_from_stats(
+        dots, prefix, prefix_sq, pairs_i, pairs_j, m, n
+    )
 
 
 def kcd_matrix(

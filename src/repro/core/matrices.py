@@ -138,6 +138,7 @@ def build_correlation_matrices(
     max_delay: int | None = None,
     active: np.ndarray | None = None,
     measure=None,
+    engine=None,
 ) -> List[CorrelationMatrix]:
     """Compute all ``Q`` correlation matrices for one observation window.
 
@@ -153,13 +154,23 @@ def build_correlation_matrices(
         Optional in-use database mask.
     measure:
         Optional replacement correlation measure (see
-        :func:`repro.core.kcd.kcd_matrix`).
+        :func:`repro.core.kcd.kcd_matrix`).  Mutually exclusive with
+        ``engine``.
+    engine:
+        Optional :class:`repro.engine.KCDEngine` to delegate to (e.g. a
+        :class:`~repro.engine.batched.BatchedEngine` shared across calls).
+        ``None`` keeps the classic per-KPI :func:`~repro.core.kcd.kcd_matrix`
+        path.
 
     Returns
     -------
     list of CorrelationMatrix
         One matrix per KPI, in ``kpi_names`` order.
     """
+    if engine is not None:
+        if measure is not None:
+            raise ValueError("pass either engine or measure, not both")
+        return engine.matrices(window, kpi_names, max_delay=max_delay, active=active)
     data = np.asarray(window, dtype=np.float64)
     if data.ndim != 3:
         raise ValueError(

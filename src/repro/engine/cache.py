@@ -1,0 +1,211 @@
+"""Incremental window cache for the batched KCD engine.
+
+The flexible window expands in place — same start tick, growing end — and
+between rounds it slides forward.  Re-running the whole normalize/cumsum
+pipeline on every expansion step wastes the work already done on the
+window's prefix, so the cache keeps, per ``(window_start, active mask)``
+key:
+
+* the raw per-row minima / maxima (extendable with one pass over the new
+  chunk);
+* the min-max-normalized rows;
+* their running (prefix) sums and sums of squares, which the lag-profile
+  kernel consumes directly.
+
+On an expansion, rows whose raw min/max did not change keep their old
+normalized prefix byte-for-byte and only the new chunk is normalized and
+accumulated; rows whose extremes moved are renormalized in full (the
+normalization is an affine map of the extremes, so every old point
+changes with them).  A different window start or a changed ``active``
+membership invalidates the entry — correlation evidence from one round
+or one fleet membership must never leak into another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.kcd import _row_prefix_sums
+
+__all__ = ["CacheStats", "WindowCache"]
+
+
+@dataclass
+class CacheStats:
+    """Counters the batched engine mirrors into the obs registry.
+
+    ``hits`` are calls served by extending (or directly reusing) a cached
+    window; ``misses`` are fresh builds with no reusable entry;
+    ``invalidations`` count discarded entries (window slid, or the active
+    membership changed); ``rows_renormalized`` counts rows whose raw
+    extremes moved during an extension and had to be renormalized in
+    full.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    rows_renormalized: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "rows_renormalized": self.rows_renormalized,
+        }
+
+
+def _normalize_rows(raw: np.ndarray) -> np.ndarray:
+    """Min-max normalize every row (vectorized Eq. 1).
+
+    Elementwise identical to mapping
+    :func:`repro.core.normalize.minmax_normalize` over the rows: constant
+    and non-finite rows normalize to zeros, everything else to
+    ``(x - min) / (max - min)``.
+    """
+    lows = raw.min(axis=1)
+    spans = raw.max(axis=1) - lows
+    usable = np.isfinite(spans) & (spans != 0.0)
+    out = np.zeros_like(raw)
+    if usable.any():
+        out[usable] = (raw[usable] - lows[usable, None]) / spans[usable, None]
+    return out
+
+
+class WindowCache:
+    """Per-engine incremental cache of normalized rows and running sums."""
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+        self._key: Optional[Tuple[int, bytes]] = None
+        self._n_points: int = 0
+        self._raw_min: Optional[np.ndarray] = None
+        self._raw_max: Optional[np.ndarray] = None
+        self._rows: Optional[np.ndarray] = None
+        self._prefix: Optional[np.ndarray] = None
+        self._prefix_sq: Optional[np.ndarray] = None
+
+    def invalidate(self) -> None:
+        """Drop the cached entry (counted when one was present)."""
+        if self._key is not None:
+            self.stats.invalidations += 1
+        self._key = None
+        self._n_points = 0
+        self._raw_min = None
+        self._raw_max = None
+        self._rows = None
+        self._prefix = None
+        self._prefix_sq = None
+
+    def rows_and_sums(
+        self,
+        raw_rows: np.ndarray,
+        window_start: Optional[int],
+        active_key: bytes,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Normalized rows plus prefix sums for one window's raw rows.
+
+        Parameters
+        ----------
+        raw_rows:
+            ``(n_rows, n_points)`` float64 raw window rows.  The cache
+            trusts ``(window_start, active_key, n_points)`` to identify
+            the window: callers must pass the rows the key describes.
+        window_start:
+            Absolute first tick of the window, or ``None`` to bypass the
+            cache entirely (stateless call; counted as a miss but the
+            entry is neither read nor written).
+        active_key:
+            Opaque membership fingerprint (the active mask's bytes).
+        """
+        n_points = raw_rows.shape[1]
+        if window_start is None:
+            self.stats.misses += 1
+            rows = _normalize_rows(raw_rows)
+            prefix, prefix_sq = _row_prefix_sums(rows)
+            return rows, prefix, prefix_sq
+        key = (int(window_start), active_key)
+        if self._key == key and n_points == self._n_points:
+            self.stats.hits += 1
+            assert self._rows is not None
+            return self._rows, self._prefix, self._prefix_sq
+        if self._key == key and n_points > self._n_points:
+            self._extend(raw_rows)
+            self.stats.hits += 1
+            assert self._rows is not None
+            return self._rows, self._prefix, self._prefix_sq
+        if self._key is not None:
+            self.stats.invalidations += 1
+        self.stats.misses += 1
+        self._build(raw_rows, key)
+        assert self._rows is not None
+        return self._rows, self._prefix, self._prefix_sq
+
+    def _build(self, raw_rows: np.ndarray, key: Tuple[int, bytes]) -> None:
+        self._key = key
+        self._n_points = raw_rows.shape[1]
+        self._raw_min = raw_rows.min(axis=1)
+        self._raw_max = raw_rows.max(axis=1)
+        self._rows = _normalize_rows(raw_rows)
+        self._prefix, self._prefix_sq = _row_prefix_sums(self._rows)
+
+    def _extend(self, raw_rows: np.ndarray) -> None:
+        """Grow the cached window in place with the newly arrived chunk.
+
+        Rows whose raw extremes (and hence normalization) are unchanged
+        keep their cached normalized prefix and running sums; only the new
+        chunk is normalized and accumulated onto them.  Rows whose
+        extremes moved — or that carry non-finite data — are rebuilt in
+        full, because every old normalized point changes with the affine
+        map.
+        """
+        assert self._rows is not None
+        old_n = self._n_points
+        new_n = raw_rows.shape[1]
+        chunk = raw_rows[:, old_n:]
+        new_min = np.minimum(self._raw_min, chunk.min(axis=1))
+        new_max = np.maximum(self._raw_max, chunk.max(axis=1))
+        spans = new_max - new_min
+        # NaN extremes compare unequal to themselves and infinite spans
+        # normalize to all-zero rows, so both take the rebuild path.
+        with np.errstate(invalid="ignore"):
+            unchanged = (
+                (new_min == self._raw_min)
+                & (new_max == self._raw_max)
+                & np.isfinite(spans)
+            )
+        self._raw_min = new_min
+        self._raw_max = new_max
+        self._n_points = new_n
+
+        n_rows = raw_rows.shape[0]
+        rows = np.empty_like(raw_rows)
+        prefix = np.empty((n_rows, new_n + 1), dtype=np.float64)
+        prefix_sq = np.empty((n_rows, new_n + 1), dtype=np.float64)
+        changed = ~unchanged
+        if changed.any():
+            self.stats.rows_renormalized += int(changed.sum())
+            rows[changed] = _normalize_rows(raw_rows[changed])
+            prefix[changed], prefix_sq[changed] = _row_prefix_sums(rows[changed])
+        if unchanged.any():
+            rows[unchanged, :old_n] = self._rows[unchanged]
+            lows = new_min[unchanged]
+            live_spans = np.where(spans[unchanged] == 0.0, 1.0, spans[unchanged])
+            normalized_chunk = (chunk[unchanged] - lows[:, None]) / live_spans[:, None]
+            normalized_chunk[spans[unchanged] == 0.0] = 0.0
+            rows[unchanged, old_n:] = normalized_chunk
+            prefix[unchanged, : old_n + 1] = self._prefix[unchanged]
+            prefix_sq[unchanged, : old_n + 1] = self._prefix_sq[unchanged]
+            prefix[unchanged, old_n + 1 :] = self._prefix[unchanged, -1:] + np.cumsum(
+                normalized_chunk, axis=1
+            )
+            prefix_sq[unchanged, old_n + 1 :] = self._prefix_sq[
+                unchanged, -1:
+            ] + np.cumsum(normalized_chunk**2, axis=1)
+        self._rows = rows
+        self._prefix = prefix
+        self._prefix_sq = prefix_sq

@@ -79,7 +79,7 @@ class HybridDetector:
 
         correlation = np.zeros((unit.n_databases, n_windows), dtype=bool)
         catcher = DBCatcher(self.config, n_databases=unit.n_databases)
-        catcher.detect_series(unit.values)
+        catcher.process(unit.values, time_axis=-1)
         for record in catcher.history:
             if not record.predicted_abnormal:
                 continue

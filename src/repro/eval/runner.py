@@ -125,7 +125,7 @@ def run_dbcatcher_trial(
     window_sizes: List[float] = []
     for unit in test.units:
         detector = DBCatcher(tuned, n_databases=unit.n_databases, measure=measure)
-        detector.detect_series(unit.values)
+        detector.process(unit.values, time_axis=-1)
         counts = counts + adjusted_confusion_from_records(
             detector.history, unit.labels
         )

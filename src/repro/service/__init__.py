@@ -39,10 +39,12 @@ from repro.service.alerts import (
 )
 from repro.service.config import BACKPRESSURE_POLICIES, ServiceConfig
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.protocols import TickSource
 from repro.service.queues import IngestionBridge, QueueClosed, QueueFull, TickQueue
 from repro.service.scheduler import DetectionService, ServiceReport, detect_fleet
 from repro.service.sources import (
     MonitorSource,
+    MonitorStreamSource,
     ReplaySource,
     RetryingSource,
     TickEvent,
@@ -71,6 +73,7 @@ __all__ = [
     "MemorySink",
     "MetricsRegistry",
     "MonitorSource",
+    "MonitorStreamSource",
     "ProcessWorkerPool",
     "QueueClosed",
     "QueueFull",
@@ -82,6 +85,7 @@ __all__ = [
     "StdoutSink",
     "TickEvent",
     "TickQueue",
+    "TickSource",
     "UnitSpec",
     "WorkerDied",
     "build_sink",

@@ -1,0 +1,51 @@
+"""The tick-source contract every service feed satisfies.
+
+The scheduler, the chaos harness and the CLI all consume tick feeds
+duck-typed until now; :class:`TickSource` writes the contract down once.
+A source describes its fleet (``units``, ``kpi_names``,
+``interval_seconds``) and iterates :class:`~repro.service.sources.TickEvent`
+objects with per-unit monotonically increasing sequence numbers.
+
+The protocol is :func:`~typing.runtime_checkable`, so conformance is an
+``isinstance`` check — which is exactly what the protocol test does for
+every shipped source (:class:`~repro.service.sources.ReplaySource`,
+:class:`~repro.service.sources.MonitorSource`,
+:class:`~repro.service.sources.MonitorStreamSource`,
+:class:`~repro.service.sources.RetryingSource`,
+:class:`~repro.chaos.source.ChaosSource`).  Sources may additionally
+expose ``take_actions()`` for control-plane events (scale-out, failover);
+the scheduler probes for it with ``getattr``, it is not part of the
+minimum contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Protocol, Tuple, runtime_checkable
+
+from repro.service.sources import TickEvent
+
+__all__ = ["TickSource"]
+
+
+@runtime_checkable
+class TickSource(Protocol):
+    """What the detection service needs from a feed of monitoring ticks."""
+
+    @property
+    def units(self) -> Dict[str, int]:
+        """Unit name -> database count, for sharding and detector setup."""
+        ...
+
+    @property
+    def kpi_names(self) -> Tuple[str, ...]:
+        """KPI names shared by every unit in the fleet."""
+        ...
+
+    @property
+    def interval_seconds(self) -> float:
+        """Collection cadence the stream was sampled at."""
+        ...
+
+    def __iter__(self) -> Iterator[TickEvent]:
+        """Yield tick events; ``seq`` is per-unit gapless at the source."""
+        ...

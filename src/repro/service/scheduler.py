@@ -29,6 +29,7 @@ from repro.service.alerts import Alert, AlertPipeline, AlertSink
 from repro.service.config import ServiceConfig
 from repro.service.metrics import MetricsRegistry
 from repro.service.queues import IngestionBridge
+from repro.service.protocols import TickSource
 from repro.service.sources import ReplaySource, TickEvent
 from repro.service.workers import UnitSpec, make_pool
 
@@ -133,7 +134,7 @@ class DetectionService:
 
     def run(
         self,
-        source,
+        source: "TickSource",
         max_ticks: Optional[int] = None,
         collect_results: bool = True,
     ) -> ServiceReport:
@@ -142,8 +143,9 @@ class DetectionService:
         Parameters
         ----------
         source:
-            Anything with ``units`` (name -> database count),
-            ``interval_seconds`` and iteration yielding
+            Any :class:`~repro.service.protocols.TickSource` — ``units``
+            (name -> database count), ``kpi_names``, ``interval_seconds``
+            and iteration yielding
             :class:`~repro.service.sources.TickEvent`.
         max_ticks:
             Optional cap on ticks consumed *per unit*.

@@ -11,12 +11,17 @@ Two ways monitoring ticks reach the service:
   :meth:`~repro.cluster.monitor.BypassMonitor.stream` online collector,
   so ticks are *generated* as the service consumes them, exactly like the
   paper's bypass monitoring pipeline feeding DBCatcher every 5 s.
+* :class:`MonitorStreamSource` — adapts one already-built
+  :class:`~repro.cluster.monitor.BypassMonitor` (its raw ``stream`` of
+  bare KPI matrices) into a single-unit tick source, for callers that
+  configured the monitor themselves — custom settings, fault injectors.
 * :class:`RetryingSource` — resilience wrapper: rebuilds a failing source
   with exponential backoff and resumes where delivery stopped, so one
   transport hiccup costs a sequence gap instead of the whole run.
 
-All yield :class:`TickEvent`\\ s with per-unit monotonically increasing
-sequence numbers, which is what the bridge's loss accounting keys on.
+All satisfy :class:`~repro.service.protocols.TickSource`: they yield
+:class:`TickEvent`\\ s with per-unit monotonically increasing sequence
+numbers, which is what the bridge's loss accounting keys on.
 """
 
 from __future__ import annotations
@@ -28,7 +33,13 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["TickEvent", "ReplaySource", "MonitorSource", "RetryingSource"]
+__all__ = [
+    "TickEvent",
+    "ReplaySource",
+    "MonitorSource",
+    "MonitorStreamSource",
+    "RetryingSource",
+]
 
 
 @dataclass(frozen=True)
@@ -212,6 +223,50 @@ class MonitorSource:
         for t in range(horizon):
             for unit, stream in zip(self._units, streams):
                 yield TickEvent(unit=unit.name, seq=t, sample=next(stream))
+
+
+class MonitorStreamSource:
+    """Adapt one bypass monitor's raw stream to the tick-source contract.
+
+    :meth:`~repro.cluster.monitor.BypassMonitor.stream` yields bare
+    ``(n_databases, n_kpis)`` arrays; this wrapper stamps them with the
+    unit name and a gapless sequence number so a hand-configured monitor
+    (custom settings, fault injectors) plugs straight into
+    :meth:`~repro.service.scheduler.DetectionService.run` like any other
+    :class:`~repro.service.protocols.TickSource`.
+
+    Parameters
+    ----------
+    monitor:
+        A ready :class:`~repro.cluster.monitor.BypassMonitor`.
+    demands:
+        Request mixes to drive the unit with, one per tick.
+    injectors:
+        Optional fault injectors forwarded to the stream.
+    """
+
+    def __init__(self, monitor, demands: Sequence, injectors: Sequence = ()):
+        self._monitor = monitor
+        self._demands = list(demands)
+        self._injectors = tuple(injectors)
+
+    @property
+    def units(self) -> Dict[str, int]:
+        return {self._monitor.unit.name: self._monitor.unit.n_databases}
+
+    @property
+    def kpi_names(self) -> Tuple[str, ...]:
+        return tuple(self._monitor.unit.kpi_names)
+
+    @property
+    def interval_seconds(self) -> float:
+        return float(self._monitor.settings.interval_seconds)
+
+    def __iter__(self) -> Iterator[TickEvent]:
+        name = self._monitor.unit.name
+        stream = self._monitor.stream(self._demands, injectors=self._injectors)
+        for seq, sample in enumerate(stream):
+            yield TickEvent(unit=name, seq=seq, sample=sample)
 
 
 class RetryingSource:

@@ -79,9 +79,13 @@ def shard_units(unit_names: Sequence[str], n_workers: int) -> List[List[str]]:
 def _build_detectors(
     specs: Sequence[UnitSpec], history_limit: Optional[int]
 ) -> Dict[str, DBCatcher]:
+    # The pool's retention policy wins over whatever the spec's config
+    # carries (including None): the parent collects results on every
+    # dispatch, so worker-side detectors never need deep history.
     return {
         spec.name: DBCatcher(
-            spec.config, n_databases=spec.n_databases, history_limit=history_limit
+            dataclasses.replace(spec.config, history_limit=history_limit),
+            n_databases=spec.n_databases,
         )
         for spec in specs
     }
@@ -125,7 +129,7 @@ class SerialWorkerPool:
         """Feed each unit its batch; return completed rounds per unit."""
         results: Dict[str, List[UnitDetectionResult]] = {}
         for unit, block in batches.items():
-            results[unit] = self.detectors[unit].ingest_block(block)
+            results[unit] = self.detectors[unit].process(block)
         return results
 
     def component_seconds(self) -> Dict[str, float]:
@@ -154,7 +158,7 @@ def _worker_main(conn, specs: List[UnitSpec], history_limit: Optional[int]) -> N
         if kind == "batch":
             replies = []
             for unit, block in message[1]:
-                replies.append((unit, detectors[unit].ingest_block(block)))
+                replies.append((unit, detectors[unit].process(block)))
             conn.send(("results", replies))
         elif kind == "snapshot":
             conn.send(

@@ -101,7 +101,7 @@ class DetectionObjective:
         counts = ConfusionCounts()
         for values, labels in self._pairs:
             detector = DBCatcher(candidate, n_databases=values.shape[0])
-            detector.detect_series(values)
+            detector.process(values, time_axis=-1)
             # Fitness uses the same segment-adjusted convention the
             # evaluation reports, so the GA optimizes what is measured.
             counts = counts + adjusted_confusion_from_records(

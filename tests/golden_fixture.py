@@ -61,11 +61,19 @@ def _matrix_summaries(matrices) -> Dict[str, Dict[str, float]]:
     return summaries
 
 
-def build_golden_snapshot() -> Dict[str, object]:
-    """Run the golden configuration and capture the full snapshot."""
+def build_golden_snapshot(backend: str = "batched") -> Dict[str, object]:
+    """Run the golden configuration and capture the full snapshot.
+
+    ``backend`` selects the KCD engine for both the detection run and the
+    per-round matrix summaries; the committed fixture must hold for every
+    backend (verdicts exactly, summaries within ``MATRIX_TOLERANCE``).
+    """
+    from dataclasses import replace
+
     from repro.core.detector import DBCatcher
     from repro.core.matrices import build_correlation_matrices
     from repro.datasets import build_mixed_dataset
+    from repro.engine import make_engine
     from repro.presets import default_config
 
     dataset = build_mixed_dataset(
@@ -74,8 +82,11 @@ def build_golden_snapshot() -> Dict[str, object]:
         n_units=GOLDEN_UNITS,
         ticks_per_unit=GOLDEN_TICKS,
     )
-    config = default_config(
-        initial_window=GOLDEN_INITIAL_WINDOW, max_window=GOLDEN_MAX_WINDOW
+    config = replace(
+        default_config(
+            initial_window=GOLDEN_INITIAL_WINDOW, max_window=GOLDEN_MAX_WINDOW
+        ),
+        backend=backend,
     )
     snapshot: Dict[str, object] = {
         "family": GOLDEN_FAMILY,
@@ -91,13 +102,15 @@ def build_golden_snapshot() -> Dict[str, object]:
     for unit in dataset.units:
         values = np.asarray(unit.values, dtype=np.float64)
         detector = DBCatcher(config, unit.n_databases)
-        results = detector.detect_series(values)
+        results = detector.process(values, time_axis=-1)
+        engine = make_engine(backend)
         rounds = []
         for result in results:
             matrices = build_correlation_matrices(
                 values[:, :, result.start:result.end],
                 config.kpi_names,
                 max_delay=config.max_delay(result.window_size),
+                engine=engine,
             )
             rounds.append({
                 "start": result.start,

@@ -97,7 +97,7 @@ class TestNaNNeverLeaks:
             kpi_names=("cpu", "rps"), initial_window=8, max_window=16
         )
         detector = DBCatcher(config, n_databases=values.shape[0])
-        results = detector.detect_series(values)
+        results = detector.process(values, time_axis=-1)
         for result in results:
             for record in result.records.values():
                 assert record.state in (
@@ -115,7 +115,7 @@ class TestNaNNeverLeaks:
         config = DBCatcherConfig(
             kpi_names=("cpu", "rps"), initial_window=8, max_window=16
         )
-        results = DBCatcher(config, n_databases=4).detect_series(values)
+        results = DBCatcher(config, n_databases=4).process(values, time_axis=-1)
         judged = [
             record for result in results for record in result.records.values()
         ]

@@ -96,5 +96,5 @@ class TestMMFramework:
             config, tencent_unit.n_databases, measure=spy_measure,
             flexible_window=False,
         )
-        detector.detect_series(tencent_unit.values[:, :, :60])
+        detector.process(tencent_unit.values[:, :, :60], time_axis=-1)
         assert calls  # the measure actually replaced the KCD

@@ -1,0 +1,112 @@
+"""The pre-1.2 ingestion API survives as warning shims over process().
+
+Each deprecated name must (a) emit a DeprecationWarning and (b) produce
+exactly what the corresponding ``process()`` call produces, so migrating
+is a rename and nothing else.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DBCatcherConfig
+from repro.core.detector import DBCatcher
+
+
+def _config(**overrides):
+    defaults = dict(kpi_names=("cpu",), initial_window=10, max_window=30)
+    defaults.update(overrides)
+    return DBCatcherConfig(**defaults)
+
+
+def _series(n_dbs=3, n_ticks=40, seed=0):
+    rng = np.random.default_rng(seed)
+    trend = np.sin(np.linspace(0, 8, n_ticks)) + 2.0
+    return np.stack(
+        [trend[None, :] + 0.01 * rng.standard_normal((1, n_ticks))
+         for _ in range(n_dbs)]
+    )
+
+
+class TestDeprecatedIngestion:
+    def test_detect_series_warns_and_matches_process(self):
+        series = _series()
+        old = DBCatcher(_config(), n_databases=3)
+        new = DBCatcher(_config(), n_databases=3)
+        with pytest.warns(DeprecationWarning, match="detect_series"):
+            old_results = old.detect_series(series)
+        new_results = new.process(series, time_axis=-1)
+        assert old_results == new_results
+        assert old.history == new.history
+
+    def test_ingest_warns_and_matches_process(self):
+        series = _series()
+        old = DBCatcher(_config(), n_databases=3)
+        new = DBCatcher(_config(), n_databases=3)
+        old_results, new_results = [], []
+        for t in range(series.shape[2]):
+            with pytest.warns(DeprecationWarning, match="ingest"):
+                old_results += old.ingest(series[:, :, t])
+            new_results += new.process(series[:, :, t])
+        assert old_results == new_results
+
+    def test_ingest_block_warns_and_matches_process(self):
+        block = _series().transpose(2, 0, 1)
+        old = DBCatcher(_config(), n_databases=3)
+        new = DBCatcher(_config(), n_databases=3)
+        with pytest.warns(DeprecationWarning, match="ingest_block"):
+            old_results = old.ingest_block(block)
+        assert old_results == new.process(block)
+
+    def test_detect_series_still_rejects_non_3d(self):
+        catcher = DBCatcher(_config(), n_databases=3)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                catcher.detect_series(np.zeros((3, 1)))
+
+
+class TestDeprecatedHistoryLimit:
+    def test_kwarg_warns_and_overrides_config(self):
+        with pytest.warns(DeprecationWarning, match="history_limit"):
+            old = DBCatcher(_config(), n_databases=3, history_limit=2)
+        new = DBCatcher(_config(history_limit=2), n_databases=3)
+        series = _series(n_ticks=100)
+        assert old.config.history_limit == 2
+        assert old.process(series, time_axis=-1) is not None
+        new.process(series, time_axis=-1)
+        assert len(old.results) == len(new.results) == 2
+
+    def test_explicit_none_still_warns(self):
+        with pytest.warns(DeprecationWarning, match="history_limit"):
+            catcher = DBCatcher(
+                _config(history_limit=2), n_databases=3, history_limit=None
+            )
+        assert catcher.config.history_limit is None
+
+    def test_invalid_kwarg_still_rejected(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                DBCatcher(_config(), n_databases=3, history_limit=0)
+
+
+class TestProcessValidation:
+    def test_single_tick_and_block_agree(self):
+        series = _series(n_ticks=30)
+        tick_by_tick = DBCatcher(_config(), n_databases=3)
+        block = DBCatcher(_config(), n_databases=3)
+        results = []
+        for t in range(series.shape[2]):
+            results += tick_by_tick.process(series[:, :, t])
+        assert results == block.process(series.transpose(2, 0, 1))
+
+    def test_time_axis_layouts_agree(self):
+        series = _series(n_ticks=30)
+        a = DBCatcher(_config(), n_databases=3)
+        b = DBCatcher(_config(), n_databases=3)
+        assert a.process(series, time_axis=-1) == b.process(
+            series.transpose(2, 0, 1), time_axis=0
+        )
+
+    def test_bad_time_axis_rejected(self):
+        catcher = DBCatcher(_config(), n_databases=3)
+        with pytest.raises(ValueError, match="time_axis"):
+            catcher.process(np.zeros((3, 1, 10)), time_axis=1)

@@ -35,13 +35,13 @@ class TestStreaming:
         catcher = DBCatcher(_config(), n_databases=4)
         series = _correlated_series()
         for t in range(9):
-            assert catcher.ingest(series[:, :, t]) == []
-        results = catcher.ingest(series[:, :, 9])
+            assert catcher.process(series[:, :, t]) == []
+        results = catcher.process(series[:, :, 9])
         assert len(results) == 1
 
     def test_rounds_tile_the_stream(self):
         catcher = DBCatcher(_config(), n_databases=4)
-        results = catcher.detect_series(_correlated_series(n_ticks=100))
+        results = catcher.process(_correlated_series(n_ticks=100), time_axis=-1)
         assert results
         assert results[0].start == 0
         for prev, cur in zip(results, results[1:]):
@@ -49,13 +49,13 @@ class TestStreaming:
 
     def test_healthy_unit_yields_no_abnormal(self):
         catcher = DBCatcher(_config(), n_databases=4)
-        results = catcher.detect_series(_correlated_series(n_ticks=100))
+        results = catcher.process(_correlated_series(n_ticks=100), time_axis=-1)
         for result in results:
             assert result.abnormal_databases == ()
 
     def test_records_one_per_database(self):
         catcher = DBCatcher(_config(), n_databases=4)
-        results = catcher.detect_series(_correlated_series(n_ticks=50))
+        results = catcher.process(_correlated_series(n_ticks=50), time_axis=-1)
         for result in results:
             assert set(result.records) == {0, 1, 2, 3}
 
@@ -64,14 +64,14 @@ class TestStreaming:
         rng = np.random.default_rng(99)
         series[2, :, 40:] = np.cumsum(rng.standard_normal((2, 60)), axis=1) + 10.0
         catcher = DBCatcher(_config(), n_databases=4)
-        results = catcher.detect_series(series)
+        results = catcher.process(series, time_axis=-1)
         flagged = {db for r in results for db in r.abnormal_databases}
         assert 2 in flagged
         assert flagged <= {2}
 
     def test_history_matches_results(self):
         catcher = DBCatcher(_config(), n_databases=4)
-        results = catcher.detect_series(_correlated_series(n_ticks=60))
+        results = catcher.process(_correlated_series(n_ticks=60), time_axis=-1)
         assert len(catcher.history) == sum(len(r.records) for r in results)
 
     def test_average_window_size_defaults_to_initial(self):
@@ -85,7 +85,9 @@ class TestStreaming:
     def test_bad_series_shape_rejected(self):
         catcher = DBCatcher(_config(), n_databases=4)
         with pytest.raises(ValueError):
-            catcher.detect_series(np.zeros((4, 10)))
+            catcher.process(np.zeros((4, 1, 10, 2)))
+        with pytest.raises(ValueError):
+            catcher.process(np.zeros((4, 1, 10)), time_axis=1)
 
 
 class TestExpansion:
@@ -98,7 +100,7 @@ class TestExpansion:
             + 0.05 * rng.standard_normal(200)
         config = _config(theta=0.35)
         catcher = DBCatcher(config, n_databases=4)
-        results = catcher.detect_series(series)
+        results = catcher.process(series, time_axis=-1)
         sizes = {r.window_size for r in results}
         assert any(size > config.initial_window for size in sizes)
 
@@ -107,7 +109,7 @@ class TestExpansion:
         series[2, 0, :] *= 1.0 + 0.3 * np.sin(np.linspace(0, 40, 200))
         config = _config(theta=0.4, max_window=30)
         catcher = DBCatcher(config, n_databases=4)
-        for result in catcher.detect_series(series):
+        for result in catcher.process(series, time_axis=-1):
             assert result.window_size <= 30
 
 
@@ -117,7 +119,7 @@ class TestActiveMask:
         catcher = DBCatcher(
             _config(), n_databases=4, active=[True, True, False, True]
         )
-        results = catcher.detect_series(series)
+        results = catcher.process(series, time_axis=-1)
         for result in results:
             assert 2 not in result.records
 
@@ -126,14 +128,14 @@ class TestActiveMask:
         catcher = DBCatcher(
             _config(), n_databases=4, active=[True, False, False, False]
         )
-        assert catcher.detect_series(series) == []
+        assert catcher.process(series, time_axis=-1) == []
 
     def test_set_active_applies_next_round(self):
         series = _correlated_series(n_ticks=60)
         catcher = DBCatcher(_config(), n_databases=4)
-        catcher.ingest_block(series[:, :, :20].transpose(2, 0, 1))
+        catcher.process(series[:, :, :20].transpose(2, 0, 1))
         catcher.set_active([True, True, True, False])
-        results = catcher.ingest_block(series[:, :, 20:].transpose(2, 0, 1))
+        results = catcher.process(series[:, :, 20:].transpose(2, 0, 1))
         assert all(3 not in r.records for r in results)
 
 

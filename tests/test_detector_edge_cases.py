@@ -26,7 +26,7 @@ def _correlated(n_dbs, n_ticks, seed=0):
 class TestPartialData:
     def test_leftover_tail_is_not_judged(self):
         catcher = DBCatcher(_config(), n_databases=3)
-        catcher.detect_series(_correlated(3, 25))
+        catcher.process(_correlated(3, 25), time_axis=-1)
         # 25 ticks with W=10: two rounds, 5 leftover ticks unjudged.
         assert len(catcher.results) == 2
         assert catcher.results[-1].end == 20
@@ -34,21 +34,21 @@ class TestPartialData:
     def test_resume_after_partial(self):
         series = _correlated(3, 25)
         catcher = DBCatcher(_config(), n_databases=3)
-        catcher.detect_series(series)
-        more = catcher.detect_series(_correlated(3, 5, seed=1))
+        catcher.process(series, time_axis=-1)
+        more = catcher.process(_correlated(3, 5, seed=1), time_axis=-1)
         assert len(more) == 1
         assert more[0].start == 20
 
     def test_exact_window_boundary(self):
         catcher = DBCatcher(_config(), n_databases=3)
-        results = catcher.detect_series(_correlated(3, 30))
+        results = catcher.process(_correlated(3, 30), time_axis=-1)
         assert [r.start for r in results] == [0, 10, 20]
 
 
 class TestDegenerateData:
     def test_all_zero_series_is_healthy(self):
         catcher = DBCatcher(_config(), n_databases=3)
-        results = catcher.detect_series(np.zeros((3, 1, 40)))
+        results = catcher.process(np.zeros((3, 1, 40)), time_axis=-1)
         for result in results:
             assert result.abnormal_databases == ()
 
@@ -56,7 +56,7 @@ class TestDegenerateData:
         trend = np.sin(np.linspace(0, 8, 40)) + 2.0
         series = np.broadcast_to(trend, (3, 1, 40)).copy()
         catcher = DBCatcher(_config(), n_databases=3)
-        for result in catcher.detect_series(series):
+        for result in catcher.process(series, time_axis=-1):
             assert result.abnormal_databases == ()
 
     def test_single_flat_database_is_abnormal(self):
@@ -64,7 +64,7 @@ class TestDegenerateData:
         series[1] = 5.0  # stuck counter
         catcher = DBCatcher(_config(), n_databases=3)
         flagged = {
-            db for r in catcher.detect_series(series)
+            db for r in catcher.process(series, time_axis=-1)
             for db in r.abnormal_databases
         }
         assert flagged == {1}
@@ -72,7 +72,7 @@ class TestDegenerateData:
     def test_nan_free_pipeline_with_huge_values(self):
         series = _correlated(3, 40) * 1e12
         catcher = DBCatcher(_config(), n_databases=3)
-        results = catcher.detect_series(series)
+        results = catcher.process(series, time_axis=-1)
         assert results
         for record in catcher.history:
             assert record.state in (DatabaseState.HEALTHY, DatabaseState.ABNORMAL)
@@ -91,7 +91,7 @@ class TestWindowExpansionAccounting:
         series[2, 0] = trend * (1 + 0.3 * np.sin(np.linspace(0, 47, n_ticks)))
         config = _config(theta=0.45, max_window=40)
         catcher = DBCatcher(config, n_databases=3)
-        results = catcher.detect_series(series)
+        results = catcher.process(series, time_axis=-1)
         for prev, cur in zip(results, results[1:]):
             assert cur.start == prev.end
         expanded = [r for r in results if r.window_size > 10]
@@ -112,7 +112,7 @@ class TestWindowExpansionAccounting:
         )
         series[2, 0] = trend * (1 + 0.3 * np.sin(np.linspace(0, 47, n_ticks)))
         catcher = DBCatcher(_config(theta=0.45, max_window=40), n_databases=3)
-        catcher.detect_series(series)
+        catcher.process(series, time_axis=-1)
         assert any(rec.expansions > 0 for rec in catcher.history)
 
 
@@ -122,8 +122,8 @@ class TestBoundedServing:
     def test_buffer_stays_bounded_over_5k_ticks(self):
         """Regression: per-tick serving over >=5k ticks keeps the ring
         buffer trimmed to at most one round's worth of backlog."""
-        config = _config()
-        catcher = DBCatcher(config, n_databases=3, history_limit=4)
+        config = _config(history_limit=4)
+        catcher = DBCatcher(config, n_databases=3)
         rng = np.random.default_rng(0)
         n_ticks = 5000
         trend = np.sin(np.linspace(0, 400, n_ticks)) + 2.0
@@ -131,7 +131,7 @@ class TestBoundedServing:
         peak_capacity = 0
         for t in range(n_ticks):
             tick = trend[t] + 0.01 * rng.standard_normal((3, 1))
-            catcher.ingest(tick)
+            catcher.process(tick)
             peak_buffered = max(peak_buffered, len(catcher._streams))
             peak_capacity = max(peak_capacity, catcher._streams.capacity)
         # The worst case holds one expanded-but-unfinished window, so the
@@ -147,7 +147,7 @@ class TestBoundedServing:
         catcher = DBCatcher(_config(), n_databases=3)
         catcher.set_active([True, False, False])
         for t in range(500):
-            catcher.ingest(np.full((3, 1), float(t)))
+            catcher.process(np.full((3, 1), float(t)))
         assert len(catcher._streams) <= 1
         assert catcher.results == ()
 
@@ -155,17 +155,17 @@ class TestBoundedServing:
         catcher = DBCatcher(_config(), n_databases=3)
         catcher.set_active([True, False, False])
         for t in range(50):
-            catcher.ingest(np.full((3, 1), float(t)))
+            catcher.process(np.full((3, 1), float(t)))
         catcher.set_active([True, True, True])
-        results = catcher.detect_series(_correlated(3, 40))
+        results = catcher.process(_correlated(3, 40), time_axis=-1)
         assert results
         # The fresh round starts at the stream position where the fleet
         # became judgeable again, not back at tick zero.
         assert results[0].start >= 50
 
     def test_history_limit_keeps_latest_rounds(self):
-        catcher = DBCatcher(_config(), n_databases=3, history_limit=2)
-        catcher.detect_series(_correlated(3, 100))
+        catcher = DBCatcher(_config(history_limit=2), n_databases=3)
+        catcher.process(_correlated(3, 100), time_axis=-1)
         assert len(catcher.results) == 2
         assert catcher.results[-1].end == 100
         assert catcher.export_state()["rounds_completed"] == 10
@@ -173,11 +173,11 @@ class TestBoundedServing:
 
     def test_history_limit_validation(self):
         with pytest.raises(ValueError):
-            DBCatcher(_config(), n_databases=3, history_limit=0)
+            _config(history_limit=0)
 
     def test_export_state_snapshot(self):
         catcher = DBCatcher(_config(), n_databases=3)
-        catcher.detect_series(_correlated(3, 25))
+        catcher.process(_correlated(3, 25), time_axis=-1)
         state = catcher.export_state()
         assert state["rounds_completed"] == 2
         assert state["cursor"] == 20
@@ -193,9 +193,9 @@ class TestDetectorPickling:
 
         series = _correlated(3, 35)
         catcher = DBCatcher(_config(), n_databases=3)
-        first = catcher.detect_series(series[:, :, :25])
+        first = catcher.process(series[:, :, :25], time_axis=-1)
         clone = pickle.loads(pickle.dumps(catcher))
         rest = series[:, :, 25:]
-        assert clone.detect_series(rest) == catcher.detect_series(rest)
+        assert clone.process(rest, time_axis=-1) == catcher.process(rest, time_axis=-1)
         assert clone.history == catcher.history
         assert first  # the pre-pickle rounds actually happened

@@ -36,7 +36,7 @@ def _incident_records(injector, seed=0):
     values = monitor.collect(mixes, injectors=[injector])
     config = default_config().with_thresholds([0.8] * 14, 0.12, 2)
     catcher = DBCatcher(config, n_databases=5)
-    catcher.detect_series(values)
+    catcher.process(values, time_axis=-1)
     records = [
         r for r in catcher.history
         if r.state is DatabaseState.ABNORMAL and r.database == injector.victim

@@ -4,7 +4,9 @@ The committed fixture (``golden/tencent_seed0.json``) captures verdicts,
 state-machine paths, correlation levels and per-round KCD matrix
 summaries from one seeded tencent-workload detection run.  A fresh run
 of the same configuration must reproduce it: verdict/level/geometry
-fields exactly, matrix float summaries within 1e-9.  An intentional
+fields exactly, matrix float summaries within 1e-9.  The whole module is
+parametrized over the KCD engine backends, so one committed fixture pins
+both the batched and the reference compute paths.  An intentional
 behaviour change regenerates the fixture via
 ``PYTHONPATH=src python tests/golden_fixture.py`` — the git diff of the
 JSON then *is* the behaviour-change review artifact.
@@ -14,6 +16,8 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.config import BACKENDS
+
 from tests.golden_fixture import (
     GOLDEN_PATH,
     MATRIX_TOLERANCE,
@@ -22,9 +26,9 @@ from tests.golden_fixture import (
 )
 
 
-@pytest.fixture(scope="module")
-def fresh_snapshot():
-    return build_golden_snapshot()
+@pytest.fixture(scope="module", params=BACKENDS)
+def fresh_snapshot(request):
+    return build_golden_snapshot(backend=request.param)
 
 
 @pytest.fixture(scope="module")

@@ -33,7 +33,7 @@ def labelled_split():
 class TestDetectionPipeline:
     def test_clean_unit_has_high_precision(self, clean_unit):
         catcher = DBCatcher(default_config(), n_databases=5)
-        catcher.detect_series(clean_unit.values)
+        catcher.process(clean_unit.values, time_axis=-1)
         abnormal = [
             r for r in catcher.history if r.state is DatabaseState.ABNORMAL
         ]
@@ -42,7 +42,7 @@ class TestDetectionPipeline:
 
     def test_anomalous_unit_is_caught(self, tencent_unit):
         catcher = DBCatcher(default_config(), n_databases=5)
-        catcher.detect_series(tencent_unit.values)
+        catcher.process(tencent_unit.values, time_axis=-1)
         marked = mark_records(catcher.history, tencent_unit.labels)
         scores = scores_from_records(marked)
         assert scores.recall > 0.15
@@ -50,10 +50,10 @@ class TestDetectionPipeline:
 
     def test_streaming_equals_batch(self, tencent_unit):
         batch = DBCatcher(default_config(), n_databases=5)
-        batch.detect_series(tencent_unit.values)
+        batch.process(tencent_unit.values, time_axis=-1)
         streaming = DBCatcher(default_config(), n_databases=5)
         for tick in tencent_unit.values.transpose(2, 0, 1):
-            streaming.ingest(tick)
+            streaming.process(tick)
         assert len(batch.history) == len(streaming.history)
         for a, b in zip(batch.history, streaming.history):
             assert a.state == b.state
@@ -62,7 +62,7 @@ class TestDetectionPipeline:
 
     def test_component_seconds_accumulate(self, tencent_unit):
         catcher = DBCatcher(default_config(), n_databases=5)
-        catcher.detect_series(tencent_unit.values)
+        catcher.process(tencent_unit.values, time_axis=-1)
         assert catcher.component_seconds["correlation"] > 0
         assert catcher.component_seconds["observation"] > 0
         # The paper reports correlation measurement dominating (~70 %).
@@ -79,7 +79,7 @@ class TestFeedbackLoop:
         unit = train.units[0]
 
         catcher = DBCatcher(config, n_databases=unit.n_databases)
-        catcher.detect_series(unit.values)
+        catcher.process(unit.values, time_axis=-1)
         feedback = OnlineFeedback(min_f_measure=0.99)  # force retraining
         feedback.submit(catcher.history, unit.labels)
         feedback.remember_window(unit.values, unit.labels)
@@ -92,7 +92,7 @@ class TestFeedbackLoop:
         assert tuned is not None
 
         replay = DBCatcher(tuned, n_databases=unit.n_databases)
-        replay.detect_series(unit.values)
+        replay.process(unit.values, time_axis=-1)
         after = scores_from_records(
             mark_records(replay.history, unit.labels)
         ).f_measure

@@ -1,0 +1,119 @@
+"""Public-API snapshot: ``__all__`` of the user-facing packages, pinned.
+
+Renaming or dropping a public name is a breaking change that deserves a
+deliberate diff in this file, not a silent side effect of a refactor.
+Additions fail the test too — deciding whether a new name is public is
+exactly the review moment this snapshot exists to force.
+"""
+
+import repro
+import repro.core
+import repro.engine
+import repro.service
+
+EXPECTED = {
+    repro: [
+        "DBCatcher",
+        "DBCatcherConfig",
+        "DatabaseState",
+        "DetectionService",
+        "JudgementRecord",
+        "KCDEngine",
+        "OnlineFeedback",
+        "ServiceConfig",
+        "ServiceReport",
+        "UnitDetectionResult",
+        "detect_fleet",
+        "kcd",
+        "kcd_matrix",
+        "make_engine",
+        "__version__",
+    ],
+    repro.core: [
+        "BACKENDS",
+        "DBCatcher",
+        "DBCatcherConfig",
+        "CauseHypothesis",
+        "diagnose_record",
+        "UnitDetectionResult",
+        "OnlineFeedback",
+        "kcd",
+        "kcd_matrix",
+        "lagged_correlation_profile",
+        "LEVEL_EXTREME_DEVIATION",
+        "LEVEL_SLIGHT_DEVIATION",
+        "LEVEL_CORRELATED",
+        "CorrelationLevels",
+        "calculate_levels",
+        "score_to_level",
+        "CorrelationMatrix",
+        "build_correlation_matrices",
+        "DatabaseState",
+        "JudgementRecord",
+        "KPIStreams",
+        "FlexibleWindow",
+        "WindowDecision",
+    ],
+    repro.engine: [
+        "BatchedEngine",
+        "CacheStats",
+        "KCDEngine",
+        "ReferenceEngine",
+        "WindowCache",
+        "make_engine",
+        "validate_window",
+    ],
+    repro.service: [
+        "Alert",
+        "AlertPipeline",
+        "AlertSink",
+        "BACKPRESSURE_POLICIES",
+        "CallbackSink",
+        "Counter",
+        "DetectionService",
+        "Gauge",
+        "Histogram",
+        "IngestionBridge",
+        "JSONLSink",
+        "MemorySink",
+        "MetricsRegistry",
+        "MonitorSource",
+        "MonitorStreamSource",
+        "ProcessWorkerPool",
+        "QueueClosed",
+        "QueueFull",
+        "ReplaySource",
+        "RetryingSource",
+        "SerialWorkerPool",
+        "ServiceConfig",
+        "ServiceReport",
+        "StdoutSink",
+        "TickEvent",
+        "TickQueue",
+        "TickSource",
+        "UnitSpec",
+        "WorkerDied",
+        "build_sink",
+        "detect_fleet",
+        "make_pool",
+        "shard_units",
+    ],
+}
+
+
+def test_all_lists_match_snapshot():
+    for module, expected in EXPECTED.items():
+        assert sorted(module.__all__) == sorted(expected), module.__name__
+
+
+def test_every_exported_name_resolves():
+    for module, expected in EXPECTED.items():
+        for name in expected:
+            assert getattr(module, name) is not None, (
+                f"{module.__name__}.{name} does not resolve"
+            )
+
+
+def test_no_duplicate_exports():
+    for module in EXPECTED:
+        assert len(module.__all__) == len(set(module.__all__)), module.__name__

@@ -43,9 +43,9 @@ def fleet():
 
 def _reference(fleet):
     return {
-        unit.name: DBCatcher(CONFIG, n_databases=unit.n_databases).detect_series(
+        unit.name: DBCatcher(CONFIG, n_databases=unit.n_databases).process(
             unit.values
-        )
+        , time_axis=-1)
         for unit in fleet.units
     }
 
@@ -85,7 +85,7 @@ class TestSerialService:
         report = detect_fleet(fleet, config=CONFIG)
         for unit in fleet.units:
             detector = DBCatcher(CONFIG, n_databases=unit.n_databases)
-            detector.detect_series(unit.values)
+            detector.process(unit.values, time_axis=-1)
             assert report.records_for(unit.name) == list(detector.history)
 
     def test_max_ticks_caps_consumption(self, fleet):
@@ -167,7 +167,7 @@ class TestMonitorSourceService:
             initial_window=12,
             max_window=36,
         )
-        reference = DBCatcher(config, n_databases=3).detect_series(offline)
+        reference = DBCatcher(config, n_databases=3).process(offline, time_axis=-1)
 
         rng = np.random.default_rng(9)
         source = MonitorSource(

@@ -63,7 +63,7 @@ class TestSerialPool:
         pool = SerialWorkerPool(_specs(units))
         results = pool.dispatch(_batches(units, 0, 120))
         for name, series in units.items():
-            reference = DBCatcher(CONFIG, n_databases=3).detect_series(series)
+            reference = DBCatcher(CONFIG, n_databases=3).process(series, time_axis=-1)
             assert results[name] == reference
         pool.stop()
 
@@ -94,7 +94,7 @@ class TestProcessPool:
         finally:
             pool.stop()
         for name, series in units.items():
-            reference = DBCatcher(CONFIG, n_databases=3).detect_series(series)
+            reference = DBCatcher(CONFIG, n_databases=3).process(series, time_axis=-1)
             assert merged[name] == reference
 
     def test_crash_restart_and_offsets(self, units):

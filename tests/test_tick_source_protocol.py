@@ -1,0 +1,93 @@
+"""Every shipped tick feed satisfies the TickSource protocol.
+
+The protocol is runtime-checkable, so conformance is an ``isinstance``
+assertion plus a short iteration proving the events are well-formed:
+per-unit gapless sequence numbers and ``(n_databases, n_kpis)`` samples.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chaos.source import ChaosSource
+from repro.cluster.monitor import BypassMonitor
+from repro.cluster.unit import Unit
+from repro.datasets import build_mixed_dataset
+from repro.service import (
+    MonitorSource,
+    MonitorStreamSource,
+    ReplaySource,
+    RetryingSource,
+    TickEvent,
+    TickSource,
+)
+from repro.workloads.sysbench import sysbench_irregular
+
+TICKS = 12
+
+
+def _replay_source():
+    dataset = build_mixed_dataset(
+        "tencent", seed=0, n_units=2, ticks_per_unit=TICKS
+    )
+    return ReplaySource(dataset)
+
+
+def _monitor_source():
+    return MonitorSource.simulate(
+        n_units=2, family="sysbench", n_databases=3, n_ticks=TICKS, seed=1
+    )
+
+
+def _monitor_stream_source():
+    unit = Unit("solo-unit", n_databases=3, seed=3)
+    monitor = BypassMonitor(unit, seed=3)
+    mixes = sysbench_irregular(TICKS, np.random.default_rng(3))
+    return MonitorStreamSource(monitor, mixes)
+
+
+def _retrying_source():
+    return RetryingSource(_replay_source, max_retries=0, backoff_seconds=0.0)
+
+
+def _chaos_source():
+    return ChaosSource(_replay_source(), faults=())
+
+
+SOURCE_FACTORIES = {
+    "replay": _replay_source,
+    "monitor": _monitor_source,
+    "monitor_stream": _monitor_stream_source,
+    "retrying": _retrying_source,
+    "chaos": _chaos_source,
+}
+
+
+@pytest.fixture(params=sorted(SOURCE_FACTORIES), name="source")
+def _source(request):
+    return SOURCE_FACTORIES[request.param]()
+
+
+class TestTickSourceProtocol:
+    def test_isinstance_of_protocol(self, source):
+        assert isinstance(source, TickSource)
+
+    def test_metadata_shapes(self, source):
+        assert source.units
+        assert all(count >= 2 for count in source.units.values())
+        assert len(source.kpi_names) >= 1
+        assert source.interval_seconds > 0
+
+    def test_iteration_yields_wellformed_events(self, source):
+        seqs = {name: 0 for name in source.units}
+        n_kpis = len(source.kpi_names)
+        events = 0
+        for event in source:
+            assert isinstance(event, TickEvent)
+            assert event.seq == seqs[event.unit]
+            seqs[event.unit] += 1
+            assert event.sample.shape == (source.units[event.unit], n_kpis)
+            events += 1
+        assert events == sum(seqs.values()) > 0
+
+    def test_non_source_rejected(self):
+        assert not isinstance(object(), TickSource)
