@@ -1,0 +1,217 @@
+#!/usr/bin/env python
+"""Bench-trajectory regression gate.
+
+Compares a fresh ``bench-results.json`` (what the CI smoke job writes
+via ``REPRO_BENCH_JSON``) against the committed baseline and fails when
+any performance metric regresses by more than the tolerance — so the
+engine's batched-pass win, the service's fleet throughput, and the
+tuning subsystem's vectorized speedup are one failing CI run away from
+being noticed instead of one silent merge away from being lost.
+
+Only metrics whose *direction* is inferable from their name are gated:
+
+* higher is better: ``*speedup*``, ``*per_second*``, ``*fitness*``,
+  ``*f_measure*``, ``*hits*``;
+* lower is better: ``*seconds*``, ``*_ms*``, ``*ms_per*``,
+  ``*overhead_ratio*``, ``*misses*``.
+
+Everything else (shapes, counts, scale records) is context, not a gate.
+Entries whose ``scale`` differs from the baseline's are skipped with a
+warning — a deliberately rescaled bench must regenerate the baseline.
+Time-like baselines below the noise floor are skipped too: a 0.4 ms
+number doubling on a shared runner is scheduler jitter, not a
+regression.
+
+Usage::
+
+    python scripts/bench_compare.py \
+        --baseline benchmarks/baselines/bench-baseline.json \
+        --current bench-results.json \
+        --report bench-comparison.md
+
+Exit status: 0 when every gated metric is within tolerance, 1 on any
+regression, 2 on usage errors (missing/corrupt files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+HIGHER_IS_BETTER = ("speedup", "per_second", "fitness", "f_measure", "hits")
+LOWER_IS_BETTER = ("seconds", "_ms", "ms_per", "overhead_ratio", "misses")
+
+#: Lower-is-better baselines under this are scheduler noise, not signal.
+NOISE_FLOOR_SECONDS = 1e-3
+
+
+def metric_direction(name: str) -> Optional[str]:
+    """``"higher"`` / ``"lower"`` / ``None`` (ungated) for a metric name."""
+    lowered = name.lower()
+    for token in HIGHER_IS_BETTER:
+        if token in lowered:
+            return "higher"
+    for token in LOWER_IS_BETTER:
+        if token in lowered:
+            return "lower"
+    return None
+
+
+def compare(
+    baseline: Dict[str, Dict[str, object]],
+    current: Dict[str, Dict[str, object]],
+    tolerance: float,
+) -> Tuple[List[dict], List[str]]:
+    """Gate ``current`` against ``baseline``.
+
+    Returns ``(rows, warnings)`` where each row describes one gated
+    metric (with its verdict) and warnings list skipped comparisons.
+    """
+    rows: List[dict] = []
+    warnings: List[str] = []
+    for bench, base_metrics in sorted(baseline.items()):
+        fresh_metrics = current.get(bench)
+        if fresh_metrics is None:
+            warnings.append(f"bench {bench!r} missing from current results")
+            continue
+        if base_metrics.get("scale") != fresh_metrics.get("scale"):
+            warnings.append(
+                f"bench {bench!r} ran at a different scale "
+                f"({fresh_metrics.get('scale')} vs baseline "
+                f"{base_metrics.get('scale')}); skipped — regenerate the "
+                "baseline if the rescale is intentional"
+            )
+            continue
+        for name, base_value in sorted(base_metrics.items()):
+            direction = metric_direction(name)
+            if direction is None or not isinstance(base_value, (int, float)):
+                continue
+            fresh_value = fresh_metrics.get(name)
+            if not isinstance(fresh_value, (int, float)):
+                warnings.append(f"{bench}.{name} missing from current results")
+                continue
+            base = float(base_value)
+            fresh = float(fresh_value)
+            if direction == "lower" and base < NOISE_FLOOR_SECONDS:
+                warnings.append(
+                    f"{bench}.{name} baseline {base:g} below noise floor; "
+                    "skipped"
+                )
+                continue
+            if direction == "higher":
+                regressed = fresh < base * (1.0 - tolerance)
+                change = (fresh - base) / base if base else 0.0
+            else:
+                regressed = fresh > base * (1.0 + tolerance)
+                change = (fresh - base) / base if base else 0.0
+            rows.append(
+                {
+                    "bench": bench,
+                    "metric": name,
+                    "direction": direction,
+                    "baseline": base,
+                    "current": fresh,
+                    "change": change,
+                    "regressed": regressed,
+                }
+            )
+    return rows, warnings
+
+
+def render_report(
+    rows: List[dict], warnings: List[str], tolerance: float
+) -> str:
+    """Markdown comparison report (the CI artifact)."""
+    regressions = [row for row in rows if row["regressed"]]
+    lines = [
+        "# Bench trajectory comparison",
+        "",
+        f"Tolerance: {tolerance:.0%} regression on any gated metric.",
+        f"Gated metrics: {len(rows)}; regressions: {len(regressions)}.",
+        "",
+        "| bench | metric | better | baseline | current | change | verdict |",
+        "|---|---|---|---:|---:|---:|---|",
+    ]
+    for row in rows:
+        verdict = "**REGRESSED**" if row["regressed"] else "ok"
+        lines.append(
+            f"| {row['bench']} | {row['metric']} | {row['direction']} "
+            f"| {row['baseline']:g} | {row['current']:g} "
+            f"| {row['change']:+.1%} | {verdict} |"
+        )
+    if warnings:
+        lines.extend(["", "## Skipped / warnings", ""])
+        lines.extend(f"- {warning}" for warning in warnings)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/baselines/bench-baseline.json",
+        help="committed baseline JSON",
+    )
+    parser.add_argument(
+        "--current",
+        default="bench-results.json",
+        help="fresh REPRO_BENCH_JSON output to gate",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional regression per metric (default 0.30)",
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="also write the markdown comparison report here",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = json.loads(Path(args.baseline).read_text())
+        current = json.loads(Path(args.current).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"bench_compare: {error}", file=sys.stderr)
+        return 2
+
+    rows, warnings = compare(baseline, current, args.tolerance)
+    report = render_report(rows, warnings, args.tolerance)
+    if args.report is not None:
+        Path(args.report).write_text(report)
+    print(report)
+
+    regressions = [row for row in rows if row["regressed"]]
+    if regressions:
+        print(
+            f"bench_compare: {len(regressions)} metric(s) regressed beyond "
+            f"{args.tolerance:.0%}:",
+            file=sys.stderr,
+        )
+        for row in regressions:
+            print(
+                f"  {row['bench']}.{row['metric']}: {row['baseline']:g} -> "
+                f"{row['current']:g} ({row['change']:+.1%}, "
+                f"{row['direction']} is better)",
+                file=sys.stderr,
+            )
+        return 1
+    if not rows:
+        print(
+            "bench_compare: no gated metrics were compared — baseline and "
+            "results disagree entirely?",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,9 @@ code:
 * ``obs``      — run one instrumented detection pass and emit the
   observability exposition (Prometheus text or JSON), including the
   per-stage detection latency histograms;
+* ``tune``     — learn detection thresholds over a saved labelled
+  dataset with the genetic searcher (vectorized objective, ``--jobs``
+  parallel fitness, ``--checkpoint``/``--resume`` for long runs);
 * ``info``     — show the KPI registry, the default detector
   configuration and the service defaults.
 
@@ -204,6 +207,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="exposition format printed to stdout")
     obs_cmd.add_argument("--output", default=None, metavar="PATH",
                          help="write the exposition here instead of stdout")
+
+    tune = commands.add_parser(
+        "tune",
+        help="learn detection thresholds over a saved labelled dataset",
+    )
+    tune.add_argument("dataset", help="path of a .npz archive from `simulate`")
+    _add_detector_flags(tune)
+    tune.add_argument("--population", type=int, default=16,
+                      help="GA population size M")
+    tune.add_argument("--generations", type=int, default=10,
+                      help="GA generations N")
+    tune.add_argument("--seed", type=int, default=0,
+                      help="search seed (the result is identical for every "
+                           "--jobs value and across checkpoint/resume splits)")
+    tune.add_argument("--jobs", type=int, default=1,
+                      help="fitness-evaluation worker processes (1 = serial)")
+    tune.add_argument("--checkpoint", default=None, metavar="PATH",
+                      help="snapshot the search state to this JSON file")
+    tune.add_argument("--checkpoint-every", type=int, default=1,
+                      metavar="GENS",
+                      help="generations between snapshots (with --checkpoint)")
+    tune.add_argument("--resume", action="store_true",
+                      help="continue the run saved at --checkpoint")
+    tune.add_argument("--no-vectorize", action="store_true",
+                      help="use the per-genome detector-replay objective "
+                           "instead of the vectorized one (debugging aid)")
 
     commands.add_parser("info", help="show the KPI registry and defaults")
     return parser
@@ -454,6 +483,47 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_tune(args) -> int:
+    import time
+
+    from repro.datasets import load_dataset
+    from repro.tuning import GeneticThresholdLearner
+
+    if args.resume and args.checkpoint is None:
+        print("tune: --resume needs --checkpoint", file=sys.stderr)
+        return 2
+    dataset = load_dataset(args.dataset)
+    config = _detect_config(args)
+    values = [unit.values for unit in dataset.units]
+    labels = [unit.labels for unit in dataset.units]
+    learner = GeneticThresholdLearner(
+        population_size=args.population,
+        n_iterations=args.generations,
+        seed=args.seed,
+        jobs=args.jobs,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        vectorize=not args.no_vectorize,
+    )
+    started = time.perf_counter()
+    tuned = learner(config, values, labels)
+    elapsed = time.perf_counter() - started
+    trace = learner.last_trace
+    objective = "replay" if args.no_vectorize else "vectorized"
+    mode = f"{args.jobs} jobs" if args.jobs > 1 else "serial"
+    print(f"tuned over {len(dataset.units)} units "
+          f"({objective} objective, {mode}): "
+          f"best F-Measure {trace.final:.3f} "
+          f"after {len(trace.best_fitness)} generations in {elapsed:.2f}s")
+    print(f"  alphas: {' '.join(f'{a:.3f}' for a in tuned.alphas)}")
+    print(f"  theta: {tuned.theta:.3f}  "
+          f"tolerance: {tuned.max_tolerance_deviations}")
+    if args.checkpoint is not None:
+        print(f"  checkpoint: {args.checkpoint}")
+    return 0
+
+
 def _cmd_info(args) -> int:
     rows = [
         [kpi.display_name, kpi.name, ", ".join(kpi.correlation_type)]
@@ -491,6 +561,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "chaos": _cmd_chaos,
         "obs": _cmd_obs,
+        "tune": _cmd_tune,
         "info": _cmd_info,
     }
     try:

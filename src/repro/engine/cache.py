@@ -131,18 +131,23 @@ class WindowCache:
         key = (int(window_start), active_key)
         if self._key == key and n_points == self._n_points:
             self.stats.hits += 1
-            assert self._rows is not None
-            return self._rows, self._prefix, self._prefix_sq
+            return self._entry()
         if self._key == key and n_points > self._n_points:
             self._extend(raw_rows)
             self.stats.hits += 1
-            assert self._rows is not None
-            return self._rows, self._prefix, self._prefix_sq
+            return self._entry()
         if self._key is not None:
             self.stats.invalidations += 1
         self.stats.misses += 1
         self._build(raw_rows, key)
-        assert self._rows is not None
+        return self._entry()
+
+    def _entry(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        assert (
+            self._rows is not None
+            and self._prefix is not None
+            and self._prefix_sq is not None
+        )
         return self._rows, self._prefix, self._prefix_sq
 
     def _build(self, raw_rows: np.ndarray, key: Tuple[int, bytes]) -> None:
@@ -163,7 +168,13 @@ class WindowCache:
         full, because every old normalized point changes with the affine
         map.
         """
-        assert self._rows is not None
+        assert (
+            self._rows is not None
+            and self._prefix is not None
+            and self._prefix_sq is not None
+            and self._raw_min is not None
+            and self._raw_max is not None
+        )
         old_n = self._n_points
         new_n = raw_rows.shape[1]
         chunk = raw_rows[:, old_n:]

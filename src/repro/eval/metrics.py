@@ -126,9 +126,7 @@ def window_spans(n_ticks: int, window_size: int) -> List[Tuple[int, int]]:
     ]
 
 
-def window_truth(
-    labels: np.ndarray, spans: Sequence[Tuple[int, int]]
-) -> np.ndarray:
+def window_truth(labels: np.ndarray, spans: Sequence[Tuple[int, int]]) -> np.ndarray:
     """Ground truth per (database, window): any abnormal tick inside.
 
     Parameters

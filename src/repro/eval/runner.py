@@ -126,9 +126,7 @@ def run_dbcatcher_trial(
     for unit in test.units:
         detector = DBCatcher(tuned, n_databases=unit.n_databases, measure=measure)
         detector.process(unit.values, time_axis=-1)
-        counts = counts + adjusted_confusion_from_records(
-            detector.history, unit.labels
-        )
+        counts = counts + adjusted_confusion_from_records(detector.history, unit.labels)
         window_sizes.append(detector.average_window_size())
     return TrialResult(
         method=name,

@@ -49,6 +49,7 @@ from repro.service.sources import (
     RetryingSource,
     TickEvent,
 )
+from repro.service.tuning import RetrainEvent, TuningCoordinator
 from repro.service.workers import (
     ProcessWorkerPool,
     SerialWorkerPool,
@@ -78,6 +79,7 @@ __all__ = [
     "QueueClosed",
     "QueueFull",
     "ReplaySource",
+    "RetrainEvent",
     "RetryingSource",
     "SerialWorkerPool",
     "ServiceConfig",
@@ -86,6 +88,7 @@ __all__ = [
     "TickEvent",
     "TickQueue",
     "TickSource",
+    "TuningCoordinator",
     "UnitSpec",
     "WorkerDied",
     "build_sink",

@@ -31,6 +31,7 @@ from repro.service.metrics import MetricsRegistry
 from repro.service.queues import IngestionBridge
 from repro.service.protocols import TickSource
 from repro.service.sources import ReplaySource, TickEvent
+from repro.service.tuning import RetrainEvent, TuningCoordinator
 from repro.service.workers import UnitSpec, make_pool
 
 __all__ = ["ServiceReport", "DetectionService", "detect_fleet"]
@@ -61,6 +62,8 @@ class ServiceReport:
     alerts_emitted: int = 0
     worker_restarts: int = 0
     kill_drills: int = 0
+    retrains: List[RetrainEvent] = field(default_factory=list)
+    threshold_swaps: int = 0
     sequence_gaps: Dict[str, int] = field(default_factory=dict)
     stale_ticks: Dict[str, int] = field(default_factory=dict)
     component_seconds: Dict[str, float] = field(default_factory=dict)
@@ -104,6 +107,12 @@ class DetectionService:
         ``repro obs`` / ``serve --obs-port`` run folds service counters and
         detector spans into one exposition; otherwise a private registry
         is created.
+    coordinator:
+        Optional :class:`~repro.service.tuning.TuningCoordinator`.  When
+        present, the scheduler feeds it every dispatched batch and every
+        completed round, polls it before each pool round-trip (so tuned
+        thresholds are hot-swapped *between* rounds, never inside one),
+        and folds its retrain events into the report.
     """
 
     def __init__(
@@ -112,8 +121,10 @@ class DetectionService:
         service_config: Optional[ServiceConfig] = None,
         sinks: Sequence[Union[str, AlertSink, Callable[[Alert], None]]] = ("stdout",),
         metrics: Optional[MetricsRegistry] = None,
+        coordinator: Optional[TuningCoordinator] = None,
     ):
         self._config = config
+        self.coordinator = coordinator
         self.service_config = (
             service_config if service_config is not None else ServiceConfig()
         )
@@ -184,6 +195,10 @@ class DetectionService:
         report = ServiceReport(
             results={name: [] for name in units} if collect_results else {}
         )
+        if self.coordinator is not None:
+            self.coordinator.bind(
+                pool, {spec.name: spec.config for spec in specs}
+            )
         ingest_latency = self.metrics.histogram("ingest_latency_seconds")
         dispatch_latency = self.metrics.histogram("dispatch_latency_seconds")
         started = time.perf_counter()
@@ -208,6 +223,8 @@ class DetectionService:
             self._dispatch_round(
                 bridge, pool, pipeline, report, dispatch_latency, collect_results
             )
+            if self.coordinator is not None:
+                self.coordinator.drain()
         finally:
             bridge.close()
             pool.stop()
@@ -221,6 +238,9 @@ class DetectionService:
         report.worker_restarts = pool.restarts
         self.metrics.counter("worker_restarts").increment(pool.restarts)
         self.metrics.counter("ticks_lost").increment(pool.ticks_lost)
+        if self.coordinator is not None:
+            report.retrains = list(self.coordinator.events)
+            report.threshold_swaps = len(report.retrains)
         report.sequence_gaps = dict(bridge.sequence_gaps)
         report.stale_ticks = dict(bridge.stale_rejected)
         report.ticks_stale = sum(bridge.stale_rejected.values())
@@ -264,6 +284,12 @@ class DetectionService:
         self.metrics.gauge("queue_backlog_total").set(bridge.total_pending())
         if not batches:
             return
+        if self.coordinator is not None:
+            # Install any finished background retrains now, before the
+            # round-trip: swaps land between rounds by construction.
+            self.coordinator.poll()
+            for unit, block in batches.items():
+                self.coordinator.observe_batch(unit, block)
         with dispatch_latency.time(), obs.span("service.dispatch_round"):
             results = pool.dispatch(batches)
         for unit, unit_results in results.items():
@@ -273,6 +299,8 @@ class DetectionService:
                     report.alerts.append(alert)
                 if collect_results:
                     report.results[unit].append(result)
+            if self.coordinator is not None:
+                self.coordinator.observe_results(unit, unit_results)
 
 
 def detect_fleet(

@@ -120,8 +120,19 @@ class SerialWorkerPool:
 
     def __init__(self, specs: Sequence[UnitSpec], history_limit: Optional[int] = None):
         self.detectors = _build_detectors(specs, history_limit)
+        self.history_limit = history_limit
         self.restarts = 0
         self.ticks_lost = 0
+
+    def install_config(self, unit: str, config: DBCatcherConfig) -> None:
+        """Hot-swap one unit's thresholds between rounds.
+
+        The pool's retention policy still wins over the incoming config's,
+        exactly as at construction time.
+        """
+        self.detectors[unit].install_config(
+            dataclasses.replace(config, history_limit=self.history_limit)
+        )
 
     def dispatch(
         self, batches: Dict[str, np.ndarray]
@@ -160,6 +171,12 @@ def _worker_main(conn, specs: List[UnitSpec], history_limit: Optional[int]) -> N
             for unit, block in message[1]:
                 replies.append((unit, detectors[unit].process(block)))
             conn.send(("results", replies))
+        elif kind == "config":
+            unit, config = message[1]
+            detectors[unit].install_config(
+                dataclasses.replace(config, history_limit=history_limit)
+            )
+            conn.send(("config_installed", unit))
         elif kind == "snapshot":
             conn.send(
                 ("states", {name: d.export_state() for name, d in detectors.items()})
@@ -331,6 +348,35 @@ class ProcessWorkerPool:
                     _shift_result(result, offset) for result in unit_results
                 )
         return results
+
+    def install_config(self, unit: str, config: DBCatcherConfig) -> None:
+        """Hot-swap one unit's thresholds between rounds.
+
+        The owning worker's spec is updated *before* the message goes out,
+        so a crash-restart at any point rebuilds the detector with the
+        tuned thresholds rather than the stale ones.  A worker that dies
+        during the swap is restarted (within budget) and the fresh
+        incarnation picks the new config up from the spec.
+        """
+        worker = self._workers[self._owner[unit]]
+        worker.specs = [
+            dataclasses.replace(spec, config=config)
+            if spec.name == unit
+            else spec
+            for spec in worker.specs
+        ]
+        try:
+            reply = worker.request(("config", (unit, config)))
+        except (EOFError, OSError, BrokenPipeError, WorkerDied):
+            if worker.restarts >= self.max_restarts:
+                raise WorkerDied(
+                    f"worker {self._owner[unit]} exceeded its restart budget "
+                    f"({self.max_restarts})"
+                )
+            worker.restart()
+            return
+        if reply[0] != "config_installed":  # pragma: no cover - protocol guard
+            raise RuntimeError(f"unexpected worker reply {reply[0]!r}")
 
     def export_states(self) -> Dict[str, Dict[str, object]]:
         states: Dict[str, Dict[str, object]] = {}

@@ -11,17 +11,28 @@ optimize the same detection-F-Measure objective over recent labelled data:
   simulated-annealing comparator of Figure 11;
 * :class:`~repro.tuning.random_search.RandomThresholdLearner` — the
   random-search comparator of Figure 11.
+
+Fitness evaluation scales through
+:class:`~repro.tuning.vectorized.VectorizedObjective` (one batched-engine
+pass per replay window, whole populations thresholded via broadcasting)
+and the GA's ``jobs``/checkpoint/resume support
+(:class:`~repro.tuning.checkpoint.TuningCheckpoint`).
 """
 
 from repro.tuning.annealing import AnnealingThresholdLearner
-from repro.tuning.genetic import GeneticThresholdLearner
+from repro.tuning.checkpoint import TuningCheckpoint
+from repro.tuning.genetic import GeneticThresholdLearner, PopulationEvaluator
 from repro.tuning.genome import ThresholdGenome
 from repro.tuning.objective import DetectionObjective
 from repro.tuning.random_search import RandomThresholdLearner
+from repro.tuning.vectorized import VectorizedObjective
 
 __all__ = [
     "ThresholdGenome",
     "DetectionObjective",
+    "VectorizedObjective",
+    "PopulationEvaluator",
+    "TuningCheckpoint",
     "GeneticThresholdLearner",
     "AnnealingThresholdLearner",
     "RandomThresholdLearner",

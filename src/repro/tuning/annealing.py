@@ -71,9 +71,7 @@ class AnnealingThresholdLearner:
         genome, _ = self.search(DetectionObjective(config, values, labels))
         return genome.apply_to(config)
 
-    def search(
-        self, objective: DetectionObjective
-    ) -> Tuple[ThresholdGenome, float]:
+    def search(self, objective: DetectionObjective) -> Tuple[ThresholdGenome, float]:
         """Run the annealing schedule; return the best genome visited."""
         rng = np.random.default_rng(self._seed)
         current = ThresholdGenome.from_config(objective.config)

@@ -1,0 +1,148 @@
+"""Checkpoint/resume for threshold-tuning runs.
+
+A long GA search over fleet-sized judgement records is exactly the kind
+of job that gets preempted: the coordinator may cancel it when a unit
+drains, a nightly CI job may hit its time budget, an operator may kill
+the CLI.  :class:`TuningCheckpoint` serializes everything the search
+needs to continue bit-identically — the population, the historically
+best genome and fitness, the best-so-far trace, the generation counter
+and the *exact* generator state of numpy's PCG64 bit generator — to a
+single human-readable JSON document.
+
+Resuming restores the RNG mid-stream, so a run split across any number
+of checkpoint/resume cycles draws the same random sequence as an
+uninterrupted run and therefore finds the same best genome (pinned by
+the determinism tests).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.tuning.genome import ThresholdGenome
+
+__all__ = ["TuningCheckpoint", "CHECKPOINT_VERSION"]
+
+CHECKPOINT_VERSION = 1
+
+
+def _genome_to_dict(genome: ThresholdGenome) -> Dict[str, Any]:
+    return {
+        "alphas": list(genome.alphas),
+        "theta": genome.theta,
+        "tolerance": genome.tolerance,
+    }
+
+
+def _genome_from_dict(payload: Dict[str, Any]) -> ThresholdGenome:
+    return ThresholdGenome(
+        alphas=tuple(float(a) for a in payload["alphas"]),
+        theta=float(payload["theta"]),
+        tolerance=int(payload["tolerance"]),
+    )
+
+
+@dataclass(frozen=True)
+class TuningCheckpoint:
+    """Resumable snapshot of a genetic threshold search.
+
+    ``generation`` counts *completed* generations: a checkpoint written
+    after generation ``g`` resumes the search at generation ``g + 1``.
+    ``rng_state`` is the PCG64 ``bit_generator.state`` dict captured at
+    the moment of the snapshot; both of its 128-bit integers round-trip
+    losslessly through JSON because Python integers are unbounded.
+    """
+
+    generation: int
+    population: Tuple[ThresholdGenome, ...]
+    best_genome: ThresholdGenome
+    best_fitness: float
+    trace: Tuple[float, ...]
+    rng_state: Dict[str, Any]
+
+    @property
+    def population_size(self) -> int:
+        return len(self.population)
+
+    def restore_rng(self) -> np.random.Generator:
+        """Fresh generator continuing the checkpointed random stream."""
+        rng = np.random.default_rng()
+        rng.bit_generator.state = self.rng_state
+        return rng
+
+    @classmethod
+    def capture(
+        cls,
+        generation: int,
+        population: Tuple[ThresholdGenome, ...],
+        best_genome: ThresholdGenome,
+        best_fitness: float,
+        trace: Tuple[float, ...],
+        rng: np.random.Generator,
+    ) -> "TuningCheckpoint":
+        return cls(
+            generation=generation,
+            population=tuple(population),
+            best_genome=best_genome,
+            best_fitness=float(best_fitness),
+            trace=tuple(float(f) for f in trace),
+            rng_state=dict(rng.bit_generator.state),
+        )
+
+    def to_json(self) -> str:
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "generation": self.generation,
+            "population": [_genome_to_dict(g) for g in self.population],
+            "best_genome": _genome_to_dict(self.best_genome),
+            "best_fitness": self.best_fitness,
+            "trace": list(self.trace),
+            "rng_state": self.rng_state,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "TuningCheckpoint":
+        payload = json.loads(text)
+        version = payload.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {version!r} "
+                f"(this build reads version {CHECKPOINT_VERSION})"
+            )
+        return cls(
+            generation=int(payload["generation"]),
+            population=tuple(
+                _genome_from_dict(g) for g in payload["population"]
+            ),
+            best_genome=_genome_from_dict(payload["best_genome"]),
+            best_fitness=float(payload["best_fitness"]),
+            trace=tuple(float(f) for f in payload["trace"]),
+            rng_state=payload["rng_state"],
+        )
+
+    def save(self, path: str) -> None:
+        """Atomically write the checkpoint (write-temp-then-rename)."""
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, temp_path = tempfile.mkstemp(
+            prefix=".tuning-checkpoint-", suffix=".json", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(self.to_json())
+            os.replace(temp_path, path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+
+    @classmethod
+    def load(cls, path: str) -> "TuningCheckpoint":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

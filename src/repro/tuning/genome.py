@@ -126,7 +126,13 @@ class ThresholdGenome:
         tolerance count are regenerated inside their initial ranges.
         """
         alphas = tuple(
-            float(np.clip(a + learning_rate * (1 if rng.random() < 0.5 else -1), -1.0, 1.0))
+            float(
+                np.clip(
+                    a + learning_rate * (1 if rng.random() < 0.5 else -1),
+                    -1.0,
+                    1.0,
+                )
+            )
             for a in self.alphas
         )
         theta = float(rng.uniform(THETA_RANGE[0], THETA_RANGE[1]))
@@ -146,7 +152,11 @@ class ThresholdGenome:
             float(np.clip(a + rng.normal(0.0, scale), -1.0, 1.0)) for a in self.alphas
         )
         theta = float(
-            np.clip(self.theta + rng.normal(0.0, scale / 2), THETA_RANGE[0], THETA_RANGE[1])
+            np.clip(
+                self.theta + rng.normal(0.0, scale / 2),
+                THETA_RANGE[0],
+                THETA_RANGE[1],
+            )
         )
         step = int(rng.integers(-1, 2))
         tolerance = int(

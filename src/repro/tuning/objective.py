@@ -104,9 +104,7 @@ class DetectionObjective:
             detector.process(values, time_axis=-1)
             # Fitness uses the same segment-adjusted convention the
             # evaluation reports, so the GA optimizes what is measured.
-            counts = counts + adjusted_confusion_from_records(
-                detector.history, labels
-            )
+            counts = counts + adjusted_confusion_from_records(detector.history, labels)
         fitness = scores_from_confusion(counts).f_measure
         self._cache[key] = fitness
         self.evaluations += 1

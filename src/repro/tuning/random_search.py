@@ -48,9 +48,7 @@ class RandomThresholdLearner:
         genome, _ = self.search(DetectionObjective(config, values, labels))
         return genome.apply_to(config)
 
-    def search(
-        self, objective: DetectionObjective
-    ) -> Tuple[ThresholdGenome, float]:
+    def search(self, objective: DetectionObjective) -> Tuple[ThresholdGenome, float]:
         """Evaluate random genomes; return the best one seen."""
         rng = np.random.default_rng(self._seed)
         best = ThresholdGenome.from_config(objective.config)

@@ -1,0 +1,337 @@
+"""Vectorized GA objective: one batched-engine pass per replay window.
+
+:class:`~repro.tuning.objective.DetectionObjective` re-runs the full
+streaming detector once per genome, which makes threshold search cost
+``O(population x generations)`` detector replays.  The key observation
+behind this module: the KCD scores — and therefore the aggregated
+per-database peer scores Algorithm 1 thresholds — do not depend on the
+genome at all.  Only the score-to-level mapping (``alpha_i``, ``theta``)
+and the Fig. 7 state machine (tolerance count) do.
+
+:class:`VectorizedObjective` therefore splits fitness evaluation in two:
+
+1. **Precompute** (once, at construction): enumerate every round start
+   reachable from tick 0 under the flexible-window geometry (round ends
+   are always ``start + size_e`` for an expansion size ``size_e``), and
+   for each ``(start, expansion)`` pair run one shared
+   :class:`~repro.engine.batched.BatchedEngine` pass — whose window cache
+   reuses normalized rows and prefix sums across the same-start growing
+   windows — and store the aggregated peer-score array produced by
+   Algorithm 1's ``Search``/aggregate steps (via
+   :func:`~repro.core.levels.calculate_levels`, so the arithmetic is the
+   detector's own).
+2. **Evaluate** (per population): broadcast the whole population's
+   thresholds against the cached score tensors to get every genome's
+   per-database state at every ``(start, expansion)`` in one numpy pass,
+   then walk each genome's round lattice — different thresholds resolve
+   rounds at different window sizes, so the cursor path is genome-specific
+   — and score the resulting spans with the same segment-adjusted
+   convention the replay objective uses.
+
+The result is bit-identical fitness to :class:`DetectionObjective` (the
+differential tests pin this) at a per-genome cost of a cheap lattice walk
+instead of a full detector replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import DBCatcherConfig
+from repro.core.levels import calculate_levels
+from repro.eval.adjust import adjusted_confusion_from_spans
+from repro.eval.metrics import ConfusionCounts, scores_from_confusion
+from repro.tuning.genome import ThresholdGenome
+
+__all__ = ["VectorizedObjective"]
+
+_HEALTHY = 0
+_OBSERVABLE = 1
+_ABNORMAL = 2
+
+
+def _window_sizes(config: DBCatcherConfig) -> Tuple[int, ...]:
+    """The flexible window's size ladder ``W, W + Delta, ..., W_M``."""
+    sizes = [config.initial_window]
+    while sizes[-1] < config.max_window:
+        sizes.append(min(sizes[-1] + config.window_step, config.max_window))
+    return tuple(sizes)
+
+
+@dataclass(frozen=True)
+class _WindowFacts:
+    """Threshold-independent facts about one ``(round start, size)`` window.
+
+    ``scores`` is ``None`` when fewer than two databases have finite data
+    over the window — the detector resolves such a round immediately, so
+    no correlation pass ever runs for it.
+    """
+
+    round_active: np.ndarray
+    scores: Optional[np.ndarray]
+
+
+class _ReplayPlan:
+    """Precomputed round-start lattice for one replay window (one unit)."""
+
+    def __init__(self, values: np.ndarray, labels: np.ndarray, config: DBCatcherConfig):
+        # Local import: repro.engine imports repro.core.config, and this
+        # module is reachable from package inits; mirroring the detector's
+        # lazy import keeps the import graph acyclic.
+        from repro.engine.base import make_engine
+
+        self.labels = labels
+        self.n_databases, _, self.n_ticks = values.shape
+        sizes = _window_sizes(config)
+        engine = make_engine(config.backend)
+        finite = np.isfinite(values)
+        #: start tick -> per-expansion facts (shorter than ``sizes`` when
+        #: the replay ends before the larger expansions fit).
+        self.windows: Dict[int, List[_WindowFacts]] = {}
+        frontier = [0]
+        seen = {0}
+        while frontier:
+            start = frontier.pop()
+            if start + sizes[0] > self.n_ticks:
+                continue
+            lattice: List[_WindowFacts] = []
+            for size in sizes:
+                end = start + size
+                if end > self.n_ticks:
+                    break
+                if end not in seen:
+                    seen.add(end)
+                    frontier.append(end)
+                round_active = finite[:, :, start:end].all(axis=(1, 2))
+                if int(round_active.sum()) < 2:
+                    lattice.append(_WindowFacts(round_active, None))
+                    continue
+                matrices = engine.matrices(
+                    values[:, :, start:end],
+                    config.kpi_names,
+                    max_delay=config.max_delay(size),
+                    active=round_active,
+                    window_start=start,
+                )
+                # Algorithm 1's own aggregation code produces the scores,
+                # so every Search/aggregate subtlety (rr-only KPI masks,
+                # peerless databases scoring 1.0, the aggregation rule)
+                # matches the detector by construction.  The levels the
+                # call also computes depend on the template thresholds and
+                # are discarded; only the scores are genome-independent.
+                levels = calculate_levels(matrices, config, active=round_active)
+                lattice.append(_WindowFacts(round_active, levels.scores))
+            self.windows[start] = lattice
+        engine.reset()
+
+
+class VectorizedObjective:
+    """Drop-in replacement for ``DetectionObjective`` with batched fitness.
+
+    Accepts the same constructor arguments and exposes the same surface
+    (``config``, ``n_kpis``, ``evaluations``, per-genome ``__call__``),
+    plus :meth:`evaluate_population` which scores a whole population in
+    one broadcast pass over the precomputed score tensors.
+
+    The instance holds only plain arrays and the config after
+    construction, so it pickles cheaply across the parallel evaluator's
+    process boundary (and fork-based workers inherit the precomputed
+    lattice for free).
+    """
+
+    def __init__(
+        self,
+        config: DBCatcherConfig,
+        values,
+        labels,
+    ):
+        value_list = values if isinstance(values, (list, tuple)) else [values]
+        label_list = labels if isinstance(labels, (list, tuple)) else [labels]
+        if len(value_list) != len(label_list):
+            raise ValueError("values and labels lists must have equal length")
+        self._plans: List[_ReplayPlan] = []
+        for raw_values, raw_labels in zip(value_list, label_list):
+            data = np.asarray(raw_values, dtype=np.float64)
+            truth = np.asarray(raw_labels, dtype=bool)
+            if data.ndim != 3:
+                raise ValueError(
+                    f"values must be (n_databases, n_kpis, n_ticks), got {data.shape}"
+                )
+            if data.shape[1] != config.n_kpis:
+                raise ValueError(
+                    f"values carry {data.shape[1]} KPIs but config has {config.n_kpis}"
+                )
+            if truth.shape != (data.shape[0], data.shape[2]):
+                raise ValueError(
+                    "labels must be (n_databases, n_ticks) matching values"
+                )
+            if data.shape[2] < config.initial_window:
+                raise ValueError(
+                    "replay window shorter than the detector's initial window"
+                )
+            if data.shape[0] < 2:
+                raise ValueError("UKPIC needs at least two databases in a unit")
+            self._plans.append(_ReplayPlan(data, truth, config))
+        if not self._plans:
+            raise ValueError("objective needs at least one replay window")
+        self._config = config
+        self._sizes = _window_sizes(config)
+        self._cache: Dict[Tuple, float] = {}
+        #: Number of non-memoized fitness evaluations performed.
+        self.evaluations = 0
+
+    @property
+    def config(self) -> DBCatcherConfig:
+        return self._config
+
+    @property
+    def n_kpis(self) -> int:
+        return self._config.n_kpis
+
+    @staticmethod
+    def _key(genome: ThresholdGenome) -> Tuple:
+        # Same memo key as DetectionObjective, so memo behaviour (and the
+        # determinism tests built on ``evaluations``) carry over.
+        return (genome.alphas, round(genome.theta, 6), genome.tolerance)
+
+    def __call__(self, genome: ThresholdGenome) -> float:
+        """Fitness of one genome: detection F-Measure on the replay data."""
+        return self.evaluate_population([genome])[0]
+
+    def evaluate_population(self, population: Sequence[ThresholdGenome]) -> List[float]:
+        """Fitness of every genome, thresholding all of them in one pass."""
+        missing: List[ThresholdGenome] = []
+        missing_keys = set()
+        for genome in population:
+            key = self._key(genome)
+            if key not in self._cache and key not in missing_keys:
+                missing_keys.add(key)
+                missing.append(genome)
+        if missing:
+            alphas = np.array([g.alphas for g in missing], dtype=np.float64)
+            thetas = np.array([g.theta for g in missing], dtype=np.float64)
+            tolerances = np.array([g.tolerance for g in missing], dtype=np.int64)
+            counts = [ConfusionCounts() for _ in missing]
+            for plan in self._plans:
+                states = _StateLattice(plan, alphas, thetas, tolerances)
+                for index in range(len(missing)):
+                    counts[index] = counts[index] + self._replay_confusion(
+                        plan, states, index
+                    )
+            for index, genome in enumerate(missing):
+                fitness = scores_from_confusion(counts[index]).f_measure
+                self._cache[self._key(genome)] = fitness
+                self.evaluations += 1
+        return [self._cache[self._key(genome)] for genome in population]
+
+    def _replay_confusion(
+        self, plan: _ReplayPlan, states: "_StateLattice", index: int
+    ) -> ConfusionCounts:
+        """Walk one genome's round lattice; segment-adjusted confusion.
+
+        Mirrors ``DBCatcher._step_round`` exactly: the pending set shrinks
+        to databases with finite data, a round with fewer than two usable
+        databases (or nothing left to judge) resolves immediately with the
+        records already made, OBSERVABLE databases expand the window until
+        ``W_M`` forces a verdict, and a round the replay cannot finish
+        contributes no records at all.
+        """
+        sizes = self._sizes
+        max_window = self._config.max_window
+        forced_abnormal = self._config.resolve_max_window_as_abnormal
+        n_ticks = plan.n_ticks
+        n_databases = plan.n_databases
+        spans: List[List[Tuple[int, int]]] = [[] for _ in range(n_databases)]
+        preds: List[List[bool]] = [[] for _ in range(n_databases)]
+        cursor = 0
+        while cursor + sizes[0] <= n_ticks:
+            lattice = plan.windows[cursor]
+            pending = list(range(n_databases))
+            round_records: List[Tuple[int, int, bool]] = []
+            finished_end: Optional[int] = None
+            for expansion, size in enumerate(sizes):
+                end = cursor + size
+                if end > n_ticks:
+                    break  # round blocked forever: no records survive
+                facts = lattice[expansion]
+                active = facts.round_active
+                pending = [db for db in pending if active[db]]
+                if facts.scores is None or not pending:
+                    finished_end = end
+                    break
+                verdicts = states.at(cursor, expansion)[index]
+                still_pending: List[int] = []
+                at_max = size >= max_window
+                for db in pending:
+                    state = verdicts[db]
+                    if state == _OBSERVABLE and not at_max:
+                        still_pending.append(db)
+                        continue
+                    predicted = state == _ABNORMAL or (
+                        state == _OBSERVABLE and forced_abnormal
+                    )
+                    round_records.append((db, end, predicted))
+                if not still_pending:
+                    finished_end = end
+                    break
+                pending = still_pending
+            if finished_end is None:
+                break
+            for db, end, predicted in round_records:
+                spans[db].append((cursor, end))
+                preds[db].append(predicted)
+            cursor = finished_end
+        total = ConfusionCounts()
+        for db in range(n_databases):
+            if spans[db]:
+                total = total + adjusted_confusion_from_spans(
+                    spans[db],
+                    np.asarray(preds[db], dtype=bool),
+                    plan.labels[db],
+                )
+        return total
+
+
+class _StateLattice:
+    """Lazy per-(start, expansion) state arrays for a genome batch.
+
+    ``at(start, expansion)`` returns an ``(n_genomes, n_databases)`` int
+    array of Fig. 7 states, computed on first touch for the whole batch at
+    once via broadcasting and cached — genomes whose walks visit the same
+    lattice point share the work.
+    """
+
+    def __init__(
+        self,
+        plan: _ReplayPlan,
+        alphas: np.ndarray,
+        thetas: np.ndarray,
+        tolerances: np.ndarray,
+    ):
+        self._plan = plan
+        self._alphas = alphas
+        self._lower = alphas - thetas[:, None]
+        self._tolerances = tolerances
+        self._cache: Dict[Tuple[int, int], np.ndarray] = {}
+
+    def at(self, start: int, expansion: int) -> np.ndarray:
+        key = (start, expansion)
+        states = self._cache.get(key)
+        if states is None:
+            scores = self._plan.windows[start][expansion].scores
+            assert scores is not None  # callers skip correlation-free windows
+            level3 = scores[None, :, :] >= self._alphas[:, None, :]
+            level1 = scores[None, :, :] < self._lower[:, None, :]
+            level2 = ~level3 & ~level1
+            extreme = level1.sum(axis=2)
+            slight = level2.sum(axis=2)
+            abnormal = (extreme > 0) | (slight > self._tolerances[:, None])
+            healthy = (extreme == 0) & (slight == 0)
+            states = np.where(
+                abnormal, _ABNORMAL, np.where(healthy, _HEALTHY, _OBSERVABLE)
+            ).astype(np.int8)
+            self._cache[key] = states
+        return states

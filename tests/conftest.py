@@ -1,4 +1,9 @@
-"""Shared fixtures: small deterministic series, configs, datasets."""
+"""Shared fixtures: small deterministic series, configs, datasets.
+
+Also registers the ``nightly`` hypothesis profile (10x the default
+example budget, no deadline) for the scheduled full-depth CI run:
+``pytest --hypothesis-profile=nightly``.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +13,15 @@ import pytest
 from repro.core.config import DBCatcherConfig
 from repro.datasets import build_unit_series
 from repro.presets import default_config
+
+try:
+    from hypothesis import settings
+
+    settings.register_profile(
+        "nightly", max_examples=1000, deadline=None, print_blob=True
+    )
+except ImportError:  # pragma: no cover - hypothesis is a test-only dep
+    pass
 
 
 @pytest.fixture

@@ -61,6 +61,80 @@ def _matrix_summaries(matrices) -> Dict[str, Dict[str, float]]:
     return summaries
 
 
+def build_tuning_swap_snapshot(backend: str = "batched") -> Dict[str, object]:
+    """Seeded drift-triggered retraining run, serialized.
+
+    Runs the golden workload through :class:`DetectionService` with a
+    synchronous :class:`~repro.service.tuning.TuningCoordinator` (so swap
+    ticks are deterministic) and captures every unit's full round-span
+    sequence plus every hot-swap — proving that retuning never drops,
+    reorders, or tears a detection round, and that the tuned thresholds
+    themselves are reproducible.
+    """
+    from dataclasses import replace
+
+    from repro.datasets import build_mixed_dataset
+    from repro.presets import default_config
+    from repro.service import (
+        DetectionService,
+        ReplaySource,
+        ServiceConfig,
+        TuningCoordinator,
+    )
+    from repro.tuning import GeneticThresholdLearner
+
+    dataset = build_mixed_dataset(
+        GOLDEN_FAMILY,
+        seed=GOLDEN_SEED,
+        n_units=GOLDEN_UNITS,
+        ticks_per_unit=GOLDEN_TICKS,
+    )
+    config = replace(
+        default_config(
+            initial_window=GOLDEN_INITIAL_WINDOW, max_window=GOLDEN_MAX_WINDOW
+        ),
+        backend=backend,
+    )
+    coordinator = TuningCoordinator(
+        {unit.name: unit.labels for unit in dataset.units},
+        learner_factory=lambda seed: GeneticThresholdLearner(
+            population_size=4, n_iterations=2, seed=seed
+        ),
+        min_f_measure=0.99,
+        min_records=8,
+        window_records=32,
+        seed=GOLDEN_SEED,
+        background=False,
+    )
+    service = DetectionService(
+        config,
+        service_config=ServiceConfig(n_workers=0),
+        sinks=("null",),
+        coordinator=coordinator,
+    )
+    report = service.run(ReplaySource(dataset))
+    return {
+        "threshold_swaps": report.threshold_swaps,
+        "retrains": [
+            {
+                "unit": event.unit,
+                "swap_tick": event.swap_tick,
+                "trigger_f_measure": event.trigger_f_measure,
+                "tuned_fitness": event.tuned_fitness,
+                "generations": event.generations,
+                "alphas": list(event.alphas),
+                "theta": event.theta,
+                "tolerance": event.tolerance,
+            }
+            for event in report.retrains
+        ],
+        "round_spans": {
+            unit: [[result.start, result.end] for result in results]
+            for unit, results in sorted(report.results.items())
+        },
+    }
+
+
 def build_golden_snapshot(backend: str = "batched") -> Dict[str, object]:
     """Run the golden configuration and capture the full snapshot.
 
@@ -138,6 +212,7 @@ def build_golden_snapshot(backend: str = "batched") -> Dict[str, object]:
             "n_ticks": unit.n_ticks,
             "rounds": rounds,
         }
+    snapshot["tuning_swap"] = build_tuning_swap_snapshot(backend)
     return snapshot
 
 

@@ -22,6 +22,7 @@ from tests.golden_fixture import (
     GOLDEN_PATH,
     MATRIX_TOLERANCE,
     build_golden_snapshot,
+    build_tuning_swap_snapshot,
     load_golden_fixture,
 )
 
@@ -95,6 +96,48 @@ def test_matrix_summaries_within_tolerance(golden, fresh_snapshot):
                     assert actual[kpi][stat] == pytest.approx(
                         value, abs=MATRIX_TOLERANCE
                     ), f"{name} round {index} {kpi} {stat}"
+
+
+@pytest.fixture(scope="module", params=BACKENDS)
+def fresh_tuning_swap(request):
+    return build_tuning_swap_snapshot(backend=request.param)
+
+
+def test_tuning_swap_rounds_and_thresholds_pinned(golden, fresh_tuning_swap):
+    """Drift-triggered retraining reproduces the committed swap history.
+
+    Round spans must match exactly — a hot-swap that dropped, reordered
+    or re-cut a detection round would shift them — and every retrain
+    event (trigger tick, learned thresholds, fitness) must come out
+    identical from the seeded coordinator.
+    """
+    expected = golden["tuning_swap"]
+    assert fresh_tuning_swap["threshold_swaps"] == expected["threshold_swaps"]
+    assert fresh_tuning_swap["round_spans"] == expected["round_spans"]
+    assert len(fresh_tuning_swap["retrains"]) == len(expected["retrains"])
+    for index, event in enumerate(expected["retrains"]):
+        actual = dict(fresh_tuning_swap["retrains"][index])
+        context = f"retrain {index} ({event['unit']})"
+        for key in ("unit", "swap_tick", "generations", "tolerance"):
+            assert actual[key] == event[key], f"{context} {key}"
+        for key in ("trigger_f_measure", "tuned_fitness", "theta"):
+            assert actual[key] == pytest.approx(
+                event[key], abs=MATRIX_TOLERANCE
+            ), f"{context} {key}"
+        assert actual["alphas"] == pytest.approx(
+            event["alphas"], abs=MATRIX_TOLERANCE
+        ), context
+
+
+def test_tuning_swap_rounds_stay_contiguous(golden):
+    """No retune may tear the stream: every round starts where the
+    previous one ended, across every swap in the fixture."""
+    assert golden["tuning_swap"]["threshold_swaps"] > 0, (
+        "fixture pins no threshold swaps; regenerate with a drift trigger"
+    )
+    for unit, spans in golden["tuning_swap"]["round_spans"].items():
+        for (_, end), (next_start, _) in zip(spans, spans[1:]):
+            assert end == next_start, unit
 
 
 def test_golden_covers_interesting_behaviour(golden):

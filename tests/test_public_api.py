@@ -83,6 +83,7 @@ EXPECTED = {
         "QueueClosed",
         "QueueFull",
         "ReplaySource",
+        "RetrainEvent",
         "RetryingSource",
         "SerialWorkerPool",
         "ServiceConfig",
@@ -91,6 +92,7 @@ EXPECTED = {
         "TickEvent",
         "TickQueue",
         "TickSource",
+        "TuningCoordinator",
         "UnitSpec",
         "WorkerDied",
         "build_sink",

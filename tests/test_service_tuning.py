@@ -1,0 +1,220 @@
+"""TuningCoordinator tests: drift triggers, between-round swaps, pools.
+
+The coordinator's contract: a unit whose sliding-window F-Measure decays
+gets retuned thresholds hot-swapped into its live detector *between*
+rounds — never inside one — through whichever pool flavour runs the
+fleet, without dropping or reordering any round.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DBCatcherConfig
+from repro.datasets.containers import Dataset, UnitSeries
+from repro.service import (
+    DetectionService,
+    ReplaySource,
+    ServiceConfig,
+    TuningCoordinator,
+)
+from repro.service.workers import ProcessWorkerPool, SerialWorkerPool, UnitSpec
+from repro.tuning import GeneticThresholdLearner
+
+CONFIG = DBCatcherConfig(kpi_names=("cpu", "rps"), initial_window=10, max_window=30)
+
+#: Thresholds that flag every database in every round (alpha at the score
+#: ceiling with no tolerance), used to observe a hot-swap from outside.
+ALARM_CONFIG = CONFIG.with_thresholds((1.0, 1.0), 0.0, 0)
+
+
+def _drifting_unit(name, seed, n_db=3, n_ticks=200):
+    """Correlated data whose *labels* say database 1 misbehaves.
+
+    The stock thresholds judge the unit healthy, so every labelled tick
+    becomes a false negative and the windowed F-Measure collapses — a
+    deterministic drift trigger.
+    """
+    rng = np.random.default_rng(seed)
+    trend = np.sin(np.linspace(0, 11, n_ticks)) + 2.0
+    values = np.stack(
+        [
+            trend[None, :] * (1 + 0.02 * d) + 0.01 * rng.standard_normal((2, n_ticks))
+            for d in range(n_db)
+        ]
+    )
+    labels = np.zeros((n_db, n_ticks), dtype=bool)
+    labels[1, 40:150] = True
+    return UnitSeries(name=name, values=values, labels=labels, kpi_names=("cpu", "rps"))
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return Dataset(
+        name="drift", units=tuple(_drifting_unit(f"u{i}", 60 + i) for i in range(2))
+    )
+
+
+def _coordinator(fleet, **overrides):
+    params = dict(
+        labels={unit.name: unit.labels for unit in fleet.units},
+        learner_factory=lambda seed: GeneticThresholdLearner(
+            population_size=4, n_iterations=2, seed=seed
+        ),
+        min_f_measure=0.75,
+        window_records=16,
+        min_records=6,
+        replay_ticks=120,
+        seed=0,
+    )
+    params.update(overrides)
+    return TuningCoordinator(**params)
+
+
+def _run(fleet, coordinator, **service_overrides):
+    service = DetectionService(
+        CONFIG,
+        service_config=ServiceConfig(**service_overrides),
+        sinks=("null",),
+        coordinator=coordinator,
+    )
+    return service.run(ReplaySource(fleet))
+
+
+def _assert_rounds_contiguous(report):
+    for unit, rounds in report.results.items():
+        assert rounds, unit
+        cursor = rounds[0].start
+        for result in rounds:
+            assert result.start == cursor, unit
+            cursor = result.end
+
+
+class TestCoordinatedService:
+    def test_drift_triggers_swaps(self, fleet):
+        coordinator = _coordinator(fleet)
+        report = _run(fleet, coordinator)
+        assert report.threshold_swaps >= 1
+        assert report.retrains == coordinator.events
+        units = {event.unit for event in report.retrains}
+        assert units <= {unit.name for unit in fleet.units}
+        for event in report.retrains:
+            assert event.trigger_f_measure < coordinator.min_f_measure
+            assert event.generations == 2
+            assert len(event.alphas) == CONFIG.n_kpis
+
+    def test_swaps_never_tear_rounds(self, fleet):
+        report = _run(fleet, _coordinator(fleet))
+        _assert_rounds_contiguous(report)
+
+    def test_swap_ticks_strictly_increase_per_unit(self, fleet):
+        report = _run(fleet, _coordinator(fleet))
+        per_unit = {}
+        for event in report.retrains:
+            per_unit.setdefault(event.unit, []).append(event.swap_tick)
+        for ticks in per_unit.values():
+            assert ticks == sorted(ticks)
+            assert len(set(ticks)) == len(ticks)
+
+    def test_process_pool_matches_serial_swaps(self, fleet):
+        serial = _run(fleet, _coordinator(fleet))
+        parallel = _run(fleet, _coordinator(fleet), n_workers=2)
+
+        def key(report):
+            return [
+                (e.unit, e.swap_tick, e.alphas, e.theta, e.tolerance)
+                for e in report.retrains
+            ]
+
+        assert key(parallel) == key(serial)
+        assert parallel.results == serial.results
+        _assert_rounds_contiguous(parallel)
+
+    def test_background_mode_swaps_between_rounds(self, fleet):
+        report = _run(fleet, _coordinator(fleet, background=True))
+        assert report.threshold_swaps >= 1
+        _assert_rounds_contiguous(report)
+
+    def test_failed_retrain_is_contained(self, fleet):
+        def exploding_factory(seed):
+            raise RuntimeError("no learner today")
+
+        coordinator = _coordinator(fleet, learner_factory=exploding_factory)
+        report = _run(fleet, coordinator)
+        assert report.threshold_swaps == 0
+        assert report.retrains == []
+        _assert_rounds_contiguous(report)
+
+    def test_unlabelled_units_are_ignored(self, fleet):
+        coordinator = _coordinator(fleet, labels={})
+        report = _run(fleet, coordinator)
+        assert report.threshold_swaps == 0
+
+    def test_parameter_validation(self, fleet):
+        labels = {unit.name: unit.labels for unit in fleet.units}
+        for bad in [
+            dict(min_f_measure=0.0),
+            dict(min_f_measure=1.5),
+            dict(window_records=0),
+            dict(min_records=0),
+            dict(replay_ticks=0),
+        ]:
+            with pytest.raises(ValueError):
+                TuningCoordinator(labels, **bad)
+
+
+class TestInstallConfig:
+    def _specs(self, fleet):
+        return [
+            UnitSpec(name=unit.name, n_databases=unit.n_databases, config=CONFIG)
+            for unit in fleet.units
+        ]
+
+    def _batch(self, unit, start, end):
+        # Pools take (n_ticks, n_databases, n_kpis) blocks.
+        return np.ascontiguousarray(unit.values[:, :, start:end].transpose(2, 0, 1))
+
+    def test_serial_pool_keeps_history_limit(self, fleet):
+        pool = SerialWorkerPool(self._specs(fleet), history_limit=5)
+        unit = fleet.units[0].name
+        pool.install_config(unit, ALARM_CONFIG)
+        installed = pool.detectors[unit].config
+        assert installed.alphas == ALARM_CONFIG.alphas
+        assert installed.history_limit == 5
+
+    def test_serial_pool_swap_changes_verdicts(self, fleet):
+        pool = SerialWorkerPool(self._specs(fleet), history_limit=None)
+        unit = fleet.units[0]
+        before = pool.dispatch({unit.name: self._batch(unit, 0, 60)})[unit.name]
+        assert all(not r.abnormal_databases for r in before)
+        pool.install_config(unit.name, ALARM_CONFIG)
+        after = pool.dispatch({unit.name: self._batch(unit, 60, 120)})[unit.name]
+        assert after and all(r.abnormal_databases for r in after)
+        pool.stop()
+
+    def test_process_pool_swap_changes_verdicts(self, fleet):
+        pool = ProcessWorkerPool(self._specs(fleet), n_workers=2, history_limit=8)
+        unit = fleet.units[0]
+        try:
+            before = pool.dispatch({unit.name: self._batch(unit, 0, 60)})[unit.name]
+            assert all(not r.abnormal_databases for r in before)
+            pool.install_config(unit.name, ALARM_CONFIG)
+            after = pool.dispatch({unit.name: self._batch(unit, 60, 120)})[unit.name]
+            assert after and all(r.abnormal_databases for r in after)
+            assert pool.restarts == 0
+        finally:
+            pool.stop()
+
+    def test_process_pool_swap_survives_crash_restart(self, fleet):
+        pool = ProcessWorkerPool(self._specs(fleet), n_workers=1, history_limit=8)
+        unit = fleet.units[0]
+        try:
+            pool.install_config(unit.name, ALARM_CONFIG)
+            pool.crash_worker(unit.name)
+            # The dead worker eats this dispatch and restarts from specs —
+            # which were updated before the swap message went out.
+            pool.dispatch({unit.name: self._batch(unit, 0, 30)})
+            assert pool.restarts == 1
+            after = pool.dispatch({unit.name: self._batch(unit, 30, 90)})[unit.name]
+            assert after and all(r.abnormal_databases for r in after)
+        finally:
+            pool.stop()

@@ -1,0 +1,155 @@
+"""Determinism of the scaled-out GA: process pools and checkpoint/resume.
+
+The GA's random generator never leaves the parent process and pool
+results come back in submission order, so the evolved population — and
+therefore the best genome — must be identical for every ``jobs`` value
+and across any checkpoint/resume split of the same run.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import DBCatcherConfig
+from repro.tuning import (
+    GeneticThresholdLearner,
+    PopulationEvaluator,
+    ThresholdGenome,
+    TuningCheckpoint,
+    VectorizedObjective,
+)
+
+CONFIG = DBCatcherConfig(kpi_names=("cpu", "rps"), initial_window=10, max_window=30)
+
+
+@pytest.fixture(scope="module")
+def replay_data():
+    rng = np.random.default_rng(21)
+    n_ticks = 160
+    trend = np.sin(np.linspace(0, 10, n_ticks)) + 2.0
+    values = np.stack(
+        [
+            np.stack([trend, 0.6 * trend]) + 0.01 * rng.standard_normal((2, n_ticks))
+            for _ in range(4)
+        ]
+    )
+    labels = np.zeros((4, n_ticks), dtype=bool)
+    values[2, :, 60:100] = rng.random((2, 40)) * 3.0
+    labels[2, 60:100] = True
+    return values, labels
+
+
+def _objective(replay_data):
+    return VectorizedObjective(CONFIG, *replay_data)
+
+
+def _learner(**overrides):
+    params = dict(population_size=6, n_iterations=3, seed=7)
+    params.update(overrides)
+    return GeneticThresholdLearner(**params)
+
+
+class TestParallelDeterminism:
+    def test_jobs_do_not_change_the_search(self, replay_data):
+        serial_genome, serial_fitness = _learner().search(_objective(replay_data))
+        parallel_learner = _learner(jobs=2)
+        parallel_genome, parallel_fitness = parallel_learner.search(
+            _objective(replay_data)
+        )
+        assert parallel_genome == serial_genome
+        assert parallel_fitness == serial_fitness
+
+    def test_evaluator_preserves_order_and_memoizes(self, replay_data):
+        objective = _objective(replay_data)
+        rng = np.random.default_rng(0)
+        population = [ThresholdGenome.random(2, rng) for _ in range(5)]
+        population.append(population[0])  # duplicate: must hit the memo
+        with PopulationEvaluator(objective, jobs=2) as evaluate:
+            fitness = evaluate(population)
+        expected = [_objective(replay_data)(genome) for genome in population]
+        assert fitness == expected
+        assert fitness[-1] == fitness[0]
+
+    def test_evaluator_rejects_bad_jobs(self, replay_data):
+        with pytest.raises(ValueError):
+            PopulationEvaluator(_objective(replay_data), jobs=0)
+
+
+class TestCheckpointResume:
+    def test_split_run_matches_uninterrupted(self, replay_data, tmp_path):
+        path = str(tmp_path / "ga.json")
+        straight_genome, straight_fitness = _learner(n_iterations=4).search(
+            _objective(replay_data)
+        )
+        # First half: stop after 2 generations, snapshotting each one.
+        _learner(n_iterations=2, checkpoint_path=path).search(_objective(replay_data))
+        # Second half resumes the snapshot and runs the remaining two.
+        resumed = _learner(n_iterations=4, checkpoint_path=path, resume=True)
+        resumed_genome, resumed_fitness = resumed.search(_objective(replay_data))
+        assert resumed_genome == straight_genome
+        assert resumed_fitness == straight_fitness
+
+    def test_split_run_with_jobs_matches_too(self, replay_data, tmp_path):
+        path = str(tmp_path / "ga.json")
+        straight_genome, _ = _learner(n_iterations=4).search(_objective(replay_data))
+        _learner(n_iterations=2, checkpoint_path=path, jobs=2).search(
+            _objective(replay_data)
+        )
+        resumed = _learner(n_iterations=4, checkpoint_path=path, resume=True, jobs=2)
+        resumed_genome, _ = resumed.search(_objective(replay_data))
+        assert resumed_genome == straight_genome
+
+    def test_checkpoint_json_round_trip(self, replay_data, tmp_path):
+        path = str(tmp_path / "ga.json")
+        learner = _learner(checkpoint_path=path, checkpoint_every=1)
+        learner.search(_objective(replay_data))
+        state = TuningCheckpoint.load(path)
+        assert state.generation == learner.n_iterations
+        assert state.population_size == learner.population_size
+        assert state.trace == learner.last_trace.best_fitness
+        # The restored RNG continues the checkpointed stream exactly.
+        first = state.restore_rng()
+        second = state.restore_rng()
+        assert first.random(4).tolist() == second.random(4).tolist()
+        # And the document itself round-trips bit-for-bit.
+        assert TuningCheckpoint.from_json(state.to_json()) == state
+
+    def test_unreadable_version_rejected(self, replay_data, tmp_path):
+        path = tmp_path / "ga.json"
+        learner = _learner(checkpoint_path=str(path))
+        learner.search(_objective(replay_data))
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="version"):
+            TuningCheckpoint.load(str(path))
+
+    def test_population_size_mismatch_rejected(self, replay_data, tmp_path):
+        path = str(tmp_path / "ga.json")
+        _learner(population_size=6, checkpoint_path=path).search(
+            _objective(replay_data)
+        )
+        wrong = _learner(population_size=8, checkpoint_path=path, resume=True)
+        with pytest.raises(ValueError, match="population size"):
+            wrong.search(_objective(replay_data))
+
+    def test_overrun_checkpoint_rejected(self, replay_data, tmp_path):
+        path = str(tmp_path / "ga.json")
+        _learner(n_iterations=3, checkpoint_path=path).search(_objective(replay_data))
+        shorter = _learner(n_iterations=2, checkpoint_path=path, resume=True)
+        with pytest.raises(ValueError, match="generations"):
+            shorter.search(_objective(replay_data))
+
+    def test_resume_without_file_starts_fresh(self, replay_data, tmp_path):
+        path = str(tmp_path / "missing.json")
+        learner = _learner(checkpoint_path=path, resume=True)
+        genome, fitness = learner.search(_objective(replay_data))
+        fresh_genome, fresh_fitness = _learner().search(_objective(replay_data))
+        assert genome == fresh_genome
+        assert fitness == fresh_fitness
+
+    def test_save_leaves_no_temp_files(self, replay_data, tmp_path):
+        path = tmp_path / "ga.json"
+        _learner(checkpoint_path=str(path)).search(_objective(replay_data))
+        assert [p.name for p in tmp_path.iterdir()] == ["ga.json"]

@@ -1,0 +1,127 @@
+"""Differential tests: VectorizedObjective vs the per-genome replay objective.
+
+The vectorized objective precomputes threshold-independent score tensors
+and walks each genome's round lattice; these tests pin that its fitness
+is *identical* (not approximately equal — the arithmetic is the same
+kernels) to ``DetectionObjective``'s full detector replay, on clean and
+NaN-degraded data alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DBCatcherConfig
+from repro.tuning import DetectionObjective, ThresholdGenome, VectorizedObjective
+
+CONFIG = DBCatcherConfig(kpi_names=("cpu", "rps"), initial_window=10, max_window=30)
+
+
+def _unit(seed, n_db=4, n_ticks=160):
+    rng = np.random.default_rng(seed)
+    trend = np.sin(np.linspace(0, 10, n_ticks)) + 2.0
+    values = np.stack(
+        [
+            np.stack([trend, 0.6 * trend]) + 0.01 * rng.standard_normal((2, n_ticks))
+            for _ in range(n_db)
+        ]
+    )
+    labels = np.zeros((n_db, n_ticks), dtype=bool)
+    values[2, :, 60:100] = rng.random((2, 40)) * 3.0
+    labels[2, 60:100] = True
+    return values, labels
+
+
+def _genome_panel(n_kpis, seed=3, n_random=8):
+    rng = np.random.default_rng(seed)
+    panel = [ThresholdGenome.random(n_kpis, rng) for _ in range(n_random)]
+    panel.append(ThresholdGenome.from_config(CONFIG))
+    # Edge thresholds: everything abnormal / nothing ever flagged.
+    panel.append(ThresholdGenome(alphas=(1.0,) * n_kpis, theta=0.0, tolerance=0))
+    panel.append(ThresholdGenome(alphas=(-1.0,) * n_kpis, theta=2.0, tolerance=99))
+    return panel
+
+
+class TestDifferential:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return _unit(42)
+
+    def test_matches_replay_objective_exactly(self, data):
+        values, labels = data
+        replay = DetectionObjective(CONFIG, values, labels)
+        vectorized = VectorizedObjective(CONFIG, values, labels)
+        for genome in _genome_panel(CONFIG.n_kpis):
+            assert vectorized(genome) == replay(genome), genome
+
+    def test_matches_on_nan_degraded_data(self, data):
+        values, labels = data
+        degraded = values.copy()
+        # One database loses a stretch of one KPI: rounds overlapping the
+        # gap must drop it from the pending set, exactly like the detector.
+        degraded[1, 0, 50:90] = np.nan
+        replay = DetectionObjective(CONFIG, degraded, labels)
+        vectorized = VectorizedObjective(CONFIG, degraded, labels)
+        for genome in _genome_panel(CONFIG.n_kpis, seed=5):
+            assert vectorized(genome) == replay(genome), genome
+
+    def test_multi_unit_matches(self, data):
+        values, labels = data
+        other_values, other_labels = _unit(43)
+        replay = DetectionObjective(
+            CONFIG, [values, other_values], [labels, other_labels]
+        )
+        vectorized = VectorizedObjective(
+            CONFIG, [values, other_values], [labels, other_labels]
+        )
+        genome = ThresholdGenome.from_config(CONFIG)
+        assert vectorized(genome) == replay(genome)
+
+    def test_population_call_matches_single_calls(self, data):
+        values, labels = data
+        vectorized = VectorizedObjective(CONFIG, values, labels)
+        panel = _genome_panel(CONFIG.n_kpis, seed=9)
+        batch = vectorized.evaluate_population(panel)
+        fresh = VectorizedObjective(CONFIG, values, labels)
+        assert batch == [fresh(genome) for genome in panel]
+
+
+class TestSurface:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return _unit(42)
+
+    def test_memoization_counts_like_replay(self, data):
+        values, labels = data
+        vectorized = VectorizedObjective(CONFIG, values, labels)
+        genome = ThresholdGenome.from_config(CONFIG)
+        vectorized(genome)
+        assert vectorized.evaluations == 1
+        vectorized(genome)
+        assert vectorized.evaluations == 1
+        # Duplicates inside one population batch are evaluated once too.
+        other = ThresholdGenome(alphas=(0.5, 0.5), theta=0.1, tolerance=1)
+        vectorized.evaluate_population([other, other, genome])
+        assert vectorized.evaluations == 2
+
+    def test_config_properties(self, data):
+        values, labels = data
+        vectorized = VectorizedObjective(CONFIG, values, labels)
+        assert vectorized.config is CONFIG
+        assert vectorized.n_kpis == CONFIG.n_kpis
+
+    def test_shape_validation_matches_replay(self, data):
+        values, labels = data
+        for bad_args in [
+            (values[:, :1, :], labels),
+            (values, labels[:, :10]),
+            (values[:, :, :5], labels[:, :5]),
+            ([values], [labels, labels]),
+        ]:
+            with pytest.raises(ValueError):
+                VectorizedObjective(CONFIG, *bad_args)
+            with pytest.raises(ValueError):
+                DetectionObjective(CONFIG, *bad_args)
+        # The vectorized objective additionally rejects peerless units up
+        # front (the replay objective would only fail once evaluated).
+        with pytest.raises(ValueError):
+            VectorizedObjective(CONFIG, values[:1], labels[:1])
