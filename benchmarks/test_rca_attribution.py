@@ -1,0 +1,113 @@
+"""RCA attribution accuracy and incident-correlation serving overhead.
+
+The first bench runs the chaos-based attribution drill: single-database
+faults injected into a clean correlated fleet, scored by whether the
+culprit ranking puts the faulted database first.  The acceptance floor is
+precision@1 >= 0.8 for the attributable injector kinds.
+
+The second bench mirrors the ``repro.obs`` overhead bench: the same
+fleet-serving workload with and without the root-cause analyzer attached,
+asserting the incident-correlation overhead stays within budget (5 % by
+default; ``REPRO_BENCH_RCA_MAX_OVERHEAD`` overrides the ratio for noisy
+CI machines).
+"""
+
+import os
+import time
+
+from repro.presets import default_config
+from repro.rca import run_attribution_harness
+from repro.service import detect_fleet
+
+from _shared import BENCH_TRIALS, mixed_dataset, record_bench_result
+
+#: Precision@1 floor for single-database fault injectors (acceptance bar).
+_PRECISION_FLOOR = 0.8
+
+#: RCA-enabled serving overhead budget, as a ratio over the bare run.
+_RCA_MAX_OVERHEAD = float(os.environ.get("REPRO_BENCH_RCA_MAX_OVERHEAD", "1.05"))
+
+#: Timing trials per mode; min-of-N suppresses scheduler noise.
+_RCA_TIMING_TRIALS = 3
+
+
+def test_rca_attribution_accuracy():
+    """Culprit ranking must put the faulted database first.
+
+    Each trial injects one single-database fault (stuck gauge, clock skew
+    past the delay-scan horizon, or multiplicative gauge noise) into a
+    clean fleet and checks the strongest attribution's top-ranked
+    database against the injection target.
+    """
+    trials = max(BENCH_TRIALS, 2)
+    report = run_attribution_harness(trials_per_kind=trials)
+
+    print()
+    print(report.render())
+
+    metrics = {
+        "detection_rate": round(report.detection_rate(), 4),
+        "precision_at_1": round(report.precision_at(1), 4),
+        "precision_at_2": round(report.precision_at(2), 4),
+        "trials_per_kind": trials,
+    }
+    for kind in report.kinds:
+        metrics[f"precision_at_1_{kind}"] = round(
+            report.precision_at(1, kind=kind), 4
+        )
+    record_bench_result("rca_attribution_accuracy", **metrics)
+
+    assert report.detection_rate() > 0, "no injected fault was detected"
+    assert report.precision_at(1) >= _PRECISION_FLOOR, (
+        f"attribution precision@1 {report.precision_at(1):.2f} "
+        f"below the {_PRECISION_FLOOR:.1f} floor"
+    )
+    for kind in report.kinds:
+        assert report.precision_at(1, kind=kind) >= _PRECISION_FLOOR, (
+            f"precision@1 for {kind} below the floor"
+        )
+
+
+def test_rca_serving_overhead():
+    """Fleet serving with RCA attached costs <= 5 % over the bare run.
+
+    Both modes replay the identical bench dataset through
+    :func:`detect_fleet`; the only difference is whether attribution and
+    incident correlation run on each round.  Min-of-N wall times make the
+    comparison robust to one-off scheduler hiccups.
+    """
+    dataset = mixed_dataset("tencent")
+    config = default_config()
+
+    def serve(rca: bool) -> float:
+        started = time.perf_counter()
+        detect_fleet(dataset, config, sinks=("null",), rca=rca)
+        return time.perf_counter() - started
+
+    serve(rca=False)  # warm caches before either timed mode
+
+    bare = min(serve(rca=False) for _ in range(_RCA_TIMING_TRIALS))
+    with_rca = min(serve(rca=True) for _ in range(_RCA_TIMING_TRIALS))
+
+    report = detect_fleet(dataset, config, sinks=("null",), rca=True)
+    ratio = with_rca / bare
+
+    print()
+    print(f"  bare: {bare:.3f}s  with rca: {with_rca:.3f}s  "
+          f"ratio: {ratio:.3f} (budget {_RCA_MAX_OVERHEAD:.2f})")
+    print(f"  incidents correlated: {len(report.incidents)} over "
+          f"{len(report.alerts)} alerts")
+
+    record_bench_result(
+        "rca_serving_overhead",
+        bare_seconds=round(bare, 4),
+        rca_seconds=round(with_rca, 4),
+        overhead_ratio=round(ratio, 4),
+        budget_ratio=_RCA_MAX_OVERHEAD,
+        incidents=len(report.incidents),
+    )
+
+    assert ratio <= _RCA_MAX_OVERHEAD, (
+        f"rca-enabled serving cost {(ratio - 1) * 100:.1f}% "
+        f"(budget {(_RCA_MAX_OVERHEAD - 1) * 100:.0f}%)"
+    )

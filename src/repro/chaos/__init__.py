@@ -26,6 +26,7 @@ from repro.chaos.faults import (
     DropoutBurst,
     DuplicateTicks,
     FaultInjector,
+    GaugeNoise,
     MembershipChange,
     NaNGauge,
     OutOfOrderTicks,
@@ -55,6 +56,7 @@ __all__ = [
     "DuplicateTicks",
     "FAULT_TYPES",
     "FaultInjector",
+    "GaugeNoise",
     "MembershipChange",
     "NaNGauge",
     "OutOfOrderTicks",

@@ -9,6 +9,7 @@ observability):
 * :class:`DropoutBurst` / :class:`Blackout` — ticks lost in bursts;
 * :class:`NaNGauge` — gauges reporting NaN for a window;
 * :class:`StuckGauge` — gauges frozen at their last pre-fault value;
+* :class:`GaugeNoise` — multiplicative jitter decorrelating a gauge;
 * :class:`DuplicateTicks` — the transport re-delivering a tick;
 * :class:`OutOfOrderTicks` — adjacent ticks swapped in flight;
 * :class:`ClockSkew` — one database's samples lagging its unit peers;
@@ -37,6 +38,7 @@ __all__ = [
     "Blackout",
     "NaNGauge",
     "StuckGauge",
+    "GaugeNoise",
     "DuplicateTicks",
     "OutOfOrderTicks",
     "ClockSkew",
@@ -238,6 +240,47 @@ class StuckGauge(FaultInjector):
                 self.record_activation()
             else:
                 last_seen[event.unit] = event.sample
+            yield event
+
+
+@dataclass
+class GaugeNoise(FaultInjector):
+    """Selected gauges pick up multiplicative jitter inside the window.
+
+    Each armed tick the affected cells are scaled by
+    ``1 + Normal(0, rel_std)`` — a flapping collector or contended
+    exporter whose readings wander around the truth.  Noise (unlike a
+    clean scale or offset, which min-max normalization absorbs) actually
+    *decorrelates* the gauge from its peers, which makes this the
+    canonical single-database culprit fault for attribution drills.
+    """
+
+    rel_std: float = 0.3
+    start: int = 0
+    end: Optional[int] = None
+    units: Optional[Tuple[str, ...]] = None
+    databases: Optional[Tuple[int, ...]] = None
+    kpis: Optional[Tuple[int, ...]] = None
+    kind = "gauge_noise"
+
+    def __post_init__(self) -> None:
+        if self.rel_std <= 0.0:
+            raise ValueError("rel_std must be positive")
+
+    def wrap(self, events, rng, actions):
+        for event in events:
+            if _unit_matches(event.unit, self.units) and _in_window(
+                event.seq, self.start, self.end
+            ):
+                sample = event.sample.copy()
+                rows, cols = _select(sample, self.databases, self.kpis)
+                cells = np.ix_(rows, cols)
+                jitter = 1.0 + rng.normal(
+                    0.0, self.rel_std, size=(rows.size, cols.size)
+                )
+                sample[cells] = sample[cells] * jitter
+                event = dataclasses.replace(event, sample=sample)
+                self.record_activation()
             yield event
 
 

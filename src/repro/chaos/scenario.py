@@ -29,6 +29,7 @@ from repro.chaos.faults import (
     DropoutBurst,
     DuplicateTicks,
     FaultInjector,
+    GaugeNoise,
     MembershipChange,
     NaNGauge,
     OutOfOrderTicks,
@@ -54,6 +55,7 @@ FAULT_TYPES: Dict[str, Type[FaultInjector]] = {
         Blackout,
         NaNGauge,
         StuckGauge,
+        GaugeNoise,
         DuplicateTicks,
         OutOfOrderTicks,
         ClockSkew,
@@ -150,6 +152,11 @@ def _presets() -> Dict[str, ChaosScenario]:
             "stuck-gauge",
             (StuckGauge(start=50, end=130, databases=(0,)),),
             description="database 0 frozen at its last value for 80 ticks",
+        ),
+        "gauge-noise": ChaosScenario(
+            "gauge-noise",
+            (GaugeNoise(start=50, end=130, databases=(1,), rel_std=0.4),),
+            description="database 1's gauges jitter ±40% for 80 ticks",
         ),
         "duplicates": ChaosScenario(
             "duplicates",

@@ -16,6 +16,10 @@ code:
 * ``obs``      — run one instrumented detection pass and emit the
   observability exposition (Prometheus text or JSON), including the
   per-stage detection latency histograms;
+* ``rca``      — replay a recorded run (saved dataset or alert JSONL)
+  into a ranked root-cause report: culprit databases/KPIs per incident,
+  severities and lifecycle, without the live service; ``--accuracy``
+  instead runs the chaos-based attribution precision harness;
 * ``tune``     — learn detection thresholds over a saved labelled
   dataset with the genetic searcher (vectorized objective, ``--jobs``
   parallel fitness, ``--checkpoint``/``--resume`` for long runs);
@@ -152,6 +156,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the final observability exposition here "
                             "(JSON when PATH ends in .json, else Prometheus "
                             "text)")
+    serve.add_argument("--rca", action="store_true",
+                       help="attach culprit attributions to alerts and "
+                            "correlate them into incidents")
+    serve.add_argument("--topology", default=None, metavar="PATH",
+                       help="JSON topology file for incident correlation "
+                            "({\"groups\": {label: [unit, ...]}}); default "
+                            "one all-units group")
 
     chaos = commands.add_parser(
         "chaos",
@@ -207,6 +218,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="exposition format printed to stdout")
     obs_cmd.add_argument("--output", default=None, metavar="PATH",
                          help="write the exposition here instead of stdout")
+
+    rca = commands.add_parser(
+        "rca",
+        help="replay a recorded run into a ranked root-cause report",
+    )
+    rca.add_argument(
+        "input", nargs="?", default=None,
+        help="a .npz dataset to replay through detection, or an alert "
+             "JSONL file from `serve --sink jsonl:<path>` (omit with "
+             "--accuracy)",
+    )
+    rca.add_argument("--topology", default=None, metavar="PATH",
+                     help="JSON topology file ({\"groups\": ...}); default: "
+                          "dataset workload groups / one all-units group")
+    rca.add_argument("--window-ticks", type=int, default=60,
+                     help="max tick gap for a verdict to join an incident")
+    rca.add_argument("--resolve-after", type=int, default=60, metavar="TICKS",
+                     help="quiet ticks before an open incident resolves")
+    rca.add_argument("--top", type=int, default=3,
+                     help="culprits listed per incident")
+    rca.add_argument("--json", default=None, metavar="PATH",
+                     help="also write the full report as JSON here")
+    rca.add_argument("--accuracy", action="store_true",
+                     help="run the chaos attribution-accuracy harness "
+                          "instead of a replay (known faults, precision@k)")
+    rca.add_argument("--trials", type=int, default=3,
+                     help="trials per fault kind for --accuracy")
+    rca.add_argument("--seed", type=int, default=0,
+                     help="harness seed for --accuracy")
+    _add_detector_flags(rca)
+    rca.add_argument(
+        "--alpha", type=float, default=None,
+        help="uniform correlation threshold for dataset replay",
+    )
 
     tune = commands.add_parser(
         "tune",
@@ -360,10 +405,17 @@ def _cmd_serve(args) -> int:
             print(f"observability endpoint: {server.url}/metrics "
                   f"(and /metrics.json)", file=sys.stderr)
         try:
+            topology = None
+            if args.topology is not None:
+                from repro.rca import Topology
+
+                topology = Topology.load(args.topology)
             service = DetectionService(
                 _detect_config(args),
                 service_config=service_config,
                 sinks=tuple(args.sink) if args.sink else ("stdout",),
+                rca=args.rca,
+                topology=topology,
             )
             report = service.run(source, max_ticks=args.max_ticks)
         finally:
@@ -383,6 +435,14 @@ def _cmd_serve(args) -> int:
           f"{report.ticks_ingested:,} ticks in {report.elapsed_seconds:.2f}s, "
           f"{report.rounds_completed} rounds, "
           f"{report.alerts_emitted} alerts")
+    if args.rca:
+        severities = {}
+        for incident in report.incidents:
+            severities[incident.severity] = severities.get(incident.severity, 0) + 1
+        summary = ", ".join(
+            f"{count} {severity}" for severity, count in sorted(severities.items())
+        ) or "none"
+        print(f"  incidents: {summary}")
     print(f"  backpressure: {report.ticks_dropped} dropped, "
           f"{sum(report.sequence_gaps.values())} sequence gaps; "
           f"{report.ticks_lost} lost to crashes, "
@@ -483,6 +543,60 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_rca(args) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.rca import (
+        Topology,
+        replay_alerts,
+        replay_dataset,
+        run_attribution_harness,
+    )
+
+    if args.accuracy:
+        report = run_attribution_harness(
+            trials_per_kind=args.trials, seed=args.seed
+        )
+        print(report.render())
+        if args.json is not None:
+            Path(args.json).write_text(
+                json_module.dumps(report.to_dict(), indent=2, sort_keys=True)
+                + "\n"
+            )
+            print(f"wrote {args.json}", file=sys.stderr)
+        return 0 if report.precision_at(1) >= 0.8 else 1
+
+    if args.input is None:
+        print("rca needs an input path (or --accuracy)", file=sys.stderr)
+        return 2
+    topology = Topology.load(args.topology) if args.topology else None
+    if Path(args.input).suffix == ".npz":
+        from repro.datasets import load_dataset
+
+        report = replay_dataset(
+            load_dataset(args.input),
+            _detect_config(args),
+            topology=topology,
+            window_ticks=args.window_ticks,
+            resolve_after_ticks=args.resolve_after,
+        )
+    else:
+        report = replay_alerts(
+            args.input,
+            topology=topology,
+            window_ticks=args.window_ticks,
+            resolve_after_ticks=args.resolve_after,
+        )
+    print(report.render(top=args.top))
+    if args.json is not None:
+        Path(args.json).write_text(
+            json_module.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
 def _cmd_tune(args) -> int:
     import time
 
@@ -561,6 +675,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "chaos": _cmd_chaos,
         "obs": _cmd_obs,
+        "rca": _cmd_rca,
         "tune": _cmd_tune,
         "info": _cmd_info,
     }

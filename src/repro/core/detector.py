@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.config import DBCatcherConfig
 from repro.core.levels import calculate_levels
+from repro.core.matrices import CorrelationMatrix
 from repro.core.records import DatabaseState, JudgementRecord
 from repro.core.streams import KPIStreams
 from repro.core.window import FlexibleWindow
@@ -46,11 +47,25 @@ class UnitDetectionResult:
         start`` is the round's final (possibly expanded) window size.
     records:
         One judgement record per active database, keyed by database index.
+    matrices:
+        The ``Q`` per-pair KCD correlation matrices of the round's *final*
+        evaluated window, in KPI order — the evidence behind the verdict,
+        kept so :mod:`repro.rca` can rank culprit databases and KPIs
+        without re-running the engine.  ``None`` when the round resolved
+        without a correlation pass (degraded telemetry left fewer than two
+        judgeable databases).
+    active:
+        The in-use database mask of the final evaluated window (finite
+        data and not deactivated), or ``None`` alongside a ``None``
+        ``matrices``.  Attribution must only rank databases that actually
+        participated in the correlation evidence.
     """
 
     start: int
     end: int
     records: Dict[int, JudgementRecord]
+    matrices: Optional[Tuple[CorrelationMatrix, ...]] = None
+    active: Optional[Tuple[bool, ...]] = None
 
     @property
     def window_size(self) -> int:
@@ -77,6 +92,10 @@ class _RoundState:
     expansions: int = 0
     pending: List[int] = field(default_factory=list)
     records: Dict[int, JudgementRecord] = field(default_factory=dict)
+    #: Matrices and mask of the latest evaluated window, retained so the
+    #: finished result carries its correlation evidence for RCA.
+    matrices: Optional[Tuple[CorrelationMatrix, ...]] = None
+    round_active: Optional[Tuple[bool, ...]] = None
 
 
 class DBCatcher:
@@ -369,6 +388,8 @@ class DBCatcher:
                     active=round_active,
                     window_start=state.start,
                 )
+            state.matrices = tuple(matrices)
+            state.round_active = tuple(bool(flag) for flag in round_active)
             after_correlation = time.perf_counter()
             self.component_seconds["correlation"] += after_correlation - started
             with obs.span("detector.threshold"):
@@ -405,7 +426,11 @@ class DBCatcher:
     def _finish_round(self, state: _RoundState) -> UnitDetectionResult:
         end = state.start + state.size
         result = UnitDetectionResult(
-            start=state.start, end=end, records=dict(state.records)
+            start=state.start,
+            end=end,
+            records=dict(state.records),
+            matrices=state.matrices,
+            active=state.round_active,
         )
         self._results.append(result)
         self._rounds_completed += 1

@@ -58,6 +58,18 @@ class CorrelationMatrix:
             )
         object.__setattr__(self, "triangle", tri)
 
+    def __eq__(self, other: object) -> bool:
+        # The dataclass-generated __eq__ would compare the triangle
+        # arrays elementwise and raise on truth-testing the result;
+        # results carry these matrices, so equality must stay usable.
+        if not isinstance(other, CorrelationMatrix):
+            return NotImplemented
+        return (
+            self.kpi == other.kpi
+            and self.n_databases == other.n_databases
+            and np.array_equal(self.triangle, other.triangle, equal_nan=True)
+        )
+
     @classmethod
     def from_dense(cls, kpi: str, matrix: np.ndarray) -> "CorrelationMatrix":
         """Build from a dense symmetric matrix (e.g. :func:`kcd_matrix`)."""

@@ -1,0 +1,58 @@
+"""Root-cause analysis on top of KCD verdicts.
+
+DBCatcher's detector says *that* a unit went abnormal; this package says
+*what to do about it*.  Three layers, composable or standalone:
+
+* **Culprit ranking** (:mod:`~repro.rca.attribution`) — walk the per-pair
+  KCD correlation matrices behind an abnormal verdict and rank which
+  databases and KPI dimensions drove the decorrelation.
+* **Incident correlation** (:mod:`~repro.rca.incidents`,
+  :mod:`~repro.rca.topology`) — group abnormal verdicts across units
+  sharing infrastructure into :class:`Incident` objects with
+  score+frequency severities and an open → update → resolve lifecycle.
+* **Offline replay and validation** (:mod:`~repro.rca.replay`,
+  :mod:`~repro.rca.harness`) — ``repro rca`` replays a recorded run into
+  a ranked report without the live service, and the chaos-based harness
+  measures attribution precision@k against faults with known culprits.
+
+Quick start::
+
+    from repro.rca import replay_dataset
+    report = replay_dataset(dataset, config)
+    print(report.render())
+"""
+
+from repro.rca.analyzer import RCAOutcome, RootCauseAnalyzer
+from repro.rca.attribution import Attribution, Attributor, attribute_result
+from repro.rca.harness import (
+    HarnessReport,
+    TrialResult,
+    run_attribution_harness,
+)
+from repro.rca.incidents import (
+    Incident,
+    IncidentCorrelator,
+    IncidentEvent,
+    classify_severity,
+)
+from repro.rca.replay import RCAReport, replay_alerts, replay_dataset
+from repro.rca.topology import Topology
+
+__all__ = [
+    "Attribution",
+    "Attributor",
+    "HarnessReport",
+    "Incident",
+    "IncidentCorrelator",
+    "IncidentEvent",
+    "RCAOutcome",
+    "RCAReport",
+    "RootCauseAnalyzer",
+    "Topology",
+    "TrialResult",
+    "attribute_result",
+    "classify_severity",
+    "replay_alerts",
+    "replay_dataset",
+    "run_attribution_harness",
+]

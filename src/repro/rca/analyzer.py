@@ -1,0 +1,109 @@
+"""RootCauseAnalyzer: attribution + incident correlation as one object.
+
+This is the piece the serving layer holds: feed it every completed
+detection round (abnormal or not) and advance its clock on quiet ticks;
+it attributes abnormal rounds, threads them into incidents and hands back
+the lifecycle events for the alert pipeline to fan out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Tuple, Union
+
+from repro.core.config import DBCatcherConfig
+from repro.core.detector import UnitDetectionResult
+from repro.obs import runtime as obs
+from repro.rca.attribution import Attribution, Attributor
+from repro.rca.incidents import Incident, IncidentCorrelator, IncidentEvent
+from repro.rca.topology import Topology
+
+__all__ = ["RCAOutcome", "RootCauseAnalyzer"]
+
+
+@dataclass(frozen=True)
+class RCAOutcome:
+    """What one round produced: its attribution, incident and events."""
+
+    attribution: Optional[Attribution] = None
+    incident: Optional[Incident] = None
+    events: Tuple[IncidentEvent, ...] = ()
+
+    @property
+    def incident_id(self) -> Optional[str]:
+        return self.incident.incident_id if self.incident is not None else None
+
+
+@dataclass
+class RootCauseAnalyzer:
+    """Per-fleet RCA state: an attributor plus an incident correlator.
+
+    Parameters
+    ----------
+    configs:
+        Detector config(s) the verdicts were judged against — one shared
+        config or a per-unit mapping, as resolved by the caller.
+    topology:
+        Shared-infrastructure groups for incident correlation.
+    window_ticks, resolve_after_ticks:
+        Correlator windows, see :class:`IncidentCorrelator`.
+    """
+
+    configs: Union[DBCatcherConfig, Mapping[str, DBCatcherConfig]]
+    topology: Topology
+    window_ticks: int = 60
+    resolve_after_ticks: int = 60
+    _attributor: Attributor = field(init=False, repr=False)
+    _correlator: IncidentCorrelator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._attributor = Attributor(self.configs)
+        self._correlator = IncidentCorrelator(
+            self.topology,
+            window_ticks=self.window_ticks,
+            resolve_after_ticks=self.resolve_after_ticks,
+        )
+
+    @property
+    def incidents(self) -> Tuple[Incident, ...]:
+        return self._correlator.incidents
+
+    @property
+    def open_incidents(self) -> Tuple[Incident, ...]:
+        return self._correlator.open_incidents
+
+    def process(self, unit: str, result: UnitDetectionResult) -> RCAOutcome:
+        """Analyze one completed round; normal rounds only move the clock."""
+        with obs.span("rca.process"):
+            events = list(self._correlator.advance(result.end))
+            if not result.abnormal_databases:
+                self._count(events)
+                return RCAOutcome(events=tuple(events))
+            attribution = self._attributor.attribute(unit, result)
+            incident, new_events = self._correlator.observe(
+                unit, result.end, attribution
+            )
+            events.extend(new_events)
+            self._count(events)
+            return RCAOutcome(
+                attribution=attribution,
+                incident=incident,
+                events=tuple(events),
+            )
+
+    def advance(self, tick: int) -> Tuple[IncidentEvent, ...]:
+        """Quiet-tick clock movement; may resolve incidents."""
+        events = tuple(self._correlator.advance(tick))
+        self._count(events)
+        return events
+
+    def finish(self, tick: int) -> Tuple[IncidentEvent, ...]:
+        """End of stream: resolve everything still open."""
+        events = tuple(self._correlator.flush(tick))
+        self._count(events)
+        return events
+
+    @staticmethod
+    def _count(events: List[IncidentEvent] | Tuple[IncidentEvent, ...]) -> None:
+        for event in events:
+            obs.counter(f"rca.incidents_{event.kind}").increment()

@@ -1,0 +1,191 @@
+"""Offline RCA: replay a recorded run into a ranked incident report.
+
+Two replay shapes, neither needing the live service:
+
+* :func:`replay_dataset` re-runs detection over a dataset (the recorded
+  tick streams) with :class:`~repro.core.detector.DBCatcher` and feeds
+  every round through a :class:`RootCauseAnalyzer` — full correlation
+  evidence, exact attributions.
+* :func:`replay_alerts` reconstructs incidents from an alert JSONL file
+  written by a previous serve run.  Alerts recorded with RCA enabled
+  carry their attributions inline and round-trip losslessly; plain alerts
+  still correlate into incidents, just without culprit rankings.
+
+Both produce an :class:`RCAReport` that renders as the ranked text report
+``repro rca`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.core.config import DBCatcherConfig
+from repro.core.detector import DBCatcher
+from repro.rca.analyzer import RootCauseAnalyzer
+from repro.rca.attribution import Attribution
+from repro.rca.incidents import Incident
+from repro.rca.topology import Topology
+
+__all__ = ["RCAReport", "replay_dataset", "replay_alerts"]
+
+
+@dataclass(frozen=True)
+class RCAReport:
+    """Ranked output of an offline RCA replay."""
+
+    incidents: Tuple[Incident, ...]
+    attributions: Tuple[Attribution, ...] = ()
+    rounds: int = 0
+    abnormal_rounds: int = 0
+    source: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "source": self.source,
+            "rounds": self.rounds,
+            "abnormal_rounds": self.abnormal_rounds,
+            "incidents": [incident.to_dict() for incident in self.incidents],
+            "attributions": [a.to_dict() for a in self.attributions],
+        }
+
+    def render(self, top: int = 3) -> str:
+        """Human-readable ranked report, one block per incident."""
+        lines = [
+            f"RCA report — {self.source or 'replay'}: "
+            f"{self.abnormal_rounds}/{self.rounds} abnormal rounds, "
+            f"{len(self.incidents)} incident(s)"
+        ]
+        severity_rank = {"CRITICAL": 0, "HIGH": 1, "MEDIUM": 2}
+        ordered = sorted(
+            self.incidents,
+            key=lambda i: (severity_rank.get(i.severity, 9), -i.peak_strength),
+        )
+        for incident in ordered:
+            span = f"opened@{incident.opened_at}"
+            if incident.resolved_at is not None:
+                span += f" resolved@{incident.resolved_at}"
+            lines.append(
+                f"  {incident.incident_id} [{incident.severity}] {span} "
+                f"units={','.join(incident.unit_names)} "
+                f"verdicts={incident.frequency} "
+                f"strength={incident.peak_strength:.3f}"
+            )
+            for rank, (unit, db, share) in enumerate(incident.culprits(top), 1):
+                lines.append(
+                    f"    #{rank} culprit {unit}/D{db + 1} (share={share:.2f})"
+                )
+        return "\n".join(lines)
+
+
+def replay_dataset(
+    dataset,
+    config: Union[DBCatcherConfig, Mapping[str, DBCatcherConfig]],
+    topology: Optional[Topology] = None,
+    window_ticks: int = 60,
+    resolve_after_ticks: int = 60,
+) -> RCAReport:
+    """Re-run detection over a dataset and correlate the verdicts.
+
+    ``config`` is one shared detector config or a per-unit mapping; the
+    topology defaults to the dataset's workload-metadata groups.
+    """
+    if topology is None:
+        topology = Topology.from_dataset(dataset)
+    analyzer = RootCauseAnalyzer(
+        configs=config,
+        topology=topology,
+        window_ticks=window_ticks,
+        resolve_after_ticks=resolve_after_ticks,
+    )
+
+    def config_for(unit_name: str) -> DBCatcherConfig:
+        if isinstance(config, DBCatcherConfig):
+            return config
+        return config[unit_name]
+
+    # Interleave rounds across units in end-tick order so the correlator
+    # clock moves exactly as it would have live.
+    rounds: List[Tuple[int, str, object]] = []
+    last_tick = 0
+    for unit in dataset.units:
+        detector = DBCatcher(config_for(unit.name), unit.values.shape[0])
+        for result in detector.process(unit.values, time_axis=-1):
+            rounds.append((result.end, unit.name, result))
+        last_tick = max(last_tick, unit.values.shape[-1])
+    rounds.sort(key=lambda item: (item[0], item[1]))
+
+    attributions: List[Attribution] = []
+    abnormal = 0
+    for _, unit_name, result in rounds:
+        outcome = analyzer.process(unit_name, result)  # type: ignore[arg-type]
+        if outcome.attribution is not None:
+            attributions.append(outcome.attribution)
+        if outcome.incident is not None:
+            abnormal += 1
+    analyzer.finish(last_tick)
+    return RCAReport(
+        incidents=analyzer.incidents,
+        attributions=tuple(attributions),
+        rounds=len(rounds),
+        abnormal_rounds=abnormal,
+        source=getattr(dataset, "name", "dataset"),
+    )
+
+
+def replay_alerts(
+    path: Union[str, Path],
+    topology: Optional[Topology] = None,
+    window_ticks: int = 60,
+    resolve_after_ticks: int = 60,
+) -> RCAReport:
+    """Correlate a recorded alert JSONL stream into incidents.
+
+    Incident records interleaved in the file (``"type": "incident"``) are
+    skipped — the replay rebuilds them from the alerts alone, so the same
+    file can be replayed whether or not the original run had RCA on.
+    """
+    from repro.rca.incidents import IncidentCorrelator
+
+    alerts: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("type") == "incident":
+                continue
+            alerts.append(record)
+    alerts.sort(key=lambda a: (int(a["end"]), str(a["unit"])))  # type: ignore[arg-type]
+
+    units = sorted({str(alert["unit"]) for alert in alerts})
+    if topology is None:
+        topology = Topology.single_group(units)
+    correlator = IncidentCorrelator(
+        topology,
+        window_ticks=window_ticks,
+        resolve_after_ticks=resolve_after_ticks,
+    )
+    attributions: List[Attribution] = []
+    last_tick = 0
+    for alert in alerts:
+        unit = str(alert["unit"])
+        tick = int(alert["end"])  # type: ignore[arg-type]
+        last_tick = max(last_tick, tick)
+        correlator.advance(tick)
+        attribution: Optional[Attribution] = None
+        if "attribution" in alert:
+            attribution = Attribution.from_dict(alert["attribution"])  # type: ignore[arg-type]
+            attributions.append(attribution)
+        correlator.observe(unit, tick, attribution)
+    correlator.flush(last_tick + resolve_after_ticks)
+    return RCAReport(
+        incidents=correlator.incidents,
+        attributions=tuple(attributions),
+        rounds=len(alerts),
+        abnormal_rounds=len(alerts),
+        source=str(path),
+    )

@@ -1,0 +1,151 @@
+"""Fleet topology: which units share infrastructure.
+
+Incident correlation needs to know when two units plausibly fail
+*together* — they sit behind the same load balancer, run on the same
+host, or serve the same workload scenario.  A :class:`Topology` is a flat
+set of named groups over unit names; two units are *connected* when at
+least one group contains both.  Where the groups come from is up to the
+caller:
+
+* :meth:`Topology.from_dataset` derives workload-scenario groups from the
+  construction metadata the simulator stamps on every
+  :class:`~repro.datasets.containers.UnitSeries`;
+* :meth:`Topology.from_attributes` turns per-unit attribute maps
+  (``{"unit-000": {"host": "h1", "lb": "lb-a"}}``) into ``host:h1`` /
+  ``lb:lb-a`` groups — the shape an external CMDB export takes;
+* :meth:`Topology.single_group` is the degenerate everything-is-shared
+  fleet, the honest default when no topology is known;
+* the fleet scheduler overlays ``shard:<n>`` groups at run time when the
+  process pool is active, so units co-located on a worker correlate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Mapping, Sequence, Tuple, Union
+
+__all__ = ["Topology"]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Named shared-infrastructure groups over unit names.
+
+    Parameters
+    ----------
+    groups:
+        Mapping from a group label (``"scenario:flash_sale"``,
+        ``"host:h1"``) to the unit names it contains.  Units may appear in
+        any number of groups; unknown units simply belong to none.
+    """
+
+    groups: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        normalized: Dict[str, Tuple[str, ...]] = {}
+        for label, units in self.groups.items():
+            members = tuple(sorted(set(units)))
+            if not members:
+                raise ValueError(f"topology group {label!r} has no units")
+            normalized[str(label)] = members
+        object.__setattr__(self, "groups", normalized)
+
+    @classmethod
+    def single_group(
+        cls, units: Sequence[str], label: str = "fleet"
+    ) -> "Topology":
+        """Everything shares one group — the no-information default."""
+        return cls(groups={label: tuple(units)})
+
+    @classmethod
+    def from_attributes(
+        cls, attributes: Mapping[str, Mapping[str, object]]
+    ) -> "Topology":
+        """Build ``key:value`` groups from per-unit attribute maps."""
+        groups: Dict[str, list] = {}
+        for unit, attrs in attributes.items():
+            for key, value in attrs.items():
+                if value is None:
+                    continue
+                groups.setdefault(f"{key}:{value}", []).append(unit)
+        return cls(groups={label: tuple(units) for label, units in groups.items()})
+
+    @classmethod
+    def from_dataset(cls, dataset) -> "Topology":
+        """Workload-sharing groups from a dataset's construction metadata.
+
+        Uses the ``family`` / ``scenario`` / ``periodic`` keys the dataset
+        builder records per unit; units built without metadata fall into a
+        shared ``family:unknown`` group so correlation still has a floor.
+        """
+        attributes: Dict[str, Dict[str, object]] = {}
+        for unit in dataset.units:
+            meta = getattr(unit, "metadata", None) or {}
+            attrs: Dict[str, object] = {
+                "family": meta.get("family", "unknown"),
+            }
+            if meta.get("scenario") is not None:
+                attrs["scenario"] = meta["scenario"]
+            if meta.get("periodic") is not None:
+                attrs["periodicity"] = (
+                    "periodic" if meta["periodic"] else "irregular"
+                )
+            attributes[unit.name] = attrs
+        return cls.from_attributes(attributes)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Topology":
+        """Load a topology from a JSON file of ``{"groups": {label: [...]}}``."""
+        with open(path, "r", encoding="utf-8") as handle:
+            spec = json.load(handle)
+        groups = spec.get("groups") if isinstance(spec, dict) else None
+        if not isinstance(groups, dict) or not groups:
+            raise ValueError(
+                f"{path}: topology file needs a non-empty 'groups' object"
+            )
+        return cls(groups={str(k): tuple(v) for k, v in groups.items()})
+
+    @property
+    def units(self) -> Tuple[str, ...]:
+        """Every unit named by at least one group, sorted."""
+        seen = set()
+        for members in self.groups.values():
+            seen.update(members)
+        return tuple(sorted(seen))
+
+    def groups_of(self, unit: str) -> Tuple[str, ...]:
+        """Labels of every group containing ``unit``, sorted."""
+        return tuple(
+            sorted(
+                label
+                for label, members in self.groups.items()
+                if unit in members
+            )
+        )
+
+    def shared_groups(self, a: str, b: str) -> Tuple[str, ...]:
+        """Group labels containing both units — the connection evidence."""
+        return tuple(
+            sorted(
+                label
+                for label, members in self.groups.items()
+                if a in members and b in members
+            )
+        )
+
+    def connected(self, a: str, b: str) -> bool:
+        """Whether two units share at least one group."""
+        return a == b or bool(self.shared_groups(a, b))
+
+    def merged(self, extra: Mapping[str, Sequence[str]]) -> "Topology":
+        """This topology plus additional groups (e.g. runtime shards)."""
+        combined: Dict[str, Tuple[str, ...]] = dict(self.groups)
+        for label, units in extra.items():
+            members = tuple(sorted(set(combined.get(label, ())) | set(units)))
+            combined[label] = members
+        return Topology(groups=combined)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"groups": {label: list(m) for label, m in self.groups.items()}}

@@ -10,14 +10,33 @@ tests — and new ones only need ``emit`` and ``close``.
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import os
 import sys
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, IO, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Deque,
+    Dict,
+    IO,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.detector import UnitDetectionResult
 from repro.service.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # imported lazily at runtime: repro.rca pulls in sources
+    from repro.rca.analyzer import RootCauseAnalyzer
+    from repro.rca.attribution import Attribution
+    from repro.rca.incidents import IncidentEvent
 
 __all__ = [
     "Alert",
@@ -52,6 +71,12 @@ class Alert:
     latency_seconds:
         Detection latency implied by the window: ticks consumed times the
         collection interval.
+    attribution:
+        Optional culprit ranking from :mod:`repro.rca`, attached when the
+        pipeline runs with an analyzer.
+    incident_id:
+        Identifier of the incident this alert was correlated into, when
+        incident correlation is on.
     """
 
     unit: str
@@ -61,9 +86,11 @@ class Alert:
     expansions: int = 0
     kpi_levels: Dict[int, Dict[str, int]] = field(default_factory=dict)
     latency_seconds: float = 0.0
+    attribution: Optional["Attribution"] = None
+    incident_id: Optional[str] = None
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "unit": self.unit,
             "start": self.start,
             "end": self.end,
@@ -74,6 +101,42 @@ class Alert:
             },
             "latency_seconds": self.latency_seconds,
         }
+        # Optional RCA fields ride along as absent keys, not nulls, so
+        # pre-RCA JSONL consumers see byte-identical records.
+        if self.attribution is not None:
+            payload["attribution"] = self.attribution.to_dict()
+        if self.incident_id is not None:
+            payload["incident_id"] = self.incident_id
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Alert":
+        """Rebuild an alert from its :meth:`to_dict` form."""
+        attribution: Optional["Attribution"] = None
+        if "attribution" in payload:
+            from repro.rca.attribution import Attribution
+
+            attribution = Attribution.from_dict(payload["attribution"])  # type: ignore[arg-type]
+        return cls(
+            unit=str(payload["unit"]),
+            start=int(payload["start"]),  # type: ignore[arg-type]
+            end=int(payload["end"]),  # type: ignore[arg-type]
+            abnormal_databases=tuple(
+                int(db) for db in payload["abnormal_databases"]  # type: ignore[union-attr]
+            ),
+            expansions=int(payload.get("expansions", 0)),  # type: ignore[arg-type]
+            kpi_levels={
+                int(db): {str(kpi): int(level) for kpi, level in levels.items()}
+                for db, levels in payload.get("kpi_levels", {}).items()  # type: ignore[union-attr]
+            },
+            latency_seconds=float(payload.get("latency_seconds", 0.0)),  # type: ignore[arg-type]
+            attribution=attribution,
+            incident_id=(
+                str(payload["incident_id"])
+                if "incident_id" in payload
+                else None
+            ),
+        )
 
     @classmethod
     def from_result(
@@ -101,10 +164,18 @@ class Alert:
 
 
 class AlertSink:
-    """Destination for alerts.  Subclasses override :meth:`emit`."""
+    """Destination for alerts.  Subclasses override :meth:`emit`.
+
+    :meth:`emit_incident` receives incident lifecycle events when the
+    pipeline runs with RCA enabled; the default ignores them so existing
+    sinks stay valid.
+    """
 
     def emit(self, alert: Alert) -> None:
         raise NotImplementedError
+
+    def emit_incident(self, event: "IncidentEvent") -> None:
+        pass
 
     def close(self) -> None:  # pragma: no cover - trivial default
         pass
@@ -119,28 +190,58 @@ class StdoutSink(AlertSink):
     def emit(self, alert: Alert) -> None:
         stream = self._stream if self._stream is not None else sys.stdout
         flagged = ", ".join(f"D{db + 1}" for db in alert.abnormal_databases)
+        suffix = ""
+        if alert.incident_id is not None:
+            suffix = f" incident={alert.incident_id}"
+        if alert.attribution is not None and alert.attribution.top_database is not None:
+            suffix += f" culprit=D{alert.attribution.top_database + 1}"
         print(
             f"ALERT {alert.unit} ticks [{alert.start}, {alert.end}): "
             f"abnormal {flagged} (expansions={alert.expansions}, "
-            f"latency={alert.latency_seconds:.0f}s)",
+            f"latency={alert.latency_seconds:.0f}s)" + suffix,
+            file=stream,
+        )
+
+    def emit_incident(self, event: "IncidentEvent") -> None:
+        stream = self._stream if self._stream is not None else sys.stdout
+        incident = event.incident
+        print(
+            f"INCIDENT {incident.incident_id} {event.kind} "
+            f"[{incident.severity}] units={','.join(incident.unit_names)} "
+            f"verdicts={incident.frequency} @tick {event.tick}",
             file=stream,
         )
 
 
 class JSONLSink(AlertSink):
-    """One JSON object per alert, appended to a file."""
+    """One JSON object per record, appended to a file.
+
+    Every record is flushed *and* fsynced before :meth:`emit` returns —
+    the same per-record durability discipline ``TuningCheckpoint`` uses
+    for its atomic writes — so a crash immediately after an alert cannot
+    lose it to OS buffers.  Incident events land in the same file as
+    ``{"type": "incident", ...}`` objects; alert records carry no
+    ``type`` key, which is how replay tells them apart.
+    """
 
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle: Optional[IO[str]] = open(self.path, "a", encoding="utf-8")
 
-    def emit(self, alert: Alert) -> None:
+    def _write(self, payload: Dict[str, object]) -> None:
         if self._handle is None:
             raise RuntimeError("sink is closed")
-        json.dump(alert.to_dict(), self._handle, sort_keys=True)
+        json.dump(payload, self._handle, sort_keys=True)
         self._handle.write("\n")
         self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def emit(self, alert: Alert) -> None:
+        self._write(alert.to_dict())
+
+    def emit_incident(self, event: "IncidentEvent") -> None:
+        self._write(event.to_dict())
 
     def close(self) -> None:
         if self._handle is not None:
@@ -161,13 +262,17 @@ class CallbackSink(AlertSink):
 
 
 class MemorySink(AlertSink):
-    """Collects alerts in a list; the test workhorse."""
+    """Collects alerts (and incident events) in lists; the test workhorse."""
 
     def __init__(self):
         self.alerts: List[Alert] = []
+        self.incident_events: List["IncidentEvent"] = []
 
     def emit(self, alert: Alert) -> None:
         self.alerts.append(alert)
+
+    def emit_incident(self, event: "IncidentEvent") -> None:
+        self.incident_events.append(event)
 
 
 def build_sink(spec: Union[str, AlertSink, Callable[[Alert], None]]) -> AlertSink:
@@ -219,6 +324,19 @@ class AlertPipeline:
         Collection interval used to derive alert latencies.
     min_databases:
         Minimum abnormal databases for a round to alert.
+    rca:
+        Optional :class:`~repro.rca.analyzer.RootCauseAnalyzer`.  When
+        present, every round (normal or not) is fed through it — normal
+        rounds move the incident clock — and alerts carry their
+        attribution and incident id; incident lifecycle events fan out to
+        the sinks via :meth:`AlertSink.emit_incident`.
+    rate_limit:
+        Maximum alerts emitted per unit within ``rate_window_ticks``
+        (``None`` = unlimited).  Suppressed rounds still feed RCA and the
+        ``alerts_suppressed`` counter — the verdict is not lost, only the
+        notification.
+    rate_window_ticks:
+        Sliding window (in ticks) the rate limit is measured over.
     """
 
     def __init__(
@@ -227,25 +345,77 @@ class AlertPipeline:
         metrics: Optional[MetricsRegistry] = None,
         interval_seconds: float = 5.0,
         min_databases: int = 1,
+        rca: Optional["RootCauseAnalyzer"] = None,
+        rate_limit: Optional[int] = None,
+        rate_window_ticks: int = 60,
     ):
+        if rate_limit is not None and rate_limit < 1:
+            raise ValueError("rate_limit must be >= 1 (or None)")
+        if rate_window_ticks < 1:
+            raise ValueError("rate_window_ticks must be >= 1")
         self.sinks: Tuple[AlertSink, ...] = tuple(build_sink(s) for s in sinks)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.interval_seconds = float(interval_seconds)
         self.min_databases = int(min_databases)
+        self.rca = rca
+        self.rate_limit = rate_limit
+        self.rate_window_ticks = int(rate_window_ticks)
+        self._recent_alerts: Dict[str, Deque[int]] = {}
+        self._last_tick = 0
         self._closed = False
+
+    def _rate_limited(self, unit: str, tick: int) -> bool:
+        if self.rate_limit is None:
+            return False
+        recent = self._recent_alerts.setdefault(unit, deque())
+        while recent and recent[0] <= tick - self.rate_window_ticks:
+            recent.popleft()
+        if len(recent) >= self.rate_limit:
+            return True
+        recent.append(tick)
+        return False
+
+    def _fan_out_events(self, events: Sequence["IncidentEvent"]) -> None:
+        for event in events:
+            for sink in self.sinks:
+                sink.emit_incident(event)
+            self.metrics.counter(f"incidents_{event.kind}").increment()
 
     def publish(self, unit: str, result: UnitDetectionResult) -> Optional[Alert]:
         """Feed one completed round; returns the alert if one was emitted."""
         if self._closed:
             raise RuntimeError("alert pipeline is closed")
         self.metrics.counter("rounds_completed").increment()
-        if len(result.abnormal_databases) < self.min_databases:
-            return None
-        alert = Alert.from_result(unit, result, self.interval_seconds)
-        for sink in self.sinks:
-            sink.emit(alert)
-        self.metrics.counter("alerts_emitted").increment()
+        self._last_tick = max(self._last_tick, result.end)
+        attribution: Optional["Attribution"] = None
+        incident_id: Optional[str] = None
+        events: Sequence["IncidentEvent"] = ()
+        if self.rca is not None:
+            outcome = self.rca.process(unit, result)
+            attribution = outcome.attribution
+            incident_id = outcome.incident_id
+            events = outcome.events
+        alert: Optional[Alert] = None
+        if len(result.abnormal_databases) >= self.min_databases:
+            if self._rate_limited(unit, result.end):
+                self.metrics.counter("alerts_suppressed").increment()
+            else:
+                alert = Alert.from_result(unit, result, self.interval_seconds)
+                if attribution is not None or incident_id is not None:
+                    alert = dataclasses.replace(
+                        alert, attribution=attribution, incident_id=incident_id
+                    )
+                for sink in self.sinks:
+                    sink.emit(alert)
+                self.metrics.counter("alerts_emitted").increment()
+        self._fan_out_events(events)
         return alert
+
+    def finish(self, tick: Optional[int] = None) -> None:
+        """End of stream: resolve open incidents and fan the events out."""
+        if self.rca is not None and not self._closed:
+            final = tick if tick is not None else self._last_tick
+            self._fan_out_events(self.rca.finish(final))
 
     def close(self) -> None:
         if not self._closed:

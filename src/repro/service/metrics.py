@@ -19,6 +19,15 @@ from repro.obs.metrics import (
     NullRegistry,
 )
 
+#: Canonical RCA counter names, shared by the alert pipeline (registry
+#: counters) and dashboards reading the metrics snapshot.  The analyzer
+#: additionally mirrors lifecycle counts into the ambient observability
+#: registry as ``rca.incidents_<kind>``.
+INCIDENTS_OPENED = "incidents_opened"
+INCIDENTS_UPDATED = "incidents_updated"
+INCIDENTS_RESOLVED = "incidents_resolved"
+ALERTS_SUPPRESSED = "alerts_suppressed"
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -26,4 +35,8 @@ __all__ = [
     "MetricsRegistry",
     "NullRegistry",
     "DEFAULT_LATENCY_BUCKETS",
+    "INCIDENTS_OPENED",
+    "INCIDENTS_UPDATED",
+    "INCIDENTS_RESOLVED",
+    "ALERTS_SUPPRESSED",
 ]

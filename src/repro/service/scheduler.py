@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -32,7 +32,11 @@ from repro.service.queues import IngestionBridge
 from repro.service.protocols import TickSource
 from repro.service.sources import ReplaySource, TickEvent
 from repro.service.tuning import RetrainEvent, TuningCoordinator
-from repro.service.workers import UnitSpec, make_pool
+from repro.service.workers import UnitSpec, make_pool, shard_units
+
+if TYPE_CHECKING:  # imported lazily at runtime: repro.rca pulls in sources
+    from repro.rca.incidents import Incident
+    from repro.rca.topology import Topology
 
 __all__ = ["ServiceReport", "DetectionService", "detect_fleet"]
 
@@ -64,6 +68,7 @@ class ServiceReport:
     kill_drills: int = 0
     retrains: List[RetrainEvent] = field(default_factory=list)
     threshold_swaps: int = 0
+    incidents: List["Incident"] = field(default_factory=list)
     sequence_gaps: Dict[str, int] = field(default_factory=dict)
     stale_ticks: Dict[str, int] = field(default_factory=dict)
     component_seconds: Dict[str, float] = field(default_factory=dict)
@@ -113,6 +118,16 @@ class DetectionService:
         completed round, polls it before each pool round-trip (so tuned
         thresholds are hot-swapped *between* rounds, never inside one),
         and folds its retrain events into the report.
+    rca:
+        ``True`` builds a :class:`~repro.rca.analyzer.RootCauseAnalyzer`
+        over the resolved per-unit configs when the run starts — alerts
+        gain attributions and incident ids, incident lifecycle events fan
+        out through the sinks, and the report collects the incidents.
+    topology:
+        Shared-infrastructure groups for incident correlation; one
+        all-units group when omitted.  The scheduler always overlays
+        ``shard:<n>`` groups matching the worker-pool assignment when the
+        run is parallel, so units co-located on a worker correlate.
     """
 
     def __init__(
@@ -122,9 +137,13 @@ class DetectionService:
         sinks: Sequence[Union[str, AlertSink, Callable[[Alert], None]]] = ("stdout",),
         metrics: Optional[MetricsRegistry] = None,
         coordinator: Optional[TuningCoordinator] = None,
+        rca: bool = False,
+        topology: Optional["Topology"] = None,
     ):
         self._config = config
         self.coordinator = coordinator
+        self.rca = bool(rca)
+        self.topology = topology
         self.service_config = (
             service_config if service_config is not None else ServiceConfig()
         )
@@ -186,11 +205,15 @@ class DetectionService:
             policy=cfg.backpressure,
             metrics=self.metrics,
         )
+        analyzer = (
+            self._build_analyzer(specs, cfg.n_workers) if self.rca else None
+        )
         pipeline = AlertPipeline(
             self._sinks,
             metrics=self.metrics,
             interval_seconds=interval,
             min_databases=cfg.alert_min_databases,
+            rca=analyzer,
         )
         report = ServiceReport(
             results={name: [] for name in units} if collect_results else {}
@@ -225,6 +248,7 @@ class DetectionService:
             )
             if self.coordinator is not None:
                 self.coordinator.drain()
+            pipeline.finish()
         finally:
             bridge.close()
             pool.stop()
@@ -241,12 +265,39 @@ class DetectionService:
         if self.coordinator is not None:
             report.retrains = list(self.coordinator.events)
             report.threshold_swaps = len(report.retrains)
+        if analyzer is not None:
+            report.incidents = list(analyzer.incidents)
         report.sequence_gaps = dict(bridge.sequence_gaps)
         report.stale_ticks = dict(bridge.stale_rejected)
         report.ticks_stale = sum(bridge.stale_rejected.values())
         report.component_seconds = pool.component_seconds()
         report.metrics = self.metrics.snapshot()
         return report
+
+    def _build_analyzer(self, specs: List[UnitSpec], n_workers: int):
+        """Construct the run's RootCauseAnalyzer over the resolved configs.
+
+        Imported lazily: :mod:`repro.rca` depends on the service sources,
+        so a module-level import here would be circular.
+        """
+        from repro.rca.analyzer import RootCauseAnalyzer
+        from repro.rca.topology import Topology
+
+        unit_names = [spec.name for spec in specs]
+        topology = (
+            self.topology
+            if self.topology is not None
+            else Topology.single_group(unit_names)
+        )
+        if n_workers > 1:
+            shards = shard_units(unit_names, n_workers)
+            topology = topology.merged(
+                {f"shard:{index}": shard for index, shard in enumerate(shards)}
+            )
+        return RootCauseAnalyzer(
+            configs={spec.name: spec.config for spec in specs},
+            topology=topology,
+        )
 
     def _apply_action(self, pool, action: tuple, report: ServiceReport) -> None:
         """Apply one control-plane action from a chaos-wrapped source.
@@ -311,6 +362,8 @@ def detect_fleet(
     sinks: Sequence[Union[str, AlertSink, Callable[[Alert], None]]] = ("null",),
     metrics: Optional[MetricsRegistry] = None,
     max_ticks: Optional[int] = None,
+    rca: bool = False,
+    topology: Optional["Topology"] = None,
 ) -> ServiceReport:
     """Run the fleet scheduler over a saved dataset.
 
@@ -324,6 +377,9 @@ def detect_fleet(
         Worker processes; ``0`` or ``1`` selects the serial in-process
         path.  Results are identical either way — parallelism is purely a
         throughput lever.
+    rca:
+        Enable attribution + incident correlation; the topology defaults
+        to the dataset's workload-metadata groups when available.
     """
     if config is None:
         from repro.presets import default_config
@@ -335,7 +391,16 @@ def detect_fleet(
         import dataclasses
 
         base = dataclasses.replace(base, n_workers=n_workers)
+    if rca and topology is None and hasattr(dataset, "units"):
+        from repro.rca.topology import Topology
+
+        topology = Topology.from_dataset(dataset)
     service = DetectionService(
-        config, service_config=base, sinks=sinks, metrics=metrics
+        config,
+        service_config=base,
+        sinks=sinks,
+        metrics=metrics,
+        rca=rca,
+        topology=topology,
     )
     return service.run(ReplaySource(dataset, max_ticks=max_ticks))

@@ -135,6 +135,40 @@ def build_tuning_swap_snapshot(backend: str = "batched") -> Dict[str, object]:
     }
 
 
+def build_rca_snapshot(backend: str = "batched") -> Dict[str, object]:
+    """Seeded RCA replay of the golden workload, serialized.
+
+    Runs :func:`repro.rca.replay_dataset` over the golden tencent run and
+    captures the full incident history — lifecycle ticks, per-unit verdict
+    counts, severities and culprit rankings — so any drift in attribution
+    or incident correlation shows up as a readable fixture diff.
+    """
+    from dataclasses import replace
+
+    from repro.datasets import build_mixed_dataset
+    from repro.presets import default_config
+    from repro.rca import replay_dataset
+
+    dataset = build_mixed_dataset(
+        GOLDEN_FAMILY,
+        seed=GOLDEN_SEED,
+        n_units=GOLDEN_UNITS,
+        ticks_per_unit=GOLDEN_TICKS,
+    )
+    config = replace(
+        default_config(
+            initial_window=GOLDEN_INITIAL_WINDOW, max_window=GOLDEN_MAX_WINDOW
+        ),
+        backend=backend,
+    )
+    report = replay_dataset(dataset, config)
+    return {
+        "rounds": report.rounds,
+        "abnormal_rounds": report.abnormal_rounds,
+        "incidents": [incident.to_dict() for incident in report.incidents],
+    }
+
+
 def build_golden_snapshot(backend: str = "batched") -> Dict[str, object]:
     """Run the golden configuration and capture the full snapshot.
 
@@ -213,6 +247,7 @@ def build_golden_snapshot(backend: str = "batched") -> Dict[str, object]:
             "rounds": rounds,
         }
     snapshot["tuning_swap"] = build_tuning_swap_snapshot(backend)
+    snapshot["rca"] = build_rca_snapshot(backend)
     return snapshot
 
 

@@ -22,6 +22,7 @@ from tests.golden_fixture import (
     GOLDEN_PATH,
     MATRIX_TOLERANCE,
     build_golden_snapshot,
+    build_rca_snapshot,
     build_tuning_swap_snapshot,
     load_golden_fixture,
 )
@@ -138,6 +139,57 @@ def test_tuning_swap_rounds_stay_contiguous(golden):
     for unit, spans in golden["tuning_swap"]["round_spans"].items():
         for (_, end), (next_start, _) in zip(spans, spans[1:]):
             assert end == next_start, unit
+
+
+@pytest.fixture(scope="module", params=BACKENDS)
+def fresh_rca(request):
+    return build_rca_snapshot(backend=request.param)
+
+
+def test_rca_incident_history_pinned(golden, fresh_rca):
+    """The RCA replay reproduces the committed incident history.
+
+    Lifecycle ticks, unit memberships, severities and culprit (unit,
+    database) rankings must match exactly; the strength-derived floats
+    (peak strength, culprit shares) get the matrix tolerance.
+    """
+    expected = golden["rca"]
+    assert fresh_rca["rounds"] == expected["rounds"]
+    assert fresh_rca["abnormal_rounds"] == expected["abnormal_rounds"]
+    assert len(fresh_rca["incidents"]) == len(expected["incidents"])
+    for index, incident in enumerate(expected["incidents"]):
+        actual = fresh_rca["incidents"][index]
+        context = f"incident {index} ({incident['incident_id']})"
+        for key in (
+            "incident_id",
+            "status",
+            "severity",
+            "opened_at",
+            "last_abnormal",
+            "resolved_at",
+            "units",
+            "frequency",
+        ):
+            assert actual.get(key) == incident.get(key), f"{context} {key}"
+        assert actual["peak_strength"] == pytest.approx(
+            incident["peak_strength"], abs=MATRIX_TOLERANCE
+        ), context
+        assert len(actual["culprits"]) == len(incident["culprits"]), context
+        for rank, (unit, db, share) in enumerate(incident["culprits"]):
+            fresh_unit, fresh_db, fresh_share = actual["culprits"][rank]
+            assert (fresh_unit, fresh_db) == (unit, db), f"{context} #{rank}"
+            assert fresh_share == pytest.approx(
+                share, abs=MATRIX_TOLERANCE
+            ), f"{context} #{rank} share"
+
+
+def test_rca_fixture_pins_real_incidents(golden):
+    """Guard: the fixture must pin at least one resolved incident with a
+    culprit ranking, or the RCA path is pinned only trivially."""
+    incidents = golden["rca"]["incidents"]
+    assert incidents, "fixture pins no incidents"
+    assert all(i["status"] == "resolved" for i in incidents)
+    assert any(i["culprits"] for i in incidents)
 
 
 def test_golden_covers_interesting_behaviour(golden):

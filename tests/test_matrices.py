@@ -67,6 +67,20 @@ class TestCorrelationMatrix:
         assert cm.n_databases == 4
         assert cm.score(0, 1) > 0.9
 
+    def test_equality_is_elementwise_and_nan_tolerant(self):
+        # Detection results carry matrices, so == must work (the default
+        # dataclass eq would truth-test an array comparison) and treat
+        # bit-identical NaN cells as equal.
+        tri = np.array([0.9, np.nan, 0.8])
+        a = CorrelationMatrix(kpi="cpu", n_databases=3, triangle=tri)
+        b = CorrelationMatrix(kpi="cpu", n_databases=3, triangle=tri.copy())
+        assert a == b
+        assert a != CorrelationMatrix(
+            kpi="cpu", n_databases=3, triangle=np.array([0.9, np.nan, 0.7])
+        )
+        assert a != CorrelationMatrix(kpi="rps", n_databases=3, triangle=tri)
+        assert a.__eq__(object()) is NotImplemented
+
 
 class TestBuildMatrices:
     def test_one_matrix_per_kpi(self, correlated_window):

@@ -9,6 +9,7 @@ exactly the review moment this snapshot exists to force.
 import repro
 import repro.core
 import repro.engine
+import repro.rca
 import repro.service
 
 EXPECTED = {
@@ -62,6 +63,24 @@ EXPECTED = {
         "WindowCache",
         "make_engine",
         "validate_window",
+    ],
+    repro.rca: [
+        "Attribution",
+        "Attributor",
+        "HarnessReport",
+        "Incident",
+        "IncidentCorrelator",
+        "IncidentEvent",
+        "RCAOutcome",
+        "RCAReport",
+        "RootCauseAnalyzer",
+        "Topology",
+        "TrialResult",
+        "attribute_result",
+        "classify_severity",
+        "replay_alerts",
+        "replay_dataset",
+        "run_attribution_harness",
     ],
     repro.service: [
         "Alert",

@@ -1,0 +1,224 @@
+"""Attribution math: deficits, masking, ranking and round-trips."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import DBCatcherConfig
+from repro.core.detector import DBCatcher, UnitDetectionResult
+from repro.core.matrices import CorrelationMatrix
+from repro.core.records import DatabaseState, JudgementRecord
+from repro.rca.attribution import Attribution, Attributor, attribute_result
+
+
+def _config(**overrides):
+    defaults = dict(
+        kpi_names=("cpu", "rps"),
+        alphas=(0.6, 0.6),
+        initial_window=10,
+        max_window=20,
+    )
+    defaults.update(overrides)
+    return DBCatcherConfig(**defaults)
+
+
+def _result(matrices, active=None, abnormal=(1,), start=0, end=20):
+    n = matrices[0].n_databases
+    records = {
+        db: JudgementRecord(
+            database=db,
+            window_start=start,
+            window_end=end,
+            state=(
+                DatabaseState.ABNORMAL
+                if db in abnormal
+                else DatabaseState.HEALTHY
+            ),
+            kpi_levels={},
+        )
+        for db in range(n)
+    }
+    return UnitDetectionResult(
+        start=start,
+        end=end,
+        records=records,
+        matrices=tuple(matrices),
+        active=tuple(active) if active is not None else (True,) * n,
+    )
+
+
+def _dense(n, value):
+    dense = np.full((n, n), float(value))
+    np.fill_diagonal(dense, 1.0)
+    return dense
+
+
+class TestAttributeResult:
+    def test_culprit_database_dominates_the_ranking(self):
+        # Database 1 decorrelates from everyone; the others stay tight.
+        dense = _dense(4, 0.9)
+        dense[1, :] = dense[:, 1] = 0.1
+        dense[1, 1] = 1.0
+        matrices = [
+            CorrelationMatrix.from_dense("cpu", dense),
+            CorrelationMatrix.from_dense("rps", dense),
+        ]
+        attribution = attribute_result("u", _result(matrices), _config())
+        assert attribution.top_database == 1
+        scores = dict(attribution.database_scores)
+        assert scores[1] > 2 * max(scores[db] for db in (0, 2, 3))
+
+    def test_healthy_matrix_has_zero_strength_and_flat_shares(self):
+        matrices = [
+            CorrelationMatrix.from_dense("cpu", _dense(3, 0.95)),
+            CorrelationMatrix.from_dense("rps", _dense(3, 0.95)),
+        ]
+        attribution = attribute_result(
+            "u", _result(matrices, abnormal=()), _config()
+        )
+        assert attribution.strength == 0.0
+        assert all(score == 0.0 for _, score in attribution.database_scores)
+        assert attribution.pair_scores == ()
+
+    def test_kpi_shares_single_out_the_deficient_dimension(self):
+        bad = _dense(3, 0.2)
+        good = _dense(3, 0.95)
+        matrices = [
+            CorrelationMatrix.from_dense("cpu", bad),
+            CorrelationMatrix.from_dense("rps", good),
+        ]
+        attribution = attribute_result("u", _result(matrices), _config())
+        assert attribution.top_kpi == "cpu"
+        assert dict(attribution.kpi_scores)["cpu"] == pytest.approx(1.0)
+
+    def test_shares_normalize_to_one(self):
+        dense = _dense(4, 0.3)
+        matrices = [
+            CorrelationMatrix.from_dense("cpu", dense),
+            CorrelationMatrix.from_dense("rps", dense),
+        ]
+        attribution = attribute_result("u", _result(matrices), _config())
+        assert sum(s for _, s in attribution.database_scores) == pytest.approx(1.0)
+        assert sum(s for _, s in attribution.kpi_scores) == pytest.approx(1.0)
+
+    def test_strength_is_mean_deficit_per_evaluated_cell(self):
+        # All six pairs of one KPI at 0.1 against alpha 0.6, the other KPI
+        # perfectly healthy: total deficit 6*0.5 over 12 cells.
+        matrices = [
+            CorrelationMatrix.from_dense("cpu", _dense(4, 0.1)),
+            CorrelationMatrix.from_dense("rps", _dense(4, 0.9)),
+        ]
+        attribution = attribute_result("u", _result(matrices), _config())
+        assert attribution.strength == pytest.approx(6 * 0.5 / 12)
+
+    def test_inactive_databases_are_excluded_entirely(self):
+        dense = _dense(4, 0.9)
+        dense[2, :] = dense[:, 2] = 0.0  # would dominate if counted
+        dense[2, 2] = 1.0
+        matrices = [
+            CorrelationMatrix.from_dense("cpu", dense),
+            CorrelationMatrix.from_dense("rps", dense),
+        ]
+        attribution = attribute_result(
+            "u",
+            _result(matrices, active=(True, True, False, True)),
+            _config(),
+        )
+        assert all(db != 2 for db, _ in attribution.database_scores)
+        assert attribution.strength == pytest.approx(0.0)
+
+    def test_rr_only_kpis_mask_the_primary(self):
+        # The primary (db 0) legitimately decorrelates on an R-R KPI;
+        # that must not read as evidence of fault.
+        dense = _dense(3, 0.9)
+        dense[0, :] = dense[:, 0] = 0.0
+        dense[0, 0] = 1.0
+        matrices = [
+            CorrelationMatrix.from_dense("cpu", dense),
+            CorrelationMatrix.from_dense("rps", _dense(3, 0.9)),
+        ]
+        masked = attribute_result(
+            "u",
+            _result(matrices),
+            _config(rr_only_kpis=("cpu",), primary_index=0),
+        )
+        unmasked = attribute_result("u", _result(matrices), _config())
+        assert masked.strength == pytest.approx(0.0)
+        assert unmasked.top_database == 0
+
+    def test_non_finite_scores_are_skipped_not_counted(self):
+        dense = _dense(3, 0.9)
+        dense[0, 1] = dense[1, 0] = np.nan
+        matrices = [
+            CorrelationMatrix.from_dense("cpu", dense),
+            CorrelationMatrix.from_dense("rps", _dense(3, 0.9)),
+        ]
+        attribution = attribute_result("u", _result(matrices), _config())
+        assert math.isfinite(attribution.strength)
+        assert attribution.strength == pytest.approx(0.0)
+
+    def test_rounds_without_matrices_attribute_to_none(self):
+        result = UnitDetectionResult(start=0, end=20, records={})
+        assert attribute_result("u", result, _config()) is None
+
+    def test_round_trip_through_dict(self):
+        dense = _dense(3, 0.2)
+        matrices = [
+            CorrelationMatrix.from_dense("cpu", dense),
+            CorrelationMatrix.from_dense("rps", dense),
+        ]
+        attribution = attribute_result("u", _result(matrices), _config())
+        rebuilt = Attribution.from_dict(attribution.to_dict())
+        assert rebuilt == attribution
+
+
+class TestAttributor:
+    def test_per_unit_configs_resolve(self):
+        dense = _dense(3, 0.2)
+        matrices = [
+            CorrelationMatrix.from_dense("cpu", dense),
+            CorrelationMatrix.from_dense("rps", dense),
+        ]
+        strict = _config(alphas=(0.9, 0.9))
+        lax = _config(alphas=(0.1, 0.1))
+        attributor = Attributor({"a": strict, "b": lax})
+        strong = attributor.attribute("a", _result(matrices))
+        weak = attributor.attribute("b", _result(matrices))
+        assert strong.strength > weak.strength
+        assert weak.strength == pytest.approx(0.0)
+
+    def test_attribute_all_skips_normal_rounds(self):
+        dense = _dense(3, 0.2)
+        matrices = [
+            CorrelationMatrix.from_dense("cpu", dense),
+            CorrelationMatrix.from_dense("rps", dense),
+        ]
+        attributor = Attributor(_config())
+        results = [
+            _result(matrices, abnormal=()),
+            _result(matrices, abnormal=(1,), start=20, end=40),
+        ]
+        attributions = attributor.attribute_all("u", results)
+        assert len(attributions) == 1
+        assert attributions[0].start == 20
+
+
+class TestDetectorCarriesMatrices:
+    def test_completed_rounds_expose_final_window_evidence(self):
+        config = _config(initial_window=10, max_window=20)
+        catcher = DBCatcher(config, n_databases=3)
+        trend = np.sin(np.linspace(0, 6, 40)) + 2.0
+        block = np.stack(
+            [
+                np.stack([trend * (1 + 0.01 * d)] * 2)
+                for d in range(3)
+            ]
+        )
+        results = catcher.process(block, time_axis=-1)
+        assert results
+        for result in results:
+            assert result.matrices is not None
+            assert len(result.matrices) == 2
+            assert result.matrices[0].kpi == "cpu"
+            assert result.active == (True, True, True)

@@ -1,0 +1,226 @@
+"""Topology, severity mapping and incident lifecycle."""
+
+import json
+
+import pytest
+
+from repro.rca.attribution import Attribution
+from repro.rca.incidents import (
+    SEVERITY_CRITICAL,
+    SEVERITY_HIGH,
+    SEVERITY_MEDIUM,
+    IncidentCorrelator,
+    classify_severity,
+)
+from repro.rca.topology import Topology
+
+
+def _attribution(unit="u0", strength=0.1, top_db=1, start=0, end=20):
+    return Attribution(
+        unit=unit,
+        start=start,
+        end=end,
+        database_scores=((top_db, 0.7), (0, 0.3)),
+        kpi_scores=(("cpu", 1.0),),
+        pair_scores=((0, top_db, 0.5),),
+        strength=strength,
+        abnormal_databases=(top_db,),
+    )
+
+
+class TestTopology:
+    def test_groups_normalize_sorted_unique(self):
+        topo = Topology(groups={"g": ("b", "a", "b")})
+        assert topo.groups["g"] == ("a", "b")
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError, match="no units"):
+            Topology(groups={"g": ()})
+
+    def test_connected_via_shared_group(self):
+        topo = Topology(groups={"host:h1": ("a", "b"), "host:h2": ("c",)})
+        assert topo.connected("a", "b")
+        assert not topo.connected("a", "c")
+        assert topo.connected("c", "c")  # self, even in a singleton group
+        assert topo.shared_groups("a", "b") == ("host:h1",)
+
+    def test_from_attributes_builds_key_value_groups(self):
+        topo = Topology.from_attributes(
+            {
+                "u0": {"host": "h1", "lb": "lb-a"},
+                "u1": {"host": "h1", "lb": "lb-b"},
+                "u2": {"host": "h2", "lb": None},
+            }
+        )
+        assert topo.groups["host:h1"] == ("u0", "u1")
+        assert "lb:None" not in topo.groups
+        assert topo.connected("u0", "u1")
+        assert not topo.connected("u0", "u2")
+
+    def test_merged_overlays_extra_groups(self):
+        base = Topology(groups={"a": ("x",)})
+        merged = base.merged({"shard:0": ("x", "y"), "a": ("z",)})
+        assert merged.groups["shard:0"] == ("x", "y")
+        assert merged.groups["a"] == ("x", "z")
+        assert base.groups["a"] == ("x",)  # original untouched
+
+    def test_load_round_trips_json(self, tmp_path):
+        path = tmp_path / "topo.json"
+        path.write_text(json.dumps({"groups": {"lb:a": ["u1", "u0"]}}))
+        topo = Topology.load(path)
+        assert topo.groups["lb:a"] == ("u0", "u1")
+        assert topo.to_dict() == {"groups": {"lb:a": ["u0", "u1"]}}
+
+    def test_load_rejects_shapeless_files(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"nope": 1}))
+        with pytest.raises(ValueError, match="groups"):
+            Topology.load(path)
+
+    def test_single_group_connects_everything(self):
+        topo = Topology.single_group(["a", "b", "c"])
+        assert topo.connected("a", "c")
+        assert topo.units == ("a", "b", "c")
+
+
+class TestClassifySeverity:
+    @pytest.mark.parametrize(
+        "strength,frequency,expected",
+        [
+            (0.0, 1, SEVERITY_MEDIUM),
+            (0.24, 1, SEVERITY_MEDIUM),
+            (0.25, 1, SEVERITY_HIGH),       # strength boundary, inclusive
+            (0.5, 1, SEVERITY_CRITICAL),
+            (0.0, 4, SEVERITY_HIGH),        # frequency boundary, inclusive
+            (0.0, 8, SEVERITY_CRITICAL),
+            (0.6, 1, SEVERITY_CRITICAL),    # frequency never downgrades
+        ],
+    )
+    def test_mapping(self, strength, frequency, expected):
+        assert classify_severity(strength, frequency) == expected
+
+
+class TestIncidentLifecycle:
+    def _correlator(self, units=("u0", "u1"), **kwargs):
+        kwargs.setdefault("window_ticks", 40)
+        kwargs.setdefault("resolve_after_ticks", 40)
+        return IncidentCorrelator(Topology.single_group(units), **kwargs)
+
+    def test_first_verdict_opens(self):
+        correlator = self._correlator()
+        incident, events = correlator.observe("u0", 20, _attribution())
+        assert [e.kind for e in events] == ["opened"]
+        assert incident.status == "open"
+        assert incident.units == {"u0": 1}
+        assert incident.severity == SEVERITY_MEDIUM
+
+    def test_repeat_verdict_updates_counters_silently(self):
+        correlator = self._correlator()
+        first, _ = correlator.observe("u0", 20, _attribution())
+        second, events = correlator.observe("u0", 40, _attribution())
+        assert second is first
+        assert events == []  # same unit, same severity: no event spam
+        assert first.frequency == 2
+        assert first.last_abnormal == 40
+
+    def test_new_unit_joining_emits_updated(self):
+        correlator = self._correlator()
+        correlator.observe("u0", 20, _attribution())
+        incident, events = correlator.observe("u1", 30, _attribution(unit="u1"))
+        assert [e.kind for e in events] == ["updated"]
+        assert incident.unit_names == ("u0", "u1")
+
+    def test_severity_escalation_emits_updated(self):
+        correlator = self._correlator()
+        incident, _ = correlator.observe("u0", 20, _attribution(strength=0.1))
+        _, events = correlator.observe("u0", 30, _attribution(strength=0.6))
+        assert [e.kind for e in events] == ["updated"]
+        assert incident.severity == SEVERITY_CRITICAL
+
+    def test_verdict_at_window_boundary_joins(self):
+        correlator = self._correlator(window_ticks=40)
+        first, _ = correlator.observe("u0", 20, _attribution())
+        joined, _ = correlator.observe("u0", 60, _attribution())  # gap == 40
+        assert joined is first
+
+    def test_verdict_past_window_opens_fresh(self):
+        correlator = self._correlator(window_ticks=40, resolve_after_ticks=1000)
+        first, _ = correlator.observe("u0", 20, _attribution())
+        fresh, events = correlator.observe("u0", 61, _attribution())  # gap 41
+        assert fresh is not first
+        assert [e.kind for e in events] == ["opened"]
+
+    def test_disconnected_units_never_share_an_incident(self):
+        topo = Topology(groups={"h1": ("u0",), "h2": ("u1",)})
+        correlator = IncidentCorrelator(topo, window_ticks=40)
+        a, _ = correlator.observe("u0", 20, _attribution())
+        b, _ = correlator.observe("u1", 21, _attribution(unit="u1"))
+        assert a is not b
+
+    def test_resolution_at_quiet_horizon_boundary(self):
+        correlator = self._correlator(resolve_after_ticks=40)
+        incident, _ = correlator.observe("u0", 20, _attribution())
+        assert correlator.advance(59) == []  # gap 39: still open
+        events = correlator.advance(60)      # gap == 40: resolves
+        assert [e.kind for e in events] == ["resolved"]
+        assert incident.status == "resolved"
+        assert incident.resolved_at == 60
+        assert correlator.open_incidents == ()
+
+    def test_new_verdict_defers_resolution(self):
+        correlator = self._correlator(resolve_after_ticks=40)
+        correlator.observe("u0", 20, _attribution())
+        correlator.observe("u0", 50, _attribution())
+        assert correlator.advance(60) == []  # last abnormal is 50 now
+
+    def test_verdict_after_resolution_opens_new_incident(self):
+        correlator = self._correlator(window_ticks=100, resolve_after_ticks=40)
+        first, _ = correlator.observe("u0", 20, _attribution())
+        correlator.advance(60)
+        second, events = correlator.observe("u0", 70, _attribution())
+        assert second is not first
+        assert [e.kind for e in events] == ["opened"]
+        assert len(correlator.incidents) == 2
+
+    def test_flush_resolves_everything_open(self):
+        correlator = self._correlator()
+        correlator.observe("u0", 20, _attribution())
+        correlator.observe("u1", 200, _attribution(unit="u1"))
+        events = correlator.flush(240)
+        assert sorted(e.kind for e in events) == ["resolved", "resolved"]
+        assert all(i.status == "resolved" for i in correlator.incidents)
+
+    def test_frequency_escalates_severity_over_time(self):
+        correlator = self._correlator(window_ticks=1000)
+        incident, _ = correlator.observe("u0", 0, _attribution(strength=0.01))
+        for tick in range(10, 80, 10):
+            correlator.observe("u0", tick, _attribution(strength=0.01))
+        assert incident.frequency == 8
+        assert incident.severity == SEVERITY_CRITICAL
+
+    def test_culprits_weighted_by_strength(self):
+        correlator = self._correlator(window_ticks=1000)
+        incident, _ = correlator.observe(
+            "u0", 10, _attribution(strength=0.5, top_db=2)
+        )
+        correlator.observe("u0", 20, _attribution(strength=0.05, top_db=4))
+        culprits = incident.culprits()
+        assert culprits[0][:2] == ("u0", 2)  # the strong round dominates
+        shares = [share for _, _, share in culprits]
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_to_dict_shape_and_event_serialization(self):
+        correlator = self._correlator()
+        incident, events = correlator.observe("u0", 20, _attribution())
+        payload = events[0].to_dict()
+        assert payload["type"] == "incident"
+        assert payload["event"] == "opened"
+        assert payload["incident_id"] == incident.incident_id
+        assert "resolved_at" not in payload
+        json.dumps(payload)  # JSONL-safe
+
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ValueError):
+            self._correlator(window_ticks=0)
+        with pytest.raises(ValueError):
+            self._correlator(resolve_after_ticks=0)
