@@ -5,16 +5,21 @@ faults injected into a clean correlated fleet, scored by whether the
 culprit ranking puts the faulted database first.  The acceptance floor is
 precision@1 >= 0.8 for the attributable injector kinds.
 
-The second bench mirrors the ``repro.obs`` overhead bench: the same
-fleet-serving workload with and without the root-cause analyzer attached,
-asserting the incident-correlation overhead stays within budget (5 % by
-default; ``REPRO_BENCH_RCA_MAX_OVERHEAD`` overrides the ratio for noisy
-CI machines).
+The second bench gates the serving cost of the analyzer at <= 5 %
+(``REPRO_BENCH_RCA_MAX_OVERHEAD`` overrides it).  Like the persist
+overhead bench, the gated ratio is measured *within* the RCA-enabled
+run: every top-level ``rca.*`` span's wall time is summed through a
+span hook and the ratio is ``total / (total - rca_seconds)`` — both
+terms from the same run, immune to the run-to-run scheduler jitter
+that dwarfs a few-percent effect on sub-100ms runs.  The cross-run
+bare-vs-enabled ratio is still printed and recorded, ungated, for
+trend reading.
 """
 
 import os
 import time
 
+from repro.obs import runtime as obs
 from repro.presets import default_config
 from repro.rca import run_attribution_harness
 from repro.service import detect_fleet
@@ -73,28 +78,51 @@ def test_rca_serving_overhead():
 
     Both modes replay the identical bench dataset through
     :func:`detect_fleet`; the only difference is whether attribution and
-    incident correlation run on each round.  Min-of-N wall times make the
-    comparison robust to one-off scheduler hiccups.
+    incident correlation run on each round.  The gate reads the
+    analyzer's own ``rca.*`` spans from inside the enabled run (summing
+    only top-level spans, so nested attribution spans are not counted
+    twice); both arms run under an enabled obs runtime so the recorded
+    cross-run ratio compares like with like.
     """
     dataset = mixed_dataset("tencent")
     config = default_config()
 
-    def serve(rca: bool) -> float:
-        started = time.perf_counter()
-        detect_fleet(dataset, config, sinks=("null",), rca=rca)
-        return time.perf_counter() - started
+    def serve(rca: bool):
+        rca_seconds = 0.0
+
+        def hook(record) -> None:
+            nonlocal rca_seconds
+            parent = record.parent or ""
+            if record.name.startswith("rca.") and not parent.startswith("rca."):
+                rca_seconds += record.wall_seconds
+
+        obs.add_span_hook(hook)
+        try:
+            with obs.scoped():
+                started = time.perf_counter()
+                detect_fleet(dataset, config, sinks=("null",), rca=rca)
+                total = time.perf_counter() - started
+        finally:
+            obs.remove_span_hook(hook)
+        return total, rca_seconds
 
     serve(rca=False)  # warm caches before either timed mode
 
-    bare = min(serve(rca=False) for _ in range(_RCA_TIMING_TRIALS))
-    with_rca = min(serve(rca=True) for _ in range(_RCA_TIMING_TRIALS))
+    bare = min(serve(rca=False)[0] for _ in range(_RCA_TIMING_TRIALS))
+    enabled_runs = [serve(rca=True) for _ in range(_RCA_TIMING_TRIALS)]
+    with_rca = min(total for total, _ in enabled_runs)
+    for total, rca_seconds in enabled_runs:
+        assert 0.0 < rca_seconds < total
+    # min-of-N: the repeat least disturbed by host noise.
+    ratio = min(t / (t - s) for t, s in enabled_runs)
+    e2e_ratio = with_rca / bare
 
     report = detect_fleet(dataset, config, sinks=("null",), rca=True)
-    ratio = with_rca / bare
 
     print()
     print(f"  bare: {bare:.3f}s  with rca: {with_rca:.3f}s  "
-          f"ratio: {ratio:.3f} (budget {_RCA_MAX_OVERHEAD:.2f})")
+          f"cross-run: {e2e_ratio:.3f} (noisy)  "
+          f"in-run: {ratio:.3f} (budget {_RCA_MAX_OVERHEAD:.2f})")
     print(f"  incidents correlated: {len(report.incidents)} over "
           f"{len(report.alerts)} alerts")
 
@@ -103,6 +131,7 @@ def test_rca_serving_overhead():
         bare_seconds=round(bare, 4),
         rca_seconds=round(with_rca, 4),
         overhead_ratio=round(ratio, 4),
+        e2e_ratio=round(e2e_ratio, 4),
         budget_ratio=_RCA_MAX_OVERHEAD,
         incidents=len(report.incidents),
     )

@@ -1,0 +1,317 @@
+#!/usr/bin/env python
+"""CI recovery drill: SIGKILL a serving process mid-run, restart, compare.
+
+The drill is the executable form of the durability contract in
+``repro.persist``: a detection service killed at an arbitrary moment and
+restarted from its ``--state-dir`` must end with exactly the verdict
+history an uninterrupted run produces.
+
+Three phases, all driven from this one script:
+
+1. *Reference*: a victim subprocess serves a saved dataset to completion
+   into ``reference-state/``.
+2. *Kill*: a second victim serves the same dataset into ``drill-state/``,
+   throttled so the run takes a few seconds; the parent polls the WAL on
+   disk and delivers ``SIGKILL`` once recorded progress crosses a
+   mid-stream threshold — no cooperation, no cleanup, no flush.
+3. *Resume*: a third victim restarts from ``drill-state/`` and runs the
+   stream to completion, recovering snapshot + WAL and resuming
+   mid-stream.
+
+The drill then loads both state directories' verdict histories and
+requires them identical: round spans and judgement records exactly,
+correlation matrices (kept only for abnormal rounds) to 1e-9.
+
+Exit status 0 on equivalence; 1 with a diff on any mismatch.  Run it
+locally with::
+
+    PYTHONPATH=src python scripts/recovery_drill.py --workdir /tmp/drill
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import time
+from typing import Dict, List
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+SRC = os.path.join(REPO, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+import numpy as np  # noqa: E402
+
+from repro.datasets import Dataset, build_unit_series, save_dataset  # noqa: E402
+from repro.persist.store import UnitStore  # noqa: E402
+from repro.presets import default_config  # noqa: E402
+
+KILL_AT_TICK = 96  # deliver SIGKILL once any unit's WAL records this tick
+POLL_SECONDS = 0.05
+VICTIM_TIMEOUT = 180.0
+
+
+class _Throttled:
+    """Wrap a tick source, sleeping per event so the run spans wall time.
+
+    Without the throttle the whole 240-tick replay finishes in well under
+    a second and the parent cannot reliably land a kill mid-stream.
+    """
+
+    def __init__(self, source, delay_seconds: float):
+        self._source = source
+        self._delay = delay_seconds
+        self.units = source.units
+        self.kpi_names = source.kpi_names
+        self.interval_seconds = getattr(source, "interval_seconds", 5.0)
+
+    def __iter__(self):
+        for event in self._source:
+            time.sleep(self._delay)
+            yield event
+
+
+def _run_victim(args: argparse.Namespace) -> int:
+    """Child mode: serve the dataset into ``--state-dir`` and exit."""
+    import faulthandler
+
+    # Diagnostics for a wedged victim: `kill -USR1 <pid>` dumps every
+    # thread's stack to stderr without disturbing the run.
+    faulthandler.register(signal.SIGUSR1)
+
+    from repro.service import DetectionService, ServiceConfig
+    from repro.service.sources import ReplaySource
+
+    service = DetectionService(
+        default_config(),
+        service_config=ServiceConfig(
+            n_workers=args.jobs,
+            batch_ticks=args.batch_ticks,
+            state_dir=args.state_dir,
+            snapshot_every=args.snapshot_every,
+        ),
+        sinks=(),
+    )
+    source = _Throttled(ReplaySource(args.dataset), args.throttle)
+    report = service.run(source, collect_results=False)
+    print(f"victim done: {report.total_rounds} live rounds", flush=True)
+    return 0
+
+
+def _unit_dirs(state_dir: str) -> List[str]:
+    if not os.path.isdir(state_dir):
+        return []
+    return sorted(
+        name
+        for name in os.listdir(state_dir)
+        if os.path.isdir(os.path.join(state_dir, name))
+    )
+
+
+def _histories(state_dir: str) -> Dict[str, list]:
+    # Unit directory names are already filesystem-safe, and _safe_name is
+    # idempotent on them, so they address the stores directly.
+    return {
+        unit: UnitStore(state_dir, unit).load_history()
+        for unit in _unit_dirs(state_dir)
+    }
+
+
+def _progress(state_dir: str) -> int:
+    """Highest recorded round end across all units (0 when none)."""
+    best = 0
+    for history in _histories(state_dir).values():
+        for result in history:
+            best = max(best, result.end)
+    return best
+
+
+def _spawn_victim(
+    dataset: str, state_dir: str, args: argparse.Namespace
+) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    # Each victim leads its own process group so SIGKILL can take out the
+    # whole service — scheduler *and* pool workers — in one shot, the way
+    # an OOM killer or a node reboot would.  Killing only the main
+    # process would orphan the workers, and orphans holding the
+    # inherited stdout keep CI log capture open forever.
+    return subprocess.Popen(
+        [
+            sys.executable,
+            os.path.abspath(__file__),
+            "--victim",
+            "--dataset", dataset,
+            "--state-dir", state_dir,
+            "--jobs", str(args.jobs),
+            "--batch-ticks", str(args.batch_ticks),
+            "--snapshot-every", str(args.snapshot_every),
+            "--throttle", str(args.throttle),
+        ],
+        env=env,
+        start_new_session=True,
+    )
+
+
+def _killpg(victim: subprocess.Popen) -> None:
+    try:
+        os.killpg(os.getpgid(victim.pid), signal.SIGKILL)
+    except ProcessLookupError:  # already gone
+        pass
+
+
+def _wait(proc: subprocess.Popen, what: str) -> None:
+    code = proc.wait(timeout=VICTIM_TIMEOUT)
+    if code != 0:
+        raise SystemExit(f"{what} exited with status {code}")
+
+
+def _compare(reference: Dict[str, list], drilled: Dict[str, list]) -> List[str]:
+    problems: List[str] = []
+    if sorted(reference) != sorted(drilled):
+        problems.append(
+            f"unit sets differ: reference={sorted(reference)} "
+            f"drill={sorted(drilled)}"
+        )
+        return problems
+    for unit in sorted(reference):
+        want, got = reference[unit], drilled[unit]
+        want_spans = [(r.start, r.end) for r in want]
+        got_spans = [(r.start, r.end) for r in got]
+        if want_spans != got_spans:
+            problems.append(
+                f"{unit}: round spans differ\n"
+                f"  reference: {want_spans}\n  drill:     {got_spans}"
+            )
+            continue
+        for w, g in zip(want, got):
+            if w.records != g.records:
+                problems.append(
+                    f"{unit} round [{w.start},{w.end}): judgement records "
+                    f"differ"
+                )
+            if w.matrices is not None and g.matrices is not None:
+                for wm, gm in zip(w.matrices, g.matrices):
+                    if wm.kpi != gm.kpi or not np.allclose(
+                        wm.triangle, gm.triangle,
+                        rtol=0.0, atol=1e-9, equal_nan=True,
+                    ):
+                        problems.append(
+                            f"{unit} round [{w.start},{w.end}): matrix "
+                            f"{wm.kpi} diverges beyond 1e-9"
+                        )
+    return problems
+
+
+def _run_drill(args: argparse.Namespace) -> int:
+    workdir = os.path.abspath(args.workdir)
+    os.makedirs(workdir, exist_ok=True)
+    reference_state = os.path.join(workdir, "reference-state")
+    drill_state = os.path.join(workdir, "drill-state")
+    for path in (reference_state, drill_state):
+        if os.path.exists(path):
+            raise SystemExit(
+                f"refusing to reuse existing state dir {path}; "
+                f"pass a fresh --workdir"
+            )
+
+    dataset_path = os.path.join(workdir, "drill-dataset.npz")
+    units = tuple(
+        build_unit_series(
+            profile="tencent",
+            n_databases=5,
+            n_ticks=args.ticks,
+            seed=9100 + index,
+            abnormal_ratio=0.08,
+            name=f"drill-{index}",
+        )
+        for index in range(2)
+    )
+    save_dataset(Dataset(name="recovery-drill", units=units), dataset_path)
+
+    print(f"[drill] reference run -> {reference_state}", flush=True)
+    _wait(_spawn_victim(dataset_path, reference_state, args), "reference victim")
+    reference = _histories(reference_state)
+    final_tick = max(r.end for h in reference.values() for r in h)
+    if final_tick <= KILL_AT_TICK:
+        raise SystemExit(
+            f"reference run only reached tick {final_tick}; the kill "
+            f"threshold {KILL_AT_TICK} would not land mid-stream"
+        )
+
+    print(f"[drill] victim run -> {drill_state} (kill at tick "
+          f">={KILL_AT_TICK})", flush=True)
+    victim = _spawn_victim(dataset_path, drill_state, args)
+    deadline = time.monotonic() + VICTIM_TIMEOUT
+    try:
+        while True:
+            if victim.poll() is not None:
+                raise SystemExit(
+                    "victim finished before the kill landed; raise "
+                    "--throttle so the run spans more wall time"
+                )
+            if _progress(drill_state) >= KILL_AT_TICK:
+                break
+            if time.monotonic() > deadline:
+                raise SystemExit("timed out waiting for victim progress")
+            time.sleep(POLL_SECONDS)
+    except BaseException:
+        if victim.poll() is None:
+            _killpg(victim)
+            victim.wait()
+        raise
+    _killpg(victim)
+    code = victim.wait(timeout=VICTIM_TIMEOUT)
+    print(f"[drill] victim killed (exit {code}) at recorded tick "
+          f"{_progress(drill_state)}", flush=True)
+    if code == 0:
+        raise SystemExit("victim survived SIGKILL?")
+    if _progress(drill_state) >= final_tick:
+        raise SystemExit(
+            "victim had already recorded the full stream when killed; "
+            "the drill proved nothing — raise --throttle"
+        )
+
+    print(f"[drill] resume run <- {drill_state}", flush=True)
+    _wait(_spawn_victim(dataset_path, drill_state, args), "resume victim")
+
+    problems = _compare(reference, _histories(drill_state))
+    if problems:
+        print("[drill] FAILED: restored history diverges", flush=True)
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    rounds = sum(len(h) for h in reference.values())
+    print(f"[drill] PASS: {rounds} rounds identical across "
+          f"{len(reference)} units after kill + warm restart", flush=True)
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", default="drill-workdir",
+                        help="scratch directory for dataset + state dirs")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="victim worker processes (0 = serial)")
+    parser.add_argument("--batch-ticks", type=int, default=16)
+    parser.add_argument("--snapshot-every", type=int, default=8)
+    parser.add_argument("--ticks", type=int, default=240,
+                        help="stream length per unit")
+    parser.add_argument("--throttle", type=float, default=0.004,
+                        help="seconds slept per tick event in the victim")
+    parser.add_argument("--victim", action="store_true",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--dataset", help=argparse.SUPPRESS)
+    parser.add_argument("--state-dir", help=argparse.SUPPRESS)
+    args = parser.parse_args()
+    if args.victim:
+        return _run_victim(args)
+    return _run_drill(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

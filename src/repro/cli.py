@@ -107,6 +107,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="print only the summary scores, not per-round verdicts",
     )
+    detect.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="durable-state directory (snapshots + WAL); rerunning with "
+             "the same directory resumes an interrupted pass mid-stream",
+    )
+    detect.add_argument(
+        "--snapshot-every", type=int, default=8, metavar="ROUNDS",
+        help="completed rounds per unit between snapshots "
+             "(with --state-dir; default 8)",
+    )
 
     serve = commands.add_parser(
         "serve", help="run the online multi-unit detection service"
@@ -163,6 +173,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSON topology file for incident correlation "
                             "({\"groups\": {label: [unit, ...]}}); default "
                             "one all-units group")
+    serve.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="durable-state directory (snapshots + WAL); "
+                            "restarting with the same directory resumes "
+                            "warm from the last durable round")
+    serve.add_argument("--snapshot-every", type=int, default=8,
+                       metavar="ROUNDS",
+                       help="completed rounds per unit between snapshots "
+                            "(with --state-dir; default 8)")
+    serve.add_argument("--wal-sync", choices=("commit", "snapshot"),
+                       default="snapshot",
+                       help="WAL fsync discipline: every group-commit, or "
+                            "deferred to snapshot boundaries (default)")
 
     chaos = commands.add_parser(
         "chaos",
@@ -323,7 +345,10 @@ def _cmd_detect(args) -> int:
 
     dataset = load_dataset(args.dataset)
     config = _detect_config(args)
-    report = detect_fleet(dataset, config=config, jobs=args.jobs)
+    report = detect_fleet(
+        dataset, config=config, jobs=args.jobs,
+        state_dir=args.state_dir, snapshot_every=args.snapshot_every,
+    )
     counts = None
     for unit in dataset.units:
         for result in report.results[unit.name]:
@@ -395,6 +420,10 @@ def _cmd_serve(args) -> int:
     )
     if args.history_limit is not None:
         service_kwargs["history_limit"] = args.history_limit
+    if args.state_dir is not None:
+        service_kwargs["state_dir"] = args.state_dir
+        service_kwargs["snapshot_every"] = args.snapshot_every
+        service_kwargs["wal_sync"] = args.wal_sync
     service_config = ServiceConfig(**service_kwargs)
     observing = args.obs_port is not None or args.obs_snapshot is not None
     scope = obs.scoped() if observing else contextlib.nullcontext()

@@ -17,7 +17,7 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -206,6 +206,16 @@ class DBCatcher:
     def history(self) -> Tuple[JudgementRecord, ...]:
         """All judgement records emitted so far, in completion order."""
         return tuple(self._history)
+
+    @property
+    def cursor(self) -> int:
+        """Absolute tick where the next detection round starts."""
+        return self._cursor
+
+    @property
+    def next_tick(self) -> int:
+        """Absolute index one past the newest tick this detector has seen."""
+        return self._streams.next_tick
 
     @property
     def results(self) -> Tuple[UnitDetectionResult, ...]:
@@ -437,13 +447,7 @@ class DBCatcher:
         self._history.extend(
             state.records[db] for db in sorted(state.records)
         )
-        limit = self._config.history_limit
-        if limit is not None:
-            if len(self._results) > limit:
-                del self._results[: len(self._results) - limit]
-            record_limit = limit * self._n_databases
-            if len(self._history) > record_limit:
-                del self._history[: len(self._history) - record_limit]
+        self._enforce_history_limit()
         self._cursor = end
         self._round = None
         self._streams.trim(self._cursor)
@@ -453,6 +457,126 @@ class DBCatcher:
         )
         obs.gauge("detector.buffered_ticks").set(len(self._streams))
         return result
+
+    def _enforce_history_limit(self) -> None:
+        limit = self._config.history_limit
+        if limit is None:
+            return
+        if len(self._results) > limit:
+            del self._results[: len(self._results) - limit]
+        record_limit = limit * self._n_databases
+        if len(self._history) > record_limit:
+            del self._history[: len(self._history) - record_limit]
+
+    def to_state(self, *, healthy_matrices: bool = True) -> Dict[str, Any]:
+        """Versioned, JSON-friendly durable state (see :mod:`repro.persist`).
+
+        Captures everything a warm restart needs: config (including
+        tuned thresholds), active mask, stream cursor and buffered tail,
+        retained judgement records and round results, and the component
+        timing totals.  An in-progress round is deliberately *not*
+        captured — it is a pure function of the buffered ticks past the
+        cursor, so :meth:`from_state` re-derives it deterministically
+        the moment data resumes.  Engine caches rebuild lazily on the
+        first round and only cost one warm-up correlation pass.
+
+        ``healthy_matrices=False`` skips encoding the correlation
+        matrices of retained *healthy* rounds; the persistence layer
+        would strip them at the snapshot boundary anyway, so the export
+        path avoids ever paying for them.
+        """
+        from repro.persist import codec
+
+        if self._measure is not None:
+            raise ValueError(
+                "a detector with a custom measure cannot be persisted; "
+                "only config-described detectors round-trip through JSON"
+            )
+        return {
+            "version": codec.STATE_VERSION,
+            "config": codec.encode_config(self._config),
+            "n_databases": self._n_databases,
+            "active": [bool(flag) for flag in self._active],
+            "cursor": self._cursor,
+            "rounds_completed": self._rounds_completed,
+            "component_seconds": dict(self.component_seconds),
+            "streams": self._streams.to_state(),
+            "history": [codec.encode_record(r) for r in self._history],
+            "results": [
+                codec.encode_result(
+                    r,
+                    include_matrices=(
+                        healthy_matrices or bool(r.abnormal_databases)
+                    ),
+                )
+                for r in self._results
+            ],
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: Dict[str, Any], history_limit: object = _UNSET
+    ) -> "DBCatcher":
+        """Rebuild a detector from a :meth:`to_state` payload.
+
+        Parameters
+        ----------
+        state:
+            A version-1 state payload.
+        history_limit:
+            Optional retention override (the worker pool owns retention
+            policy, so a restored shard obeys the pool, not the config
+            it was persisted under).  Omit to keep the persisted value.
+        """
+        from repro.persist import codec
+
+        if state.get("version") != codec.STATE_VERSION:
+            raise ValueError(
+                f"unsupported detector state version {state.get('version')!r}"
+            )
+        config = codec.decode_config(state["config"])
+        if history_limit is not _UNSET:
+            config = replace(config, history_limit=history_limit)
+        detector = cls(
+            config,
+            n_databases=int(state["n_databases"]),
+            active=[bool(flag) for flag in state["active"]],
+        )
+        detector._cursor = int(state["cursor"])
+        detector._rounds_completed = int(state["rounds_completed"])
+        detector.component_seconds = {
+            str(k): float(v) for k, v in state["component_seconds"].items()
+        }
+        detector._streams.load_state(state["streams"])
+        detector._history = [
+            codec.decode_record(r) for r in state["history"]
+        ]
+        detector._results = [
+            codec.decode_result(r) for r in state["results"]
+        ]
+        detector._enforce_history_limit()
+        return detector
+
+    def apply_result(self, result: UnitDetectionResult) -> None:
+        """Fast-forward over an already-computed round (WAL replay).
+
+        Recovery applies recorded rounds without recomputation: the
+        result and its records join the retained history, the cursor and
+        stream base jump to the round's end, and ingestion resumes from
+        there.  Rounds must be applied in order from the current cursor.
+        """
+        if result.start != self._cursor:
+            raise ValueError(
+                f"round starts at tick {result.start} but the cursor is at "
+                f"{self._cursor}; WAL replay must be gapless and in order"
+            )
+        self._round = None
+        self._results.append(result)
+        self._rounds_completed += 1
+        self._history.extend(result.records[db] for db in sorted(result.records))
+        self._enforce_history_limit()
+        self._cursor = result.end
+        self._streams.fast_forward(result.end)
 
     def export_state(self) -> Dict[str, object]:
         """Operational snapshot for the service's worker telemetry.

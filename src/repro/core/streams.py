@@ -9,7 +9,7 @@ any window ``[start, end)`` that has not been trimmed yet.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Any, Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -200,3 +200,41 @@ class KPIStreams:
             self._buffer[:remaining] = self._buffer[drop : self._length]
         self._length = remaining
         self._base += drop
+
+    def fast_forward(self, tick: int) -> None:
+        """Advance past ``tick`` even beyond the buffered data.
+
+        :meth:`trim` refuses to drop ticks it never held; WAL replay
+        needs exactly that — a restored detector applies recorded rounds
+        without their underlying samples, so the stream must jump its
+        absolute base to the round's end and resume ingestion there.
+        """
+        if tick <= self._base:
+            return
+        if tick >= self.next_tick:
+            self._base = tick
+            self._length = 0
+            return
+        self.trim(tick)
+
+    def to_state(self) -> Dict[str, Any]:
+        """JSON-friendly snapshot of the buffered tail (see repro.persist)."""
+        return {
+            "base": self._base,
+            "ticks": self._buffer[: self._length].tolist(),
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`to_state` snapshot in place."""
+        expected = (self._n_databases, self.n_kpis)
+        block = np.asarray(state["ticks"], dtype=np.float64)
+        if block.size == 0:
+            block = np.zeros((0,) + expected, dtype=np.float64)
+        if block.ndim != 3 or block.shape[1:] != expected:
+            raise ValueError(
+                f"stream state shaped {block.shape} does not fit a unit of "
+                f"{expected[0]} databases x {expected[1]} KPIs"
+            )
+        self._length = 0
+        self._base = int(state["base"])
+        self.extend(block)

@@ -1,0 +1,63 @@
+"""Durable state: snapshot + WAL persistence for crash-warm restarts.
+
+Everything DBCatcher learns online — sliding windows, flexible-window
+cursors, state machines, judgement records, tuned thresholds — lives in
+memory and dies with the process.  This package makes that state
+durable: periodic *atomic snapshots* of versioned detector/coordinator
+state plus an *append-only WAL* of completed detection rounds, with
+segment rotation and compaction at snapshot boundaries.
+
+Recovery replays snapshot + WAL per unit and resumes mid-stream; because
+the detector is deterministic, a run killed at an arbitrary round and
+restored from disk produces the same verdicts, state paths, and
+alert/incident history as a run that never died.  Wire it up with
+``serve --state-dir`` (see :mod:`repro.service.scheduler`) or use the
+:class:`FleetStateStore` / :class:`UnitStore` primitives directly.
+"""
+
+from repro.persist.codec import (
+    STATE_VERSION,
+    decode_config,
+    decode_matrix,
+    decode_record,
+    decode_result,
+    encode_config,
+    encode_matrix,
+    encode_record,
+    encode_result,
+    shift_state,
+    state_next_tick,
+)
+from repro.persist.snapshot import SNAPSHOT_VERSION, atomic_write_json, read_json
+from repro.persist.store import FleetStateStore, UnitStore
+from repro.persist.wal import (
+    WAL_VERSION,
+    WalWriter,
+    decode_line,
+    encode_line,
+    read_segment,
+)
+
+__all__ = [
+    "FleetStateStore",
+    "SNAPSHOT_VERSION",
+    "STATE_VERSION",
+    "UnitStore",
+    "WAL_VERSION",
+    "WalWriter",
+    "atomic_write_json",
+    "decode_config",
+    "decode_line",
+    "decode_matrix",
+    "decode_record",
+    "decode_result",
+    "encode_config",
+    "encode_line",
+    "encode_matrix",
+    "encode_record",
+    "encode_result",
+    "read_json",
+    "read_segment",
+    "shift_state",
+    "state_next_tick",
+]

@@ -1,0 +1,67 @@
+"""Atomic JSON snapshot files.
+
+Generalizes the :class:`repro.tuning.TuningCheckpoint` write discipline:
+serialize to a temporary file in the destination directory, fsync it,
+then :func:`os.replace` over the target.  A reader therefore sees either
+the previous complete snapshot or the new complete snapshot — never a
+torn one — no matter when the writer is killed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+__all__ = ["SNAPSHOT_VERSION", "atomic_write_json", "read_json"]
+
+#: Version of the snapshot file envelope.
+SNAPSHOT_VERSION = 1
+
+
+def atomic_write_json(path: str, payload: Dict[str, Any]) -> int:
+    """Atomically replace ``path`` with ``payload`` as JSON.
+
+    Returns
+    -------
+    int
+        Bytes written, for the snapshot-size observability counter.
+    """
+    target = os.path.abspath(path)
+    directory = os.path.dirname(target)
+    os.makedirs(directory, exist_ok=True)
+    data = (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        + b"\n"
+    )
+    fd, temp_path = tempfile.mkstemp(
+        prefix=".snapshot-", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, target)
+    except BaseException:
+        if os.path.exists(temp_path):
+            os.unlink(temp_path)
+        raise
+    return len(data)
+
+
+def read_json(path: str) -> Optional[Dict[str, Any]]:
+    """Load a snapshot file; ``None`` when it does not exist.
+
+    Corruption raises: the atomic-replace discipline means a snapshot on
+    disk is either absent or complete, so an unparsable file is operator
+    damage worth surfacing, not a crash artifact to skip.
+    """
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(f"snapshot {path} is not a JSON object")
+    return payload

@@ -1,0 +1,129 @@
+"""Append-only, crash-tolerant write-ahead log segments.
+
+One record per line: an 8-hex-digit CRC-32 of the canonical JSON body,
+a space, the body.  Appends are group-committed — all lines of a batch
+are written, then flushed and fsync'd once — extending the per-record
+fsync discipline of ``repro.service.alerts.JSONLSink`` to batches.
+
+Readers are torn-tail tolerant by construction: a process killed
+mid-append leaves at most one partial final line, which fails the
+newline/CRC/JSON checks and is skipped (counted on the
+``persist.wal_truncated`` counter), never raised.  Every complete
+record before it is recovered.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import runtime as obs
+
+__all__ = [
+    "WAL_VERSION",
+    "WalWriter",
+    "decode_line",
+    "encode_line",
+    "read_segment",
+]
+
+#: Version of the WAL line format.
+WAL_VERSION = 1
+
+
+def encode_line(payload: Dict[str, Any]) -> str:
+    """One WAL line: ``<crc32 hex> <canonical json>\\n``."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x} {body}\n"
+
+
+def decode_line(line: str) -> Optional[Dict[str, Any]]:
+    """Decode one WAL line; ``None`` when it is torn or corrupt."""
+    if not line.endswith("\n"):
+        return None  # torn tail: the final newline never made it to disk
+    text = line[:-1]
+    if len(text) < 10 or text[8] != " ":
+        return None
+    crc_text, body = text[:8], text[9:]
+    try:
+        expected = int(crc_text, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF != expected:
+        return None
+    try:
+        payload = json.loads(body)
+    except ValueError:
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+class WalWriter:
+    """Appender for one WAL segment (or the compaction archive).
+
+    ``sync=True`` (the default) fsyncs every group-commit: a record is on
+    stable storage before :meth:`append` returns.  ``sync=False`` only
+    flushes to the OS — a *process* crash (SIGKILL, OOM kill) still
+    loses nothing because the page cache survives the process; only a
+    kernel panic or power loss can drop the unsynced tail, which
+    recovery then simply re-derives live.
+    """
+
+    def __init__(self, path: str, sync: bool = True):
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self.path = path
+        self.sync = sync
+        self._handle = open(path, "a", encoding="utf-8")
+
+    def append(self, payloads: Sequence[Dict[str, Any]]) -> int:
+        """Group-commit a batch of records: write all, flush (+fsync) once."""
+        if not payloads:
+            return 0
+        data = "".join(encode_line(payload) for payload in payloads)
+        self._handle.write(data)
+        self._handle.flush()
+        if self.sync:
+            os.fsync(self._handle.fileno())
+            obs.counter("persist.wal_fsyncs").increment()
+        obs.counter("persist.wal_appends").increment(len(payloads))
+        obs.counter("persist.wal_bytes").increment(len(data.encode("utf-8")))
+        return len(payloads)
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "WalWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_segment(path: str) -> Tuple[List[Dict[str, Any]], bool]:
+    """Decode one segment file, tolerating a torn tail.
+
+    Returns
+    -------
+    (payloads, truncated)
+        Records decoded in order, and whether decoding stopped early on a
+        torn/corrupt line.  Reading stops at the first bad line — under
+        the append-only discipline everything after a tear is garbage.
+    """
+    payloads: List[Dict[str, Any]] = []
+    truncated = False
+    if not os.path.exists(path):
+        return payloads, truncated
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        for line in handle:
+            payload = decode_line(line)
+            if payload is None:
+                truncated = True
+                obs.counter("persist.wal_truncated").increment()
+                break
+            payloads.append(payload)
+    return payloads, truncated

@@ -375,14 +375,26 @@ class AlertPipeline:
         recent.append(tick)
         return False
 
-    def _fan_out_events(self, events: Sequence["IncidentEvent"]) -> None:
+    def _fan_out_events(
+        self, events: Sequence["IncidentEvent"], replay: bool = False
+    ) -> None:
         for event in events:
-            for sink in self.sinks:
-                sink.emit_incident(event)
+            if not replay:
+                for sink in self.sinks:
+                    sink.emit_incident(event)
             self.metrics.counter(f"incidents_{event.kind}").increment()
 
-    def publish(self, unit: str, result: UnitDetectionResult) -> Optional[Alert]:
-        """Feed one completed round; returns the alert if one was emitted."""
+    def publish(
+        self, unit: str, result: UnitDetectionResult, replay: bool = False
+    ) -> Optional[Alert]:
+        """Feed one completed round; returns the alert if one was emitted.
+
+        ``replay=True`` rebuilds pipeline state from recovered history
+        (see :mod:`repro.persist`): counters, the rate limiter, RCA
+        incident state and the returned alert all advance exactly as they
+        did the first time, but nothing reaches the sinks — those
+        notifications already went out before the crash.
+        """
         if self._closed:
             raise RuntimeError("alert pipeline is closed")
         self.metrics.counter("rounds_completed").increment()
@@ -405,10 +417,11 @@ class AlertPipeline:
                     alert = dataclasses.replace(
                         alert, attribution=attribution, incident_id=incident_id
                     )
-                for sink in self.sinks:
-                    sink.emit(alert)
+                if not replay:
+                    for sink in self.sinks:
+                        sink.emit(alert)
                 self.metrics.counter("alerts_emitted").increment()
-        self._fan_out_events(events)
+        self._fan_out_events(events, replay=replay)
         return alert
 
     def finish(self, tick: Optional[int] = None) -> None:

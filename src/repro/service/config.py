@@ -55,6 +55,22 @@ class ServiceConfig:
     alert_min_databases:
         Minimum abnormal databases in a round before an alert is emitted;
         1 alerts on every abnormal verdict.
+    state_dir:
+        Directory for durable state (snapshots + WAL, see
+        :mod:`repro.persist`).  When set, the service recovers any state
+        found there on startup and resumes mid-stream; ``None`` (default)
+        keeps everything in memory.
+    snapshot_every:
+        Completed detection rounds per unit between atomic snapshots.
+        Between snapshots, every completed round is already WAL-durable;
+        this knob only bounds how much WAL a restart replays.
+    wal_sync:
+        WAL fsync discipline: ``"snapshot"`` (default) flushes appends to
+        the OS and lets the atomic snapshot be the durability point — a
+        process crash loses nothing, only power loss can drop
+        post-snapshot rounds, which recovery re-derives live;
+        ``"commit"`` fsyncs every group-commit for power-loss durability
+        at a serving-latency cost.
     """
 
     n_workers: int = 0
@@ -65,6 +81,9 @@ class ServiceConfig:
     max_worker_restarts: int = 2
     history_limit: Optional[int] = 8
     alert_min_databases: int = 1
+    state_dir: Optional[str] = None
+    snapshot_every: int = 8
+    wal_sync: str = "snapshot"
 
     def __post_init__(self) -> None:
         if self.n_workers < 0:
@@ -91,6 +110,12 @@ class ServiceConfig:
             raise ValueError("history_limit must be >= 1 or None")
         if self.alert_min_databases < 1:
             raise ValueError("alert_min_databases must be >= 1")
+        if self.snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        if self.wal_sync not in ("commit", "snapshot"):
+            raise ValueError(
+                f"wal_sync must be 'commit' or 'snapshot', got {self.wal_sync!r}"
+            )
 
     @property
     def parallel(self) -> bool:

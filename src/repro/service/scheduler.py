@@ -16,15 +16,27 @@ unit serially.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass, field, replace
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from repro.core.config import DBCatcherConfig
-from repro.core.detector import UnitDetectionResult
+from repro.core.detector import DBCatcher, UnitDetectionResult
 from repro.core.records import JudgementRecord
 from repro.obs import runtime as obs
+from repro.persist.codec import decode_config
+from repro.persist.store import FleetStateStore
 from repro.service.alerts import Alert, AlertPipeline, AlertSink
 from repro.service.config import ServiceConfig
 from repro.service.metrics import MetricsRegistry
@@ -66,6 +78,8 @@ class ServiceReport:
     alerts_emitted: int = 0
     worker_restarts: int = 0
     kill_drills: int = 0
+    recovered_rounds: int = 0
+    snapshots_written: int = 0
     retrains: List[RetrainEvent] = field(default_factory=list)
     threshold_swaps: int = 0
     incidents: List["Incident"] = field(default_factory=list)
@@ -90,6 +104,62 @@ class ServiceReport:
     @property
     def total_rounds(self) -> int:
         return sum(len(rounds) for rounds in self.results.values())
+
+
+class _PersistenceDriver:
+    """Scheduler-side durability: WAL appends per dispatch, periodic snapshots.
+
+    Completed rounds hit the WAL *before* they reach the alert pipeline,
+    so any verdict an operator saw is durable.  Every ``snapshot_every``
+    rounds per unit, the unit's detector state is pulled from the pool
+    (re-anchored to absolute ticks for process workers), snapshotted
+    atomically, and the unit's WAL rotates + compacts.
+    """
+
+    def __init__(
+        self,
+        store: FleetStateStore,
+        pool,
+        units: Sequence[str],
+        coordinator: Optional[TuningCoordinator],
+    ):
+        self._store = store
+        self._pool = pool
+        self._coordinator = coordinator
+        self._since: Dict[str, int] = {name: 0 for name in units}
+        self.snapshots_written = 0
+
+    def record(self, results: Dict[str, List[UnitDetectionResult]]) -> None:
+        with obs.histogram("persist.write_seconds").time():
+            due: List[str] = []
+            for unit, unit_results in results.items():
+                if not unit_results:
+                    continue
+                self._store.unit_store(unit).append_rounds(unit_results)
+                self._since[unit] += len(unit_results)
+                if self._since[unit] >= self._store.snapshot_every:
+                    due.append(unit)
+            if due:
+                self.snapshot(due)
+
+    def snapshot(self, units: Sequence[str]) -> None:
+        states = self._pool.export_persist_states(units)
+        for unit in units:
+            state = states.get(unit)
+            if state is None:
+                # The owning worker died mid-export; the unit stays on its
+                # last snapshot + WAL and gets snapshotted a round later.
+                continue
+            self._store.unit_store(unit).write_snapshot(state)
+            self._since[unit] = 0
+            self.snapshots_written += 1
+        if states and self._coordinator is not None:
+            self._store.save_coordinator(self._coordinator.to_state())
+
+    def finalize(self) -> None:
+        """Final snapshot of every unit at end of stream."""
+        with obs.histogram("persist.write_seconds").time():
+            self.snapshot(sorted(self._since))
 
 
 class DetectionService:
@@ -193,11 +263,39 @@ class DetectionService:
             for name, n_databases in units.items()
         ]
         interval = float(getattr(source, "interval_seconds", 5.0))
+        store: Optional[FleetStateStore] = None
+        states: Dict[str, Dict[str, Any]] = {}
+        recovered: Dict[str, List[UnitDetectionResult]] = {}
+        resume_tick: Dict[str, int] = {}
+        pool_specs = specs
+        if cfg.state_dir is not None:
+            store = FleetStateStore(
+                cfg.state_dir,
+                snapshot_every=cfg.snapshot_every,
+                wal_sync=cfg.wal_sync,
+            )
+            recovery_started = time.perf_counter()
+            states, recovered, resume_tick = self._recover(store, specs)
+            if states:
+                obs.histogram("persist.recovery_seconds").observe(
+                    time.perf_counter() - recovery_started
+                )
+                # A recovered unit's persisted config wins over the
+                # construction-time one: it carries any thresholds tuned
+                # before the crash, and crash-restarted workers must
+                # rebuild from it, not from stale construction state.
+                pool_specs = [
+                    replace(spec, config=decode_config(states[spec.name]["config"]))
+                    if spec.name in states
+                    else spec
+                    for spec in specs
+                ]
         pool = make_pool(
-            specs,
+            pool_specs,
             n_workers=cfg.n_workers,
             history_limit=cfg.history_limit,
             max_restarts=cfg.max_worker_restarts,
+            states=states or None,
         )
         bridge = IngestionBridge(
             list(units),
@@ -220,39 +318,80 @@ class DetectionService:
         )
         if self.coordinator is not None:
             self.coordinator.bind(
-                pool, {spec.name: spec.config for spec in specs}
+                pool, {spec.name: spec.config for spec in pool_specs}
             )
+            if store is not None:
+                coordinator_state = store.load_coordinator()
+                if coordinator_state is not None:
+                    self.coordinator.load_state(coordinator_state)
+        if recovered:
+            self._replay_history(
+                recovered, list(units), cfg.batch_ticks, pipeline, report,
+                collect_results,
+            )
+        persist = (
+            _PersistenceDriver(store, pool, list(units), self.coordinator)
+            if store is not None
+            else None
+        )
         ingest_latency = self.metrics.histogram("ingest_latency_seconds")
         dispatch_latency = self.metrics.histogram("dispatch_latency_seconds")
         started = time.perf_counter()
         take_actions = getattr(source, "take_actions", None)
         try:
             consumed: Dict[str, int] = {name: 0 for name in units}
+            # Ticks skipped during WAL replay still advance the dispatch
+            # cadence: batches must stay aligned to the absolute tick grid
+            # or a resumed run would batch (and therefore interleave alerts
+            # and feed tuning windows) differently from the uninterrupted
+            # run it continues.
+            phantom: Dict[str, int] = {name: 0 for name in units}
             for event in source:
+                replayed = (
+                    bool(resume_tick)
+                    and event.seq < resume_tick.get(event.unit, 0)
+                )
                 if take_actions is not None:
                     for action in take_actions():
+                        if replayed:
+                            # Control-plane actions raised while re-reading
+                            # already-persisted ticks fired before the
+                            # crash; applying them again would disturb the
+                            # recovered state.
+                            continue
                         self._apply_action(pool, action, report)
                 if max_ticks is not None and consumed[event.unit] >= max_ticks:
                     continue
                 consumed[event.unit] += 1
-                with ingest_latency.time():
-                    bridge.offer(event, timeout=cfg.put_timeout_seconds)
-                if bridge.pending(event.unit) >= cfg.batch_ticks:
+                if replayed:
+                    phantom[event.unit] += 1
+                else:
+                    with ingest_latency.time():
+                        bridge.offer(event, timeout=cfg.put_timeout_seconds)
+                pending = bridge.pending(event.unit) + phantom[event.unit]
+                if pending >= cfg.batch_ticks:
                     self._dispatch_round(
                         bridge, pool, pipeline, report, dispatch_latency,
-                        collect_results,
+                        collect_results, persist,
                     )
+                    for name in phantom:
+                        phantom[name] = 0
             # Source exhausted: flush whatever is still queued.
             self._dispatch_round(
-                bridge, pool, pipeline, report, dispatch_latency, collect_results
+                bridge, pool, pipeline, report, dispatch_latency,
+                collect_results, persist,
             )
             if self.coordinator is not None:
                 self.coordinator.drain()
+            if persist is not None:
+                persist.finalize()
             pipeline.finish()
         finally:
             bridge.close()
             pool.stop()
             pipeline.close()
+            if store is not None:
+                store.close()
         report.elapsed_seconds = time.perf_counter() - started
         report.ticks_ingested = self.metrics.counter("ticks_ingested").value
         report.ticks_dropped = bridge.total_dropped()
@@ -260,6 +399,8 @@ class DetectionService:
         report.rounds_completed = self.metrics.counter("rounds_completed").value
         report.alerts_emitted = self.metrics.counter("alerts_emitted").value
         report.worker_restarts = pool.restarts
+        if persist is not None:
+            report.snapshots_written = persist.snapshots_written
         self.metrics.counter("worker_restarts").increment(pool.restarts)
         self.metrics.counter("ticks_lost").increment(pool.ticks_lost)
         if self.coordinator is not None:
@@ -273,6 +414,87 @@ class DetectionService:
         report.component_seconds = pool.component_seconds()
         report.metrics = self.metrics.snapshot()
         return report
+
+    def _recover(
+        self, store: FleetStateStore, specs: List[UnitSpec]
+    ) -> Tuple[
+        Dict[str, Dict[str, Any]],
+        Dict[str, List[UnitDetectionResult]],
+        Dict[str, int],
+    ]:
+        """Rebuild per-unit state from snapshot + WAL (crash-warm restart).
+
+        For each unit with durable state: restore the latest snapshot
+        (or start cold on a pure-WAL directory), replay the recorded
+        rounds newer than the snapshot cursor through
+        :meth:`DBCatcher.apply_result` — no recomputation — and note the
+        tick ingestion must resume from.  The full recorded history comes
+        back separately so the alert/incident pipeline can be replayed.
+        """
+        states: Dict[str, Dict[str, Any]] = {}
+        recovered: Dict[str, List[UnitDetectionResult]] = {}
+        resume: Dict[str, int] = {}
+        total = 0
+        for spec in specs:
+            unit_store = store.unit_store(spec.name)
+            snapshot = unit_store.load_snapshot()
+            tail = unit_store.load_tail()
+            if snapshot is None and not tail:
+                continue
+            if snapshot is not None:
+                detector = DBCatcher.from_state(snapshot)
+            else:
+                detector = DBCatcher(spec.config, n_databases=spec.n_databases)
+            for result in tail:
+                if result.end <= detector.cursor:
+                    continue
+                if result.start != detector.cursor:
+                    break  # gap in the log: re-derive the rest live
+                detector.apply_result(result)
+            states[spec.name] = detector.to_state()
+            resume[spec.name] = detector.next_tick
+            recovered[spec.name] = [
+                result
+                for result in unit_store.load_history()
+                if result.end <= detector.cursor
+            ]
+            total += len(recovered[spec.name])
+        if total:
+            obs.counter("persist.recovered_rounds").increment(total)
+        return states, recovered, resume
+
+    def _replay_history(
+        self,
+        recovered: Dict[str, List[UnitDetectionResult]],
+        unit_order: List[str],
+        batch_ticks: int,
+        pipeline: AlertPipeline,
+        report: ServiceReport,
+        collect_results: bool,
+    ) -> None:
+        """Re-publish recovered rounds through the pipeline (sinks muted).
+
+        Rounds are interleaved exactly as the original run published
+        them: grouped by the dispatch that completed them (a round ends
+        at tick ``e``, so it completed on dispatch ``ceil(e /
+        batch_ticks)``), units in ingestion order within a dispatch.
+        Incident ids, rate-limiter decisions and counters therefore land
+        identically to the uninterrupted run.
+        """
+        order = {name: index for index, name in enumerate(unit_order)}
+        merged: List[Tuple[int, int, int, str, UnitDetectionResult]] = []
+        for name, results in recovered.items():
+            for result in results:
+                dispatch = -(-result.end // batch_ticks)
+                merged.append((dispatch, order[name], result.end, name, result))
+        merged.sort(key=lambda item: item[:3])
+        for _, _, _, name, result in merged:
+            alert = pipeline.publish(name, result, replay=True)
+            if alert is not None:
+                report.alerts.append(alert)
+            if collect_results:
+                report.results[name].append(result)
+            report.recovered_rounds += 1
 
     def _build_analyzer(self, specs: List[UnitSpec], n_workers: int):
         """Construct the run's RootCauseAnalyzer over the resolved configs.
@@ -325,6 +547,7 @@ class DetectionService:
         report: ServiceReport,
         dispatch_latency,
         collect_results: bool,
+        persist: Optional[_PersistenceDriver] = None,
     ) -> None:
         """Drain every unit's backlog and run one pool round-trip."""
         batches: Dict[str, np.ndarray] = {}
@@ -343,6 +566,9 @@ class DetectionService:
                 self.coordinator.observe_batch(unit, block)
         with dispatch_latency.time(), obs.span("service.dispatch_round"):
             results = pool.dispatch(batches)
+        if persist is not None:
+            # Verdicts become durable before they become notifications.
+            persist.record(results)
         for unit, unit_results in results.items():
             for result in unit_results:
                 alert = pipeline.publish(unit, result)
@@ -364,6 +590,8 @@ def detect_fleet(
     max_ticks: Optional[int] = None,
     rca: bool = False,
     topology: Optional["Topology"] = None,
+    state_dir: Optional[str] = None,
+    snapshot_every: Optional[int] = None,
 ) -> ServiceReport:
     """Run the fleet scheduler over a saved dataset.
 
@@ -380,6 +608,12 @@ def detect_fleet(
     rca:
         Enable attribution + incident correlation; the topology defaults
         to the dataset's workload-metadata groups when available.
+    state_dir:
+        Durable-state directory (snapshots + WAL); an interrupted run
+        restarted with the same directory resumes warm mid-stream.
+    snapshot_every:
+        Rounds per unit between snapshots; the config default when
+        omitted.
     """
     if config is None:
         from repro.presets import default_config
@@ -387,10 +621,15 @@ def detect_fleet(
         config = default_config()
     base = service_config if service_config is not None else ServiceConfig()
     n_workers = 0 if jobs <= 1 else jobs
+    overrides: Dict[str, Any] = {}
     if base.n_workers != n_workers:
-        import dataclasses
-
-        base = dataclasses.replace(base, n_workers=n_workers)
+        overrides["n_workers"] = n_workers
+    if state_dir is not None:
+        overrides["state_dir"] = str(state_dir)
+    if snapshot_every is not None:
+        overrides["snapshot_every"] = int(snapshot_every)
+    if overrides:
+        base = replace(base, **overrides)
     if rca and topology is None and hasattr(dataset, "units"):
         from repro.rca.topology import Topology
 

@@ -224,6 +224,95 @@ class TuningCoordinator:
                 window=deque(maxlen=self.window_records),
             )
 
+    # -- durable state ----------------------------------------------------
+
+    def to_state(self) -> Dict[str, Any]:
+        """Versioned, JSON-friendly durable state (see :mod:`repro.persist`).
+
+        Captures per-unit tuned configs, the marked-record drift windows,
+        the replay buffers and the retrain ordinals, plus the completed
+        retrain events.  In-flight *background* searches are not
+        captured: after a restart the drift trigger simply fires again if
+        the decay persists.  Inline mode (``background=False``) never has
+        a search open between rounds, so its snapshots are exact.
+        """
+        from repro.persist import codec
+
+        units: Dict[str, Any] = {}
+        for unit, state in self._units.items():
+            units[unit] = {
+                "config": codec.encode_config(state.config),
+                "window": [codec.encode_record(r) for r in state.window],
+                "replay": [block.tolist() for block in state.replay],
+                "ticks_seen": state.ticks_seen,
+                "retrain_count": state.retrain_count,
+            }
+        return {
+            "version": codec.STATE_VERSION,
+            "units": units,
+            "events": [
+                {
+                    "unit": event.unit,
+                    "trigger_f_measure": event.trigger_f_measure,
+                    "tuned_fitness": event.tuned_fitness,
+                    "generations": event.generations,
+                    "swap_seconds": event.swap_seconds,
+                    "swap_tick": event.swap_tick,
+                    "alphas": list(event.alphas),
+                    "theta": event.theta,
+                    "tolerance": event.tolerance,
+                }
+                for event in self.events
+            ],
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`to_state` payload.  Call after :meth:`bind`.
+
+        Units absent from the current run's bind are skipped; the pool's
+        detectors already carry their tuned configs through their own
+        recovered state, so no ``install_config`` round-trip happens
+        here.
+        """
+        from repro.persist import codec
+
+        if state.get("version") != codec.STATE_VERSION:
+            raise ValueError(
+                f"unsupported coordinator state version {state.get('version')!r}"
+            )
+        for unit, payload in state["units"].items():
+            unit_state = self._units.get(unit)
+            if unit_state is None:
+                continue
+            unit_state.config = codec.decode_config(payload["config"])
+            unit_state.window = deque(
+                (codec.decode_record(r) for r in payload["window"]),
+                maxlen=self.window_records,
+            )
+            unit_state.replay = deque(
+                np.asarray(block, dtype=np.float64)
+                for block in payload["replay"]
+            )
+            unit_state.replay_ticks = sum(
+                block.shape[0] for block in unit_state.replay
+            )
+            unit_state.ticks_seen = int(payload["ticks_seen"])
+            unit_state.retrain_count = int(payload["retrain_count"])
+        self.events = [
+            RetrainEvent(
+                unit=str(payload["unit"]),
+                trigger_f_measure=float(payload["trigger_f_measure"]),
+                tuned_fitness=float(payload["tuned_fitness"]),
+                generations=int(payload["generations"]),
+                swap_seconds=float(payload["swap_seconds"]),
+                swap_tick=int(payload["swap_tick"]),
+                alphas=tuple(payload["alphas"]),
+                theta=float(payload["theta"]),
+                tolerance=int(payload["tolerance"]),
+            )
+            for payload in state["events"]
+        ]
+
     # -- observation ------------------------------------------------------
 
     def observe_batch(self, unit: str, block: np.ndarray) -> None:

@@ -28,12 +28,13 @@ import dataclasses
 import multiprocessing
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import DBCatcherConfig
 from repro.core.detector import DBCatcher, UnitDetectionResult
+from repro.persist.codec import shift_state, state_next_tick
 
 __all__ = [
     "UnitSpec",
@@ -77,18 +78,28 @@ def shard_units(unit_names: Sequence[str], n_workers: int) -> List[List[str]]:
 
 
 def _build_detectors(
-    specs: Sequence[UnitSpec], history_limit: Optional[int]
+    specs: Sequence[UnitSpec],
+    history_limit: Optional[int],
+    states: Optional[Dict[str, Dict[str, Any]]] = None,
 ) -> Dict[str, DBCatcher]:
     # The pool's retention policy wins over whatever the spec's config
     # carries (including None): the parent collects results on every
-    # dispatch, so worker-side detectors never need deep history.
-    return {
-        spec.name: DBCatcher(
-            dataclasses.replace(spec.config, history_limit=history_limit),
-            n_databases=spec.n_databases,
-        )
-        for spec in specs
-    }
+    # dispatch, so worker-side detectors never need deep history.  A unit
+    # with recovered durable state resumes warm from it — this is also
+    # what lets shards migrate between workers with their state attached.
+    detectors: Dict[str, DBCatcher] = {}
+    for spec in specs:
+        state = states.get(spec.name) if states else None
+        if state is not None:
+            detectors[spec.name] = DBCatcher.from_state(
+                state, history_limit=history_limit
+            )
+        else:
+            detectors[spec.name] = DBCatcher(
+                dataclasses.replace(spec.config, history_limit=history_limit),
+                n_databases=spec.n_databases,
+            )
+    return detectors
 
 
 def _shift_result(result: UnitDetectionResult, offset: int) -> UnitDetectionResult:
@@ -118,8 +129,13 @@ def _shift_result(result: UnitDetectionResult, offset: int) -> UnitDetectionResu
 class SerialWorkerPool:
     """In-process reference pool: one detector per unit, no concurrency."""
 
-    def __init__(self, specs: Sequence[UnitSpec], history_limit: Optional[int] = None):
-        self.detectors = _build_detectors(specs, history_limit)
+    def __init__(
+        self,
+        specs: Sequence[UnitSpec],
+        history_limit: Optional[int] = None,
+        states: Optional[Dict[str, Dict[str, Any]]] = None,
+    ):
+        self.detectors = _build_detectors(specs, history_limit, states)
         self.history_limit = history_limit
         self.restarts = 0
         self.ticks_lost = 0
@@ -153,6 +169,16 @@ class SerialWorkerPool:
     def export_states(self) -> Dict[str, Dict[str, object]]:
         return {name: d.export_state() for name, d in self.detectors.items()}
 
+    def export_persist_states(
+        self, units: Optional[Sequence[str]] = None
+    ) -> Dict[str, Dict[str, Any]]:
+        """Durable :meth:`DBCatcher.to_state` payloads for snapshotting."""
+        names = list(self.detectors) if units is None else list(units)
+        return {
+            name: self.detectors[name].to_state(healthy_matrices=False)
+            for name in names
+        }
+
     def crash_worker(self, unit: str) -> None:  # pragma: no cover - API parity
         raise NotImplementedError("the serial pool has no processes to crash")
 
@@ -160,9 +186,14 @@ class SerialWorkerPool:
         pass
 
 
-def _worker_main(conn, specs: List[UnitSpec], history_limit: Optional[int]) -> None:
+def _worker_main(
+    conn,
+    specs: List[UnitSpec],
+    history_limit: Optional[int],
+    states: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> None:
     """Worker process loop: build the shard's detectors, serve commands."""
-    detectors = _build_detectors(specs, history_limit)
+    detectors = _build_detectors(specs, history_limit, states)
     while True:
         message = conn.recv()
         kind = message[0]
@@ -180,6 +211,16 @@ def _worker_main(conn, specs: List[UnitSpec], history_limit: Optional[int]) -> N
         elif kind == "snapshot":
             conn.send(
                 ("states", {name: d.export_state() for name, d in detectors.items()})
+            )
+        elif kind == "persist":
+            conn.send(
+                (
+                    "persist_states",
+                    {
+                        name: detectors[name].to_state(healthy_matrices=False)
+                        for name in message[1]
+                    },
+                )
             )
         elif kind == "crash":
             # Test hook: die the way a segfault would — no cleanup, no reply.
@@ -199,16 +240,34 @@ def _worker_main(conn, specs: List[UnitSpec], history_limit: Optional[int]) -> N
 class _WorkerHandle:
     """Parent-side state for one worker process."""
 
-    def __init__(self, specs: List[UnitSpec], history_limit: Optional[int], ctx):
+    def __init__(
+        self,
+        specs: List[UnitSpec],
+        history_limit: Optional[int],
+        ctx,
+        states: Optional[Dict[str, Dict[str, Any]]] = None,
+    ):
         self.specs = specs
         self.history_limit = history_limit
         self._ctx = ctx
         self.restarts = 0
+        self._states = states
         #: Absolute sequence number of the next tick each unit's *current*
-        #: detector incarnation maps to its local tick 0 (0 until a crash).
+        #: detector incarnation maps to its local tick 0.  A detector
+        #: restored from durable state already lives on the absolute axis,
+        #: so its offset stays 0 while that incarnation lives.
         self.offsets: Dict[str, int] = {spec.name: 0 for spec in specs}
-        #: Total ticks dispatched per unit, across incarnations.
-        self.ticks_sent: Dict[str, int] = {spec.name: 0 for spec in specs}
+        #: Absolute ticks dispatched per unit, across incarnations.  Units
+        #: resuming from durable state start at the state's next tick so a
+        #: later crash re-anchors its fresh detector at the right spot.
+        self.ticks_sent: Dict[str, int] = {
+            spec.name: (
+                state_next_tick(states[spec.name])
+                if states and spec.name in states
+                else 0
+            )
+            for spec in specs
+        }
         self.process = None
         self.conn = None
         self._spawn()
@@ -217,7 +276,7 @@ class _WorkerHandle:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self.specs, self.history_limit),
+            args=(child_conn, self.specs, self.history_limit, self._states),
             daemon=True,
         )
         process.start()
@@ -233,6 +292,9 @@ class _WorkerHandle:
             self.process.terminate()
             self.process.join(timeout=5.0)
         self.restarts += 1
+        # Recovered states belonged to the dead incarnation's startup; the
+        # replacement builds fresh detectors that count from local zero.
+        self._states = None
         for unit in self.offsets:
             self.offsets[unit] = self.ticks_sent[unit]
         self._spawn()
@@ -273,6 +335,7 @@ class ProcessWorkerPool:
         n_workers: int,
         history_limit: Optional[int] = 8,
         max_restarts: int = 2,
+        states: Optional[Dict[str, Dict[str, Any]]] = None,
     ):
         if not specs:
             raise ValueError("the pool needs at least one unit")
@@ -288,8 +351,16 @@ class ProcessWorkerPool:
         self._workers: List[_WorkerHandle] = []
         self._component_seconds = {"correlation": 0.0, "observation": 0.0}
         for index, shard in enumerate(shards):
+            shard_states = (
+                {name: states[name] for name in shard if name in states}
+                if states
+                else None
+            )
             handle = _WorkerHandle(
-                [by_name[name] for name in shard], history_limit, ctx
+                [by_name[name] for name in shard],
+                history_limit,
+                ctx,
+                states=shard_states or None,
             )
             self._workers.append(handle)
             for name in shard:
@@ -389,6 +460,34 @@ class ProcessWorkerPool:
                 states.update(reply[1])
         return states
 
+    def export_persist_states(
+        self, units: Optional[Sequence[str]] = None
+    ) -> Dict[str, Dict[str, Any]]:
+        """Durable detector states, re-anchored to the absolute tick axis.
+
+        A worker that died and restarted counts ticks from its restart
+        point, so its exported states are shifted by the unit's known
+        offset before they reach disk.  A worker that dies *during* the
+        export simply contributes nothing this time; the scheduler
+        snapshots it on a later round.
+        """
+        names = list(self._owner) if units is None else list(units)
+        per_worker: Dict[int, List[str]] = {}
+        for name in names:
+            per_worker.setdefault(self._owner[name], []).append(name)
+        states: Dict[str, Dict[str, Any]] = {}
+        for index, shard in per_worker.items():
+            worker = self._workers[index]
+            try:
+                reply = worker.request(("persist", shard))
+            except (EOFError, OSError, BrokenPipeError, WorkerDied):
+                continue
+            if reply[0] != "persist_states":  # pragma: no cover - guard
+                raise RuntimeError(f"unexpected worker reply {reply[0]!r}")
+            for unit, state in reply[1].items():
+                states[unit] = shift_state(state, worker.offsets[unit])
+        return states
+
     def crash_worker(self, unit: str) -> None:
         """Test hook: make the worker owning ``unit`` die like a segfault."""
         worker = self._workers[self._owner[unit]]
@@ -427,13 +526,19 @@ def make_pool(
     n_workers: int = 0,
     history_limit: Optional[int] = 8,
     max_restarts: int = 2,
+    states: Optional[Dict[str, Dict[str, Any]]] = None,
 ):
-    """Build the right pool for ``n_workers`` (0 -> serial fallback)."""
+    """Build the right pool for ``n_workers`` (0 -> serial fallback).
+
+    ``states`` maps unit names to recovered durable detector states
+    (absolute tick axis); covered units resume warm instead of cold.
+    """
     if n_workers <= 0:
-        return SerialWorkerPool(specs, history_limit=history_limit)
+        return SerialWorkerPool(specs, history_limit=history_limit, states=states)
     return ProcessWorkerPool(
         specs,
         n_workers=n_workers,
         history_limit=history_limit,
         max_restarts=max_restarts,
+        states=states,
     )

@@ -1,0 +1,141 @@
+"""Codec round-trips: configs, records, matrices, results, state shifting."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import DBCatcherConfig
+from repro.core.detector import DBCatcher
+from repro.core.matrices import CorrelationMatrix
+from repro.core.records import DatabaseState, JudgementRecord
+from repro.persist import codec
+from repro.presets import default_config
+
+CONFIG = DBCatcherConfig(kpi_names=("cpu", "rps"), initial_window=10, max_window=30)
+
+
+def _series(n_db=3, n_ticks=120, seed=11):
+    rng = np.random.default_rng(seed)
+    trend = np.sin(np.linspace(0, 9, n_ticks)) + 2.0
+    values = np.stack(
+        [trend[None, :] * (1 + 0.03 * d) + 0.01 * rng.standard_normal((2, n_ticks))
+         for d in range(n_db)]
+    )
+    values[1, :, 60:90] = rng.standard_normal((2, 30)) * 3.0 + 9.0
+    return np.moveaxis(values, -1, 0)  # (ticks, db, kpi)
+
+
+class TestConfigCodec:
+    def test_round_trip_default(self):
+        config = default_config()
+        assert codec.decode_config(codec.encode_config(config)) == config
+
+    def test_round_trip_custom(self):
+        config = CONFIG.with_thresholds(
+            [0.71, 0.68], 0.55, CONFIG.max_tolerance_deviations
+        )
+        restored = codec.decode_config(codec.encode_config(config))
+        assert restored == config
+        assert isinstance(restored.kpi_names, tuple)
+        assert isinstance(restored.alphas, tuple)
+
+    def test_encoded_is_json_plain(self):
+        import json
+
+        json.dumps(codec.encode_config(CONFIG))  # must not raise
+
+
+class TestRecordCodec:
+    def test_round_trip(self):
+        record = JudgementRecord(
+            database=2, window_start=40, window_end=70,
+            state=DatabaseState.ABNORMAL, expansions=3,
+            kpi_levels={"cpu": 1, "rps": 2}, dba_label=True,
+        )
+        restored = codec.decode_record(codec.encode_record(record))
+        assert restored == record
+        assert restored.state is DatabaseState.ABNORMAL
+
+    def test_none_label_preserved(self):
+        record = JudgementRecord(
+            database=0, window_start=0, window_end=10,
+            state=DatabaseState.HEALTHY,
+        )
+        assert codec.decode_record(codec.encode_record(record)).dba_label is None
+
+
+class TestMatrixCodec:
+    def test_round_trip_with_nan(self):
+        values = np.array([0.5, float("nan"), -0.25], dtype=np.float64)
+        matrix = CorrelationMatrix(kpi="cpu", n_databases=3, triangle=values)
+        restored = codec.decode_matrix(codec.encode_matrix(matrix))
+        assert restored == matrix  # CorrelationMatrix.__eq__ is NaN-aware
+        assert math.isnan(restored.triangle[1])
+
+    def test_float_repr_is_exact(self):
+        value = 0.1 + 0.2  # classic non-representable sum
+        matrix = CorrelationMatrix(
+            kpi="cpu", n_databases=2, triangle=np.array([value])
+        )
+        restored = codec.decode_matrix(codec.encode_matrix(matrix))
+        assert restored.triangle[0] == value  # bit-exact, not approximate
+
+    def test_packed_triangle_is_json_plain(self):
+        matrix = CorrelationMatrix(
+            kpi="cpu", n_databases=3, triangle=np.array([0.5, -0.25, 1.0])
+        )
+        payload = codec.encode_matrix(matrix)
+        assert isinstance(payload["triangle"], str)  # base64, not a list
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_legacy_list_triangle_accepted(self):
+        payload = {"kpi": "cpu", "n_databases": 3, "triangle": [0.5, -0.25, 1.0]}
+        restored = codec.decode_matrix(payload)
+        assert restored.triangle.tolist() == [0.5, -0.25, 1.0]
+        assert restored.triangle.dtype == np.float64
+
+
+class TestResultCodec:
+    def test_round_trip_from_detector(self):
+        detector = DBCatcher(CONFIG, n_databases=3)
+        results = detector.process(_series())
+        assert results
+        for result in results:
+            restored = codec.decode_result(codec.encode_result(result))
+            assert restored == result
+
+    def test_null_matrices_survive(self):
+        detector = DBCatcher(CONFIG, n_databases=3)
+        result = detector.process(_series())[0]
+        payload = codec.encode_result(result)
+        payload["matrices"] = None
+        payload["active"] = None
+        restored = codec.decode_result(payload)
+        assert restored.matrices is None
+        assert restored.records == result.records
+
+
+class TestStateShift:
+    def test_shift_round_trips_next_tick(self):
+        detector = DBCatcher(CONFIG, n_databases=3)
+        detector.process(_series())
+        state = detector.to_state()
+        shifted = codec.shift_state(state, 1000)
+        assert codec.state_next_tick(shifted) == codec.state_next_tick(state) + 1000
+        back = codec.shift_state(shifted, -1000)
+        assert back == state
+
+    def test_zero_shift_is_identity(self):
+        detector = DBCatcher(CONFIG, n_databases=2)
+        detector.process(_series(n_db=2))
+        state = detector.to_state()
+        assert codec.shift_state(state, 0) == state
+
+    def test_version_guard(self):
+        detector = DBCatcher(CONFIG, n_databases=2)
+        state = detector.to_state()
+        state["version"] = codec.STATE_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            DBCatcher.from_state(state)

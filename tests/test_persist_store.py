@@ -1,0 +1,228 @@
+"""Unit/fleet store behaviour: rotation, compaction, dedup, recovery reads."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import DBCatcherConfig
+from repro.core.detector import DBCatcher
+from repro.persist import FleetStateStore, read_segment
+from repro.persist.store import UnitStore, _safe_name
+
+CONFIG = DBCatcherConfig(kpi_names=("cpu", "rps"), initial_window=10, max_window=30)
+
+
+def _rounds(n_ticks=160, seed=7, abnormal=True):
+    rng = np.random.default_rng(seed)
+    trend = np.sin(np.linspace(0, 9, n_ticks)) + 2.0
+    values = np.stack(
+        [trend[None, :] * (1 + 0.03 * d) + 0.01 * rng.standard_normal((2, n_ticks))
+         for d in range(3)]
+    )
+    if abnormal:
+        values[1, :, 60:90] = rng.standard_normal((2, 30)) * 3.0 + 9.0
+    detector = DBCatcher(CONFIG, n_databases=3)
+    results = detector.process(np.moveaxis(values, -1, 0))
+    return detector, results
+
+
+def _spans(rounds):
+    return [(r.start, r.end, r.records) for r in rounds]
+
+
+def _segments(store):
+    return [
+        name for name in sorted(os.listdir(store.directory))
+        if name.startswith("wal-")
+    ]
+
+
+def _archives(store):
+    return [
+        name for name in sorted(os.listdir(store.directory))
+        if name.startswith("archive-")
+    ]
+
+
+class TestUnitStore:
+    def test_tail_round_trips_appended_rounds(self, tmp_path):
+        detector, results = _rounds()
+        store = UnitStore(str(tmp_path), "u0")
+        store.append_rounds(results)
+        store.close()
+        tail = UnitStore(str(tmp_path), "u0").load_tail()
+        assert [(r.start, r.end, r.records) for r in tail] == [
+            (r.start, r.end, r.records) for r in results
+        ]
+        # Abnormal rounds keep their KCD evidence; healthy rounds shed the
+        # matrices at the append boundary already.
+        for want, got in zip(results, tail):
+            if want.abnormal_databases:
+                assert got == want
+            else:
+                assert got.matrices is None
+
+    def test_reopen_starts_fresh_segment(self, tmp_path):
+        detector, results = _rounds()
+        store = UnitStore(str(tmp_path), "u0")
+        store.append_rounds(results[:2])
+        store.close()
+        again = UnitStore(str(tmp_path), "u0")
+        again.append_rounds(results[2:4])
+        again.close()
+        assert _segments(again) == ["wal-00000001.jsonl", "wal-00000002.jsonl"]
+        assert _spans(again.load_tail()) == _spans(results[:4])
+
+    def test_snapshot_rotates_and_compacts(self, tmp_path):
+        detector, results = _rounds()
+        store = UnitStore(str(tmp_path), "u0")
+        store.append_rounds(results)
+        store.write_snapshot(detector.to_state())
+        # Every round predates the snapshot cursor: the whole segment is
+        # frozen by rename (the cheap path), no live segments remain.
+        assert _segments(store) == []
+        assert _archives(store) == ["archive-00000001.jsonl"]
+        assert store.load_tail() == []
+        history = store.load_history()
+        assert [(r.start, r.end, r.records) for r in history] == [
+            (r.start, r.end, r.records) for r in results
+        ]
+        store.close()
+
+    def test_compaction_strips_healthy_matrices_only(self, tmp_path):
+        detector, results = _rounds()
+        assert any(r.abnormal_databases for r in results)
+        assert any(not r.abnormal_databases for r in results)
+        store = UnitStore(str(tmp_path), "u0")
+        store.append_rounds(results)
+        store.write_snapshot(detector.to_state())
+        store.close()
+        history = {(r.start, r.end): r for r in store.load_history()}
+        for result in results:
+            restored = history[(result.start, result.end)]
+            assert restored.records == result.records
+            if result.abnormal_databases:
+                assert restored == result  # abnormal keeps its KCD evidence
+            else:
+                assert restored.matrices is None
+
+    def test_rounds_newer_than_cursor_are_carried_live(self, tmp_path):
+        detector, results = _rounds()
+        store = UnitStore(str(tmp_path), "u0")
+        store.append_rounds(results)
+        # Snapshot from an *earlier* detector state: the last rounds are
+        # newer than the cursor and must stay replayable from live WAL.
+        partial = DBCatcher.from_state(detector.to_state())
+        state = partial.to_state()
+        state["cursor"] = results[1].end
+        store.write_snapshot(state)
+        assert _spans(store.load_tail()) == _spans(results[2:])
+        history = store.load_history()
+        assert [(r.start, r.end, r.records) for r in history] == [
+            (r.start, r.end, r.records) for r in results
+        ]
+        store.close()
+
+    def test_reopen_never_reuses_frozen_segment_numbers(self, tmp_path):
+        detector, results = _rounds()
+        store = UnitStore(str(tmp_path), "u0")
+        store.append_rounds(results)
+        store.write_snapshot(detector.to_state())
+        store.close()
+        # All live segments were frozen; a naive reopen would restart at
+        # wal-00000001 and a later compaction would then clobber the
+        # frozen archive-00000001.
+        again = UnitStore(str(tmp_path), "u0")
+        again.append_rounds(results[:1])
+        assert _segments(again) == ["wal-00000002.jsonl"]
+        again.close()
+
+    def test_foreign_segment_compacts_via_rewrite_path(self, tmp_path):
+        detector, results = _rounds()
+        store = UnitStore(str(tmp_path), "u0")
+        store.append_rounds(results)
+        store.close()
+        # A reopened store never saw the old segment's round spans, so it
+        # cannot prove the cursor covers it: compaction must decode it.
+        again = UnitStore(str(tmp_path), "u0")
+        again.write_snapshot(detector.to_state())
+        assert _segments(again) == []
+        assert _archives(again) == []
+        assert os.path.exists(again.archive_path)
+        assert _spans(again.load_history()) == _spans(results)
+        again.close()
+
+    def test_duplicate_rounds_dedupe_on_read(self, tmp_path):
+        detector, results = _rounds()
+        store = UnitStore(str(tmp_path), "u0")
+        store.append_rounds(results[:3])
+        store.append_rounds(results[:3])  # crash-retry double write
+        assert _spans(store.load_tail()) == _spans(results[:3])
+        store.close()
+
+    def test_snapshot_is_atomic_no_temp_left(self, tmp_path):
+        detector, results = _rounds()
+        store = UnitStore(str(tmp_path), "u0")
+        store.append_rounds(results)
+        store.write_snapshot(detector.to_state())
+        store.close()
+        leftovers = [
+            name for name in os.listdir(store.directory)
+            if name.startswith(".snapshot-")
+        ]
+        assert leftovers == []
+
+    def test_unsupported_snapshot_version_raises(self, tmp_path):
+        detector, _ = _rounds()
+        store = UnitStore(str(tmp_path), "u0")
+        store.write_snapshot(detector.to_state())
+        import json
+
+        payload = json.load(open(store.snapshot_path))
+        payload["version"] = 99
+        json.dump(payload, open(store.snapshot_path, "w"))
+        with pytest.raises(ValueError, match="version"):
+            store.load_snapshot()
+
+    def test_torn_tail_in_segment_is_tolerated(self, tmp_path):
+        detector, results = _rounds()
+        store = UnitStore(str(tmp_path), "u0")
+        store.append_rounds(results)
+        store.close()
+        path = os.path.join(store.directory, _segments(store)[0])
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[:-11])
+        tail = store.load_tail()
+        assert _spans(tail) == _spans(results[:-1])
+
+
+class TestFleetStateStore:
+    def test_meta_written_and_validated(self, tmp_path):
+        FleetStateStore(str(tmp_path))
+        assert os.path.exists(tmp_path / "meta.json")
+        FleetStateStore(str(tmp_path))  # reopen accepts its own meta
+        import json
+
+        meta = json.load(open(tmp_path / "meta.json"))
+        meta["version"] = 99
+        json.dump(meta, open(tmp_path / "meta.json", "w"))
+        with pytest.raises(ValueError, match="meta version"):
+            FleetStateStore(str(tmp_path))
+
+    def test_unit_store_cached_and_listed(self, tmp_path):
+        fleet = FleetStateStore(str(tmp_path))
+        store = fleet.unit_store("u/0")
+        assert fleet.unit_store("u/0") is store
+        assert fleet.unit_names() == [_safe_name("u/0")]
+        fleet.close()
+
+    def test_coordinator_round_trip(self, tmp_path):
+        fleet = FleetStateStore(str(tmp_path))
+        assert fleet.load_coordinator() is None
+        fleet.save_coordinator({"version": 1, "units": {}})
+        assert fleet.load_coordinator() == {"version": 1, "units": {}}
+
+    def test_snapshot_every_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="snapshot_every"):
+            FleetStateStore(str(tmp_path), snapshot_every=0)

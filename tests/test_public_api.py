@@ -9,6 +9,7 @@ exactly the review moment this snapshot exists to force.
 import repro
 import repro.core
 import repro.engine
+import repro.persist
 import repro.rca
 import repro.service
 
@@ -63,6 +64,29 @@ EXPECTED = {
         "WindowCache",
         "make_engine",
         "validate_window",
+    ],
+    repro.persist: [
+        "FleetStateStore",
+        "SNAPSHOT_VERSION",
+        "STATE_VERSION",
+        "UnitStore",
+        "WAL_VERSION",
+        "WalWriter",
+        "atomic_write_json",
+        "decode_config",
+        "decode_line",
+        "decode_matrix",
+        "decode_record",
+        "decode_result",
+        "encode_config",
+        "encode_line",
+        "encode_matrix",
+        "encode_record",
+        "encode_result",
+        "read_json",
+        "read_segment",
+        "shift_state",
+        "state_next_tick",
     ],
     repro.rca: [
         "Attribution",
