@@ -22,6 +22,19 @@ The drill then loads both state directories' verdict histories and
 requires them identical: round spans and judgement records exactly,
 correlation matrices (kept only for abnormal rounds) to 1e-9.
 
+``--api`` runs the kill + resume phases over the network ingestion
+plane instead of an in-process replay: the victim serves an
+:class:`~repro.service.api.IngestServer` on an ephemeral port and
+publishes its URL to a file; the parent pushes the dataset over HTTP
+with :func:`~repro.service.api.push_dataset`, whose ``url_provider``
+re-reads that file before every request.  SIGKILL takes out the server
+mid-stream — admitted-but-unprocessed ticks die with the queue — and
+the restarted victim binds a fresh port, rewrites the URL file, and the
+pusher reconnects, re-registers, and replays from tick zero; stale
+dedup on the serving side makes the replay idempotent.  The reference
+history stays in-process, so equivalence here pins transport *and*
+crash recovery in one sweep.
+
 Exit status 0 on equivalence; 1 with a diff on any mismatch.  Run it
 locally with::
 
@@ -35,6 +48,7 @@ import os
 import signal
 import subprocess
 import sys
+import threading
 import time
 from typing import Dict, List
 
@@ -75,18 +89,10 @@ class _Throttled:
             yield event
 
 
-def _run_victim(args: argparse.Namespace) -> int:
-    """Child mode: serve the dataset into ``--state-dir`` and exit."""
-    import faulthandler
-
-    # Diagnostics for a wedged victim: `kill -USR1 <pid>` dumps every
-    # thread's stack to stderr without disturbing the run.
-    faulthandler.register(signal.SIGUSR1)
-
+def _build_service(args: argparse.Namespace):
     from repro.service import DetectionService, ServiceConfig
-    from repro.service.sources import ReplaySource
 
-    service = DetectionService(
+    return DetectionService(
         default_config(),
         service_config=ServiceConfig(
             n_workers=args.jobs,
@@ -96,8 +102,47 @@ def _run_victim(args: argparse.Namespace) -> int:
         ),
         sinks=(),
     )
+
+
+def _run_victim(args: argparse.Namespace) -> int:
+    """Child mode: serve the dataset into ``--state-dir`` and exit."""
+    import faulthandler
+
+    # Diagnostics for a wedged victim: `kill -USR1 <pid>` dumps every
+    # thread's stack to stderr without disturbing the run.
+    faulthandler.register(signal.SIGUSR1)
+
+    if args.url_file:
+        return _run_victim_api(args)
+
+    from repro.service.sources import ReplaySource
+
+    service = _build_service(args)
     source = _Throttled(ReplaySource(args.dataset), args.throttle)
     report = service.run(source, collect_results=False)
+    print(f"victim done: {report.total_rounds} live rounds", flush=True)
+    return 0
+
+
+def _run_victim_api(args: argparse.Namespace) -> int:
+    """Child mode over HTTP: bind a port, publish it, serve the stream.
+
+    The URL file is written atomically *after* the listener is up, so
+    the pusher never sees a URL it cannot connect to (only a stale one
+    from a killed predecessor, which it retries past).
+    """
+    from repro.service.api import IngestServer, NetworkSource
+
+    source = NetworkSource(
+        capacity=256, handshake_timeout_seconds=VICTIM_TIMEOUT
+    )
+    service = _build_service(args)
+    with IngestServer(source) as server:
+        tmp = args.url_file + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(server.url + "\n")
+        os.replace(tmp, args.url_file)
+        report = service.run(source, collect_results=False)
     print(f"victim done: {report.total_rounds} live rounds", flush=True)
     return 0
 
@@ -131,7 +176,10 @@ def _progress(state_dir: str) -> int:
 
 
 def _spawn_victim(
-    dataset: str, state_dir: str, args: argparse.Namespace
+    dataset: str,
+    state_dir: str,
+    args: argparse.Namespace,
+    url_file: str = "",
 ) -> subprocess.Popen:
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
@@ -140,21 +188,20 @@ def _spawn_victim(
     # an OOM killer or a node reboot would.  Killing only the main
     # process would orphan the workers, and orphans holding the
     # inherited stdout keep CI log capture open forever.
-    return subprocess.Popen(
-        [
-            sys.executable,
-            os.path.abspath(__file__),
-            "--victim",
-            "--dataset", dataset,
-            "--state-dir", state_dir,
-            "--jobs", str(args.jobs),
-            "--batch-ticks", str(args.batch_ticks),
-            "--snapshot-every", str(args.snapshot_every),
-            "--throttle", str(args.throttle),
-        ],
-        env=env,
-        start_new_session=True,
-    )
+    command = [
+        sys.executable,
+        os.path.abspath(__file__),
+        "--victim",
+        "--dataset", dataset,
+        "--state-dir", state_dir,
+        "--jobs", str(args.jobs),
+        "--batch-ticks", str(args.batch_ticks),
+        "--snapshot-every", str(args.snapshot_every),
+        "--throttle", str(args.throttle),
+    ]
+    if url_file:
+        command += ["--url-file", url_file]
+    return subprocess.Popen(command, env=env, start_new_session=True)
 
 
 def _killpg(victim: subprocess.Popen) -> None:
@@ -207,6 +254,55 @@ def _compare(reference: Dict[str, list], drilled: Dict[str, list]) -> List[str]:
     return problems
 
 
+def _start_pusher(
+    dataset_path: str,
+    url_file: str,
+    args: argparse.Namespace,
+    outcome: Dict[str, object],
+) -> threading.Thread:
+    """Push the dataset over HTTP from the parent, following the URL file.
+
+    ``url_provider`` re-reads the file before every request, so after
+    the kill the pusher's retries land on the restarted victim's fresh
+    port as soon as it publishes one.  Reconnect budget and backoff are
+    generous — the restart takes a few seconds and the parent's own
+    timeout bounds the whole phase.
+    """
+    from repro.service.api import push_dataset
+
+    def _url() -> str:
+        deadline = time.monotonic() + VICTIM_TIMEOUT
+        while time.monotonic() < deadline:
+            try:
+                with open(url_file, encoding="utf-8") as handle:
+                    text = handle.read().strip()
+            except OSError:
+                text = ""
+            if text:
+                return text
+            time.sleep(POLL_SECONDS)
+        raise RuntimeError("ingest URL file never appeared")
+
+    def _push() -> None:
+        try:
+            outcome["stats"] = push_dataset(
+                dataset_path,
+                url_provider=_url,
+                batch_ticks=args.batch_ticks,
+                timeout_seconds=5.0,
+                max_reconnects=100,
+                backoff_seconds=0.1,
+                backoff_cap_seconds=1.0,
+                throttle_seconds=args.throttle,
+            )
+        except BaseException as exc:  # surfaced by the parent loop
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=_push, daemon=True)
+    thread.start()
+    return thread
+
+
 def _run_drill(args: argparse.Namespace) -> int:
     workdir = os.path.abspath(args.workdir)
     os.makedirs(workdir, exist_ok=True)
@@ -243,9 +339,18 @@ def _run_drill(args: argparse.Namespace) -> int:
             f"threshold {KILL_AT_TICK} would not land mid-stream"
         )
 
-    print(f"[drill] victim run -> {drill_state} (kill at tick "
-          f">={KILL_AT_TICK})", flush=True)
-    victim = _spawn_victim(dataset_path, drill_state, args)
+    url_file = os.path.join(workdir, "ingest-url") if args.api else ""
+    pusher = None
+    outcome: Dict[str, object] = {}
+    if args.api:
+        print(f"[drill] api victim run -> {drill_state} (kill at tick "
+              f">={KILL_AT_TICK})", flush=True)
+        victim = _spawn_victim(dataset_path, drill_state, args, url_file)
+        pusher = _start_pusher(dataset_path, url_file, args, outcome)
+    else:
+        print(f"[drill] victim run -> {drill_state} (kill at tick "
+              f">={KILL_AT_TICK})", flush=True)
+        victim = _spawn_victim(dataset_path, drill_state, args)
     deadline = time.monotonic() + VICTIM_TIMEOUT
     try:
         while True:
@@ -254,6 +359,8 @@ def _run_drill(args: argparse.Namespace) -> int:
                     "victim finished before the kill landed; raise "
                     "--throttle so the run spans more wall time"
                 )
+            if "error" in outcome:
+                raise SystemExit(f"pusher died early: {outcome['error']!r}")
             if _progress(drill_state) >= KILL_AT_TICK:
                 break
             if time.monotonic() > deadline:
@@ -277,7 +384,23 @@ def _run_drill(args: argparse.Namespace) -> int:
         )
 
     print(f"[drill] resume run <- {drill_state}", flush=True)
-    _wait(_spawn_victim(dataset_path, drill_state, args), "resume victim")
+    resume = _spawn_victim(dataset_path, drill_state, args, url_file)
+    _wait(resume, "resume victim")
+    if pusher is not None:
+        pusher.join(timeout=VICTIM_TIMEOUT)
+        if pusher.is_alive():
+            raise SystemExit("pusher never finished")
+        if "error" in outcome:
+            raise SystemExit(f"pusher failed: {outcome['error']!r}")
+        stats = outcome["stats"]
+        if stats.reconnects < 1:
+            raise SystemExit(
+                "kill landed but the pusher never reconnected; the "
+                "network path was not actually exercised"
+            )
+        print(f"[drill] pusher survived the kill: {stats.reconnects} "
+              f"reconnects, {stats.posted} ticks posted, "
+              f"{stats.stale} stale after replay-from-zero", flush=True)
 
     problems = _compare(reference, _histories(drill_state))
     if problems:
@@ -303,10 +426,16 @@ def main() -> int:
                         help="stream length per unit")
     parser.add_argument("--throttle", type=float, default=0.004,
                         help="seconds slept per tick event in the victim")
+    parser.add_argument("--api", action="store_true",
+                        help="run the kill + resume phases over the HTTP "
+                             "ingestion plane (the reference run stays "
+                             "in-process, so the comparison pins transport "
+                             "and crash recovery together)")
     parser.add_argument("--victim", action="store_true",
                         help=argparse.SUPPRESS)
     parser.add_argument("--dataset", help=argparse.SUPPRESS)
     parser.add_argument("--state-dir", help=argparse.SUPPRESS)
+    parser.add_argument("--url-file", default="", help=argparse.SUPPRESS)
     args = parser.parse_args()
     if args.victim:
         return _run_victim(args)

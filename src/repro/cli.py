@@ -8,8 +8,12 @@ code:
   plus detection scores (``--jobs N`` fans the fleet out over worker
   processes);
 * ``serve``    — run the online multi-unit detection service over a saved
-  dataset replay or a live simulated fleet, with alert sinks and a
+  dataset replay, a live simulated fleet, or — with ``--ingest-port`` —
+  ticks POSTed over HTTP by external collectors, with alert sinks and a
   metrics summary;
+* ``push``     — the collector side: replay a saved dataset over HTTP
+  against a running ``serve --ingest-port`` endpoint, honouring
+  backpressure and reconnecting across service restarts;
 * ``chaos``    — replay a fault-injection scenario (preset or JSON file)
   against the service and report the detection-quality delta versus the
   clean run;
@@ -185,6 +189,57 @@ def build_parser() -> argparse.ArgumentParser:
                        default="snapshot",
                        help="WAL fsync discipline: every group-commit, or "
                             "deferred to snapshot boundaries (default)")
+    serve.add_argument("--ingest-port", type=int, default=None, metavar="PORT",
+                       help="accept ticks from external collectors over HTTP "
+                            "on this port instead of a dataset/--live feed "
+                            "(0 = any free port)")
+    serve.add_argument("--ingest-capacity", type=int, default=None,
+                       metavar="TICKS",
+                       help="network ingest queue bound before 429 "
+                            "backpressure (default: the service default)")
+    serve.add_argument("--ingest-max-batch", type=int, default=None,
+                       metavar="TICKS",
+                       help="most ticks one POST /v1/ticks may carry "
+                            "(default: the service default)")
+    serve.add_argument("--ingest-timeout", type=float, default=600.0,
+                       metavar="SECONDS",
+                       help="how long to wait for a collector handshake "
+                            "before giving up (default 600)")
+    serve.add_argument("--ingest-url-file", default=None, metavar="PATH",
+                       help="write the bound ingestion URL to this file once "
+                            "listening (lets scripts find an ephemeral port)")
+
+    push = commands.add_parser(
+        "push",
+        help="replay a dataset over HTTP to a running serve --ingest-port",
+    )
+    push.add_argument("dataset", help="path of a .npz archive from `simulate`")
+    push.add_argument("--url", default=None, metavar="URL",
+                      help="ingestion endpoint (http://host:port)")
+    push.add_argument("--url-file", default=None, metavar="PATH",
+                      help="read the endpoint URL from this file (written by "
+                           "serve --ingest-url-file); re-read before every "
+                           "request, so it follows a restarted service")
+    push.add_argument("--batch-ticks", type=int, default=32,
+                      help="most ticks per POST (batches also flush on every "
+                           "unit switch to preserve the replay interleaving)")
+    push.add_argument("--max-ticks", type=int, default=None,
+                      help="stop after this many ticks per unit")
+    push.add_argument("--reconnects", type=int, default=8,
+                      help="transport failures tolerated before giving up")
+    push.add_argument("--backoff", type=float, default=0.2, metavar="SECONDS",
+                      help="base reconnect backoff (doubles per attempt)")
+    push.add_argument("--throttle", type=float, default=0.0, metavar="SECONDS",
+                      help="sleep between batches (0 = replay at full speed)")
+    push.add_argument("--timeout", type=float, default=10.0, metavar="SECONDS",
+                      help="per-request socket timeout")
+    push.add_argument("--encoding", choices=("b64", "json"), default="b64",
+                      help="sample wire encoding: b64 (compact, cheap to "
+                           "decode) or json (nested arrays, eyeballable); "
+                           "both are bit-exact")
+    push.add_argument("--no-close", action="store_true",
+                      help="leave the stream open after the replay (the "
+                           "serving run keeps waiting for more ticks)")
 
     chaos = commands.add_parser(
         "chaos",
@@ -409,8 +464,13 @@ def _cmd_serve(args) -> int:
     from repro.service import DetectionService, ServiceConfig
 
     source = _build_tick_source(args)
-    if source is None:
-        print("serve needs a dataset path or --live", file=sys.stderr)
+    if args.ingest_port is not None and source is not None:
+        print("serve: --ingest-port replaces the dataset/--live feed; "
+              "pass one or the other", file=sys.stderr)
+        return 2
+    if args.ingest_port is None and source is None:
+        print("serve needs a dataset path, --live, or --ingest-port",
+              file=sys.stderr)
         return 2
     service_kwargs = dict(
         n_workers=args.jobs,
@@ -424,30 +484,73 @@ def _cmd_serve(args) -> int:
         service_kwargs["state_dir"] = args.state_dir
         service_kwargs["snapshot_every"] = args.snapshot_every
         service_kwargs["wal_sync"] = args.wal_sync
+    if args.ingest_capacity is not None:
+        service_kwargs["ingest_capacity"] = args.ingest_capacity
+    if args.ingest_max_batch is not None:
+        service_kwargs["ingest_max_batch"] = args.ingest_max_batch
     service_config = ServiceConfig(**service_kwargs)
     observing = args.obs_port is not None or args.obs_snapshot is not None
     scope = obs.scoped() if observing else contextlib.nullcontext()
     with scope as registry:
         server = None
+        ingest_server = None
+        view = None
         if args.obs_port is not None:
             server = ObsServer(registry, port=args.obs_port)
             print(f"observability endpoint: {server.url}/metrics "
                   f"(and /metrics.json)", file=sys.stderr)
         try:
+            if args.ingest_port is not None:
+                from repro.service.api import (
+                    ApiState,
+                    IngestServer,
+                    NetworkSource,
+                )
+
+                source = NetworkSource(
+                    capacity=service_config.ingest_capacity,
+                    handshake_timeout_seconds=args.ingest_timeout,
+                    retry_after_seconds=(
+                        service_config.ingest_retry_after_seconds
+                    ),
+                )
+                view = ApiState()
+                ingest_server = IngestServer(
+                    source,
+                    view=view,
+                    port=args.ingest_port,
+                    state_dir=args.state_dir,
+                    max_batch=service_config.ingest_max_batch,
+                )
+                print(f"ingestion endpoint: {ingest_server.url}/v1 "
+                      f"(PUT /v1/stream, POST /v1/ticks, GET /v1/units)",
+                      file=sys.stderr)
+                if args.ingest_url_file is not None:
+                    from pathlib import Path
+
+                    Path(args.ingest_url_file).write_text(
+                        ingest_server.url + "\n"
+                    )
             topology = None
             if args.topology is not None:
                 from repro.rca import Topology
 
                 topology = Topology.load(args.topology)
+            sinks = tuple(args.sink) if args.sink else ("stdout",)
+            if view is not None:
+                sinks = sinks + (view,)
             service = DetectionService(
                 _detect_config(args),
                 service_config=service_config,
-                sinks=tuple(args.sink) if args.sink else ("stdout",),
+                sinks=sinks,
                 rca=args.rca,
                 topology=topology,
+                result_listener=view.record_result if view else None,
             )
             report = service.run(source, max_ticks=args.max_ticks)
         finally:
+            if ingest_server is not None:
+                ingest_server.close()
             if server is not None:
                 server.close()
         if args.obs_snapshot is not None:
@@ -488,6 +591,45 @@ def _cmd_serve(args) -> int:
         if snap and snap["count"]:
             print(f"  {name}: mean {snap['mean'] * 1e3:.3f}ms "
                   f"max {snap['max'] * 1e3:.3f}ms over {snap['count']}")
+    return 0
+
+
+def _cmd_push(args) -> int:
+    from repro.service.api import ApiError, push_dataset
+
+    if (args.url is None) == (args.url_file is None):
+        print("push: pass exactly one of --url / --url-file", file=sys.stderr)
+        return 2
+    url_provider = None
+    if args.url_file is not None:
+        from pathlib import Path
+
+        url_file = Path(args.url_file)
+
+        def url_provider():
+            return url_file.read_text().strip()
+
+    try:
+        stats = push_dataset(
+            args.dataset,
+            url=args.url,
+            url_provider=url_provider,
+            batch_ticks=args.batch_ticks,
+            max_ticks=args.max_ticks,
+            timeout_seconds=args.timeout,
+            max_reconnects=args.reconnects,
+            backoff_seconds=args.backoff,
+            throttle_seconds=args.throttle,
+            close=not args.no_close,
+            encoding=args.encoding,
+        )
+    except ApiError as exc:
+        print(f"push: {exc}", file=sys.stderr)
+        return 1
+    print(f"pushed {stats.posted:,} ticks in {stats.batches} batches: "
+          f"{stats.accepted:,} accepted, {stats.stale:,} stale, "
+          f"{stats.backpressure_waits} backpressure waits, "
+          f"{stats.reconnects} reconnects")
     return 0
 
 
@@ -702,6 +844,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "detect": _cmd_detect,
         "serve": _cmd_serve,
+        "push": _cmd_push,
         "chaos": _cmd_chaos,
         "obs": _cmd_obs,
         "rca": _cmd_rca,

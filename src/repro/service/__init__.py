@@ -7,6 +7,9 @@ this package runs a *fleet* of them online:
   simulated bypass monitoring);
 * :mod:`~repro.service.queues` — the ingestion bridge: bounded per-unit
   queues with block / drop-oldest backpressure and sequence accounting;
+* :mod:`~repro.service.api` — the network ingestion plane: HTTP tick
+  ingestion into a bounded :class:`NetworkSource` (429 backpressure),
+  plus query endpoints over verdicts, incidents and durable state;
 * :mod:`~repro.service.workers` — the sharded worker pool
   (``multiprocessing`` with crash-restart, serial in-process fallback);
 * :mod:`~repro.service.alerts` — the alert pipeline and its sinks;
@@ -27,6 +30,14 @@ Quick start::
     print(report.alerts_emitted, report.metrics["dispatch_latency_seconds"])
 """
 
+from repro.service.api import (
+    ApiClient,
+    ApiState,
+    Backpressure,
+    IngestServer,
+    NetworkSource,
+    push_dataset,
+)
 from repro.service.alerts import (
     Alert,
     AlertPipeline,
@@ -63,18 +74,23 @@ __all__ = [
     "Alert",
     "AlertPipeline",
     "AlertSink",
+    "ApiClient",
+    "ApiState",
     "BACKPRESSURE_POLICIES",
+    "Backpressure",
     "CallbackSink",
     "Counter",
     "DetectionService",
     "Gauge",
     "Histogram",
+    "IngestServer",
     "IngestionBridge",
     "JSONLSink",
     "MemorySink",
     "MetricsRegistry",
     "MonitorSource",
     "MonitorStreamSource",
+    "NetworkSource",
     "ProcessWorkerPool",
     "QueueClosed",
     "QueueFull",
@@ -94,5 +110,6 @@ __all__ = [
     "build_sink",
     "detect_fleet",
     "make_pool",
+    "push_dataset",
     "shard_units",
 ]

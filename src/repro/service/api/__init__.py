@@ -1,0 +1,54 @@
+"""Network ingestion plane: HTTP in, :class:`TickSource` out.
+
+The deployable boundary of the reproduction — external collectors POST
+JSON KPI ticks (:mod:`repro.service.api.wire` defines the schema), a
+bounded :class:`NetworkSource` bridges them into the scheduler with
+lossless backpressure, and :class:`IngestServer` also answers queries
+over verdicts, RCA incidents and durable state.  ``repro serve
+--ingest-port`` wires it into the CLI; ``repro push`` is the collector
+side used by the drills.
+"""
+
+from repro.service.api.client import (
+    ApiClient,
+    ApiError,
+    PushStats,
+    TransientApiError,
+    push_dataset,
+)
+from repro.service.api.server import ApiState, IngestServer
+from repro.service.api.source import Backpressure, NetworkSource
+from repro.service.api.wire import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_BODY_BYTES,
+    WIRE_VERSION,
+    FleetSpec,
+    WireError,
+    decode_body,
+    encode_handshake,
+    encode_tick_batch,
+    parse_handshake,
+    parse_tick_batch,
+)
+
+__all__ = [
+    "WIRE_VERSION",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_BODY_BYTES",
+    "FleetSpec",
+    "WireError",
+    "decode_body",
+    "parse_handshake",
+    "parse_tick_batch",
+    "encode_handshake",
+    "encode_tick_batch",
+    "Backpressure",
+    "NetworkSource",
+    "ApiState",
+    "IngestServer",
+    "ApiClient",
+    "ApiError",
+    "TransientApiError",
+    "PushStats",
+    "push_dataset",
+]

@@ -71,6 +71,15 @@ class ServiceConfig:
         post-snapshot rounds, which recovery re-derives live;
         ``"commit"`` fsyncs every group-commit for power-loss durability
         at a serving-latency cost.
+    ingest_capacity:
+        Bound of the network ingestion queue (``serve --ingest-port``),
+        in ticks across the whole fleet.  Separate from
+        ``queue_capacity``: the HTTP plane buffers *arrival order*, the
+        bridge buffers per unit.
+    ingest_max_batch:
+        Most ticks one ``POST /v1/ticks`` may carry (413 beyond).
+    ingest_retry_after_seconds:
+        ``Retry-After`` hint sent with every 429 backpressure response.
     """
 
     n_workers: int = 0
@@ -84,6 +93,9 @@ class ServiceConfig:
     state_dir: Optional[str] = None
     snapshot_every: int = 8
     wal_sync: str = "snapshot"
+    ingest_capacity: int = 1024
+    ingest_max_batch: int = 256
+    ingest_retry_after_seconds: float = 0.05
 
     def __post_init__(self) -> None:
         if self.n_workers < 0:
@@ -116,6 +128,12 @@ class ServiceConfig:
             raise ValueError(
                 f"wal_sync must be 'commit' or 'snapshot', got {self.wal_sync!r}"
             )
+        if self.ingest_capacity < 1:
+            raise ValueError("ingest_capacity must be >= 1")
+        if self.ingest_max_batch < 1:
+            raise ValueError("ingest_max_batch must be >= 1")
+        if self.ingest_retry_after_seconds <= 0:
+            raise ValueError("ingest_retry_after_seconds must be positive")
 
     @property
     def parallel(self) -> bool:

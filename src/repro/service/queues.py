@@ -103,6 +103,27 @@ class TickQueue(Generic[T]):
             self._not_empty.notify()
             return 0
 
+    def try_put(self, item: T) -> bool:
+        """Enqueue without waiting: ``False`` means full, try again later.
+
+        The network ingestion path uses this instead of a blocking
+        :meth:`put` — an HTTP handler must never park a server thread on
+        queue room; it answers 429 and lets the *client* wait.  Under the
+        ``drop_oldest`` policy this always succeeds (evicting like
+        :meth:`put` would).
+        """
+        with self._lock:
+            if self._closed:
+                raise QueueClosed("queue is closed")
+            if len(self._items) >= self.capacity:
+                if self.policy != "drop_oldest":
+                    return False
+                self._items.popleft()
+                self.dropped += 1
+            self._items.append(item)
+            self._not_empty.notify()
+            return True
+
     def get(self, timeout: Optional[float] = None) -> T:
         """Dequeue one item, waiting up to ``timeout`` seconds."""
         with self._lock:

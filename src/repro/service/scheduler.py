@@ -198,6 +198,11 @@ class DetectionService:
         all-units group when omitted.  The scheduler always overlays
         ``shard:<n>`` groups matching the worker-pool assignment when the
         run is parallel, so units co-located on a worker correlate.
+    result_listener:
+        Optional ``(unit, result)`` callback invoked for every completed
+        round — including rounds re-published during crash recovery — in
+        publication order.  The ingestion API's query view hangs off this
+        to serve verdict histories without holding the whole report.
     """
 
     def __init__(
@@ -209,11 +214,15 @@ class DetectionService:
         coordinator: Optional[TuningCoordinator] = None,
         rca: bool = False,
         topology: Optional["Topology"] = None,
+        result_listener: Optional[
+            Callable[[str, UnitDetectionResult], None]
+        ] = None,
     ):
         self._config = config
         self.coordinator = coordinator
         self.rca = bool(rca)
         self.topology = topology
+        self.result_listener = result_listener
         self.service_config = (
             service_config if service_config is not None else ServiceConfig()
         )
@@ -494,6 +503,8 @@ class DetectionService:
                 report.alerts.append(alert)
             if collect_results:
                 report.results[name].append(result)
+            if self.result_listener is not None:
+                self.result_listener(name, result)
             report.recovered_rounds += 1
 
     def _build_analyzer(self, specs: List[UnitSpec], n_workers: int):
@@ -576,6 +587,8 @@ class DetectionService:
                     report.alerts.append(alert)
                 if collect_results:
                     report.results[unit].append(result)
+                if self.result_listener is not None:
+                    self.result_listener(unit, result)
             if self.coordinator is not None:
                 self.coordinator.observe_results(unit, unit_results)
 

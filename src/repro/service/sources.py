@@ -280,16 +280,25 @@ class RetryingSource:
     downstream consumers see each ``(unit, seq)`` at most once and a crash
     surfaces as an ordinary sequence gap in the bridge's accounting.
 
+    The retry contract covers the *network path* too: with a factory that
+    opens a connection (say, a client iterating a remote ingestion feed),
+    the factory call itself is what fails while the far end restarts —
+    connection refused, timeouts, 5xx.  Those rebuild failures consume
+    the same retry budget with the same backoff as mid-iteration
+    failures, instead of propagating instantly and defeating the wrapper
+    exactly when it is needed most.
+
     Parameters
     ----------
     factory:
         Zero-argument callable returning a fresh source (anything with
         ``units`` / ``kpi_names`` / ``interval_seconds`` and iteration
         yielding :class:`TickEvent`).  Called once up front for metadata
-        and again after every failure.
+        and again after every failure; a *raising* factory is retried
+        under the same budget.
     max_retries:
-        Source rebuilds allowed over one iteration before the last error
-        propagates.
+        Failures tolerated over one iteration (and, separately, over
+        construction) before the last error propagates.
     backoff_seconds:
         Sleep before retry ``k`` is ``backoff_seconds * 2**(k - 1)``;
         ``0`` disables sleeping (what the tests use).
@@ -308,9 +317,27 @@ class RetryingSource:
         self._factory = factory
         self.max_retries = max_retries
         self.backoff_seconds = backoff_seconds
-        #: Source rebuilds performed so far (across iterations).
+        #: Retry attempts performed so far (rebuilds and failed factory
+        #: calls both count — each consumed budget and backed off).
         self.retries = 0
-        self._current = factory()
+        _, self._current = self._rebuild(0)
+
+    def _rebuild(self, failures: int) -> Tuple[int, object]:
+        """Call the factory until it yields a source or the budget is gone.
+
+        ``failures`` continues the caller's count, so factory failures
+        and iteration failures share one budget per iteration.
+        """
+        while True:
+            try:
+                return failures, self._factory()
+            except Exception:
+                failures += 1
+                if failures > self.max_retries:
+                    raise
+                if self.backoff_seconds:
+                    time.sleep(self.backoff_seconds * 2 ** (failures - 1))
+                self.retries += 1
 
     @property
     def units(self) -> Dict[str, int]:
@@ -348,5 +375,5 @@ class RetryingSource:
                 if self.backoff_seconds:
                     time.sleep(self.backoff_seconds * 2 ** (failures - 1))
                 self.retries += 1
-                source = self._factory()
+                failures, source = self._rebuild(failures)
                 self._current = source

@@ -39,6 +39,123 @@ GOLDEN_MAX_WINDOW = 60
 MATRIX_TOLERANCE = 1e-9
 
 
+def golden_dataset():
+    """The seeded tencent fleet every golden snapshot derives from."""
+    from repro.datasets import build_mixed_dataset
+
+    return build_mixed_dataset(
+        GOLDEN_FAMILY,
+        seed=GOLDEN_SEED,
+        n_units=GOLDEN_UNITS,
+        ticks_per_unit=GOLDEN_TICKS,
+    )
+
+
+def golden_config(backend: str = "batched"):
+    """The golden detector configuration on the chosen KCD backend."""
+    from dataclasses import replace
+
+    from repro.presets import default_config
+
+    return replace(
+        default_config(
+            initial_window=GOLDEN_INITIAL_WINDOW, max_window=GOLDEN_MAX_WINDOW
+        ),
+        backend=backend,
+    )
+
+
+def snapshot_service_report(report) -> Dict[str, object]:
+    """Comparable in-memory view of one ServiceReport.
+
+    Captures everything transport must not change — round spans,
+    judgement records, Fig-7 state paths, alerts, incidents, and the raw
+    correlation-matrix evidence (as dense arrays, so callers compare them
+    under :data:`MATRIX_TOLERANCE`).  The network-ingestion parity test
+    compares two of these: one from an in-process replay, one fed over
+    real sockets.
+    """
+    units: Dict[str, List[Dict[str, object]]] = {}
+    for unit, results in sorted(report.results.items()):
+        rounds: List[Dict[str, object]] = []
+        for result in results:
+            rounds.append({
+                "start": result.start,
+                "end": result.end,
+                "window_size": result.window_size,
+                "abnormal_databases": list(result.abnormal_databases),
+                "records": {
+                    str(db): {
+                        "window_start": record.window_start,
+                        "window_end": record.window_end,
+                        "state": record.state.name,
+                        "expansions": record.expansions,
+                        "state_path": _state_path(record),
+                        "kpi_levels": {
+                            kpi: int(level)
+                            for kpi, level in sorted(record.kpi_levels.items())
+                        },
+                    }
+                    for db, record in sorted(result.records.items())
+                },
+                "active": (
+                    None if result.active is None else list(result.active)
+                ),
+                "matrices": (
+                    None
+                    if result.matrices is None
+                    else {
+                        matrix.kpi: matrix.to_dense()
+                        for matrix in result.matrices
+                    }
+                ),
+            })
+        units[unit] = rounds
+    return {
+        "units": units,
+        "alerts": [alert.to_dict() for alert in report.alerts],
+        "incidents": [incident.to_dict() for incident in report.incidents],
+    }
+
+
+def assert_service_snapshots_match(
+    actual: Dict[str, object],
+    expected: Dict[str, object],
+    tolerance: float = MATRIX_TOLERANCE,
+) -> None:
+    """Two :func:`snapshot_service_report` views must agree.
+
+    Discrete fields (verdicts, state paths, alerts, incident lifecycles)
+    must match exactly; matrix evidence within ``tolerance``.
+    """
+    assert actual["alerts"] == expected["alerts"]
+    assert actual["incidents"] == expected["incidents"]
+    assert sorted(actual["units"]) == sorted(expected["units"])  # type: ignore[arg-type]
+    for unit in expected["units"]:  # type: ignore[attr-defined]
+        actual_rounds = actual["units"][unit]  # type: ignore[index]
+        expected_rounds = expected["units"][unit]  # type: ignore[index]
+        assert len(actual_rounds) == len(expected_rounds), unit
+        for index, (have, want) in enumerate(
+            zip(actual_rounds, expected_rounds)
+        ):
+            context = f"{unit} round {index}"
+            for key in (
+                "start", "end", "window_size", "abnormal_databases",
+                "records", "active",
+            ):
+                assert have[key] == want[key], f"{context}: {key}"
+            if want["matrices"] is None:
+                assert have["matrices"] is None, context
+                continue
+            assert have["matrices"] is not None, context
+            assert sorted(have["matrices"]) == sorted(want["matrices"])
+            for kpi, dense in want["matrices"].items():
+                np.testing.assert_allclose(
+                    have["matrices"][kpi], dense, rtol=0.0, atol=tolerance,
+                    err_msg=f"{context}: {kpi}",
+                )
+
+
 def _state_path(record) -> List[str]:
     """The Fig-7 state-machine path implied by one judgement record.
 
@@ -71,10 +188,6 @@ def build_tuning_swap_snapshot(backend: str = "batched") -> Dict[str, object]:
     reorders, or tears a detection round, and that the tuned thresholds
     themselves are reproducible.
     """
-    from dataclasses import replace
-
-    from repro.datasets import build_mixed_dataset
-    from repro.presets import default_config
     from repro.service import (
         DetectionService,
         ReplaySource,
@@ -83,18 +196,8 @@ def build_tuning_swap_snapshot(backend: str = "batched") -> Dict[str, object]:
     )
     from repro.tuning import GeneticThresholdLearner
 
-    dataset = build_mixed_dataset(
-        GOLDEN_FAMILY,
-        seed=GOLDEN_SEED,
-        n_units=GOLDEN_UNITS,
-        ticks_per_unit=GOLDEN_TICKS,
-    )
-    config = replace(
-        default_config(
-            initial_window=GOLDEN_INITIAL_WINDOW, max_window=GOLDEN_MAX_WINDOW
-        ),
-        backend=backend,
-    )
+    dataset = golden_dataset()
+    config = golden_config(backend)
     coordinator = TuningCoordinator(
         {unit.name: unit.labels for unit in dataset.units},
         learner_factory=lambda seed: GeneticThresholdLearner(
@@ -143,25 +246,9 @@ def build_rca_snapshot(backend: str = "batched") -> Dict[str, object]:
     counts, severities and culprit rankings — so any drift in attribution
     or incident correlation shows up as a readable fixture diff.
     """
-    from dataclasses import replace
-
-    from repro.datasets import build_mixed_dataset
-    from repro.presets import default_config
     from repro.rca import replay_dataset
 
-    dataset = build_mixed_dataset(
-        GOLDEN_FAMILY,
-        seed=GOLDEN_SEED,
-        n_units=GOLDEN_UNITS,
-        ticks_per_unit=GOLDEN_TICKS,
-    )
-    config = replace(
-        default_config(
-            initial_window=GOLDEN_INITIAL_WINDOW, max_window=GOLDEN_MAX_WINDOW
-        ),
-        backend=backend,
-    )
-    report = replay_dataset(dataset, config)
+    report = replay_dataset(golden_dataset(), golden_config(backend))
     return {
         "rounds": report.rounds,
         "abnormal_rounds": report.abnormal_rounds,
@@ -176,26 +263,12 @@ def build_golden_snapshot(backend: str = "batched") -> Dict[str, object]:
     per-round matrix summaries; the committed fixture must hold for every
     backend (verdicts exactly, summaries within ``MATRIX_TOLERANCE``).
     """
-    from dataclasses import replace
-
     from repro.core.detector import DBCatcher
     from repro.core.matrices import build_correlation_matrices
-    from repro.datasets import build_mixed_dataset
     from repro.engine import make_engine
-    from repro.presets import default_config
 
-    dataset = build_mixed_dataset(
-        GOLDEN_FAMILY,
-        seed=GOLDEN_SEED,
-        n_units=GOLDEN_UNITS,
-        ticks_per_unit=GOLDEN_TICKS,
-    )
-    config = replace(
-        default_config(
-            initial_window=GOLDEN_INITIAL_WINDOW, max_window=GOLDEN_MAX_WINDOW
-        ),
-        backend=backend,
-    )
+    dataset = golden_dataset()
+    config = golden_config(backend)
     snapshot: Dict[str, object] = {
         "family": GOLDEN_FAMILY,
         "seed": GOLDEN_SEED,

@@ -1,0 +1,571 @@
+"""Wire-codec conformance: fuzzed hostility plus bit-exact round-trips.
+
+Two properties pin the ingestion contract:
+
+* *No payload crashes the parsers.*  Arbitrary JSON — and arbitrary
+  bytes at the body layer — either parses or raises a typed
+  :class:`WireError` with a stable code, a 4xx status, and (for field
+  errors) the dotted path of the offending field.  Anything else would
+  let one hostile collector 500 the ingestion plane.
+* *Valid payloads round-trip bit-exactly.*  ``encode → json → parse``
+  must reproduce the sample arrays to the last IEEE-754 bit, because the
+  golden parity test demands a network replay match the in-process run
+  under a 1e-9 tolerance that real float drift would blow through.
+"""
+
+import base64
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.service.api.wire import (
+    WIRE_VERSION,
+    FleetSpec,
+    WireError,
+    decode_body,
+    encode_handshake,
+    encode_tick_batch,
+    parse_handshake,
+    parse_tick_batch,
+)
+from repro.service.sources import TickEvent
+
+JSON_LEAVES = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(10**9), max_value=10**9)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=8)
+)
+JSON_VALUES = st.recursive(
+    JSON_LEAVES,
+    lambda children: (
+        st.lists(children, max_size=4)
+        | st.dictionaries(st.text(max_size=8), children, max_size=4)
+    ),
+    max_leaves=16,
+)
+
+FLEET = FleetSpec(
+    units={"u0": 2, "u1": 3}, kpi_names=("cpu", "rps"), interval_seconds=5.0
+)
+
+
+def _events(n_ticks, shape, start_seq=0):
+    return [
+        TickEvent(
+            unit="u0",
+            seq=start_seq + index,
+            sample=np.full(shape, float(index)),
+        )
+        for index in range(n_ticks)
+    ]
+
+
+def _valid_batch(**overrides):
+    payload = encode_tick_batch("u0", _events(3, (2, 2)))
+    payload.update(overrides)
+    return payload
+
+
+def _check_error(exc: WireError) -> None:
+    assert isinstance(exc.code, str) and exc.code
+    assert isinstance(exc.message, str) and exc.message
+    assert 400 <= exc.status < 500
+    if exc.field is not None:
+        assert isinstance(exc.field, str) and exc.field
+
+
+class TestFuzzedHostility:
+    @settings(max_examples=200, deadline=None)
+    @given(JSON_VALUES)
+    def test_handshake_never_crashes(self, payload):
+        try:
+            spec = parse_handshake(payload)
+        except WireError as exc:
+            _check_error(exc)
+        else:
+            assert spec.units and spec.kpi_names
+
+    @settings(max_examples=200, deadline=None)
+    @given(JSON_VALUES)
+    def test_tick_batch_never_crashes(self, payload):
+        try:
+            _, events = parse_tick_batch(payload)
+        except WireError as exc:
+            _check_error(exc)
+        else:
+            assert events
+
+    @settings(max_examples=200, deadline=None)
+    @given(JSON_VALUES)
+    def test_tick_batch_with_fleet_never_crashes(self, payload):
+        try:
+            unit, _ = parse_tick_batch(payload, fleet=FLEET)
+        except WireError as exc:
+            _check_error(exc)
+        else:
+            assert unit in FLEET.units
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.binary(max_size=256))
+    def test_decode_body_never_crashes(self, raw):
+        try:
+            decode_body(raw)
+        except WireError as exc:
+            _check_error(exc)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        field=st.sampled_from(["version", "unit", "ticks"]),
+        value=JSON_VALUES,
+    )
+    def test_mutated_batch_parses_or_rejects(self, field, value):
+        payload = _valid_batch(**{field: value})
+        try:
+            parse_tick_batch(payload, fleet=FLEET)
+        except WireError as exc:
+            _check_error(exc)
+
+
+class TestBitExactRoundTrip:
+    @pytest.mark.parametrize("encoding", ["json", "b64"])
+    @settings(max_examples=150, deadline=None)
+    @given(
+        block=st.integers(1, 4).flatmap(
+            lambda n_ticks: npst.arrays(
+                dtype=np.float64,
+                shape=(n_ticks, 3, 2),
+                elements=st.floats(
+                    allow_nan=False, allow_infinity=False, width=64
+                ),
+            )
+        ),
+        start_seq=st.integers(0, 10**6),
+    )
+    def test_tick_batch_round_trips_every_bit(self, block, start_seq, encoding):
+        events = [
+            TickEvent(unit="unit-0", seq=start_seq + index, sample=block[index])
+            for index in range(len(block))
+        ]
+        wire_bytes = json.dumps(
+            encode_tick_batch("unit-0", events, encoding)
+        ).encode()
+        unit, decoded = parse_tick_batch(decode_body(wire_bytes))
+        assert unit == "unit-0"
+        assert [event.seq for event in decoded] == [
+            event.seq for event in events
+        ]
+        for sent, received in zip(events, decoded):
+            assert received.sample.dtype == np.float64
+            # tobytes comparison: even -0.0 vs 0.0 must survive the wire.
+            assert received.sample.tobytes() == sent.sample.tobytes()
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        units=st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.integers(1, 64),
+            min_size=1,
+            max_size=4,
+        ),
+        kpi_names=st.lists(
+            st.text(min_size=1, max_size=8),
+            unique=True,
+            min_size=1,
+            max_size=5,
+        ),
+        interval=st.floats(min_value=1e-6, max_value=1e6),
+    )
+    def test_handshake_round_trips(self, units, kpi_names, interval):
+        wire_bytes = json.dumps(
+            encode_handshake(units, kpi_names, interval)
+        ).encode()
+        spec = parse_handshake(decode_body(wire_bytes))
+        assert spec.units == units
+        assert spec.kpi_names == tuple(kpi_names)
+        assert spec.interval_seconds == interval
+
+
+#: (mutate the valid payload, expected code, expected field, status).
+HANDSHAKE_CASES = [
+    (lambda p: [], "bad_type", None, 400),
+    (lambda p: _drop(p, "version"), "bad_version", "version", 400),
+    (lambda p: dict(p, version=True), "bad_version", "version", 400),
+    (lambda p: dict(p, version=WIRE_VERSION + 1), "bad_version", "version", 400),
+    (lambda p: _drop(p, "units"), "missing_field", "units", 400),
+    (lambda p: dict(p, units=["u0"]), "bad_type", "units", 400),
+    (lambda p: dict(p, units={}), "bad_value", "units", 400),
+    (lambda p: dict(p, units={"u0": "2"}), "bad_type", "units['u0']", 400),
+    (lambda p: dict(p, units={"u0": 0}), "bad_value", "units['u0']", 400),
+    (lambda p: dict(p, units={"u0": True}), "bad_type", "units['u0']", 400),
+    (lambda p: _drop(p, "kpi_names"), "missing_field", "kpi_names", 400),
+    (lambda p: dict(p, kpi_names="cpu"), "bad_type", "kpi_names", 400),
+    (lambda p: dict(p, kpi_names=[]), "bad_value", "kpi_names", 400),
+    (lambda p: dict(p, kpi_names=["cpu", 3]), "bad_type", "kpi_names[1]", 400),
+    (
+        lambda p: dict(p, kpi_names=["cpu", "cpu"]),
+        "bad_value",
+        "kpi_names",
+        400,
+    ),
+    (
+        lambda p: _drop(p, "interval_seconds"),
+        "missing_field",
+        "interval_seconds",
+        400,
+    ),
+    (
+        lambda p: dict(p, interval_seconds="5"),
+        "bad_type",
+        "interval_seconds",
+        400,
+    ),
+    (
+        lambda p: dict(p, interval_seconds=0.0),
+        "bad_value",
+        "interval_seconds",
+        400,
+    ),
+]
+
+BATCH_CASES = [
+    (lambda p: 7, "bad_type", None, 400),
+    (lambda p: _drop(p, "version"), "bad_version", "version", 400),
+    (lambda p: _drop(p, "unit"), "missing_field", "unit", 400),
+    (lambda p: dict(p, unit=3), "bad_type", "unit", 400),
+    (lambda p: dict(p, unit=""), "bad_value", "unit", 400),
+    (lambda p: dict(p, unit="ghost"), "unknown_unit", "unit", 404),
+    (lambda p: _drop(p, "ticks"), "missing_field", "ticks", 400),
+    (lambda p: dict(p, ticks={}), "bad_type", "ticks", 400),
+    (lambda p: dict(p, ticks=[]), "bad_value", "ticks", 400),
+    (lambda p: _tick(p, 1, lambda t: "x"), "bad_type", "ticks[1]", 400),
+    (
+        lambda p: _tick(p, 0, lambda t: _drop(t, "seq")),
+        "missing_field",
+        "ticks[0].seq",
+        400,
+    ),
+    (
+        lambda p: _tick(p, 0, lambda t: dict(t, seq=1.5)),
+        "bad_type",
+        "ticks[0].seq",
+        400,
+    ),
+    (
+        lambda p: _tick(p, 0, lambda t: dict(t, seq=True)),
+        "bad_type",
+        "ticks[0].seq",
+        400,
+    ),
+    (
+        lambda p: _tick(p, 0, lambda t: dict(t, seq=-1)),
+        "bad_value",
+        "ticks[0].seq",
+        400,
+    ),
+    (
+        lambda p: _tick(p, 1, lambda t: dict(t, seq=0)),
+        "out_of_order",
+        "ticks[1].seq",
+        400,
+    ),
+    (
+        lambda p: _tick(p, 0, lambda t: _drop(t, "sample")),
+        "missing_field",
+        "ticks[0].sample",
+        400,
+    ),
+    (
+        lambda p: _tick(p, 0, lambda t: dict(t, sample=3.0)),
+        "bad_type",
+        "ticks[0].sample",
+        400,
+    ),
+    (
+        lambda p: _tick(p, 0, lambda t: dict(t, sample=[])),
+        "bad_shape",
+        "ticks[0].sample",
+        400,
+    ),
+    (
+        lambda p: _tick(p, 0, lambda t: dict(t, sample=[[1.0, 2.0], 3.0])),
+        "bad_type",
+        "ticks[0].sample[1]",
+        400,
+    ),
+    (
+        lambda p: _tick(p, 0, lambda t: dict(t, sample=[[1.0, 2.0], []])),
+        "bad_shape",
+        "ticks[0].sample[1]",
+        400,
+    ),
+    (
+        lambda p: _tick(p, 0, lambda t: dict(t, sample=[[1.0, 2.0], [3.0]])),
+        "bad_shape",
+        "ticks[0].sample[1]",
+        400,
+    ),
+    (
+        lambda p: _tick(
+            p, 0, lambda t: dict(t, sample=[[1.0, "2"], [3.0, 4.0]])
+        ),
+        "bad_type",
+        "ticks[0].sample[0][1]",
+        400,
+    ),
+    (
+        lambda p: _tick(
+            p, 0, lambda t: dict(t, sample=[[1.0, True], [3.0, 4.0]])
+        ),
+        "bad_type",
+        "ticks[0].sample[0][1]",
+        400,
+    ),
+    (
+        # 1e999 parses as a float but overflows to inf: the isfinite
+        # sweep must name the exact cell.
+        lambda p: _tick(
+            p, 0, lambda t: dict(t, sample=[[1.0, 2.0], [1e999, 4.0]])
+        ),
+        "not_finite",
+        "ticks[0].sample[1][0]",
+        400,
+    ),
+    (
+        # Wrong geometry for the registered fleet (u0 has 2 databases).
+        lambda p: _tick(
+            p, 0, lambda t: dict(t, sample=[[1.0, 2.0]])
+        ),
+        "bad_shape",
+        "ticks[0].sample",
+        400,
+    ),
+    # -- compact (base64) encoding -------------------------------------
+    (
+        # Carrying both encodings is ambiguous, not a preference.
+        lambda p: _tick(
+            p, 0, lambda t: dict(t, sample_b64="AA==", shape=[1, 1])
+        ),
+        "bad_value",
+        "ticks[0].sample",
+        400,
+    ),
+    (
+        lambda p: _tick(
+            p, 0, lambda t: dict(_drop(t, "sample"), sample_b64=7, shape=[2, 2])
+        ),
+        "bad_type",
+        "ticks[0].sample_b64",
+        400,
+    ),
+    (
+        lambda p: _tick(
+            p, 0, lambda t: dict(_drop(t, "sample"), sample_b64="AA==")
+        ),
+        "missing_field",
+        "ticks[0].shape",
+        400,
+    ),
+    (
+        lambda p: _tick(
+            p,
+            0,
+            lambda t: dict(_drop(t, "sample"), sample_b64="AA==", shape=[2]),
+        ),
+        "bad_type",
+        "ticks[0].shape",
+        400,
+    ),
+    (
+        lambda p: _tick(
+            p,
+            0,
+            lambda t: dict(
+                _drop(t, "sample"), sample_b64="AA==", shape=[True, 2]
+            ),
+        ),
+        "bad_type",
+        "ticks[0].shape",
+        400,
+    ),
+    (
+        lambda p: _tick(
+            p,
+            0,
+            lambda t: dict(
+                _drop(t, "sample"), sample_b64="AA==", shape=[0, 2]
+            ),
+        ),
+        "bad_shape",
+        "ticks[0].shape",
+        400,
+    ),
+    (
+        lambda p: _tick(
+            p,
+            0,
+            lambda t: dict(
+                _drop(t, "sample"), sample_b64="!not base64!", shape=[2, 2]
+            ),
+        ),
+        "bad_encoding",
+        "ticks[0].sample_b64",
+        400,
+    ),
+    (
+        # 8 zero bytes cannot fill a 2x2 float64 matrix (needs 32).
+        lambda p: _tick(
+            p,
+            0,
+            lambda t: dict(
+                _drop(t, "sample"),
+                sample_b64=base64.b64encode(b"\x00" * 8).decode(),
+                shape=[2, 2],
+            ),
+        ),
+        "bad_shape",
+        "ticks[0].sample_b64",
+        400,
+    ),
+    (
+        # A NaN smuggled as raw bytes bypasses the JSON constant hook;
+        # the isfinite sweep must still catch it and name the cell.
+        lambda p: _tick(
+            p,
+            0,
+            lambda t: dict(
+                _drop(t, "sample"),
+                sample_b64=base64.b64encode(
+                    np.array(
+                        [[1.0, float("nan")], [3.0, 4.0]], dtype="<f8"
+                    ).tobytes()
+                ).decode(),
+                shape=[2, 2],
+            ),
+        ),
+        "not_finite",
+        "ticks[0].sample_b64[0][1]",
+        400,
+    ),
+    (
+        # Self-consistent blob, wrong geometry for the registered fleet.
+        lambda p: _tick(
+            p,
+            0,
+            lambda t: dict(
+                _drop(t, "sample"),
+                sample_b64=base64.b64encode(
+                    np.array([[1.0, 2.0]], dtype="<f8").tobytes()
+                ).decode(),
+                shape=[1, 2],
+            ),
+        ),
+        "bad_shape",
+        "ticks[0].sample_b64",
+        400,
+    ),
+]
+
+
+def _drop(payload, key):
+    trimmed = dict(payload)
+    trimmed.pop(key, None)
+    return trimmed
+
+
+def _tick(payload, index, mutate):
+    ticks = [dict(tick) for tick in payload["ticks"]]
+    ticks[index] = mutate(ticks[index])
+    return dict(payload, ticks=ticks)
+
+
+class TestMalformedPayloads:
+    @pytest.mark.parametrize(
+        "mutate, code, field, status",
+        HANDSHAKE_CASES,
+        ids=[case[1] + "-" + str(i) for i, case in enumerate(HANDSHAKE_CASES)],
+    )
+    def test_handshake_rejections(self, mutate, code, field, status):
+        payload = mutate(
+            encode_handshake({"u0": 2}, ("cpu", "rps"), 5.0)
+        )
+        with pytest.raises(WireError) as caught:
+            parse_handshake(payload)
+        assert caught.value.code == code
+        assert caught.value.field == field
+        assert caught.value.status == status
+
+    @pytest.mark.parametrize(
+        "mutate, code, field, status",
+        BATCH_CASES,
+        ids=[case[1] + "-" + str(i) for i, case in enumerate(BATCH_CASES)],
+    )
+    def test_batch_rejections(self, mutate, code, field, status):
+        payload = mutate(_valid_batch())
+        with pytest.raises(WireError) as caught:
+            parse_tick_batch(payload, fleet=FLEET)
+        assert caught.value.code == code
+        assert caught.value.field == field
+        assert caught.value.status == status
+
+    def test_batch_cap_is_413(self):
+        payload = encode_tick_batch("u0", _events(5, (2, 2)))
+        with pytest.raises(WireError) as caught:
+            parse_tick_batch(payload, fleet=FLEET, max_batch=4)
+        assert caught.value.code == "batch_too_large"
+        assert caught.value.status == 413
+
+    def test_without_fleet_any_rectangle_passes(self):
+        payload = encode_tick_batch("anything", _events(2, (7, 3)))
+        unit, events = parse_tick_batch(payload)
+        assert unit == "anything"
+        assert [event.sample.shape for event in events] == [(7, 3)] * 2
+
+
+class TestBodyDecoding:
+    def test_nan_literal_is_not_finite(self):
+        raw = b'{"version": 1, "unit": "u0", "ticks": [{"seq": 0, "sample": [[NaN]]}]}'
+        with pytest.raises(WireError) as caught:
+            decode_body(raw)
+        assert caught.value.code == "not_finite"
+
+    @pytest.mark.parametrize("literal", [b"Infinity", b"-Infinity"])
+    def test_infinity_literals_rejected(self, literal):
+        with pytest.raises(WireError) as caught:
+            decode_body(b'{"x": ' + literal + b"}")
+        assert caught.value.code == "not_finite"
+
+    def test_int_overflowing_float64_is_bad_value(self):
+        # 10**400 is a legal JSON integer but has no float64 value; both
+        # the vectorised fast path and the per-cell fallback must turn
+        # the OverflowError into a typed 400 naming the cell.
+        huge = str(10**400)
+        payload = json.loads(
+            '{"version": 1, "unit": "u0", '
+            '"ticks": [{"seq": 0, "sample": [[1.0, %s]]}]}' % huge
+        )
+        with pytest.raises(WireError) as caught:
+            parse_tick_batch(payload)
+        assert caught.value.code == "bad_value"
+        assert caught.value.field == "ticks[0].sample[0][1]"
+
+    def test_non_utf8_is_bad_encoding(self):
+        with pytest.raises(WireError) as caught:
+            decode_body(b"\xff\xfe{}")
+        assert caught.value.code == "bad_encoding"
+
+    def test_truncated_json_is_bad_json(self):
+        with pytest.raises(WireError) as caught:
+            decode_body(b'{"version": 1,')
+        assert caught.value.code == "bad_json"
+
+    def test_oversized_body_is_413(self):
+        with pytest.raises(WireError) as caught:
+            decode_body(b"[0]" * 100, max_bytes=64)
+        assert caught.value.code == "body_too_large"
+        assert caught.value.status == 413

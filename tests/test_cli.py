@@ -85,7 +85,10 @@ class TestServeCommand:
 
     def test_serve_needs_a_source(self, capsys):
         assert main(["serve"]) == 2
-        assert "needs a dataset path or --live" in capsys.readouterr().err
+        assert (
+            "needs a dataset path, --live, or --ingest-port"
+            in capsys.readouterr().err
+        )
 
     def test_serve_live_fleet(self, capsys):
         assert main([

@@ -12,6 +12,7 @@ import repro.engine
 import repro.persist
 import repro.rca
 import repro.service
+import repro.service.api
 
 EXPECTED = {
     repro: [
@@ -110,18 +111,23 @@ EXPECTED = {
         "Alert",
         "AlertPipeline",
         "AlertSink",
+        "ApiClient",
+        "ApiState",
         "BACKPRESSURE_POLICIES",
+        "Backpressure",
         "CallbackSink",
         "Counter",
         "DetectionService",
         "Gauge",
         "Histogram",
+        "IngestServer",
         "IngestionBridge",
         "JSONLSink",
         "MemorySink",
         "MetricsRegistry",
         "MonitorSource",
         "MonitorStreamSource",
+        "NetworkSource",
         "ProcessWorkerPool",
         "QueueClosed",
         "QueueFull",
@@ -141,7 +147,29 @@ EXPECTED = {
         "build_sink",
         "detect_fleet",
         "make_pool",
+        "push_dataset",
         "shard_units",
+    ],
+    repro.service.api: [
+        "WIRE_VERSION",
+        "DEFAULT_MAX_BATCH",
+        "DEFAULT_MAX_BODY_BYTES",
+        "FleetSpec",
+        "WireError",
+        "decode_body",
+        "parse_handshake",
+        "parse_tick_batch",
+        "encode_handshake",
+        "encode_tick_batch",
+        "Backpressure",
+        "NetworkSource",
+        "ApiState",
+        "IngestServer",
+        "ApiClient",
+        "ApiError",
+        "TransientApiError",
+        "PushStats",
+        "push_dataset",
     ],
 }
 

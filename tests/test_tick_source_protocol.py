@@ -53,12 +53,33 @@ def _chaos_source():
     return ChaosSource(_replay_source(), faults=())
 
 
+def _network_source():
+    # Pre-fed and closed, so protocol iteration drains and terminates the
+    # same way the other (finite) sources do.
+    from repro.service.api.source import NetworkSource
+    from repro.service.api.wire import encode_tick_batch, parse_handshake
+
+    replay = _replay_source()
+    source = NetworkSource(capacity=1024, handshake_timeout_seconds=5.0)
+    source.register(parse_handshake({
+        "version": 1,
+        "units": dict(replay.units),
+        "kpi_names": list(replay.kpi_names),
+        "interval_seconds": replay.interval_seconds,
+    }))
+    for event in replay:
+        source.offer_batch(event.unit, [event])
+    source.close_stream()
+    return source
+
+
 SOURCE_FACTORIES = {
     "replay": _replay_source,
     "monitor": _monitor_source,
     "monitor_stream": _monitor_stream_source,
     "retrying": _retrying_source,
     "chaos": _chaos_source,
+    "network": _network_source,
 }
 
 
