@@ -99,6 +99,7 @@ def _build_service(args: argparse.Namespace):
             batch_ticks=args.batch_ticks,
             state_dir=args.state_dir,
             snapshot_every=args.snapshot_every,
+            transport=args.transport,
         ),
         sinks=(),
     )
@@ -198,6 +199,7 @@ def _spawn_victim(
         "--batch-ticks", str(args.batch_ticks),
         "--snapshot-every", str(args.snapshot_every),
         "--throttle", str(args.throttle),
+        "--transport", args.transport,
     ]
     if url_file:
         command += ["--url-file", url_file]
@@ -421,6 +423,9 @@ def main() -> int:
     parser.add_argument("--jobs", type=int, default=2,
                         help="victim worker processes (0 = serial)")
     parser.add_argument("--batch-ticks", type=int, default=16)
+    parser.add_argument("--transport", choices=("pickle", "shm"),
+                        default="pickle",
+                        help="worker tick transport the victim serves with")
     parser.add_argument("--snapshot-every", type=int, default=8)
     parser.add_argument("--ticks", type=int, default=240,
                         help="stream length per unit")

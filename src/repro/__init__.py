@@ -32,7 +32,7 @@ from repro.core import (
     kcd_matrix,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 #: Service-layer names resolved lazily so `import repro` stays light —
 #: the fleet scheduler pulls in datasets/cluster machinery that pure
@@ -41,6 +41,8 @@ _SERVICE_EXPORTS = (
     "DetectionService",
     "ServiceConfig",
     "ServiceReport",
+    "TickSource",
+    "TickTransport",
     "detect_fleet",
 )
 
@@ -60,6 +62,8 @@ __all__ = [
     "OnlineFeedback",
     "ServiceConfig",
     "ServiceReport",
+    "TickSource",
+    "TickTransport",
     "UnitDetectionResult",
     "detect_fleet",
     "kcd",

@@ -108,6 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
              "verdicts are identical either way)",
     )
     detect.add_argument(
+        "--transport", choices=("pickle", "shm"), default="pickle",
+        help="how tick blocks reach the workers: pickled pipe messages "
+             "or shared-memory rings (verdicts are identical either way)",
+    )
+    detect.add_argument(
         "--quiet", action="store_true",
         help="print only the summary scores, not per-round verdicts",
     )
@@ -145,6 +150,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0, help="seed for --live")
     serve.add_argument("--jobs", type=int, default=0,
                        help="worker processes (0 = serial in-process)")
+    serve.add_argument("--transport", choices=("pickle", "shm"),
+                       default="pickle",
+                       help="worker tick transport: pickled pipe messages "
+                            "or shared-memory rings")
     serve.add_argument("--batch-ticks", type=int, default=32,
                        help="ticks buffered per unit per worker round-trip")
     serve.add_argument("--queue-capacity", type=int, default=256,
@@ -261,6 +270,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--jobs", type=int, default=0,
                        help="worker processes (0 = serial; kill drills only "
                             "fell real processes when > 0)")
+    chaos.add_argument("--transport", choices=("pickle", "shm"),
+                       default="pickle",
+                       help="worker tick transport: pickled pipe messages "
+                            "or shared-memory rings")
     chaos.add_argument("--max-ticks", type=int, default=None,
                        help="stop after this many ticks per unit")
     _add_detector_flags(chaos)
@@ -400,8 +413,11 @@ def _cmd_detect(args) -> int:
 
     dataset = load_dataset(args.dataset)
     config = _detect_config(args)
+    from repro.service import ServiceConfig
+
     report = detect_fleet(
         dataset, config=config, jobs=args.jobs,
+        service_config=ServiceConfig(transport=args.transport),
         state_dir=args.state_dir, snapshot_every=args.snapshot_every,
     )
     counts = None
@@ -477,6 +493,7 @@ def _cmd_serve(args) -> int:
         batch_ticks=args.batch_ticks,
         queue_capacity=args.queue_capacity,
         backpressure=args.backpressure.replace("-", "_"),
+        transport=args.transport,
     )
     if args.history_limit is not None:
         service_kwargs["history_limit"] = args.history_limit
@@ -655,7 +672,9 @@ def _cmd_chaos(args) -> int:
         args.dataset,
         scenario=scenario,
         config=_detect_config(args),
-        service_config=ServiceConfig(n_workers=args.jobs),
+        service_config=ServiceConfig(
+            n_workers=args.jobs, transport=args.transport
+        ),
         max_ticks=args.max_ticks,
     )
     print(report.render())

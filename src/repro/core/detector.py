@@ -15,7 +15,6 @@ stream cursor by the round's final window size.
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -31,8 +30,8 @@ from repro.obs import runtime as obs
 
 __all__ = ["DBCatcher", "UnitDetectionResult"]
 
-#: Sentinel distinguishing "kwarg omitted" from an explicit ``None`` in the
-#: deprecated ``history_limit`` constructor parameter.
+#: Sentinel distinguishing "kwarg omitted" from an explicit ``None`` in
+#: :meth:`DBCatcher.from_state`'s ``history_limit`` retention override.
 _UNSET = object()
 
 
@@ -116,10 +115,6 @@ class DBCatcher:
         ``measure(x, y, max_delay) -> float``; ``None`` uses the KCD.
         Exists for the Table X comparators (MM-Pearson, MM-DTW); a custom
         measure always runs on the reference engine.
-    history_limit:
-        Deprecated — set ``DBCatcherConfig.history_limit`` instead.
-        Passing it still works (it overrides the config field) but emits a
-        :class:`DeprecationWarning`.
 
     Notes
     -----
@@ -148,7 +143,6 @@ class DBCatcher:
         n_databases: int,
         active: Optional[Sequence[bool]] = None,
         measure=None,
-        history_limit: object = _UNSET,
     ):
         # Local import: repro.engine depends on repro.core.config, so a
         # module-level import here would close an import cycle.
@@ -156,14 +150,6 @@ class DBCatcher:
 
         if n_databases < 2:
             raise ValueError("UKPIC needs at least two databases in a unit")
-        if history_limit is not _UNSET:
-            warnings.warn(
-                "the history_limit argument of DBCatcher is deprecated; "
-                "set DBCatcherConfig(history_limit=...) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            config = replace(config, history_limit=history_limit)
         self._config = config
         self._n_databases = n_databases
         if active is None:
@@ -292,39 +278,6 @@ class DBCatcher:
             )
         self._streams.extend(block)
         return self._drain()
-
-    def ingest(self, sample: np.ndarray) -> List[UnitDetectionResult]:
-        """Deprecated alias for :meth:`process` with one tick."""
-        warnings.warn(
-            "DBCatcher.ingest is deprecated; use process(sample)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.process(sample)
-
-    def ingest_block(self, samples: np.ndarray) -> List[UnitDetectionResult]:
-        """Deprecated alias for :meth:`process` with a tick-major block."""
-        warnings.warn(
-            "DBCatcher.ingest_block is deprecated; use process(samples)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.process(samples)
-
-    def detect_series(self, values: np.ndarray) -> List[UnitDetectionResult]:
-        """Deprecated alias for :meth:`process` on dataset-layout blocks."""
-        warnings.warn(
-            "DBCatcher.detect_series is deprecated; use "
-            "process(values, time_axis=-1)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        data = np.asarray(values, dtype=np.float64)
-        if data.ndim != 3:
-            raise ValueError(
-                f"expected (n_databases, n_kpis, n_ticks), got {data.shape}"
-            )
-        return self.process(data, time_axis=-1)
 
     def _drain(self) -> List[UnitDetectionResult]:
         """Run detection rounds while buffered data allows."""

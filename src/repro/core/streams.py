@@ -178,7 +178,7 @@ class KPIStreams:
 
         When the retained tail occupies under a quarter of a large
         allocation, the buffer is also reallocated smaller, so a one-off
-        backlog burst (e.g. a batch replay through ``ingest_block``)
+        backlog burst (e.g. a batch replay through ``process``)
         does not pin its peak footprint for the rest of a long-running
         serve.
         """

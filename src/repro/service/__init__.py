@@ -10,6 +10,10 @@ this package runs a *fleet* of them online:
 * :mod:`~repro.service.api` — the network ingestion plane: HTTP tick
   ingestion into a bounded :class:`NetworkSource` (429 backpressure),
   plus query endpoints over verdicts, incidents and durable state;
+* :mod:`~repro.service.sharding` — consistent-hash shard assignment
+  (bounded-load ring; deterministic rebalancing on worker join/leave);
+* :mod:`~repro.service.transport` — tick transports behind the
+  :class:`TickTransport` protocol (``pickle`` pipes, shared-memory rings);
 * :mod:`~repro.service.workers` — the sharded worker pool
   (``multiprocessing`` with crash-restart, serial in-process fallback);
 * :mod:`~repro.service.alerts` — the alert pipeline and its sinks;
@@ -48,17 +52,24 @@ from repro.service.alerts import (
     StdoutSink,
     build_sink,
 )
-from repro.service.config import BACKPRESSURE_POLICIES, ServiceConfig
+from repro.service.config import BACKPRESSURE_POLICIES, TRANSPORTS, ServiceConfig
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.service.protocols import TickSource
+from repro.service.protocols import TickSource, TickTransport
 from repro.service.queues import IngestionBridge, QueueClosed, QueueFull, TickQueue
 from repro.service.scheduler import DetectionService, ServiceReport, detect_fleet
+from repro.service.sharding import RING_SEED, RING_VERSION, HashRing, assign_units
 from repro.service.sources import (
     MonitorSource,
     MonitorStreamSource,
     ReplaySource,
     RetryingSource,
     TickEvent,
+)
+from repro.service.transport import (
+    PickleTickTransport,
+    ShmTickRing,
+    ShmTickTransport,
+    make_transport,
 )
 from repro.service.tuning import RetrainEvent, TuningCoordinator
 from repro.service.workers import (
@@ -67,7 +78,6 @@ from repro.service.workers import (
     UnitSpec,
     WorkerDied,
     make_pool,
-    shard_units,
 )
 
 __all__ = [
@@ -82,6 +92,7 @@ __all__ = [
     "Counter",
     "DetectionService",
     "Gauge",
+    "HashRing",
     "Histogram",
     "IngestServer",
     "IngestionBridge",
@@ -91,25 +102,33 @@ __all__ = [
     "MonitorSource",
     "MonitorStreamSource",
     "NetworkSource",
+    "PickleTickTransport",
     "ProcessWorkerPool",
     "QueueClosed",
     "QueueFull",
+    "RING_SEED",
+    "RING_VERSION",
     "ReplaySource",
     "RetrainEvent",
     "RetryingSource",
     "SerialWorkerPool",
     "ServiceConfig",
     "ServiceReport",
+    "ShmTickRing",
+    "ShmTickTransport",
     "StdoutSink",
+    "TRANSPORTS",
     "TickEvent",
     "TickQueue",
     "TickSource",
+    "TickTransport",
     "TuningCoordinator",
     "UnitSpec",
     "WorkerDied",
+    "assign_units",
     "build_sink",
     "detect_fleet",
     "make_pool",
+    "make_transport",
     "push_dataset",
-    "shard_units",
 ]

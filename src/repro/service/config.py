@@ -13,13 +13,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-__all__ = ["ServiceConfig", "BACKPRESSURE_POLICIES"]
+__all__ = ["ServiceConfig", "BACKPRESSURE_POLICIES", "TRANSPORTS"]
 
 #: What the ingestion bridge does when a unit's bounded queue is full.
 #: ``block`` makes the producer wait (lossless, propagates pressure to the
 #: collector); ``drop_oldest`` evicts the stalest tick (bounded staleness,
 #: lossy under sustained overload).
 BACKPRESSURE_POLICIES: Tuple[str, ...] = ("block", "drop_oldest")
+
+#: How dispatched KPI blocks reach the worker processes.  ``pickle``
+#: ships them inside the worker pipe messages; ``shm`` writes them into
+#: per-worker shared-memory ring buffers and ships only slot descriptors
+#: (see :mod:`repro.service.transport`).
+TRANSPORTS: Tuple[str, ...] = ("pickle", "shm")
 
 
 @dataclass(frozen=True)
@@ -80,6 +86,18 @@ class ServiceConfig:
         Most ticks one ``POST /v1/ticks`` may carry (413 beyond).
     ingest_retry_after_seconds:
         ``Retry-After`` hint sent with every 429 backpressure response.
+    transport:
+        How dispatched tick blocks reach the worker processes:
+        ``"pickle"`` (default, portable) rides them inside the worker
+        pipe messages; ``"shm"`` stages them in per-worker shared-memory
+        ring buffers for zero-copy reads (see
+        :mod:`repro.service.transport`).  Ignored on the serial path.
+    transport_ring_ticks:
+        Capacity of each worker's shared-memory ring, in tick slots
+        (``shm`` transport only).  A dispatch larger than the ring is
+        chunked across several round-trips; a ring that stays full past
+        ``put_timeout_seconds``-style limits surfaces as explicit
+        backpressure.
     """
 
     n_workers: int = 0
@@ -96,6 +114,8 @@ class ServiceConfig:
     ingest_capacity: int = 1024
     ingest_max_batch: int = 256
     ingest_retry_after_seconds: float = 0.05
+    transport: str = "pickle"
+    transport_ring_ticks: int = 1024
 
     def __post_init__(self) -> None:
         if self.n_workers < 0:
@@ -134,6 +154,13 @@ class ServiceConfig:
             raise ValueError("ingest_max_batch must be >= 1")
         if self.ingest_retry_after_seconds <= 0:
             raise ValueError("ingest_retry_after_seconds must be positive")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, "
+                f"got {self.transport!r}"
+            )
+        if self.transport_ring_ticks < 2:
+            raise ValueError("transport_ring_ticks must be >= 2")
 
     @property
     def parallel(self) -> bool:

@@ -9,8 +9,8 @@ counters and latency histograms accumulate in the metrics registry.
 
 :func:`detect_fleet` is the offline convenience over the same machinery:
 shard a saved dataset across ``jobs`` workers and get back per-unit
-verdicts bit-identical to running ``DBCatcher.detect_series`` on each
-unit serially.
+verdicts bit-identical to running ``DBCatcher.process`` on each unit
+serially.
 """
 
 from __future__ import annotations
@@ -44,7 +44,7 @@ from repro.service.queues import IngestionBridge
 from repro.service.protocols import TickSource
 from repro.service.sources import ReplaySource, TickEvent
 from repro.service.tuning import RetrainEvent, TuningCoordinator
-from repro.service.workers import UnitSpec, make_pool, shard_units
+from repro.service.workers import UnitSpec, make_pool
 
 if TYPE_CHECKING:  # imported lazily at runtime: repro.rca pulls in sources
     from repro.rca.incidents import Incident
@@ -196,8 +196,9 @@ class DetectionService:
     topology:
         Shared-infrastructure groups for incident correlation; one
         all-units group when omitted.  The scheduler always overlays
-        ``shard:<n>`` groups matching the worker-pool assignment when the
-        run is parallel, so units co-located on a worker correlate.
+        ``shard:<worker>`` groups matching the worker-pool assignment
+        when the run is parallel, so units co-located on a worker
+        correlate.
     result_listener:
         Optional ``(unit, result)`` callback invoked for every completed
         round — including rounds re-published during crash recovery — in
@@ -299,22 +300,14 @@ class DetectionService:
                     else spec
                     for spec in specs
                 ]
-        pool = make_pool(
-            pool_specs,
-            n_workers=cfg.n_workers,
-            history_limit=cfg.history_limit,
-            max_restarts=cfg.max_worker_restarts,
-            states=states or None,
-        )
+        pool = make_pool(pool_specs, cfg, states=states or None)
         bridge = IngestionBridge(
             list(units),
             capacity=cfg.queue_capacity,
             policy=cfg.backpressure,
             metrics=self.metrics,
         )
-        analyzer = (
-            self._build_analyzer(specs, cfg.n_workers) if self.rca else None
-        )
+        analyzer = self._build_analyzer(specs, pool) if self.rca else None
         pipeline = AlertPipeline(
             self._sinks,
             metrics=self.metrics,
@@ -507,7 +500,7 @@ class DetectionService:
                 self.result_listener(name, result)
             report.recovered_rounds += 1
 
-    def _build_analyzer(self, specs: List[UnitSpec], n_workers: int):
+    def _build_analyzer(self, specs: List[UnitSpec], pool):
         """Construct the run's RootCauseAnalyzer over the resolved configs.
 
         Imported lazily: :mod:`repro.rca` depends on the service sources,
@@ -522,10 +515,13 @@ class DetectionService:
             if self.topology is not None
             else Topology.single_group(unit_names)
         )
-        if n_workers > 1:
-            shards = shard_units(unit_names, n_workers)
+        shard_map = pool.shard_map()
+        if len(shard_map) > 1:
             topology = topology.merged(
-                {f"shard:{index}": shard for index, shard in enumerate(shards)}
+                {
+                    f"shard:{worker_id}": shard
+                    for worker_id, shard in shard_map.items()
+                }
             )
         return RootCauseAnalyzer(
             configs={spec.name: spec.config for spec in specs},

@@ -1,0 +1,205 @@
+"""Consistent-hash shard assignment for the detection worker pool.
+
+Round-robin sharding (the PR-1 scheme) balances perfectly but reassigns
+almost *every* unit whenever the worker count changes: unit ``i`` moves
+from ``i % n`` to ``i % (n ± 1)``.  At fleet scale that turns one worker
+joining or dying into a full-fleet state migration.  A consistent-hash
+ring bounds the blast radius instead: each worker owns the arc between
+its virtual nodes and its predecessors', so
+
+* a worker *joining* only pulls the units that land on its new arcs
+  (expected ``units / n_workers`` of them), and
+* a worker *leaving* only spills its own units onto the survivors;
+
+every other unit keeps its owner, and with it the worker-side detector
+state that :mod:`repro.persist` migrates alongside the shard.
+
+Plain consistent hashing balances poorly at small fleets (hashing 16
+units into 4 buckets binomially spreads 1-7 units per worker), and the
+slowest shard bounds every dispatch round.  :meth:`HashRing.assign_many`
+therefore applies the *bounded-load* refinement: no worker may own more
+than ``ceil(load_factor * units / workers)`` units; a unit whose primary
+arc is full walks the ring to the next worker with room.  The walk is a
+pure function of the (unit set, worker set, seed) triple — units are
+processed in canonical hash order — so every component still derives the
+identical assignment independently.
+
+Determinism is load-bearing: the scheduler, the RCA topology overlay and
+a crash-restarted pool must all derive the *same* assignment from the
+same worker set.  The ring therefore hashes with :func:`hashlib.blake2b`
+keyed by an explicit seed — never Python's randomized ``hash()`` — and
+stamps its layout with :data:`RING_VERSION` so a future rehash (different
+point width, replica count or digest) is an explicit, versioned break
+rather than a silent one.
+"""
+
+from __future__ import annotations
+
+import bisect
+from hashlib import blake2b
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["RING_VERSION", "RING_SEED", "HashRing", "assign_units"]
+
+#: Layout version of the ring's hash scheme.  Bump when the digest, the
+#: point width or the virtual-node key format changes: persisted shard
+#: maps and cross-process assignments are only comparable within one
+#: version.
+RING_VERSION = 1
+
+#: Default hash seed.  All cooperating components must agree on it; it is
+#: a constructor parameter only so tests can probe seed-sensitivity.
+RING_SEED = 0xDBCA
+
+#: Virtual nodes per worker.  64 keeps the raw-ring imbalance moderate
+#: (bounded loads do the rest) while the ring stays tiny.
+DEFAULT_REPLICAS = 64
+
+#: Default bounded-load factor: no worker owns more than 1.25x the mean
+#: shard size (rounded up).  1.25 keeps dispatch rounds within ~25% of
+#: perfectly balanced while leaving enough slack that capacity overflow —
+#: and therefore reassignment cascade on membership change — stays rare.
+DEFAULT_LOAD_FACTOR = 1.25
+
+
+def _point(key: str, seed: int) -> int:
+    """Deterministic 64-bit ring coordinate of ``key`` under ``seed``."""
+    digest = blake2b(
+        key.encode("utf-8"),
+        digest_size=8,
+        salt=seed.to_bytes(8, "little"),
+        person=b"dbc-ring",
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+class HashRing:
+    """A consistent-hash ring over worker identifiers.
+
+    Parameters
+    ----------
+    workers:
+        Worker identifiers (unique strings; the pool uses ``"w<k>"`` with
+        ``k`` never reused, so a replacement worker is a *new* ring member
+        rather than an alias of the dead one).
+    replicas:
+        Virtual nodes per worker; more replicas = smoother balance.
+    seed:
+        Hash seed (see :data:`RING_SEED`).
+
+    Notes
+    -----
+    The ring is immutable; membership changes build a new ring (see
+    :meth:`with_worker` / :meth:`without_worker`), which is what makes
+    reassignment diffs easy to compute and test.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[str],
+        replicas: int = DEFAULT_REPLICAS,
+        seed: int = RING_SEED,
+        load_factor: float = DEFAULT_LOAD_FACTOR,
+    ):
+        if not workers:
+            raise ValueError("the ring needs at least one worker")
+        if len(set(workers)) != len(workers):
+            raise ValueError("worker identifiers must be unique")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if load_factor < 1.0:
+            raise ValueError("load_factor must be >= 1.0")
+        self.workers: Tuple[str, ...] = tuple(workers)
+        self.replicas = replicas
+        self.seed = seed
+        self.load_factor = load_factor
+        points: List[Tuple[int, str]] = []
+        for worker in self.workers:
+            for replica in range(replicas):
+                points.append((_point(f"{worker}#{replica}", seed), worker))
+        # Ties are broken by worker id so insertion order never matters.
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [w for _, w in points]
+
+    def assign(self, unit: str) -> str:
+        """``unit``'s *primary* owner: first ring point at or after its hash.
+
+        Capacity-blind — the fleet-wide :meth:`assign_many` is what the
+        pool uses; this is the raw ring lookup it starts from.
+        """
+        index = bisect.bisect_left(self._points, _point(unit, self.seed))
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def assign_many(self, units: Sequence[str]) -> Dict[str, str]:
+        """Bounded-load unit -> worker assignment for a whole fleet.
+
+        Units are processed in canonical order (by ring coordinate, ties
+        by name) so the result is a pure function of the unit *set*; the
+        returned dict preserves the caller's unit order.  A unit whose
+        primary worker is at capacity walks clockwise to the next worker
+        with room — with at least one worker always under the ceiling,
+        the walk terminates.
+        """
+        if len(set(units)) != len(units):
+            raise ValueError("unit names must be unique")
+        capacity = -(-int(self.load_factor * len(units)) // len(self.workers))
+        capacity = max(capacity, -(-len(units) // len(self.workers)))
+        counts: Dict[str, int] = {worker: 0 for worker in self.workers}
+        placed: Dict[str, str] = {}
+        order = sorted(units, key=lambda unit: (_point(unit, self.seed), unit))
+        n_points = len(self._points)
+        for unit in order:
+            index = bisect.bisect_left(self._points, _point(unit, self.seed))
+            for step in range(n_points):
+                owner = self._owners[(index + step) % n_points]
+                if counts[owner] < capacity:
+                    placed[unit] = owner
+                    counts[owner] += 1
+                    break
+        return {unit: placed[unit] for unit in units}
+
+    def with_worker(self, worker: str) -> "HashRing":
+        """A new ring with ``worker`` added (same replicas/seed/factor)."""
+        if worker in self.workers:
+            raise ValueError(f"worker {worker!r} is already on the ring")
+        return HashRing(
+            (*self.workers, worker),
+            replicas=self.replicas,
+            seed=self.seed,
+            load_factor=self.load_factor,
+        )
+
+    def without_worker(self, worker: str) -> "HashRing":
+        """A new ring with ``worker`` removed (same replicas/seed/factor)."""
+        if worker not in self.workers:
+            raise ValueError(f"worker {worker!r} is not on the ring")
+        remaining = tuple(w for w in self.workers if w != worker)
+        return HashRing(
+            remaining,
+            replicas=self.replicas,
+            seed=self.seed,
+            load_factor=self.load_factor,
+        )
+
+    def shards(self, units: Sequence[str]) -> Dict[str, List[str]]:
+        """Worker -> owned units (fleet order), every worker present."""
+        shards: Dict[str, List[str]] = {worker: [] for worker in self.workers}
+        for unit, worker in self.assign_many(units).items():
+            shards[worker].append(unit)
+        return shards
+
+
+def assign_units(
+    unit_names: Sequence[str],
+    workers: Sequence[str],
+    replicas: int = DEFAULT_REPLICAS,
+    seed: int = RING_SEED,
+    load_factor: float = DEFAULT_LOAD_FACTOR,
+) -> Dict[str, str]:
+    """One-shot bounded-load consistent-hash assignment of units."""
+    return HashRing(
+        workers, replicas=replicas, seed=seed, load_factor=load_factor
+    ).assign_many(unit_names)

@@ -7,7 +7,7 @@ Two invariants the fault-tolerant pipeline rests on:
   active mask around NaN-poisoned databases changes nothing for the
   survivors;
 * NaN-bearing windows never surface as NaN (or otherwise invalid)
-  verdicts out of :meth:`DBCatcher.detect_series`.
+  verdicts out of :meth:`DBCatcher.process`.
 """
 
 import math
@@ -92,7 +92,7 @@ def nan_poisoned_series(draw):
 class TestNaNNeverLeaks:
     @given(nan_poisoned_series())
     @settings(max_examples=25, deadline=None)
-    def test_detect_series_yields_only_valid_verdicts(self, values):
+    def test_process_yields_only_valid_verdicts(self, values):
         config = DBCatcherConfig(
             kpi_names=("cpu", "rps"), initial_window=8, max_window=16
         )

@@ -146,11 +146,14 @@ class TestServiceUnderChaos:
         assert report.kill_drills == 1
         assert report.worker_restarts == 0
 
-    def test_kill_drill_restarts_process_worker(self):
+    @pytest.mark.parametrize("transport", ["pickle", "shm"])
+    def test_kill_drill_restarts_process_worker(self, transport):
         fleet = _fleet()
         source = ChaosSource(ReplaySource(fleet), [WorkerKill(at_tick=30)])
         service = DetectionService(
-            CONFIG, service_config=ServiceConfig(n_workers=1), sinks=("null",)
+            CONFIG,
+            service_config=ServiceConfig(n_workers=1, transport=transport),
+            sinks=("null",),
         )
         report = service.run(source)
         assert report.kill_drills == 1

@@ -150,3 +150,27 @@ class TestConfigSwap:
         catcher = DBCatcher(_config(), n_databases=4)
         with pytest.raises(ValueError):
             catcher.install_config(DBCatcherConfig(kpi_names=("one",)))
+
+
+class TestProcessValidation:
+    def test_single_tick_and_block_agree(self):
+        series = _correlated_series(n_ticks=30)
+        tick_by_tick = DBCatcher(_config(), n_databases=4)
+        block = DBCatcher(_config(), n_databases=4)
+        results = []
+        for t in range(series.shape[2]):
+            results += tick_by_tick.process(series[:, :, t])
+        assert results == block.process(series.transpose(2, 0, 1))
+
+    def test_time_axis_layouts_agree(self):
+        series = _correlated_series(n_ticks=30)
+        a = DBCatcher(_config(), n_databases=4)
+        b = DBCatcher(_config(), n_databases=4)
+        assert a.process(series, time_axis=-1) == b.process(
+            series.transpose(2, 0, 1), time_axis=0
+        )
+
+    def test_bad_time_axis_rejected(self):
+        catcher = DBCatcher(_config(), n_databases=4)
+        with pytest.raises(ValueError, match="time_axis"):
+            catcher.process(np.zeros((4, 2, 10)), time_axis=1)

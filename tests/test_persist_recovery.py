@@ -82,18 +82,26 @@ def _assert_equivalent(reference, recovered):
 
 
 class TestGoldenEquivalence:
-    @pytest.mark.parametrize("jobs", [0, 2])
+    @pytest.mark.parametrize(
+        "jobs,transport", [(0, "pickle"), (2, "pickle"), (2, "shm")]
+    )
     @pytest.mark.parametrize("kill_tick", [97, 160])
-    def test_killed_run_resumes_identically(self, fleet, tmp_path, jobs, kill_tick):
-        reference = detect_fleet(fleet, config=CONFIG, jobs=jobs)
+    def test_killed_run_resumes_identically(
+        self, fleet, tmp_path, jobs, transport, kill_tick
+    ):
+        service_config = ServiceConfig(transport=transport)
+        reference = detect_fleet(
+            fleet, config=CONFIG, jobs=jobs, service_config=service_config
+        )
         state_dir = str(tmp_path / "state")
         interrupted = detect_fleet(
             fleet, config=CONFIG, jobs=jobs, max_ticks=kill_tick,
+            service_config=service_config,
             state_dir=state_dir, snapshot_every=3,
         )
         assert interrupted.snapshots_written > 0
         resumed = detect_fleet(
-            fleet, config=CONFIG, jobs=jobs,
+            fleet, config=CONFIG, jobs=jobs, service_config=service_config,
             state_dir=state_dir, snapshot_every=3,
         )
         assert resumed.recovered_rounds > 0

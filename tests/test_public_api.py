@@ -25,6 +25,8 @@ EXPECTED = {
         "OnlineFeedback",
         "ServiceConfig",
         "ServiceReport",
+        "TickSource",
+        "TickTransport",
         "UnitDetectionResult",
         "detect_fleet",
         "kcd",
@@ -119,6 +121,7 @@ EXPECTED = {
         "Counter",
         "DetectionService",
         "Gauge",
+        "HashRing",
         "Histogram",
         "IngestServer",
         "IngestionBridge",
@@ -128,27 +131,35 @@ EXPECTED = {
         "MonitorSource",
         "MonitorStreamSource",
         "NetworkSource",
+        "PickleTickTransport",
         "ProcessWorkerPool",
         "QueueClosed",
         "QueueFull",
+        "RING_SEED",
+        "RING_VERSION",
         "ReplaySource",
         "RetrainEvent",
         "RetryingSource",
         "SerialWorkerPool",
         "ServiceConfig",
         "ServiceReport",
+        "ShmTickRing",
+        "ShmTickTransport",
         "StdoutSink",
+        "TRANSPORTS",
         "TickEvent",
         "TickQueue",
         "TickSource",
+        "TickTransport",
         "TuningCoordinator",
         "UnitSpec",
         "WorkerDied",
+        "assign_units",
         "build_sink",
         "detect_fleet",
         "make_pool",
+        "make_transport",
         "push_dataset",
-        "shard_units",
     ],
     repro.service.api: [
         "WIRE_VERSION",

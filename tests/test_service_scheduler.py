@@ -51,7 +51,7 @@ def _reference(fleet):
 
 
 class TestSerialService:
-    def test_matches_detect_series_exactly(self, fleet):
+    def test_matches_serial_process_exactly(self, fleet):
         report = detect_fleet(fleet, config=CONFIG, jobs=0)
         assert report.results == _reference(fleet)
 
@@ -111,11 +111,16 @@ class TestSerialService:
 
 
 class TestParallelParity:
-    def test_parallel_results_identical_to_serial(self, fleet):
-        """The satellite parity requirement: same data, same seeds ->
-        identical UnitDetectionResult sequences per unit, serial vs pool."""
+    @pytest.mark.parametrize("transport", ["pickle", "shm"])
+    def test_parallel_results_identical_to_serial(self, fleet, transport):
+        """The golden parity requirement: same data, same seeds ->
+        identical UnitDetectionResult sequences per unit, serial vs pool,
+        on either transport."""
         serial = detect_fleet(fleet, config=CONFIG, jobs=0)
-        parallel = detect_fleet(fleet, config=CONFIG, jobs=2)
+        parallel = detect_fleet(
+            fleet, config=CONFIG, jobs=2,
+            service_config=ServiceConfig(transport=transport),
+        )
         assert parallel.results == serial.results
         assert parallel.worker_restarts == 0
         assert parallel.ticks_lost == 0

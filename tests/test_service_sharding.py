@@ -1,0 +1,175 @@
+"""Consistent-hash sharding tests: ring properties and pool rebalancing.
+
+The ring's contract is *determinism* — the same fleet on the same
+worker set always maps the same way, across processes and restarts —
+plus bounded load and minimal disruption when the worker set changes.
+The pool-level tests then pin the operational story: workers joining
+and leaving migrate exactly the units the ring says move, and the
+migrated detectors resume from their exported state with a verdict
+history identical to an undisturbed serial run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DBCatcherConfig
+from repro.core.detector import DBCatcher
+from repro.service.sharding import (
+    DEFAULT_LOAD_FACTOR,
+    HashRing,
+    RING_SEED,
+    RING_VERSION,
+    assign_units,
+)
+from repro.service.workers import ProcessWorkerPool, UnitSpec
+
+CONFIG = DBCatcherConfig(kpi_names=("cpu", "rps"), initial_window=10, max_window=30)
+
+UNITS = [f"u{i}" for i in range(64)]
+WORKERS = ["w0", "w1", "w2", "w3"]
+
+
+class TestHashRing:
+    def test_assignment_is_deterministic(self):
+        first = HashRing(WORKERS).assign_many(UNITS)
+        second = HashRing(list(WORKERS)).assign_many(list(UNITS))
+        assert first == second
+        assert assign_units(UNITS, WORKERS) == first
+
+    def test_versioned_seed_is_pinned(self):
+        # The placement function is part of the persistence contract: a
+        # changed seed silently remaps every fleet, so bumping either
+        # constant must be a deliberate, versioned decision.
+        assert RING_VERSION == 1
+        assert RING_SEED == 0xDBCA
+
+    def test_load_stays_bounded(self):
+        owner = HashRing(WORKERS).assign_many(UNITS)
+        bound = int(np.ceil(DEFAULT_LOAD_FACTOR * len(UNITS) / len(WORKERS)))
+        counts = {w: 0 for w in WORKERS}
+        for worker in owner.values():
+            counts[worker] += 1
+        assert all(count <= bound for count in counts.values())
+        assert all(count > 0 for count in counts.values())
+
+    def test_join_moves_only_a_fraction(self):
+        before = HashRing(WORKERS).assign_many(UNITS)
+        after = HashRing(WORKERS).with_worker("w4").assign_many(UNITS)
+        moved = [u for u in UNITS if before[u] != after[u]]
+        # Consistent hashing moves ~1/(n+1) of the keys on a join; a
+        # modulo scheme would move ~4/5 of them.  Allow bounded-load
+        # spill but stay far from a full reshuffle.
+        assert 0 < len(moved) <= len(UNITS) // 2
+
+    def test_leave_reassigns_departed_units(self):
+        before = HashRing(WORKERS).assign_many(UNITS)
+        after = HashRing(WORKERS).without_worker("w1").assign_many(UNITS)
+        for unit in UNITS:
+            assert after[unit] != "w1"
+        moved = [u for u in UNITS if before[u] != after[u]]
+        orphaned = [u for u in UNITS if before[u] == "w1"]
+        assert set(orphaned) <= set(moved)
+        assert len(moved) <= len(orphaned) + len(UNITS) // 4
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing(WORKERS).without_worker("w0").without_worker(
+                "w1"
+            ).without_worker("w2").without_worker("w3")
+
+
+def _series(seed, n_db=3, n_ticks=120):
+    rng = np.random.default_rng(seed)
+    trend = np.sin(np.linspace(0, 9, n_ticks)) + 2.0
+    values = np.stack(
+        [trend[None, :] * (1 + 0.02 * d) + 0.01 * rng.standard_normal((2, n_ticks))
+         for d in range(n_db)]
+    )
+    values[2, :, 60:90] = rng.standard_normal((2, 30)) * 3.0 + 8.0
+    return values
+
+
+@pytest.fixture
+def units():
+    return {f"u{i}": _series(seed=300 + i) for i in range(5)}
+
+
+def _specs(units):
+    return [UnitSpec(name, 3, CONFIG) for name in units]
+
+
+def _batches(units, lo, hi):
+    return {
+        name: series.transpose(2, 0, 1)[lo:hi] for name, series in units.items()
+    }
+
+
+def _reference(units):
+    return {
+        name: DBCatcher(CONFIG, n_databases=3).process(series, time_axis=-1)
+        for name, series in units.items()
+    }
+
+
+def _merge(merged, round_results):
+    for name, results in round_results.items():
+        merged[name].extend(results)
+
+
+class TestPoolRebalance:
+    def test_add_worker_matches_ring_and_keeps_history(self, units):
+        pool = ProcessWorkerPool(_specs(units), n_workers=2)
+        merged = {name: [] for name in units}
+        try:
+            _merge(merged, pool.dispatch(_batches(units, 0, 60)))
+            new_id = pool.add_worker()
+            assert new_id == "w2"
+            expected = HashRing(["w0", "w1", "w2"]).assign_many(sorted(units))
+            assert {u: pool.shard_of(u) for u in units} == expected
+            assert any(owner == "w2" for owner in expected.values())
+            _merge(merged, pool.dispatch(_batches(units, 60, 120)))
+        finally:
+            pool.stop()
+        assert merged == _reference(units)
+
+    def test_retire_worker_matches_ring_and_keeps_history(self, units):
+        pool = ProcessWorkerPool(_specs(units), n_workers=3)
+        merged = {name: [] for name in units}
+        try:
+            _merge(merged, pool.dispatch(_batches(units, 0, 60)))
+            pool.retire_worker("w0")
+            expected = HashRing(["w1", "w2"]).assign_many(sorted(units))
+            assert {u: pool.shard_of(u) for u in units} == expected
+            assert sorted(pool.worker_ids()) == ["w1", "w2"]
+            _merge(merged, pool.dispatch(_batches(units, 60, 120)))
+        finally:
+            pool.stop()
+        assert merged == _reference(units)
+
+    def test_dead_worker_units_resume_from_persisted_state(self, units):
+        pool = ProcessWorkerPool(_specs(units), n_workers=2, max_restarts=0)
+        merged = {name: [] for name in units}
+        try:
+            _merge(merged, pool.dispatch(_batches(units, 0, 60)))
+            saved = pool.export_persist_states()
+            dead = pool.shard_of("u0")
+            pool.crash_worker("u0")
+            # Bury the dead worker: its units resume warm from the
+            # persisted snapshots, exactly the recovery-path handoff.
+            pool.retire_worker(dead, states=saved)
+            assert dead not in pool.worker_ids()
+            _merge(merged, pool.dispatch(_batches(units, 60, 120)))
+        finally:
+            pool.stop()
+        assert merged == _reference(units)
+
+    def test_worker_ids_are_never_reused(self, units):
+        pool = ProcessWorkerPool(_specs(units), n_workers=2)
+        try:
+            pool.retire_worker("w0")
+            assert pool.add_worker() == "w2"
+            assert sorted(pool.worker_ids()) == ["w1", "w2"]
+        finally:
+            pool.stop()

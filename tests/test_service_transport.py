@@ -1,0 +1,198 @@
+"""Shared-memory tick transport tests.
+
+The ring protocol carries correctness on three load-bearing claims:
+views never wrap (wraparound pads instead), a piece capped at half the
+ring can always eventually fit, and backpressure surfaces as the same
+:class:`QueueFull` the ingest queues raise.  Each is pinned here against
+the parent-side :class:`ShmTickTransport` and the worker-side
+:class:`WorkerRingReader` talking through a real shared-memory segment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.service.protocols import TickTransport
+from repro.service.queues import QueueFull
+from repro.service.transport import (
+    PickleTickTransport,
+    ShmTickRing,
+    ShmTickTransport,
+    WorkerRingReader,
+    _max_piece_ticks,
+    make_transport,
+    split_block,
+)
+
+
+def _block(ticks, n_dbs=3, n_kpis=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((ticks, n_dbs, n_kpis))
+
+
+@pytest.fixture
+def ring():
+    ring = ShmTickRing(capacity=8, stride=6)
+    yield ring
+    ring.close()
+    ring.unlink()
+
+
+class TestShmTickRing:
+    def test_write_view_release_roundtrip(self, ring):
+        block = _block(5)
+        descriptor = ring.try_write("u0", block)
+        assert descriptor == ("u0", 0, 5, 3, 2, 5)
+        assert ring.head == 5 and ring.tail == 0
+        assert np.array_equal(ring.view(descriptor), block)
+        ring.release(descriptor[5])
+        assert ring.free_slots == ring.capacity
+
+    def test_view_is_read_only(self, ring):
+        descriptor = ring.try_write("u0", _block(2))
+        view = ring.view(descriptor)
+        with pytest.raises(ValueError):
+            view[0, 0, 0] = 1.0
+
+    def test_wraparound_pads_so_views_never_wrap(self, ring):
+        first = ring.try_write("u0", _block(6, seed=1))
+        ring.release(first[5])
+        block = _block(4, seed=2)
+        descriptor = ring.try_write("u0", block)
+        # Offset 6 leaves two contiguous slots; the write pads past them
+        # and restarts at slot 0, releasing pad + ticks together.
+        assert descriptor[1] == 0
+        assert descriptor[5] == (8 - 6) + 4
+        assert np.array_equal(ring.view(descriptor), block)
+        assert ring.head == 6 + 2 + 4
+
+    def test_full_ring_refuses_until_release(self, ring):
+        descriptor = ring.try_write("u0", _block(8))
+        assert ring.try_write("u1", _block(1)) is None
+        ring.release(descriptor[5])
+        assert ring.try_write("u1", _block(1)) is not None
+
+    def test_oversized_block_rejected(self, ring):
+        with pytest.raises(ValueError, match="exceeds ring capacity"):
+            ring.try_write("u0", _block(9))
+
+    def test_wide_block_rejected(self, ring):
+        with pytest.raises(ValueError, match="exceeds ring stride"):
+            ring.try_write("u0", _block(1, n_dbs=4, n_kpis=2))
+
+    def test_attach_by_name_shares_cursors(self, ring):
+        block = _block(3)
+        descriptor = ring.try_write("u0", block)
+        attached = ShmTickRing(name=ring.name)
+        try:
+            assert (attached.capacity, attached.stride) == (8, 6)
+            assert np.array_equal(attached.view(descriptor), block)
+            attached.release(descriptor[5])
+            assert ring.free_slots == ring.capacity
+        finally:
+            attached.close()
+
+
+class TestChunking:
+    def test_split_block_tiles_the_ticks(self):
+        block = _block(10)
+        pieces = list(split_block(block, 4))
+        assert [len(piece) for piece in pieces] == [4, 4, 2]
+        assert np.array_equal(np.concatenate(pieces), block)
+
+    def test_max_piece_is_half_the_ring(self):
+        # A T-tick piece can need 2T - 1 free slots once padding lands
+        # unluckily; half the ring is the largest always-fitting piece.
+        assert _max_piece_ticks(8) == 4
+        assert _max_piece_ticks(9) == 4
+        assert _max_piece_ticks(1) == 1
+
+
+class TestShmTransportEncode:
+    def _pump(self, transport, payload, timeout=5.0):
+        """Drive encode like the pool does: consume after every flush."""
+        reader = WorkerRingReader(transport.worker_init())
+        collected = {}
+        try:
+            for message in transport.encode(payload, timeout, lambda: False):
+                assert message is not None
+                kind, descriptors = message
+                assert kind == "batch_shm"
+                for unit, view, release in reader.blocks(descriptors):
+                    collected.setdefault(unit, []).append(np.array(view))
+                    reader.release(release)
+        finally:
+            reader.close()
+        return {
+            unit: np.concatenate(pieces) for unit, pieces in collected.items()
+        }
+
+    def test_payload_roundtrips_through_the_ring(self):
+        transport = ShmTickTransport(ring_ticks=64, stride=6)
+        payload = [("u0", _block(10, seed=3)), ("u1", _block(7, seed=4))]
+        try:
+            out = self._pump(transport, payload)
+        finally:
+            transport.dispose()
+        for unit, block in payload:
+            assert np.array_equal(out[unit], block)
+
+    def test_block_larger_than_ring_is_chunked(self):
+        transport = ShmTickTransport(ring_ticks=8, stride=6)
+        block = _block(30, seed=5)
+        try:
+            out = self._pump(transport, [("u0", block)])
+        finally:
+            transport.dispose()
+        assert np.array_equal(out["u0"], block)
+
+    def test_stalled_worker_raises_queuefull(self):
+        transport = ShmTickTransport(ring_ticks=4, stride=6)
+        stalls = 0
+        try:
+            with pytest.raises(QueueFull, match="shm ring stayed full"):
+                for message in transport.encode(
+                    [("u0", _block(10, seed=6))], 0.05, lambda: False
+                ):
+                    if message is None:
+                        stalls += 1
+        finally:
+            transport.dispose()
+        assert stalls > 0
+
+    def test_dispose_unlinks_the_segment(self):
+        transport = ShmTickTransport(ring_ticks=8, stride=6)
+        name = transport.ring.name
+        transport.dispose()
+        with pytest.raises(FileNotFoundError):
+            ShmTickRing(name=name)
+
+
+class TestTransportProtocol:
+    def test_both_implementations_conform(self):
+        pickle_transport = PickleTickTransport()
+        shm_transport = ShmTickTransport(ring_ticks=8, stride=4)
+        try:
+            assert isinstance(pickle_transport, TickTransport)
+            assert isinstance(shm_transport, TickTransport)
+        finally:
+            shm_transport.dispose()
+
+    def test_pickle_encode_is_one_message(self):
+        payload = [("u0", _block(5)), ("u1", _block(5, seed=1))]
+        messages = list(
+            PickleTickTransport().encode(payload, 1.0, lambda: False)
+        )
+        assert len(messages) == 1
+        kind, body = messages[0]
+        assert kind == "batch"
+        assert [unit for unit, _ in body] == ["u0", "u1"]
+
+    def test_make_transport_dispatches_on_kind(self):
+        assert make_transport("pickle", 8, 4).name == "pickle"
+        shm = make_transport("shm", ring_ticks=8, stride=4)
+        try:
+            assert shm.name == "shm"
+        finally:
+            shm.dispose()
+        with pytest.raises(ValueError, match="transport must be one of"):
+            make_transport("grpc", 8, 4)

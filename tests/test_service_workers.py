@@ -5,13 +5,14 @@ import pytest
 
 from repro.core.config import DBCatcherConfig
 from repro.core.detector import DBCatcher
+from repro.service.config import ServiceConfig
+from repro.service.sharding import HashRing
 from repro.service.workers import (
     ProcessWorkerPool,
     SerialWorkerPool,
     UnitSpec,
     WorkerDied,
     make_pool,
-    shard_units,
 )
 
 CONFIG = DBCatcherConfig(kpi_names=("cpu", "rps"), initial_window=10, max_window=30)
@@ -45,17 +46,27 @@ def units():
 
 
 class TestSharding:
-    def test_round_robin(self):
-        shards = shard_units(["a", "b", "c", "d", "e"], 2)
-        assert shards == [["a", "c", "e"], ["b", "d"]]
+    def test_shard_map_matches_hash_ring(self, units):
+        pool = ProcessWorkerPool(_specs(units), n_workers=2)
+        try:
+            expected = HashRing(["w0", "w1"]).assign_many(sorted(units))
+            assert pool.shard_of("u0") == expected["u0"]
+            for worker_id, shard in pool.shard_map().items():
+                assert all(expected[unit] == worker_id for unit in shard)
+        finally:
+            pool.stop()
 
-    def test_more_workers_than_units(self):
-        shards = shard_units(["a", "b"], 8)
-        assert shards == [["a"], ["b"]]
+    def test_more_workers_than_units_caps_pool(self, units):
+        pool = ProcessWorkerPool(_specs(units), n_workers=8)
+        try:
+            assert pool.n_workers == len(units)
+            assert sorted(pool.worker_ids()) == ["w0", "w1", "w2"]
+        finally:
+            pool.stop()
 
-    def test_zero_workers_rejected(self):
+    def test_zero_workers_rejected(self, units):
         with pytest.raises(ValueError):
-            shard_units(["a"], 0)
+            ProcessWorkerPool(_specs(units), n_workers=0)
 
 
 class TestSerialPool:
@@ -83,8 +94,9 @@ class TestSerialPool:
 
 
 class TestProcessPool:
-    def test_parity_with_serial_across_batch_splits(self, units):
-        pool = ProcessWorkerPool(_specs(units), n_workers=2)
+    @pytest.mark.parametrize("transport", ["pickle", "shm"])
+    def test_parity_with_serial_across_batch_splits(self, units, transport):
+        pool = ProcessWorkerPool(_specs(units), n_workers=2, transport=transport)
         try:
             merged = {name: [] for name in units}
             for lo, hi in ((0, 37), (37, 80), (80, 120)):
@@ -137,15 +149,29 @@ class TestProcessPool:
 
 
 class TestMakePool:
+    def test_default_config_is_serial(self, units):
+        pool = make_pool(_specs(units))
+        assert isinstance(pool, SerialWorkerPool)
+        pool.stop()
+
     def test_zero_workers_is_serial(self, units):
-        pool = make_pool(_specs(units), n_workers=0)
+        pool = make_pool(_specs(units), ServiceConfig(n_workers=0))
         assert isinstance(pool, SerialWorkerPool)
         pool.stop()
 
     def test_positive_workers_is_process_pool(self, units):
-        pool = make_pool(_specs(units), n_workers=2)
+        pool = make_pool(_specs(units), ServiceConfig(n_workers=2))
         try:
             assert isinstance(pool, ProcessWorkerPool)
             assert pool.n_workers == 2
+            assert pool.transport_name == "pickle"
+        finally:
+            pool.stop()
+
+    def test_transport_flows_from_config(self, units):
+        cfg = ServiceConfig(n_workers=2, transport="shm", transport_ring_ticks=64)
+        pool = make_pool(_specs(units), cfg)
+        try:
+            assert pool.transport_name == "shm"
         finally:
             pool.stop()
