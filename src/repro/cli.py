@@ -167,6 +167,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "(repeatable; default stdout)")
     serve.add_argument("--max-ticks", type=int, default=None,
                        help="stop after this many ticks per unit")
+    serve.add_argument("--log-ensemble", action="store_true",
+                       help="run the log-frequency channel alongside "
+                            "correlation detection and fuse the verdicts "
+                            "(provenance-tagged alerts)")
+    serve.add_argument("--log-scenario", default=None, metavar="NAME",
+                       help="replay a KPI-blind log scenario preset "
+                            "(error-burst, replication-lag, noisy-neighbor) "
+                            "instead of a dataset; implies --log-ensemble")
     _add_detector_flags(serve)
     serve.add_argument("--history-limit", type=int, default=None,
                        metavar="ROUNDS",
@@ -480,13 +488,30 @@ def _cmd_serve(args) -> int:
     from repro.service import DetectionService, ServiceConfig
 
     source = _build_tick_source(args)
+    if args.log_scenario is not None:
+        if source is not None or args.ingest_port is not None:
+            print("serve: --log-scenario replaces the dataset/--live/"
+                  "--ingest-port feed; pass one or the other",
+                  file=sys.stderr)
+            return 2
+        from repro.logs import log_scenario
+        from repro.service import ReplaySource
+
+        try:
+            scenario = log_scenario(args.log_scenario, seed=args.seed)
+        except ValueError as error:
+            print(f"serve: {error}", file=sys.stderr)
+            return 2
+        source = ReplaySource(scenario.dataset, logbook=scenario.logbooks)
+        print(f"log scenario {scenario.name}: {scenario.description}",
+              file=sys.stderr)
     if args.ingest_port is not None and source is not None:
         print("serve: --ingest-port replaces the dataset/--live feed; "
               "pass one or the other", file=sys.stderr)
         return 2
     if args.ingest_port is None and source is None:
-        print("serve needs a dataset path, --live, or --ingest-port",
-              file=sys.stderr)
+        print("serve needs a dataset path, --live, --log-scenario, or "
+              "--ingest-port", file=sys.stderr)
         return 2
     service_kwargs = dict(
         n_workers=args.jobs,
@@ -494,6 +519,7 @@ def _cmd_serve(args) -> int:
         queue_capacity=args.queue_capacity,
         backpressure=args.backpressure.replace("-", "_"),
         transport=args.transport,
+        log_ensemble=bool(args.log_ensemble or args.log_scenario),
     )
     if args.history_limit is not None:
         service_kwargs["history_limit"] = args.history_limit

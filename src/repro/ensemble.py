@@ -12,18 +12,132 @@ unit-wide deviations DBCatcher is structurally blind to.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Mapping, Tuple
 
 import numpy as np
 
 from repro.baselines.base import BaselineDetector, ThresholdRule
 from repro.core.config import DBCatcherConfig
-from repro.core.detector import DBCatcher
+from repro.core.detector import DBCatcher, UnitDetectionResult
 from repro.datasets.containers import UnitSeries
 from repro.eval.metrics import window_spans
 
-__all__ = ["HybridVerdict", "HybridDetector"]
+if TYPE_CHECKING:  # imported lazily: repro.logs consumes this module
+    from repro.logs.detector import LogVerdict
+
+__all__ = [
+    "PROVENANCE_CORRELATION",
+    "PROVENANCE_LOG",
+    "PROVENANCE_BOTH",
+    "FusedVerdict",
+    "fuse_round",
+    "HybridVerdict",
+    "HybridDetector",
+]
+
+#: Provenance tags on fused verdicts: which mechanism(s) flagged a
+#: database.  A ``log``-only tag on a unit-wide alarm is exactly the
+#: "UKPIC not broken" case the correlation signal is blind to.
+PROVENANCE_CORRELATION = "correlation"
+PROVENANCE_LOG = "log"
+PROVENANCE_BOTH = "both"
+
+
+@dataclass(frozen=True)
+class FusedVerdict:
+    """One detection round's KPI/log union verdict, with provenance.
+
+    The correlation verdict rides through *untouched* — ``correlation``
+    is exactly the round's :attr:`UnitDetectionResult.abnormal_databases`
+    — and the log channel's verdict joins it by union.  Keeping the
+    parts separate (and tagging every flagged database with which
+    mechanism fired) is the fusion contract the property suite pins: a
+    log-only firing may grow ``combined`` but can never mutate
+    ``correlation``.
+
+    Parameters
+    ----------
+    unit:
+        Unit the round belongs to.
+    start, end:
+        Absolute tick span ``[start, end)`` of the round.
+    correlation:
+        DBCatcher's abnormal databases, verbatim.
+    log:
+        The log-frequency detector's abnormal databases.
+    combined:
+        Sorted union of the two.
+    provenance:
+        Per flagged database, ``"correlation"`` / ``"log"`` / ``"both"``.
+    log_scores:
+        Per log-flagged database, the burst score behind the verdict.
+    """
+
+    unit: str
+    start: int
+    end: int
+    correlation: Tuple[int, ...] = ()
+    log: Tuple[int, ...] = ()
+    combined: Tuple[int, ...] = ()
+    provenance: Mapping[int, str] = field(default_factory=dict)
+    log_scores: Mapping[int, float] = field(default_factory=dict)
+
+    @property
+    def log_only(self) -> Tuple[int, ...]:
+        """Databases only the log channel flagged."""
+        return tuple(db for db in self.log if db not in self.correlation)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "unit": self.unit,
+            "start": self.start,
+            "end": self.end,
+            "correlation": list(self.correlation),
+            "log": list(self.log),
+            "combined": list(self.combined),
+            "provenance": {str(db): tag for db, tag in self.provenance.items()},
+            "log_scores": {
+                str(db): score for db, score in self.log_scores.items()
+            },
+        }
+
+
+def fuse_round(
+    unit: str, result: UnitDetectionResult, log_verdict: "LogVerdict"
+) -> FusedVerdict:
+    """Union-fuse one correlation round with its log verdict.
+
+    The two verdicts must cover the same tick span — the scheduler
+    aligns the log channel's judgement windows to the correlation
+    rounds, so a mismatch is a wiring bug, not data.
+    """
+    if (log_verdict.start, log_verdict.end) != (result.start, result.end):
+        raise ValueError(
+            f"log verdict spans [{log_verdict.start}, {log_verdict.end}) but "
+            f"the correlation round spans [{result.start}, {result.end})"
+        )
+    correlation = tuple(result.abnormal_databases)
+    log = tuple(log_verdict.abnormal_databases)
+    combined = tuple(sorted(set(correlation) | set(log)))
+    provenance = {}
+    for db in combined:
+        if db in correlation and db in log:
+            provenance[db] = PROVENANCE_BOTH
+        elif db in correlation:
+            provenance[db] = PROVENANCE_CORRELATION
+        else:
+            provenance[db] = PROVENANCE_LOG
+    return FusedVerdict(
+        unit=unit,
+        start=result.start,
+        end=result.end,
+        correlation=correlation,
+        log=log,
+        combined=combined,
+        provenance=provenance,
+        log_scores=dict(log_verdict.scores),
+    )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,193 @@
+"""Fusion evaluation: KCD-alone versus the KPI/log ensemble.
+
+The KPI-blind scenario presets (:mod:`repro.logs.scenarios`) are built so
+the correlation signal has nothing to see — the incident lives in the
+log stream while every KPI stays on its healthy profile.  This harness
+quantifies what the ensemble buys on exactly those streams: run the
+service once with the log channel fused, score the correlation side and
+the combined side of every round against the preset's ground truth, and
+compare detection delay and round-level F-measure.
+
+Scoring both arms from *one* fused run is sound because fusion never
+touches the correlation verdicts — the ``correlation`` tuple of a
+:class:`~repro.ensemble.FusedVerdict` is the round's
+:attr:`~repro.core.detector.UnitDetectionResult.abnormal_databases`
+verbatim, which is the KCD-only run's output bit for bit (the property
+suite pins this).  So the comparison is paired by construction: same
+rounds, same windows, no seed drift between arms.
+
+Verdicts are scored per ``(round, database)`` cell: a cell is truly
+positive when the round's span overlaps a ground-truth incident window
+of that database.  Detection delay is measured from the earliest
+incident start to the end of the first true-positive round — the tick
+the operator actually learned about the incident — and is ``None`` when
+an arm never detects anything true (infinite delay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.eval.metrics import f_measure
+
+__all__ = [
+    "ArmScores",
+    "FusionComparison",
+    "score_rounds",
+    "evaluate_scenario",
+    "evaluate_scenarios",
+]
+
+
+@dataclass(frozen=True)
+class ArmScores:
+    """Round-level detection quality of one arm on one scenario.
+
+    Parameters
+    ----------
+    true_positives, false_positives, false_negatives:
+        ``(round, database)`` cell counts against the ground truth.
+    detection_delay:
+        Ticks from the earliest incident start to the end of the first
+        true-positive round; ``None`` when the arm never fires on a
+        true cell (the miss case — effectively infinite delay).
+    """
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    detection_delay: Optional[int]
+
+    @property
+    def precision(self) -> float:
+        flagged = self.true_positives + self.false_positives
+        return self.true_positives / flagged if flagged else 0.0
+
+    @property
+    def recall(self) -> float:
+        truth = self.true_positives + self.false_negatives
+        return self.true_positives / truth if truth else 0.0
+
+    @property
+    def f_measure(self) -> float:
+        return f_measure(self.precision, self.recall)
+
+
+@dataclass(frozen=True)
+class FusionComparison:
+    """One scenario's paired scores: correlation alone vs the ensemble."""
+
+    scenario: str
+    kcd: ArmScores
+    ensemble: ArmScores
+
+    @property
+    def delay_improvement(self) -> Optional[int]:
+        """Ticks of detection latency the ensemble removed.
+
+        ``None`` when neither arm detected; a miss by KCD alone counts
+        as the full distance to the ensemble's detection.
+        """
+        if self.ensemble.detection_delay is None:
+            return None
+        if self.kcd.detection_delay is None:
+            # KCD never fired: the ensemble's whole detection is gain,
+            # measured against the scenario horizon implied by the delay.
+            return self.ensemble.detection_delay
+        return self.kcd.detection_delay - self.ensemble.detection_delay
+
+    @property
+    def improved(self) -> bool:
+        """Did fusion strictly beat KCD alone on delay or F-measure?"""
+        if self.ensemble.detection_delay is not None and (
+            self.kcd.detection_delay is None
+            or self.ensemble.detection_delay < self.kcd.detection_delay
+        ):
+            return True
+        return self.ensemble.f_measure > self.kcd.f_measure
+
+
+def score_rounds(
+    rounds: Sequence[Tuple[str, int, int, Tuple[int, ...]]],
+    incidents: Sequence[Tuple[str, int, int, int]],
+) -> ArmScores:
+    """Score ``(unit, start, end, flagged_databases)`` rounds.
+
+    ``incidents`` is the preset's ground truth, ``(unit, database,
+    start, end)`` windows.  Only databases mentioned by at least one
+    round or incident contribute false negatives — the round list
+    defines which cells were judged.
+    """
+    truth: Dict[Tuple[str, int], List[Tuple[int, int]]] = {}
+    for unit, database, start, end in incidents:
+        truth.setdefault((unit, database), []).append((start, end))
+    earliest = min((start for _, _, start, _ in incidents), default=0)
+    tp = fp = fn = 0
+    delay: Optional[int] = None
+    for unit, start, end, flagged in rounds:
+        flagged_set = set(flagged)
+        true_dbs = {
+            database
+            for (t_unit, database), windows in truth.items()
+            if t_unit == unit
+            and any(start < w_end and end > w_start for w_start, w_end in windows)
+        }
+        tp_here = len(true_dbs & flagged_set)
+        tp += tp_here
+        fp += len(flagged_set - true_dbs)
+        fn += len(true_dbs - flagged_set)
+        if tp_here and delay is None:
+            delay = end - earliest
+    return ArmScores(
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+        detection_delay=delay,
+    )
+
+
+def evaluate_scenario(
+    name: str, seed: int = 0, config=None
+) -> FusionComparison:
+    """Run one KPI-blind preset through the fused service and score it."""
+    from repro.logs import log_scenario
+    from repro.presets import default_config
+    from repro.service import DetectionService, ReplaySource, ServiceConfig
+
+    scenario = log_scenario(name, seed=seed)
+    service = DetectionService(
+        config if config is not None else default_config(),
+        service_config=ServiceConfig(log_ensemble=True),
+        sinks=("null",),
+    )
+    report = service.run(
+        ReplaySource(scenario.dataset, logbook=scenario.logbooks)
+    )
+    kcd_rounds: List[Tuple[str, int, int, Tuple[int, ...]]] = []
+    fused_rounds: List[Tuple[str, int, int, Tuple[int, ...]]] = []
+    for unit, fused_list in sorted(report.fused_verdicts.items()):
+        for fused in fused_list:
+            kcd_rounds.append(
+                (unit, fused.start, fused.end, fused.correlation)
+            )
+            fused_rounds.append(
+                (unit, fused.start, fused.end, fused.combined)
+            )
+    return FusionComparison(
+        scenario=name,
+        kcd=score_rounds(kcd_rounds, scenario.incidents),
+        ensemble=score_rounds(fused_rounds, scenario.incidents),
+    )
+
+
+def evaluate_scenarios(
+    names: Optional[Sequence[str]] = None, seed: int = 0, config=None
+) -> List[FusionComparison]:
+    """Evaluate several presets (all of them by default)."""
+    from repro.logs import LOG_SCENARIOS
+
+    selected = tuple(names) if names is not None else tuple(sorted(LOG_SCENARIOS))
+    return [
+        evaluate_scenario(name, seed=seed, config=config) for name in selected
+    ]

@@ -1,0 +1,78 @@
+"""Log-event channel: the second detection modality.
+
+The packages under :mod:`repro.logs` give the reproduction the log
+stream a real cloud-database fleet has alongside its KPIs, and the
+machinery to detect from it:
+
+* :mod:`~repro.logs.events` — the :class:`LogEvent` record and per-unit
+  :data:`LogBook` shape;
+* :mod:`~repro.logs.emitter` — seeded log emission causally tied to the
+  anomaly plans of :mod:`repro.anomalies` and the fault schedules of
+  :mod:`repro.chaos`;
+* :mod:`~repro.logs.templates` — Drain-style template masking and the
+  per-tick, per-database template count series;
+* :mod:`~repro.logs.detector` — the online log-frequency detector
+  (windowed burst + novel-template rules over running baselines);
+* :mod:`~repro.logs.scenarios` — KPI-blind presets where correlation
+  alone is structurally blind;
+* :mod:`~repro.logs.channel` — the service-side :class:`LogChannel`
+  that ingests events and fuses per-round verdicts with
+  :func:`repro.ensemble.fuse_round`.
+
+Quick start::
+
+    from repro.logs import LogChannel, dataset_logbook, log_scenario
+    from repro.service import DetectionService, ReplaySource, ServiceConfig
+
+    scenario = log_scenario("error-burst")
+    service = DetectionService(
+        default_config(),
+        service_config=ServiceConfig(log_ensemble=True),
+        sinks=("stdout",),
+        rca=True,
+    )
+    report = service.run(
+        ReplaySource(scenario.dataset, logbook=scenario.logbooks)
+    )
+"""
+
+from repro.logs.channel import LogChannel
+from repro.logs.detector import LogFrequencyDetector, LogVerdict
+from repro.logs.emitter import (
+    ANOMALY_LOG_PROFILES,
+    FAULT_LOG_PROFILES,
+    dataset_logbook,
+    events_logbook,
+    fault_logbook,
+    healthy_logbook,
+    merge_logbooks,
+    profile_logbook,
+    unit_logbook,
+)
+from repro.logs.events import LEVELS, LogBook, LogEvent
+from repro.logs.scenarios import LOG_SCENARIOS, LogScenario, log_scenario
+from repro.logs.templates import TemplateCounter, mask_message, template_key
+
+__all__ = [
+    "ANOMALY_LOG_PROFILES",
+    "FAULT_LOG_PROFILES",
+    "LEVELS",
+    "LOG_SCENARIOS",
+    "LogBook",
+    "LogChannel",
+    "LogEvent",
+    "LogFrequencyDetector",
+    "LogScenario",
+    "LogVerdict",
+    "TemplateCounter",
+    "dataset_logbook",
+    "events_logbook",
+    "fault_logbook",
+    "healthy_logbook",
+    "log_scenario",
+    "mask_message",
+    "merge_logbooks",
+    "profile_logbook",
+    "template_key",
+    "unit_logbook",
+]

@@ -1,0 +1,225 @@
+"""Online log-frequency detection over template count series.
+
+The second modality in the ensemble: where DBCatcher asks *did this
+database's KPIs decorrelate from its peers*, the log-frequency detector
+asks *did this database's log mix change* — per ``(database, template)``
+it keeps running frequency baselines (Welford mean/variance over
+completed detection rounds, normalized to a fixed reference window so
+flexible-window rounds of different lengths are comparable) and judges a
+round abnormal when either
+
+* a **known** template's windowed rate bursts past
+  ``mean + threshold_sigma * std`` with at least ``min_count`` raw
+  occurrences, or
+* a **novel** WARN/ERROR template appears with ``min_count`` or more
+  occurrences — a brand-new error shape is a signal in itself (MultiLog's
+  unseen-template heuristic), while novel INFO chatter is ignored.
+
+Baselines update *after* judging, from every known cell including its
+zeros, so the detector is strictly online: a verdict depends only on
+rounds that ended before the judged one.  Everything is integer/float
+arithmetic over dictionaries — no RNG, no wall clock — so equal streams
+give equal verdicts, which the fused-verdict determinism suite pins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+__all__ = ["LogVerdict", "LogFrequencyDetector"]
+
+#: Severities whose *novel* templates fire the unseen-template rule.
+_ALARM_LEVELS = ("WARN", "ERROR")
+
+#: Std floor in normalized-rate units: a template seen at a perfectly
+#: steady rate must still need a real burst (not one stray line) to
+#: fire.  The judging floor is the larger of this and the Poisson noise
+#: ``sqrt(mean)`` — counting processes are at least shot-noisy, and a
+#: few observed windows systematically underestimate that.
+_STD_FLOOR = 0.75
+
+#: Score -> incident-strength mapping: a burst at exactly the default
+#: threshold lands near 0.15 (below the HIGH severity knee at 0.25), a
+#: 10-sigma burst saturates toward the 0.5 CRITICAL knee.
+_STRENGTH_SCALE = 20.0
+
+
+@dataclass(frozen=True)
+class LogVerdict:
+    """What the log channel concluded about one detection round.
+
+    Parameters
+    ----------
+    start, end:
+        Absolute tick span ``[start, end)`` of the judged round — the
+        same span the paired correlation round covers.
+    abnormal_databases:
+        Databases whose log mix burst, sorted ascending.
+    scores:
+        Per flagged database, the maximum burst score in sigma-like
+        units (novel templates score ``threshold_sigma * count /
+        min_count``).
+    culprit_templates:
+        Per flagged database, ``(template, share)`` evidence sorted by
+        decreasing share; shares sum to 1 per database.
+    strength:
+        Mean burst score over flagged databases mapped to the incident
+        severity scale (see :data:`_STRENGTH_SCALE`), 0 when quiet.
+    """
+
+    start: int
+    end: int
+    abnormal_databases: Tuple[int, ...] = ()
+    scores: Mapping[int, float] = field(default_factory=dict)
+    culprit_templates: Mapping[int, Tuple[Tuple[str, float], ...]] = field(
+        default_factory=dict
+    )
+    strength: float = 0.0
+
+    @property
+    def abnormal(self) -> bool:
+        return bool(self.abnormal_databases)
+
+
+class _CellStats:
+    """Welford accumulator for one ``(database, template)`` cell."""
+
+    __slots__ = ("n", "mean", "m2")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def update(self, value: float) -> None:
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self.m2 += delta * (value - self.mean)
+
+    @property
+    def std(self) -> float:
+        if self.n < 2:
+            return 0.0
+        return math.sqrt(self.m2 / (self.n - 1))
+
+
+class LogFrequencyDetector:
+    """Online burst detection over one unit's template count stream.
+
+    Parameters
+    ----------
+    n_databases:
+        Databases in the unit.
+    reference_window:
+        Tick length counts are normalized to before judging, usually the
+        detector's initial window ``W`` — a 60-tick expanded round and a
+        20-tick round then judge comparable rates.
+    threshold_sigma:
+        Burst threshold for known templates, in std units over the
+        normalized rate.
+    min_count:
+        Raw occurrence floor: a burst (or novel template) below it never
+        fires, whatever the z-score says.
+    warmup_rounds:
+        Rounds that only feed the baselines before judging starts;
+        also how much history a cell needs before its z-score counts.
+    """
+
+    def __init__(
+        self,
+        n_databases: int,
+        reference_window: int = 20,
+        threshold_sigma: float = 6.0,
+        min_count: int = 4,
+        warmup_rounds: int = 2,
+    ):
+        if n_databases < 1:
+            raise ValueError("n_databases must be >= 1")
+        if reference_window < 1:
+            raise ValueError("reference_window must be >= 1")
+        if threshold_sigma <= 0:
+            raise ValueError("threshold_sigma must be positive")
+        if min_count < 1:
+            raise ValueError("min_count must be >= 1")
+        if warmup_rounds < 1:
+            raise ValueError("warmup_rounds must be >= 1")
+        self.n_databases = n_databases
+        self.reference_window = reference_window
+        self.threshold_sigma = threshold_sigma
+        self.min_count = min_count
+        self.warmup_rounds = warmup_rounds
+        self.rounds_judged = 0
+        self._stats: Dict[Tuple[int, str], _CellStats] = {}
+
+    def judge(
+        self, start: int, end: int, counts: Mapping[Tuple[int, str], int]
+    ) -> LogVerdict:
+        """Score one round's summed counts, then absorb them as baseline."""
+        if end <= start:
+            raise ValueError("round must satisfy start < end")
+        scale = self.reference_window / (end - start)
+        burst_scores: Dict[int, float] = {}
+        burst_templates: Dict[int, Dict[str, float]] = {}
+        warm = self.rounds_judged >= self.warmup_rounds
+        if warm:
+            for (database, template), count in counts.items():
+                if count < self.min_count:
+                    continue
+                rate = count * scale
+                stats = self._stats.get((database, template))
+                if stats is None or stats.n < self.warmup_rounds:
+                    # Novel (or near-novel) template: alarming only at
+                    # WARN/ERROR severity.
+                    if template.split(":", 1)[0] not in _ALARM_LEVELS:
+                        continue
+                    score = self.threshold_sigma * count / self.min_count
+                else:
+                    std = max(
+                        stats.std, math.sqrt(max(stats.mean, 0.0)), _STD_FLOOR
+                    )
+                    score = (rate - stats.mean) / std
+                if score < self.threshold_sigma:
+                    continue
+                burst_scores[database] = max(
+                    burst_scores.get(database, 0.0), score
+                )
+                per_db = burst_templates.setdefault(database, {})
+                per_db[template] = per_db.get(template, 0.0) + score
+        # Baselines absorb the round after judging: every known cell
+        # updates, zeros included, so a template's *absence* is evidence.
+        known = set(self._stats)
+        for cell in counts:
+            if cell not in known:
+                self._stats[cell] = _CellStats()
+        for cell, stats in self._stats.items():
+            stats.update(counts.get(cell, 0) * scale)
+        self.rounds_judged += 1
+
+        abnormal = tuple(sorted(burst_scores))
+        culprits: Dict[int, Tuple[Tuple[str, float], ...]] = {}
+        for database in abnormal:
+            total = sum(burst_templates[database].values())
+            culprits[database] = tuple(
+                sorted(
+                    (
+                        (template, score / total)
+                        for template, score in burst_templates[database].items()
+                    ),
+                    key=lambda item: (-item[1], item[0]),
+                )
+            )
+        strength = 0.0
+        if abnormal:
+            mean_score = sum(burst_scores.values()) / len(abnormal)
+            strength = min(1.0, mean_score / _STRENGTH_SCALE)
+        return LogVerdict(
+            start=start,
+            end=end,
+            abnormal_databases=abnormal,
+            scores=burst_scores,
+            culprit_templates=culprits,
+            strength=strength,
+        )

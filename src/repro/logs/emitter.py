@@ -1,0 +1,279 @@
+"""Seeded log emission, causally tied to the injected incidents.
+
+The simulator's anomaly plan (:mod:`repro.anomalies.catalog`) and the
+chaos scenarios (:mod:`repro.chaos`) already say *what went wrong,
+where, and when* — each event is ``(kind, victim, [start, end))``.  This
+module turns those schedules into the log lines a real database fleet
+would have written while the incident unfolded: slow-query entries
+during a slow-query incident, lock-wait timeouts while fragmentation
+thrashes the buffer pool, connection-pool exhaustion under a
+load-balance defect, replication errors around a stall or failover.
+
+Every emission is seeded — ``default_rng([seed, database])`` per
+database, the same spawn-key discipline the chaos injectors use — so a
+logbook is a pure function of ``(schedule, seed)`` and replays
+bit-identically, which the fused-verdict determinism tests rely on.
+
+Healthy databases are not silent: a low-rate background of INFO chatter
+(checkpoints, connection churn, log rotation) runs under everything, so
+template extraction and the detector's baselines are exercised on
+anomaly-free streams too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.logs.events import LogBook, LogEvent
+
+__all__ = [
+    "ANOMALY_LOG_PROFILES",
+    "FAULT_LOG_PROFILES",
+    "healthy_logbook",
+    "profile_logbook",
+    "events_logbook",
+    "unit_logbook",
+    "dataset_logbook",
+    "fault_logbook",
+    "merge_logbooks",
+]
+
+#: Background chatter every healthy database emits, ``(level, template,
+#: per-tick rate)``.  Templates carry ``{...}`` slots filled from the
+#: seeded rng so masking has real variable parts to collapse.
+_HEALTHY_PROFILE: Tuple[Tuple[str, str, float], ...] = (
+    ("INFO", "checkpoint complete in {ms} ms, {pages} pages flushed", 0.25),
+    ("INFO", "connection from 10.0.{octet}.{host} established", 0.4),
+    ("INFO", "slow log rotated to binlog.{index}", 0.08),
+)
+
+#: Incident log profiles keyed by anomaly kind (``repro.anomalies``).
+#: Each entry is ``(level, template, per-tick rate while active)``.
+ANOMALY_LOG_PROFILES: Dict[str, Tuple[Tuple[str, str, float], ...]] = {
+    "slow_query": (
+        ("WARN", "slow query: {ms} ms scanning {rows} rows on t{table}", 4.0),
+        ("ERROR", "query exceeded execution budget after {ms} ms", 0.8),
+    ),
+    "fragmentation": (
+        ("WARN", "lock wait timeout; transaction {txn} waited {secs} s", 3.0),
+        ("ERROR", "deadlock found when trying to get lock; txn {txn} rolled back", 0.6),
+    ),
+    "lb_defect": (
+        ("WARN", "connection pool saturated: {used}/{cap} connections in use", 3.0),
+        ("ERROR", "connection pool exhausted; request {req} queued", 1.0),
+    ),
+    "stall": (
+        ("ERROR", "replication lag {secs} s behind primary at binlog pos={pos}", 3.0),
+        ("WARN", "io thread reconnecting to primary, attempt {attempt}", 1.0),
+    ),
+    "spike": (
+        ("WARN", "request queue depth {depth} exceeds soft limit", 2.0),
+    ),
+    "level_shift": (
+        ("WARN", "sustained load shift: qps {qps} for {secs} s", 1.5),
+    ),
+    "concept_drift": (
+        ("WARN", "workload drift: plan cache invalidated for {n} statements", 1.5),
+    ),
+}
+
+#: Infrastructure log profiles keyed by chaos fault kind
+#: (``repro.chaos.faults``).  Collector-side faults log from every
+#: database the fault touches; membership churn logs replication errors.
+FAULT_LOG_PROFILES: Dict[str, Tuple[Tuple[str, str, float], ...]] = {
+    "membership": (
+        ("ERROR", "replica failover: primary election started, term {term}", 2.0),
+        ("WARN", "topology change: peer {peer} left the replica set", 0.8),
+    ),
+    "worker_kill": (
+        ("ERROR", "connection to monitoring agent lost: errno={errno}", 2.0),
+    ),
+    "dropout": (
+        ("WARN", "metrics collector timeout after {ms} ms", 1.5),
+    ),
+    "blackout": (
+        ("ERROR", "metrics collector unreachable for {secs} s", 1.5),
+    ),
+    "clock_skew": (
+        ("WARN", "collector clock skew detected: {ms} ms drift", 1.0),
+    ),
+}
+
+
+def _render(template: str, rng: np.random.Generator) -> str:
+    """Fill a profile template's ``{...}`` slots with seeded values."""
+    values = {
+        "ms": int(rng.integers(40, 20000)),
+        "pages": int(rng.integers(100, 5000)),
+        "octet": int(rng.integers(0, 256)),
+        "host": int(rng.integers(1, 255)),
+        "index": int(rng.integers(1, 10000)),
+        "rows": int(rng.integers(10000, 5000000)),
+        "table": int(rng.integers(1, 64)),
+        "txn": int(rng.integers(10**6, 10**9)),
+        "secs": int(rng.integers(1, 600)),
+        "used": int(rng.integers(180, 256)),
+        "cap": 256,
+        "req": int(rng.integers(10**3, 10**6)),
+        "pos": int(rng.integers(10**6, 10**9)),
+        "attempt": int(rng.integers(1, 40)),
+        "depth": int(rng.integers(200, 4000)),
+        "qps": int(rng.integers(1000, 90000)),
+        "n": int(rng.integers(10, 2000)),
+        "term": int(rng.integers(1, 100)),
+        "peer": int(rng.integers(0, 16)),
+        "errno": int(rng.integers(1, 120)),
+    }
+    return template.format(**values)
+
+
+def _emit_profile(
+    book: Dict[int, List[LogEvent]],
+    profile: Sequence[Tuple[str, str, float]],
+    database: int,
+    start: int,
+    end: int,
+    rng: np.random.Generator,
+    rate_scale: float = 1.0,
+) -> None:
+    for tick in range(start, end):
+        for level, template, rate in profile:
+            for _ in range(int(rng.poisson(rate * rate_scale))):
+                book.setdefault(tick, []).append(
+                    LogEvent(
+                        tick=tick,
+                        database=database,
+                        level=level,
+                        message=_render(template, rng),
+                    )
+                )
+
+
+def _freeze(book: Dict[int, List[LogEvent]]) -> LogBook:
+    return {tick: tuple(events) for tick, events in sorted(book.items())}
+
+
+def healthy_logbook(
+    n_databases: int, n_ticks: int, seed: int = 0, rate_scale: float = 1.0
+) -> LogBook:
+    """Background INFO chatter for every database of a healthy unit."""
+    book: Dict[int, List[LogEvent]] = {}
+    for database in range(n_databases):
+        rng = np.random.default_rng([seed, database])
+        _emit_profile(
+            book, _HEALTHY_PROFILE, database, 0, n_ticks, rng, rate_scale
+        )
+    return _freeze(book)
+
+
+def profile_logbook(
+    profile: Sequence[Tuple[str, str, float]],
+    database: int,
+    start: int,
+    end: int,
+    seed: int = 0,
+    rate_scale: float = 1.0,
+) -> LogBook:
+    """Emit one ``(level, template, rate)`` profile for one database.
+
+    The building block the scenario presets compose: a seeded stream of
+    one incident's log shape over ``[start, end)``.
+    """
+    book: Dict[int, List[LogEvent]] = {}
+    rng = np.random.default_rng([seed, database])
+    _emit_profile(book, profile, database, start, end, rng, rate_scale)
+    return _freeze(book)
+
+
+def events_logbook(
+    events: Iterable[Tuple[str, int, int, int]],
+    n_ticks: int,
+    seed: int = 0,
+) -> LogBook:
+    """Incident logs for a ``(kind, victim, start, end)`` schedule.
+
+    Unknown kinds are skipped silently so the emitter stays forward
+    compatible with anomaly catalog growth; the schedule shape matches
+    both :attr:`AnomalyPlan.events` (with ``interval`` flattened) and the
+    ``events`` entry :func:`build_unit_series` stores in unit metadata.
+    """
+    book: Dict[int, List[LogEvent]] = {}
+    for index, (kind, victim, start, end) in enumerate(events):
+        profile = ANOMALY_LOG_PROFILES.get(kind)
+        if profile is None:
+            continue
+        rng = np.random.default_rng([seed, 7001 + index, victim])
+        _emit_profile(book, profile, victim, start, min(end, n_ticks), rng)
+    return _freeze(book)
+
+
+def unit_logbook(unit, seed: Optional[int] = None) -> LogBook:
+    """Healthy chatter + incident logs for one built unit series.
+
+    Reads the anomaly schedule ``build_unit_series`` recorded in the
+    unit's metadata, so the emitted logs are causally tied to exactly the
+    incidents that shaped the unit's KPI series and labels.
+    """
+    events = [
+        (str(kind), int(victim), int(start), int(end))
+        for kind, victim, start, end in unit.metadata.get("events", [])
+    ]
+    base = seed if seed is not None else unit.metadata.get("seed") or 0
+    return merge_logbooks(
+        healthy_logbook(unit.n_databases, unit.n_ticks, seed=int(base)),
+        events_logbook(events, unit.n_ticks, seed=int(base)),
+    )
+
+
+def dataset_logbook(dataset, seed: Optional[int] = None) -> Dict[str, LogBook]:
+    """Per-unit logbooks for a whole dataset, keyed by unit name."""
+    return {
+        unit.name: unit_logbook(unit, seed=seed) for unit in dataset.units
+    }
+
+
+def fault_logbook(
+    faults: Sequence,
+    units: Dict[str, int],
+    n_ticks: int,
+    seed: int = 0,
+) -> Dict[str, LogBook]:
+    """Infrastructure logs for a chaos fault schedule, per unit.
+
+    Mirrors :class:`~repro.chaos.source.ChaosSource` seeding — injector
+    ``i`` draws from ``default_rng([seed, i])`` — and reads each fault's
+    declarative ``kind`` / ``start`` / ``end`` / ``units`` fields, so the
+    logbook lines up with the windows the faults actually arm in.
+    Fault kinds without a log profile (pure transport rewrites like
+    duplicates or reordering) stay silent, as they would in production.
+    """
+    books: Dict[str, Dict[int, List[LogEvent]]] = {name: {} for name in units}
+    for index, fault in enumerate(faults):
+        profile = FAULT_LOG_PROFILES.get(getattr(fault, "kind", ""))
+        if profile is None:
+            continue
+        start = int(getattr(fault, "start", 0))
+        end = getattr(fault, "end", None)
+        end = n_ticks if end is None else min(int(end), n_ticks)
+        targets = getattr(fault, "units", None)
+        for name in units if targets is None else targets:
+            if name not in books:
+                continue
+            rng = np.random.default_rng([seed, index])
+            for database in range(units[name]):
+                _emit_profile(
+                    books[name], profile, database, start, end, rng,
+                    rate_scale=1.0 / max(1, units[name]),
+                )
+    return {name: _freeze(book) for name, book in books.items()}
+
+
+def merge_logbooks(*books: LogBook) -> LogBook:
+    """Merge logbooks tick-wise, preserving each book's internal order."""
+    merged: Dict[int, List[LogEvent]] = {}
+    for book in books:
+        for tick, events in book.items():
+            merged.setdefault(tick, []).extend(events)
+    return _freeze(merged)

@@ -1,0 +1,78 @@
+"""Structured log events: the second observability modality.
+
+MultiLog and LogDB (PAPERS.md) detect and diagnose distributed-database
+failures from *log* streams, orthogonal to the KPI-correlation signal
+DBCatcher works on.  This module defines the event record that modality
+rides on: one :class:`LogEvent` per emitted log line, stamped with the
+tick it was collected in and the database that produced it, so the
+template counting downstream can build per-tick, per-database count
+series aligned with the KPI tick grid.
+
+Events are deliberately tiny and immutable — they ride inside
+:class:`~repro.service.sources.TickEvent` through the ingestion path,
+survive :func:`dataclasses.replace`-based chaos fault rewrites, and
+serialize to plain JSON for sinks and fixtures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["LEVELS", "LogEvent", "LogBook"]
+
+#: Severity levels, in increasing order of alarm.
+LEVELS: Tuple[str, ...] = ("INFO", "WARN", "ERROR")
+
+
+@dataclass(frozen=True)
+class LogEvent:
+    """One structured log line from one database at one tick.
+
+    Parameters
+    ----------
+    tick:
+        Collection tick the line landed in (the unit's sequence number).
+    database:
+        Index of the database that emitted the line.
+    level:
+        Severity: ``"INFO"``, ``"WARN"`` or ``"ERROR"``.
+    message:
+        The rendered log line, variable parts included — template
+        extraction masks them back out downstream.
+    """
+
+    tick: int
+    database: int
+    level: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.level not in LEVELS:
+            raise ValueError(f"level must be one of {LEVELS}, got {self.level!r}")
+        if self.tick < 0:
+            raise ValueError("tick must be >= 0")
+        if self.database < 0:
+            raise ValueError("database must be >= 0")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tick": self.tick,
+            "database": self.database,
+            "level": self.level,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "LogEvent":
+        return cls(
+            tick=int(payload["tick"]),  # type: ignore[arg-type]
+            database=int(payload["database"]),  # type: ignore[arg-type]
+            level=str(payload["level"]),
+            message=str(payload["message"]),
+        )
+
+
+#: Per-unit logbook: tick -> the log events collected in that tick.
+#: ``Dict[str, LogBook]`` maps a fleet's unit names to their books.
+LogBook = Dict[int, Tuple[LogEvent, ...]]

@@ -1,0 +1,181 @@
+"""KPI-blind scenario presets: incidents only the log channel can see.
+
+DBCatcher's correlation signal needs the anomaly to *break UKPIC* — the
+victim's KPIs must decorrelate from its peers'.  A whole class of real
+incidents never does that: an error burst that fails requests without
+moving load, replication falling behind while the replica keeps serving
+reads at normal rates, a noisy neighbor exhausting a shared connection
+pool while every database's own KPIs stay on-profile.  Each preset here
+builds exactly that shape: a *healthy* simulated KPI stream (no KPI
+injectors at all, so KCD alone is structurally blind), a seeded logbook
+carrying the incident's log signature over a known window, and ground
+truth labels over that window — the substrate the fusion eval harness
+scores KCD-alone against the ensemble on.
+
+Presets are pure functions of their seed: same name + seed -> identical
+dataset, logbook, and labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.datasets.containers import Dataset
+from repro.logs.emitter import healthy_logbook, merge_logbooks, profile_logbook
+from repro.logs.events import LogBook
+
+__all__ = [
+    "LOG_SCENARIOS",
+    "LogScenario",
+    "log_scenario",
+]
+
+#: Geometry shared by every preset — small enough for CI smoke, long
+#: enough for detector warmup plus a mid-stream incident window.
+_N_DATABASES = 5
+_N_TICKS = 240
+
+#: Incident log signatures, ``(level, template, per-tick rate)``.
+_ERROR_BURST = (
+    ("ERROR", "query failed: deadlock detected on t{table}; txn {txn} rolled back", 5.0),
+    ("WARN", "lock wait timeout; transaction {txn} waited {secs} s", 2.0),
+)
+_REPLICATION_LAG = (
+    ("ERROR", "replication lag {secs} s behind primary at binlog pos={pos}", 4.0),
+    ("WARN", "io thread reconnecting to primary, attempt {attempt}", 1.5),
+)
+_POOL_EXHAUSTION = (
+    ("ERROR", "connection pool exhausted; request {req} queued", 3.0),
+    ("WARN", "connection pool saturated: {used}/{cap} connections in use", 4.0),
+)
+
+
+@dataclass(frozen=True)
+class LogScenario:
+    """One KPI-blind preset, ready to replay through the service.
+
+    Parameters
+    ----------
+    name, description:
+        Preset identity, for CLI listings and reports.
+    dataset:
+        Healthy-KPI fleet with the incident window labeled as ground
+        truth (labels mark what *should* be detected; the KPI values
+        carry no trace of it).
+    logbooks:
+        Per-unit logbooks to attach to the replay source.
+    incidents:
+        ``(unit, database, start, end)`` ground-truth windows.
+    """
+
+    name: str
+    description: str
+    dataset: Dataset
+    logbooks: Dict[str, LogBook]
+    incidents: Tuple[Tuple[str, int, int, int], ...]
+
+
+def _healthy_unit(name: str, seed: int):
+    from repro.datasets.builder import build_unit_series
+
+    return build_unit_series(
+        profile="tencent",
+        n_databases=_N_DATABASES,
+        n_ticks=_N_TICKS,
+        seed=seed,
+        abnormal_ratio=0.0,
+        name=name,
+    )
+
+
+def _build(
+    name: str,
+    description: str,
+    seed: int,
+    profile,
+    victims: Tuple[int, ...],
+    start: int,
+    end: int,
+) -> LogScenario:
+    unit = _healthy_unit(f"log-{name}", seed)
+    for victim in victims:
+        unit.labels[victim, start:end] = True
+    books = [healthy_logbook(_N_DATABASES, _N_TICKS, seed=seed)]
+    for victim in victims:
+        books.append(
+            profile_logbook(
+                profile, victim, start, end, seed=seed + 17 * (victim + 1)
+            )
+        )
+    return LogScenario(
+        name=name,
+        description=description,
+        dataset=Dataset(name=f"log-{name}", units=(unit,)),
+        logbooks={unit.name: merge_logbooks(*books)},
+        incidents=tuple(
+            (unit.name, victim, start, end) for victim in victims
+        ),
+    )
+
+
+def _error_burst(seed: int) -> LogScenario:
+    return _build(
+        "error-burst",
+        "deadlock/error burst failing queries without moving load: "
+        "throughput and resource KPIs stay on-profile, only the error "
+        "log rate changes",
+        seed,
+        _ERROR_BURST,
+        victims=(2,),
+        start=120,
+        end=150,
+    )
+
+
+def _replication_lag(seed: int) -> LogScenario:
+    return _build(
+        "replication-lag",
+        "failover aftermath: a replica falls behind the primary while "
+        "still serving reads at normal rates, so R-R correlation never "
+        "breaks — the replication error stream is the only signal",
+        seed,
+        _REPLICATION_LAG,
+        victims=(3,),
+        start=100,
+        end=160,
+    )
+
+
+def _noisy_neighbor(seed: int) -> LogScenario:
+    return _build(
+        "noisy-neighbor",
+        "noisy-neighbor pool exhaustion: a co-located tenant drains the "
+        "shared connection pool of two databases at once; their own KPIs "
+        "stay correlated with the unit, requests queue in the logs",
+        seed,
+        _POOL_EXHAUSTION,
+        victims=(1, 4),
+        start=140,
+        end=180,
+    )
+
+
+#: Preset registry: name -> seeded builder.
+LOG_SCENARIOS: Dict[str, Callable[[int], LogScenario]] = {
+    "error-burst": _error_burst,
+    "replication-lag": _replication_lag,
+    "noisy-neighbor": _noisy_neighbor,
+}
+
+
+def log_scenario(name: str, seed: int = 0) -> LogScenario:
+    """Build one preset by name (see :data:`LOG_SCENARIOS`)."""
+    try:
+        builder = LOG_SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown log scenario {name!r}; "
+            f"choose from {sorted(LOG_SCENARIOS)}"
+        ) from None
+    return builder(seed)

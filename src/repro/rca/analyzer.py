@@ -72,11 +72,36 @@ class RootCauseAnalyzer:
     def open_incidents(self) -> Tuple[Incident, ...]:
         return self._correlator.open_incidents
 
-    def process(self, unit: str, result: UnitDetectionResult) -> RCAOutcome:
-        """Analyze one completed round; normal rounds only move the clock."""
+    def process(
+        self,
+        unit: str,
+        result: UnitDetectionResult,
+        log_attribution: Optional[Attribution] = None,
+    ) -> RCAOutcome:
+        """Analyze one completed round; normal rounds only move the clock.
+
+        ``log_attribution`` carries the log channel's culprit evidence
+        for rounds abnormal on log frequency alone (the correlation
+        verdict is quiet, so there is nothing to attribute from KPIs):
+        the round then threads into incident correlation exactly as a
+        decorrelation verdict would, with the log evidence as its
+        attribution.  On correlation-abnormal rounds the KPI attribution
+        wins and the argument is ignored.
+        """
         with obs.span("rca.process"):
             events = list(self._correlator.advance(result.end))
             if not result.abnormal_databases:
+                if log_attribution is not None:
+                    incident, new_events = self._correlator.observe(
+                        unit, result.end, log_attribution
+                    )
+                    events.extend(new_events)
+                    self._count(events)
+                    return RCAOutcome(
+                        attribution=log_attribution,
+                        incident=incident,
+                        events=tuple(events),
+                    )
                 self._count(events)
                 return RCAOutcome(events=tuple(events))
             attribution = self._attributor.attribute(unit, result)

@@ -34,6 +34,7 @@ from repro.core.detector import UnitDetectionResult
 from repro.service.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # imported lazily at runtime: repro.rca pulls in sources
+    from repro.ensemble import FusedVerdict
     from repro.rca.analyzer import RootCauseAnalyzer
     from repro.rca.attribution import Attribution
     from repro.rca.incidents import IncidentEvent
@@ -77,6 +78,13 @@ class Alert:
     incident_id:
         Identifier of the incident this alert was correlated into, when
         incident correlation is on.
+    provenance:
+        Per abnormal database, which mechanism flagged it —
+        ``"correlation"`` / ``"log"`` / ``"both"`` — attached only when
+        the log channel contributed to the verdict (see
+        :func:`repro.ensemble.fuse_round`).  ``kpi_levels`` stays keyed
+        by the correlation-flagged databases: a log-only database has
+        log evidence, not KPI evidence.
     """
 
     unit: str
@@ -88,6 +96,7 @@ class Alert:
     latency_seconds: float = 0.0
     attribution: Optional["Attribution"] = None
     incident_id: Optional[str] = None
+    provenance: Optional[Dict[int, str]] = None
 
     def to_dict(self) -> Dict[str, object]:
         payload: Dict[str, object] = {
@@ -107,6 +116,10 @@ class Alert:
             payload["attribution"] = self.attribution.to_dict()
         if self.incident_id is not None:
             payload["incident_id"] = self.incident_id
+        if self.provenance is not None:
+            payload["provenance"] = {
+                str(db): tag for db, tag in self.provenance.items()
+            }
         return payload
 
     @classmethod
@@ -134,6 +147,14 @@ class Alert:
             incident_id=(
                 str(payload["incident_id"])
                 if "incident_id" in payload
+                else None
+            ),
+            provenance=(
+                {
+                    int(db): str(tag)
+                    for db, tag in payload["provenance"].items()  # type: ignore[union-attr]
+                }
+                if "provenance" in payload
                 else None
             ),
         )
@@ -191,8 +212,15 @@ class StdoutSink(AlertSink):
         stream = self._stream if self._stream is not None else sys.stdout
         flagged = ", ".join(f"D{db + 1}" for db in alert.abnormal_databases)
         suffix = ""
+        if alert.provenance is not None:
+            tags = ",".join(
+                f"D{db + 1}:{alert.provenance[db]}"
+                for db in alert.abnormal_databases
+                if db in alert.provenance
+            )
+            suffix = f" provenance={tags}"
         if alert.incident_id is not None:
-            suffix = f" incident={alert.incident_id}"
+            suffix += f" incident={alert.incident_id}"
         if alert.attribution is not None and alert.attribution.top_database is not None:
             suffix += f" culprit=D{alert.attribution.top_database + 1}"
         print(
@@ -385,7 +413,12 @@ class AlertPipeline:
             self.metrics.counter(f"incidents_{event.kind}").increment()
 
     def publish(
-        self, unit: str, result: UnitDetectionResult, replay: bool = False
+        self,
+        unit: str,
+        result: UnitDetectionResult,
+        replay: bool = False,
+        fused: Optional["FusedVerdict"] = None,
+        log_attribution: Optional["Attribution"] = None,
     ) -> Optional[Alert]:
         """Feed one completed round; returns the alert if one was emitted.
 
@@ -394,6 +427,16 @@ class AlertPipeline:
         incident state and the returned alert all advance exactly as they
         did the first time, but nothing reaches the sinks — those
         notifications already went out before the crash.
+
+        ``fused`` is the round's KPI/log union verdict when the service
+        runs the log ensemble: the alert decision is then made on the
+        *combined* databases, and an alert the log channel contributed
+        to carries the union plus per-database provenance.  A fused
+        verdict whose log side is empty changes nothing — the emitted
+        alert is byte-identical to the un-fused one.  ``log_attribution``
+        is the log-evidence culprit ranking for rounds abnormal on log
+        evidence alone; it stands in for the correlation attribution the
+        RCA analyzer cannot derive from a quiet correlation verdict.
         """
         if self._closed:
             raise RuntimeError("alert pipeline is closed")
@@ -403,16 +446,27 @@ class AlertPipeline:
         incident_id: Optional[str] = None
         events: Sequence["IncidentEvent"] = ()
         if self.rca is not None:
-            outcome = self.rca.process(unit, result)
+            outcome = self.rca.process(
+                unit, result, log_attribution=log_attribution
+            )
             attribution = outcome.attribution
             incident_id = outcome.incident_id
             events = outcome.events
+        abnormal = (
+            fused.combined if fused is not None else result.abnormal_databases
+        )
         alert: Optional[Alert] = None
-        if len(result.abnormal_databases) >= self.min_databases:
+        if len(abnormal) >= self.min_databases:
             if self._rate_limited(unit, result.end):
                 self.metrics.counter("alerts_suppressed").increment()
             else:
                 alert = Alert.from_result(unit, result, self.interval_seconds)
+                if fused is not None and fused.log:
+                    alert = dataclasses.replace(
+                        alert,
+                        abnormal_databases=tuple(fused.combined),
+                        provenance=dict(fused.provenance),
+                    )
                 if attribution is not None or incident_id is not None:
                     alert = dataclasses.replace(
                         alert, attribution=attribution, incident_id=incident_id

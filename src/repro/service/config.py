@@ -98,6 +98,15 @@ class ServiceConfig:
         chunked across several round-trips; a ring that stays full past
         ``put_timeout_seconds``-style limits surfaces as explicit
         backpressure.
+    log_ensemble:
+        Run the log-frequency channel (:class:`~repro.logs.channel.
+        LogChannel`) alongside correlation detection and fuse the two
+        verdicts per round (:func:`repro.ensemble.fuse_round`).  The
+        channel lives in the scheduler process and only consumes the
+        log events the tick source carries, so on a log-free stream the
+        run is bit-identical to ``log_ensemble=False`` — fusion can add
+        databases to an alert, never remove or change correlation
+        verdicts.
     """
 
     n_workers: int = 0
@@ -116,6 +125,7 @@ class ServiceConfig:
     ingest_retry_after_seconds: float = 0.05
     transport: str = "pickle"
     transport_ring_ticks: int = 1024
+    log_ensemble: bool = False
 
     def __post_init__(self) -> None:
         if self.n_workers < 0:

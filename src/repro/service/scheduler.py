@@ -47,6 +47,9 @@ from repro.service.tuning import RetrainEvent, TuningCoordinator
 from repro.service.workers import UnitSpec, make_pool
 
 if TYPE_CHECKING:  # imported lazily at runtime: repro.rca pulls in sources
+    from repro.ensemble import FusedVerdict
+    from repro.logs.channel import LogChannel
+    from repro.logs.events import LogBook
     from repro.rca.incidents import Incident
     from repro.rca.topology import Topology
 
@@ -65,10 +68,13 @@ class ServiceReport:
 
     ``results`` is only populated when the run collected them (the
     default); a true fire-and-forget deployment can disable collection
-    and rely on sinks alone.
+    and rely on sinks alone.  ``fused_verdicts`` mirrors ``results``
+    round for round when the run fused the log channel
+    (``ServiceConfig.log_ensemble``); otherwise it stays empty.
     """
 
     results: Dict[str, List[UnitDetectionResult]] = field(default_factory=dict)
+    fused_verdicts: Dict[str, List["FusedVerdict"]] = field(default_factory=dict)
     alerts: List[Alert] = field(default_factory=list)
     ticks_ingested: int = 0
     ticks_dropped: int = 0
@@ -315,6 +321,19 @@ class DetectionService:
             min_databases=cfg.alert_min_databases,
             rca=analyzer,
         )
+        channel: Optional["LogChannel"] = None
+        if cfg.log_ensemble:
+            from repro.logs.channel import LogChannel
+
+            # Judged rates normalize to each unit's initial window, so a
+            # flexible-window expansion judges the same per-tick rates a
+            # plain round does.
+            channel = LogChannel(
+                units,
+                reference_windows={
+                    spec.name: spec.config.initial_window for spec in specs
+                },
+            )
         report = ServiceReport(
             results={name: [] for name in units} if collect_results else {}
         )
@@ -365,6 +384,11 @@ class DetectionService:
                 if max_ticks is not None and consumed[event.unit] >= max_ticks:
                     continue
                 consumed[event.unit] += 1
+                if channel is not None:
+                    # Replayed ticks feed the channel too: its counters
+                    # and baselines are in-memory only, so a warm restart
+                    # rebuilds them by re-reading the stream from tick 0.
+                    channel.ingest(event.unit, event.seq, event.logs)
                 if replayed:
                     phantom[event.unit] += 1
                 else:
@@ -374,14 +398,14 @@ class DetectionService:
                 if pending >= cfg.batch_ticks:
                     self._dispatch_round(
                         bridge, pool, pipeline, report, dispatch_latency,
-                        collect_results, persist,
+                        collect_results, persist, channel,
                     )
                     for name in phantom:
                         phantom[name] = 0
             # Source exhausted: flush whatever is still queued.
             self._dispatch_round(
                 bridge, pool, pipeline, report, dispatch_latency,
-                collect_results, persist,
+                collect_results, persist, channel,
             )
             if self.coordinator is not None:
                 self.coordinator.drain()
@@ -555,6 +579,7 @@ class DetectionService:
         dispatch_latency,
         collect_results: bool,
         persist: Optional[_PersistenceDriver] = None,
+        channel: Optional["LogChannel"] = None,
     ) -> None:
         """Drain every unit's backlog and run one pool round-trip."""
         batches: Dict[str, np.ndarray] = {}
@@ -578,11 +603,21 @@ class DetectionService:
             persist.record(results)
         for unit, unit_results in results.items():
             for result in unit_results:
-                alert = pipeline.publish(unit, result)
+                fused = log_attribution = None
+                if channel is not None:
+                    fused, log_attribution = channel.fuse(unit, result)
+                alert = pipeline.publish(
+                    unit, result, fused=fused,
+                    log_attribution=log_attribution,
+                )
                 if alert is not None:
                     report.alerts.append(alert)
                 if collect_results:
                     report.results[unit].append(result)
+                    if fused is not None:
+                        report.fused_verdicts.setdefault(unit, []).append(
+                            fused
+                        )
                 if self.result_listener is not None:
                     self.result_listener(unit, result)
             if self.coordinator is not None:
@@ -601,6 +636,8 @@ def detect_fleet(
     topology: Optional["Topology"] = None,
     state_dir: Optional[str] = None,
     snapshot_every: Optional[int] = None,
+    logbook: Optional[Dict[str, "LogBook"]] = None,
+    log_ensemble: bool = False,
 ) -> ServiceReport:
     """Run the fleet scheduler over a saved dataset.
 
@@ -623,6 +660,14 @@ def detect_fleet(
     snapshot_every:
         Rounds per unit between snapshots; the config default when
         omitted.
+    logbook:
+        Per-unit logbooks to replay alongside the KPI stream (implies
+        ``log_ensemble``); see
+        :func:`repro.logs.emitter.dataset_logbook`.
+    log_ensemble:
+        Fuse the log channel's verdicts with the correlation rounds
+        even without a logbook (the channel then sees a silent stream
+        and the run stays bit-identical to a plain one).
     """
     if config is None:
         from repro.presets import default_config
@@ -637,6 +682,8 @@ def detect_fleet(
         overrides["state_dir"] = str(state_dir)
     if snapshot_every is not None:
         overrides["snapshot_every"] = int(snapshot_every)
+    if (log_ensemble or logbook is not None) and not base.log_ensemble:
+        overrides["log_ensemble"] = True
     if overrides:
         base = replace(base, **overrides)
     if rca and topology is None and hasattr(dataset, "units"):
@@ -651,4 +698,6 @@ def detect_fleet(
         rca=rca,
         topology=topology,
     )
-    return service.run(ReplaySource(dataset, max_ticks=max_ticks))
+    return service.run(
+        ReplaySource(dataset, max_ticks=max_ticks, logbook=logbook)
+    )

@@ -29,9 +29,22 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
+
+if TYPE_CHECKING:  # imported lazily at runtime: logs are an optional rider
+    from repro.logs.events import LogBook, LogEvent
 
 __all__ = [
     "TickEvent",
@@ -54,11 +67,17 @@ class TickEvent:
         Per-unit sequence number (0-based, gapless at the source).
     sample:
         KPI matrix of shape ``(n_databases, n_kpis)``.
+    logs:
+        Structured log events the unit's databases wrote during this
+        tick (empty unless the source carries a logbook).  They ride
+        the event for the scheduler-side log channel only — workers
+        never see them, so the correlation path is untouched.
     """
 
     unit: str
     seq: int
     sample: np.ndarray
+    logs: Tuple["LogEvent", ...] = ()
 
 
 class ReplaySource:
@@ -71,9 +90,20 @@ class ReplaySource:
         ``.npz`` archive written by ``repro simulate``.
     max_ticks:
         Optional cap on ticks replayed per unit (``None`` replays all).
+    logbook:
+        Optional per-unit logbooks (unit name ->
+        :data:`~repro.logs.events.LogBook`): each replayed tick then
+        carries the log events its databases wrote during that tick,
+        for the service's log channel.  Units absent from the mapping
+        replay log-silent.
     """
 
-    def __init__(self, dataset, max_ticks: Optional[int] = None):
+    def __init__(
+        self,
+        dataset,
+        max_ticks: Optional[int] = None,
+        logbook: Optional[Mapping[str, "LogBook"]] = None,
+    ):
         from repro.datasets import Dataset, load_dataset
 
         if isinstance(dataset, (str, Path)):
@@ -84,8 +114,16 @@ class ReplaySource:
             )
         if max_ticks is not None and max_ticks < 1:
             raise ValueError("max_ticks must be >= 1 or None")
+        if logbook is not None:
+            known = {unit.name for unit in dataset.units}
+            unknown = sorted(set(logbook) - known)
+            if unknown:
+                raise ValueError(
+                    f"logbook names units not in the dataset: {unknown}"
+                )
         self.dataset = dataset
         self.max_ticks = max_ticks
+        self.logbook = dict(logbook) if logbook is not None else {}
 
     @property
     def units(self) -> Dict[str, int]:
@@ -108,8 +146,12 @@ class ReplaySource:
         for t in range(horizon):
             for unit in units:
                 if t < unit.n_ticks:
+                    book = self.logbook.get(unit.name)
                     yield TickEvent(
-                        unit=unit.name, seq=t, sample=unit.values[:, :, t]
+                        unit=unit.name,
+                        seq=t,
+                        sample=unit.values[:, :, t],
+                        logs=book.get(t, ()) if book else (),
                     )
 
 

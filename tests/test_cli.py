@@ -86,9 +86,34 @@ class TestServeCommand:
     def test_serve_needs_a_source(self, capsys):
         assert main(["serve"]) == 2
         assert (
-            "needs a dataset path, --live, or --ingest-port"
+            "needs a dataset path, --live, --log-scenario, or --ingest-port"
             in capsys.readouterr().err
         )
+
+    def test_serve_log_scenario(self, tmp_path, capsys):
+        import json
+
+        alerts_path = tmp_path / "log-alerts.jsonl"
+        assert main([
+            "serve", "--log-scenario", "error-burst", "--rca",
+            "--sink", f"jsonl:{alerts_path}",
+        ]) == 0
+        assert "log scenario error-burst" in capsys.readouterr().err
+        records = [
+            json.loads(line)
+            for line in alerts_path.read_text().splitlines()
+        ]
+        assert any(
+            record.get("provenance", {}).get("2") == "log"
+            for record in records
+        ), "the seeded victim must surface with log provenance"
+        assert any(record.get("type") == "incident" for record in records)
+
+    def test_serve_log_scenario_conflicts_with_dataset(self, archive, capsys):
+        assert main([
+            "serve", str(archive), "--log-scenario", "error-burst",
+        ]) == 2
+        assert "--log-scenario replaces" in capsys.readouterr().err
 
     def test_serve_live_fleet(self, capsys):
         assert main([

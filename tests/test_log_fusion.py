@@ -1,0 +1,313 @@
+"""Fusion properties, KCD-only equivalence, and the ensemble eval pins.
+
+Three layers of guarantees around the KPI/log ensemble:
+
+* **Fusion algebra** — :func:`repro.ensemble.fuse_round` is a union with
+  provenance; the correlation verdict rides through verbatim whatever
+  the log channel says.
+* **KCD-only equivalence** — on a log-free stream, a ``log_ensemble``
+  run is indistinguishable from a plain one: golden-snapshot identical
+  (matrices within 1e-9) and alert-for-alert byte-identical.  The log
+  channel lives outside the worker path, so this holds by construction;
+  these tests keep it that way.
+* **Eval pins** — on the KPI-blind presets the ensemble must strictly
+  beat KCD alone on detection delay or F-measure (the ISSUE's
+  acceptance gate, pinned on two presets and checked on all three).
+"""
+
+import json
+
+import pytest
+
+from repro.core.detector import UnitDetectionResult
+from repro.core.records import DatabaseState, JudgementRecord
+from repro.ensemble import (
+    PROVENANCE_BOTH,
+    PROVENANCE_CORRELATION,
+    PROVENANCE_LOG,
+    FusedVerdict,
+    fuse_round,
+)
+from repro.logs import LogVerdict, log_scenario
+from repro.presets import default_config
+from repro.service import DetectionService, ReplaySource, ServiceConfig
+from repro.service.alerts import Alert, MemorySink
+
+from tests.golden_fixture import (
+    assert_service_snapshots_match,
+    golden_config,
+    golden_dataset,
+    snapshot_service_report,
+)
+
+
+def _result(abnormal=(), start=0, end=20, n_databases=4):
+    records = {
+        db: JudgementRecord(
+            database=db,
+            window_start=start,
+            window_end=end,
+            state=(
+                DatabaseState.ABNORMAL
+                if db in abnormal
+                else DatabaseState.HEALTHY
+            ),
+        )
+        for db in range(n_databases)
+    }
+    return UnitDetectionResult(start=start, end=end, records=records)
+
+
+def _log_verdict(abnormal=(), start=0, end=20, score=8.0):
+    return LogVerdict(
+        start=start,
+        end=end,
+        abnormal_databases=tuple(sorted(abnormal)),
+        scores={db: score for db in abnormal},
+        strength=0.4 if abnormal else 0.0,
+    )
+
+
+class TestFuseRound:
+    def test_union_with_provenance(self):
+        fused = fuse_round(
+            "u", _result(abnormal=(0, 2)), _log_verdict(abnormal=(2, 3))
+        )
+        assert fused.correlation == (0, 2)
+        assert fused.log == (2, 3)
+        assert fused.combined == (0, 2, 3)
+        assert fused.provenance == {
+            0: PROVENANCE_CORRELATION,
+            2: PROVENANCE_BOTH,
+            3: PROVENANCE_LOG,
+        }
+        assert fused.log_only == (3,)
+
+    def test_correlation_rides_through_verbatim(self):
+        # Property: whatever the log side says, the correlation tuple of
+        # the fused verdict IS the round's verdict — fusion can only add.
+        for log_abnormal in [(), (0,), (1, 3), (0, 1, 2, 3)]:
+            result = _result(abnormal=(1,))
+            fused = fuse_round(
+                "u", result, _log_verdict(abnormal=log_abnormal)
+            )
+            assert fused.correlation == result.abnormal_databases
+            assert set(fused.combined) >= set(result.abnormal_databases)
+
+    def test_quiet_sides_fuse_to_quiet(self):
+        fused = fuse_round("u", _result(), _log_verdict())
+        assert fused.combined == ()
+        assert fused.provenance == {}
+        assert fused.log_only == ()
+
+    def test_span_mismatch_raises(self):
+        with pytest.raises(ValueError, match="spans"):
+            fuse_round("u", _result(end=20), _log_verdict(end=40))
+
+    def test_to_dict_is_json_safe(self):
+        fused = fuse_round(
+            "u", _result(abnormal=(1,)), _log_verdict(abnormal=(2,))
+        )
+        decoded = json.loads(json.dumps(fused.to_dict()))
+        assert decoded["combined"] == [1, 2]
+        assert decoded["provenance"] == {"1": "correlation", "2": "log"}
+
+
+class TestKcdOnlyEquivalence:
+    """On a log-free stream, log_ensemble must change nothing."""
+
+    @pytest.fixture(scope="class")
+    def arms(self):
+        dataset = golden_dataset()
+        config = golden_config()
+        runs = {}
+        for log_ensemble in (False, True):
+            sink = MemorySink()
+            service = DetectionService(
+                config,
+                service_config=ServiceConfig(log_ensemble=log_ensemble),
+                sinks=(sink,),
+                rca=True,
+            )
+            report = service.run(ReplaySource(dataset))
+            runs[log_ensemble] = (report, sink)
+        return runs
+
+    def test_golden_snapshots_match(self, arms):
+        assert_service_snapshots_match(
+            snapshot_service_report(arms[False][0]),
+            snapshot_service_report(arms[True][0]),
+        )
+
+    def test_alerts_are_byte_identical(self, arms):
+        plain, fused = arms[False][1].alerts, arms[True][1].alerts
+        assert len(plain) == len(fused) > 0
+        for a, b in zip(plain, fused):
+            assert json.dumps(a.to_dict(), sort_keys=True) == json.dumps(
+                b.to_dict(), sort_keys=True
+            )
+
+    def test_no_alert_carries_provenance(self, arms):
+        for alert in arms[True][1].alerts:
+            assert alert.provenance is None
+            assert "provenance" not in alert.to_dict()
+
+    def test_fused_verdicts_mirror_results(self, arms):
+        report = arms[True][0]
+        for unit, results in report.results.items():
+            fused_list = report.fused_verdicts[unit]
+            assert len(fused_list) == len(results)
+            for result, fused in zip(results, fused_list):
+                assert (fused.start, fused.end) == (result.start, result.end)
+                assert fused.correlation == result.abnormal_databases
+                assert fused.combined == result.abnormal_databases
+                assert fused.log == ()
+
+
+class TestProvenanceCorrectness:
+    """Log firing may grow alerts but never mutates correlation verdicts."""
+
+    @pytest.fixture(scope="class")
+    def scenario_run(self):
+        scenario = log_scenario("noisy-neighbor")
+        sink = MemorySink()
+        service = DetectionService(
+            default_config(),
+            service_config=ServiceConfig(log_ensemble=True),
+            sinks=(sink,),
+            rca=True,
+        )
+        report = service.run(
+            ReplaySource(scenario.dataset, logbook=scenario.logbooks)
+        )
+        return scenario, report, sink
+
+    def test_correlation_matches_log_free_run(self, scenario_run):
+        scenario, report, _ = scenario_run
+        baseline = DetectionService(
+            default_config(), sinks=("null",)
+        ).run(ReplaySource(scenario.dataset))
+        for unit, results in report.results.items():
+            plain = baseline.results[unit]
+            assert len(plain) == len(results)
+            for a, b in zip(plain, results):
+                assert a.abnormal_databases == b.abnormal_databases
+                assert (a.start, a.end) == (b.start, b.end)
+
+    def test_provenance_tags_partition_the_union(self, scenario_run):
+        _, report, _ = scenario_run
+        for fused_list in report.fused_verdicts.values():
+            for fused in fused_list:
+                assert set(fused.provenance) == set(fused.combined)
+                for db, tag in fused.provenance.items():
+                    expected = (
+                        PROVENANCE_BOTH
+                        if db in fused.correlation and db in fused.log
+                        else PROVENANCE_CORRELATION
+                        if db in fused.correlation
+                        else PROVENANCE_LOG
+                    )
+                    assert tag == expected
+
+    def test_log_contributed_alerts_carry_provenance(self, scenario_run):
+        _, _, sink = scenario_run
+        tagged = [a for a in sink.alerts if a.provenance is not None]
+        assert tagged, "the KPI-blind preset must produce log alerts"
+        for alert in tagged:
+            assert set(alert.provenance) == set(alert.abnormal_databases)
+            assert Alert.from_dict(alert.to_dict()) == alert
+
+    def test_log_only_alerts_have_log_attribution(self, scenario_run):
+        _, _, sink = scenario_run
+        log_only = [
+            a
+            for a in sink.alerts
+            if a.provenance is not None
+            and set(a.provenance.values()) == {PROVENANCE_LOG}
+        ]
+        assert log_only, "log-only rounds must alert"
+        for alert in log_only:
+            assert alert.attribution is not None
+            assert alert.attribution.kpi_scores[0][0].startswith("log:")
+            assert alert.incident_id is not None
+
+    def test_service_run_is_deterministic(self, scenario_run):
+        scenario, report, _ = scenario_run
+        again = DetectionService(
+            default_config(),
+            service_config=ServiceConfig(log_ensemble=True),
+            sinks=("null",),
+            rca=True,
+        ).run(ReplaySource(scenario.dataset, logbook=scenario.logbooks))
+        first = [
+            fused.to_dict()
+            for fused_list in report.fused_verdicts.values()
+            for fused in fused_list
+        ]
+        second = [
+            fused.to_dict()
+            for fused_list in again.fused_verdicts.values()
+            for fused in fused_list
+        ]
+        assert first == second
+
+
+class TestEnsembleBeatsKcd:
+    """The ISSUE's acceptance pin: better delay or F on the blind presets."""
+
+    @pytest.fixture(scope="class")
+    def comparisons(self):
+        from repro.eval.fusion import evaluate_scenarios
+
+        return {c.scenario: c for c in evaluate_scenarios()}
+
+    def test_error_burst_pin(self, comparisons):
+        comp = comparisons["error-burst"]
+        assert comp.kcd.detection_delay is None, "KCD is structurally blind"
+        assert comp.kcd.recall == 0.0
+        assert comp.ensemble.detection_delay == 20
+        assert comp.ensemble.recall == 1.0
+        assert comp.ensemble.f_measure >= 0.75
+        assert comp.improved
+
+    def test_replication_lag_pin(self, comparisons):
+        comp = comparisons["replication-lag"]
+        assert comp.kcd.detection_delay is None
+        assert comp.ensemble.detection_delay == 20
+        assert comp.ensemble.f_measure >= 0.6
+        assert comp.improved
+
+    def test_noisy_neighbor_pin(self, comparisons):
+        comp = comparisons["noisy-neighbor"]
+        assert comp.ensemble.detection_delay == 20
+        assert comp.ensemble.f_measure == 1.0
+        assert comp.ensemble.f_measure > comp.kcd.f_measure
+        assert comp.improved
+
+    def test_improves_on_at_least_two_presets(self, comparisons):
+        assert sum(c.improved for c in comparisons.values()) >= 2
+
+
+class TestDetectFleetLogbook:
+    def test_detect_fleet_accepts_logbook(self):
+        from repro.service import detect_fleet
+
+        scenario = log_scenario("error-burst")
+        report = detect_fleet(
+            scenario.dataset,
+            config=default_config(),
+            logbook=scenario.logbooks,
+        )
+        assert report.fused_verdicts, "logbook implies log_ensemble"
+        flagged = {
+            db
+            for fused_list in report.fused_verdicts.values()
+            for fused in fused_list
+            for db in fused.log
+        }
+        assert 2 in flagged, "the seeded victim must be log-flagged"
+
+    def test_replay_source_rejects_unknown_units(self):
+        scenario = log_scenario("error-burst")
+        with pytest.raises(ValueError, match="logbook names units"):
+            ReplaySource(scenario.dataset, logbook={"ghost": {}})

@@ -1,0 +1,360 @@
+"""Unit tests for the log-event channel (:mod:`repro.logs`)."""
+
+import pytest
+
+from repro.logs import (
+    ANOMALY_LOG_PROFILES,
+    LOG_SCENARIOS,
+    LogChannel,
+    LogEvent,
+    LogFrequencyDetector,
+    TemplateCounter,
+    dataset_logbook,
+    events_logbook,
+    fault_logbook,
+    healthy_logbook,
+    log_scenario,
+    mask_message,
+    merge_logbooks,
+    profile_logbook,
+    template_key,
+    unit_logbook,
+)
+
+
+class TestLogEvent:
+    def test_round_trips_through_dict(self):
+        event = LogEvent(tick=3, database=1, level="WARN", message="slow")
+        assert LogEvent.from_dict(event.to_dict()) == event
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ValueError):
+            LogEvent(tick=0, database=0, level="TRACE", message="x")
+
+    def test_rejects_negative_tick(self):
+        with pytest.raises(ValueError):
+            LogEvent(tick=-1, database=0, level="INFO", message="x")
+
+
+class TestMasking:
+    @pytest.mark.parametrize(
+        "message, masked",
+        [
+            (
+                "slow query: 8731 ms scanning 120394 rows on t42",
+                "slow query: <*> ms scanning <*> rows on t<*>",
+            ),
+            (
+                "connection from 10.0.31.7 established",
+                "connection from <*> established",
+            ),
+            (
+                "lock wait timeout; transaction 9138821 waited 87 s",
+                "lock wait timeout; transaction <*> waited <*> s",
+            ),
+            (
+                "replication lag 14 s behind primary at binlog pos=882211",
+                "replication lag <*> s behind primary at binlog pos=<*>",
+            ),
+            ("checkpoint complete", "checkpoint complete"),
+        ],
+    )
+    def test_masks_variable_tokens(self, message, masked):
+        assert mask_message(message) == masked
+
+    def test_same_template_same_key(self):
+        a = LogEvent(0, 0, "WARN", "query took 87 ms on t3")
+        b = LogEvent(5, 2, "WARN", "query took 912 ms on t44")
+        assert template_key(a) == template_key(b)
+
+    def test_level_distinguishes_keys(self):
+        a = LogEvent(0, 0, "WARN", "query took 87 ms")
+        b = LogEvent(0, 0, "ERROR", "query took 87 ms")
+        assert template_key(a) != template_key(b)
+
+
+class TestTemplateCounter:
+    def test_counts_per_database_and_template(self):
+        counter = TemplateCounter(2)
+        counter.observe(
+            0,
+            [
+                LogEvent(0, 0, "WARN", "query took 87 ms"),
+                LogEvent(0, 0, "WARN", "query took 9 ms"),
+                LogEvent(0, 1, "INFO", "checkpoint complete"),
+            ],
+        )
+        counts = counter.window_counts(0, 1)
+        assert counts[(0, "WARN:query took <*> ms")] == 2
+        assert counts[(1, "INFO:checkpoint complete")] == 1
+
+    def test_window_counts_respect_span(self):
+        counter = TemplateCounter(1)
+        for tick in range(4):
+            counter.observe(tick, [LogEvent(tick, 0, "INFO", "beat")])
+        assert counter.window_counts(0, 2)[(0, "INFO:beat")] == 2
+        assert counter.window_counts(2, 4)[(0, "INFO:beat")] == 2
+
+    def test_trim_drops_closed_ticks(self):
+        counter = TemplateCounter(1)
+        counter.observe(0, [LogEvent(0, 0, "INFO", "beat")])
+        counter.observe(5, [LogEvent(5, 0, "INFO", "beat")])
+        counter.trim(3)
+        assert counter.window_counts(0, 10) == {(0, "INFO:beat"): 1}
+
+    def test_rejects_out_of_range_database(self):
+        counter = TemplateCounter(1)
+        with pytest.raises(ValueError):
+            counter.observe(0, [LogEvent(0, 3, "INFO", "beat")])
+
+
+class TestEmitter:
+    def test_healthy_logbook_is_deterministic(self):
+        a = healthy_logbook(3, 40, seed=7)
+        b = healthy_logbook(3, 40, seed=7)
+        assert a == b
+
+    def test_seed_changes_the_stream(self):
+        assert healthy_logbook(3, 40, seed=1) != healthy_logbook(3, 40, seed=2)
+
+    def test_events_logbook_confined_to_windows(self):
+        book = events_logbook([("slow_query", 1, 10, 14)], n_ticks=40, seed=0)
+        assert book, "an active profile should emit"
+        for tick, events in book.items():
+            assert 10 <= tick < 14
+            for event in events:
+                assert event.database == 1
+                assert event.level in ("WARN", "ERROR")
+
+    def test_events_logbook_skips_unknown_kinds(self):
+        assert events_logbook([("not-a-kind", 0, 0, 10)], 20) == {}
+
+    def test_profiles_cover_the_anomaly_catalog_kinds(self):
+        for kind, profile in ANOMALY_LOG_PROFILES.items():
+            assert profile, kind
+            for level, template, rate in profile:
+                assert level in ("WARN", "ERROR")
+                assert rate > 0
+
+    def test_unit_and_dataset_logbooks_follow_metadata(self):
+        from repro.datasets.builder import build_unit_series
+        from repro.datasets.containers import Dataset
+
+        units = tuple(
+            build_unit_series(
+                profile="tencent",
+                n_databases=3,
+                n_ticks=60,
+                seed=3 + index,
+                name=f"u{index}",
+            )
+            for index in range(2)
+        )
+        dataset = Dataset(name="book-test", units=units)
+        books = dataset_logbook(dataset, seed=3)
+        assert set(books) == {unit.name for unit in dataset.units}
+        assert books[dataset.units[0].name] == unit_logbook(
+            dataset.units[0], seed=3
+        )
+
+    def test_fault_logbook_targets_fault_units(self):
+        class Fault:
+            kind = "blackout"
+            start = 5
+            end = 8
+            units = ("u1",)
+
+        books = fault_logbook([Fault()], {"u0": 2, "u1": 2}, 20, seed=0)
+        assert books["u0"] == {}
+        assert books["u1"], "the targeted unit should log"
+        for tick in books["u1"]:
+            assert 5 <= tick < 8
+
+    def test_merge_preserves_all_events(self):
+        a = profile_logbook([("WARN", "a {ms}", 2.0)], 0, 0, 5, seed=1)
+        b = profile_logbook([("WARN", "b {ms}", 2.0)], 0, 0, 5, seed=2)
+        merged = merge_logbooks(a, b)
+        count = lambda book: sum(len(events) for events in book.values())
+        assert count(merged) == count(a) + count(b)
+
+
+class TestLogFrequencyDetector:
+    def _quiet_counts(self, rate=5):
+        return {(0, "INFO:beat"): rate, (1, "INFO:beat"): rate}
+
+    def test_quiet_stream_never_fires(self):
+        detector = LogFrequencyDetector(2, reference_window=10)
+        for round_index in range(8):
+            verdict = detector.judge(
+                round_index * 10, (round_index + 1) * 10, self._quiet_counts()
+            )
+            assert not verdict.abnormal
+
+    def test_burst_on_known_template_fires(self):
+        detector = LogFrequencyDetector(2, reference_window=10)
+        for round_index in range(4):
+            detector.judge(
+                round_index * 10, (round_index + 1) * 10, self._quiet_counts()
+            )
+        counts = self._quiet_counts()
+        counts[(1, "INFO:beat")] = 400
+        verdict = detector.judge(40, 50, counts)
+        assert verdict.abnormal_databases == (1,)
+        assert verdict.scores[1] >= detector.threshold_sigma
+        assert verdict.culprit_templates[1][0][0] == "INFO:beat"
+        assert 0 < verdict.strength <= 1.0
+
+    def test_novel_error_template_fires_without_history(self):
+        detector = LogFrequencyDetector(1, reference_window=10)
+        detector.judge(0, 10, self._quiet_counts())
+        detector.judge(10, 20, self._quiet_counts())
+        verdict = detector.judge(20, 30, {(0, "ERROR:deadlock on t<*>"): 12})
+        assert verdict.abnormal_databases == (0,)
+
+    def test_novel_info_template_is_ignored(self):
+        detector = LogFrequencyDetector(1, reference_window=10)
+        detector.judge(0, 10, self._quiet_counts())
+        detector.judge(10, 20, self._quiet_counts())
+        verdict = detector.judge(20, 30, {(0, "INFO:new chatter"): 12})
+        assert not verdict.abnormal
+
+    def test_warmup_rounds_suppress_judging(self):
+        detector = LogFrequencyDetector(1, reference_window=10, warmup_rounds=3)
+        for round_index in range(3):
+            verdict = detector.judge(
+                round_index * 10,
+                (round_index + 1) * 10,
+                {(0, "ERROR:boom"): 100},
+            )
+            assert not verdict.abnormal, "warmup must not judge"
+
+    def test_expanded_round_normalizes_rates(self):
+        narrow = LogFrequencyDetector(1, reference_window=10)
+        wide = LogFrequencyDetector(1, reference_window=10)
+        for round_index in range(4):
+            narrow.judge(
+                round_index * 10, (round_index + 1) * 10, {(0, "INFO:beat"): 10}
+            )
+            wide.judge(
+                round_index * 10, (round_index + 1) * 10, {(0, "INFO:beat"): 10}
+            )
+        # The same per-tick rate over a 3x span must stay quiet...
+        assert not wide.judge(40, 70, {(0, "INFO:beat"): 30}).abnormal
+        # ...while that raw count inside a normal span is a 3x burst.
+        assert narrow.judge(40, 50, {(0, "INFO:beat"): 30}).abnormal
+
+    def test_min_count_floors_novel_rule(self):
+        detector = LogFrequencyDetector(1, reference_window=10, min_count=4)
+        detector.judge(0, 10, self._quiet_counts())
+        detector.judge(10, 20, self._quiet_counts())
+        verdict = detector.judge(20, 30, {(0, "ERROR:rare"): 3})
+        assert not verdict.abnormal
+
+
+class TestScenarios:
+    def test_registry_has_three_kpi_blind_presets(self):
+        assert set(LOG_SCENARIOS) == {
+            "error-burst",
+            "replication-lag",
+            "noisy-neighbor",
+        }
+
+    def test_presets_are_pure_functions_of_the_seed(self):
+        a = log_scenario("error-burst", seed=5)
+        b = log_scenario("error-burst", seed=5)
+        assert a.logbooks == b.logbooks
+        assert a.incidents == b.incidents
+        assert (
+            a.dataset.units[0].values == b.dataset.units[0].values
+        ).all()
+
+    def test_labels_match_declared_incidents(self):
+        scenario = log_scenario("noisy-neighbor")
+        unit = scenario.dataset.units[0]
+        for name, database, start, end in scenario.incidents:
+            assert name == unit.name
+            assert unit.labels[database, start:end].all()
+        assert unit.labels.sum() == sum(
+            end - start for _, _, start, end in scenario.incidents
+        )
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown log scenario"):
+            log_scenario("nope")
+
+
+class TestLogChannel:
+    def _channel(self):
+        return LogChannel({"u": 2}, reference_windows=10)
+
+    def test_ingest_counts_once_per_sequence(self):
+        channel = self._channel()
+        events = (LogEvent(0, 0, "INFO", "beat"),)
+        assert channel.ingest("u", 0, events) == 1
+        assert channel.ingest("u", 0, events) == 0, "duplicate tick dropped"
+        assert channel.ingest("u", 1, events) == 1
+        assert channel.events_counted("u") == 2
+
+    def test_unknown_unit_is_ignored(self):
+        channel = self._channel()
+        assert channel.ingest("ghost", 0, (LogEvent(0, 0, "INFO", "x"),)) == 0
+
+    def test_fuse_requires_matching_span(self):
+        from repro.ensemble import fuse_round
+        from repro.logs import LogVerdict
+
+        result = _result(abnormal=(), start=0, end=10)
+        with pytest.raises(ValueError, match="spans"):
+            fuse_round("u", result, LogVerdict(start=0, end=20))
+
+    def test_log_only_round_gets_attribution(self):
+        channel = self._channel()
+        for tick in range(50):
+            events = [LogEvent(tick, 0, "INFO", "beat")]
+            if 30 <= tick < 40:
+                events.extend(
+                    LogEvent(tick, 1, "ERROR", f"deadlock txn {tick}{i}")
+                    for i in range(6)
+                )
+            channel.ingest("u", tick, events)
+        quiet, attribution = channel.fuse("u", _result(abnormal=(), end=10))
+        assert attribution is None and not quiet.combined
+        for start in (10, 20):
+            channel.fuse("u", _result(abnormal=(), start=start, end=start + 10))
+        fused, attribution = channel.fuse(
+            "u", _result(abnormal=(), start=30, end=40)
+        )
+        assert fused.combined == (1,)
+        assert fused.provenance == {1: "log"}
+        assert attribution is not None
+        assert attribution.abnormal_databases == (1,)
+        assert attribution.kpi_scores[0][0].startswith("log:")
+
+    def test_correlation_round_keeps_correlation_attribution(self):
+        channel = self._channel()
+        for tick in range(10):
+            channel.ingest("u", tick, [LogEvent(tick, 0, "INFO", "beat")])
+        fused, attribution = channel.fuse("u", _result(abnormal=(1,), end=10))
+        assert fused.combined == (1,)
+        assert fused.provenance == {1: "correlation"}
+        assert attribution is None, "the KPI attributor owns this round"
+
+
+def _result(abnormal=(1,), start=0, end=10):
+    from repro.core.detector import UnitDetectionResult
+    from repro.core.records import DatabaseState, JudgementRecord
+
+    records = {
+        db: JudgementRecord(
+            database=db,
+            window_start=start,
+            window_end=end,
+            state=(
+                DatabaseState.ABNORMAL
+                if db in abnormal
+                else DatabaseState.HEALTHY
+            ),
+        )
+        for db in range(2)
+    }
+    return UnitDetectionResult(start=start, end=end, records=records)

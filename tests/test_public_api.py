@@ -9,6 +9,8 @@ exactly the review moment this snapshot exists to force.
 import repro
 import repro.core
 import repro.engine
+import repro.ensemble
+import repro.logs
 import repro.persist
 import repro.rca
 import repro.service
@@ -67,6 +69,38 @@ EXPECTED = {
         "WindowCache",
         "make_engine",
         "validate_window",
+    ],
+    repro.ensemble: [
+        "PROVENANCE_CORRELATION",
+        "PROVENANCE_LOG",
+        "PROVENANCE_BOTH",
+        "FusedVerdict",
+        "fuse_round",
+        "HybridVerdict",
+        "HybridDetector",
+    ],
+    repro.logs: [
+        "ANOMALY_LOG_PROFILES",
+        "FAULT_LOG_PROFILES",
+        "LEVELS",
+        "LOG_SCENARIOS",
+        "LogBook",
+        "LogChannel",
+        "LogEvent",
+        "LogFrequencyDetector",
+        "LogScenario",
+        "LogVerdict",
+        "TemplateCounter",
+        "dataset_logbook",
+        "events_logbook",
+        "fault_logbook",
+        "healthy_logbook",
+        "log_scenario",
+        "mask_message",
+        "merge_logbooks",
+        "profile_logbook",
+        "template_key",
+        "unit_logbook",
     ],
     repro.persist: [
         "FleetStateStore",
